@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the thesis' evaluation
+(see DESIGN.md's per-experiment index) and prints the reproduced rows/series
+so ``pytest benchmarks/ --benchmark-only -s`` doubles as the paper-report
+generator.  Setup objects are session-scoped: building the synthetic
+databases dominates wall-clock otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ch3, ch4, ch5, ch6
+
+
+@pytest.fixture(scope="session")
+def ch3_imdb():
+    return ch3.build_setup("imdb", n_queries=20)
+
+
+@pytest.fixture(scope="session")
+def ch3_lyrics():
+    return ch3.build_setup("lyrics", n_queries=20)
+
+
+@pytest.fixture(scope="session")
+def ch4_imdb():
+    return ch4.build_setup("imdb", n_queries=12)
+
+
+@pytest.fixture(scope="session")
+def ch4_lyrics():
+    return ch4.build_setup("lyrics", n_queries=12)
+
+
+@pytest.fixture(scope="session")
+def ch6_setup():
+    return ch6.build_setup(n_tables=60)

@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **Option selection policy** — Alg. 3.2's information-gain criterion vs a
+  random-splitting-option control: IG must not cost more interactions.
+* **Keyword statistic** — ATF (typicality) vs TF-IDF (distinctiveness) for
+  ranking the intended interpretation: the thesis' §3.8.3 observation that
+  ATF wins on keyword workloads.
+* **Top-k execution** — TA-style early stopping vs naive execute-everything:
+  identical results, strictly less work.
+"""
+
+import statistics
+
+from repro.core.probability import TFIDFModel, TemplateCatalog, rank_interpretations
+from repro.core.topk import TopKExecutor
+from repro.experiments import ch3
+from repro.experiments.reporting import format_table
+from repro.iqp.ranking import Ranker
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import SimulatedUser
+
+
+def test_ablation_option_selection_policy(benchmark, ch3_imdb):
+    def run():
+        ig_costs, random_costs = [], []
+        model = ch3_imdb.models["atf_tequal"]
+        for item in ch3_imdb.workload:
+            u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
+            ig = ConstructionSession(item.query, ch3_imdb.generator, model).run(u1)
+            rnd = ConstructionSession(
+                item.query,
+                ch3_imdb.generator,
+                model,
+                selection_policy="random",
+                policy_seed=13,
+            ).run(u2)
+            ig_costs.append(ig.options_evaluated)
+            random_costs.append(rnd.options_evaluated)
+        return ig_costs, random_costs
+
+    ig_costs, random_costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sum(ig_costs) <= sum(random_costs)
+    print()
+    print(
+        format_table(
+            ["policy", "mean cost", "max cost"],
+            [
+                ["information gain", statistics.mean(ig_costs), max(ig_costs)],
+                ["random option", statistics.mean(random_costs), max(random_costs)],
+            ],
+        )
+    )
+
+
+def test_ablation_atf_vs_tfidf(benchmark, ch3_imdb):
+    def run():
+        atf_ranker = Ranker(ch3_imdb.generator, ch3_imdb.models["atf_tequal"])
+        tfidf_model = TFIDFModel(
+            ch3_imdb.database.require_index(),
+            TemplateCatalog(ch3_imdb.generator.templates),
+        )
+        tfidf_ranker = Ranker(ch3_imdb.generator, tfidf_model)
+        atf_ranks, tfidf_ranks = [], []
+        for item in ch3_imdb.workload:
+            r1 = atf_ranker.rank_of(item.query, item.intended)
+            r2 = tfidf_ranker.rank_of(item.query, item.intended)
+            if r1 is not None and r2 is not None:
+                atf_ranks.append(r1)
+                tfidf_ranks.append(r2)
+        return atf_ranks, tfidf_ranks
+
+    atf_ranks, tfidf_ranks = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert atf_ranks
+    # ATF's typicality preference wins on keyword workloads (§3.8.3).
+    assert statistics.median(atf_ranks) <= statistics.median(tfidf_ranks)
+    print()
+    print(
+        format_table(
+            ["statistic", "median intended rank", "mean intended rank"],
+            [
+                ["ATF", statistics.median(atf_ranks), statistics.mean(atf_ranks)],
+                ["TF-IDF", statistics.median(tfidf_ranks), statistics.mean(tfidf_ranks)],
+            ],
+        )
+    )
+
+
+def test_ablation_topk_early_stopping(benchmark, ch3_imdb):
+    def run():
+        model = ch3_imdb.models["atf_tequal"]
+        executor = TopKExecutor(ch3_imdb.database)
+        smart_work = naive_work = 0
+        mismatches = 0
+        for item in ch3_imdb.workload[:10]:
+            ranked = rank_interpretations(
+                ch3_imdb.generator.interpretations(item.query), model
+            )
+            smart = executor.execute(ranked, k=3)
+            smart_work += executor.statistics.interpretations_executed
+            naive = executor.execute_naive(ranked, k=3)
+            naive_work += executor.statistics.interpretations_executed
+            if [r.row_uids() for r in smart] != [r.row_uids() for r in naive]:
+                mismatches += 1
+        return smart_work, naive_work, mismatches
+
+    smart_work, naive_work, mismatches = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert mismatches == 0  # early stopping never changes the answer
+    assert smart_work < naive_work
+    print()
+    print(
+        format_table(
+            ["strategy", "interpretations executed"],
+            [["early stopping (TA)", smart_work], ["naive union", naive_work]],
+        )
+    )

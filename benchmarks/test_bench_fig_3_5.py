@@ -1,0 +1,41 @@
+"""Fig. 3.5 — interaction cost under three probability estimates.
+
+Shape to hold: ATF-based estimates reduce interaction cost vs the uniform
+baseline (the thesis reports ~50% reduction); the query-log configuration is
+at least as good as Tequal.
+"""
+
+from repro.experiments import ch3
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig_3_5_imdb(benchmark, ch3_imdb):
+    costs = benchmark.pedantic(
+        lambda: ch3.fig_3_5(setup=ch3_imdb), rounds=1, iterations=1
+    )
+    assert _mean(costs["atf_tequal"]) <= _mean(costs["baseline"]) + 0.5
+    assert _mean(costs["atf_tlog"]) <= _mean(costs["atf_tequal"]) + 0.5
+    print()
+    print(
+        ch3.format_table(
+            ["estimate", "mean interaction cost"],
+            [[name, _mean(values)] for name, values in costs.items()],
+        )
+    )
+
+
+def test_fig_3_5_lyrics(benchmark, ch3_lyrics):
+    costs = benchmark.pedantic(
+        lambda: ch3.fig_3_5(setup=ch3_lyrics), rounds=1, iterations=1
+    )
+    assert _mean(costs["atf_tlog"]) <= _mean(costs["baseline"]) + 0.5
+    print()
+    print(
+        ch3.format_table(
+            ["estimate", "mean interaction cost"],
+            [[name, _mean(values)] for name, values in costs.items()],
+        )
+    )

@@ -1,0 +1,36 @@
+"""Fig. 3.6 — interaction cost: SQAK ranking vs IQP ranking vs construction.
+
+Shape to hold: construction has far lower maximum and variance than either
+ranking interface; IQP's ranking is competitive with SQAK's.
+"""
+
+import statistics
+
+from repro.experiments import ch3
+from repro.experiments.reporting import format_table, summary_stats
+
+
+def _check_and_print(data, label):
+    assert max(data["construction_iqp"]) <= max(
+        max(data["rank_iqp"]), max(data["rank_sqak"])
+    )
+    if statistics.pvariance(data["rank_iqp"]) > 0:
+        assert statistics.pvariance(data["construction_iqp"]) <= statistics.pvariance(
+            data["rank_iqp"]
+        )
+    print()
+    print(f"Fig. 3.6 ({label})")
+    rows = [[name, *summary_stats(values).row()] for name, values in data.items()]
+    print(format_table(["interface", "min", "q1", "median", "q3", "max", "mean"], rows))
+
+
+def test_fig_3_6_imdb(benchmark, ch3_imdb):
+    data = benchmark.pedantic(lambda: ch3.fig_3_6(setup=ch3_imdb), rounds=1, iterations=1)
+    _check_and_print(data, "imdb")
+
+
+def test_fig_3_6_lyrics(benchmark, ch3_lyrics):
+    data = benchmark.pedantic(
+        lambda: ch3.fig_3_6(setup=ch3_lyrics), rounds=1, iterations=1
+    )
+    _check_and_print(data, "lyrics")

@@ -1,0 +1,37 @@
+"""Fig. 3.7 + Table 3.1 — usability study: task time by complexity category.
+
+Shape to hold: ranking wins in the lowest complexity category; construction
+time stays near-flat while ranking time grows with the category, so the
+construction interface wins in the highest observed category.
+"""
+
+from repro.experiments import ch3
+from repro.experiments.reporting import format_table
+
+
+def test_fig_3_7(benchmark, ch3_imdb):
+    rows = benchmark.pedantic(lambda: ch3.fig_3_7(setup=ch3_imdb), rounds=1, iterations=1)
+    assert rows
+    first_cat, first_rank, first_cons = rows[0]
+    if first_cat == 0:
+        assert first_rank <= first_cons  # ranking wins the easy tasks
+    if len(rows) >= 2:
+        last_cat, last_rank, last_cons = rows[-1]
+        # Ranking time grows with category; construction stays flatter.
+        assert last_rank >= first_rank
+    print()
+    print(
+        format_table(
+            ["category", "ranking median (s)", "construction median (s)"],
+            [list(r) for r in rows],
+        )
+    )
+    tasks = sorted(ch3.study_tasks(setup=ch3_imdb), key=lambda t: -t.intended_rank)[:5]
+    print()
+    print("Table 3.1: example tasks")
+    print(
+        format_table(
+            ["query", "C1 rank", "C2 options", "|I|"],
+            [[t.query, t.intended_rank, t.construction_options, t.space_size] for t in tasks],
+        )
+    )

@@ -1,0 +1,33 @@
+"""Fig. 4.1 — probability ratio PR_i per rank (+ Table 4.1 example).
+
+Shape to hold: interpretation probabilities fall sharply with rank — queries
+at rank ~10 carry only a small fraction of the mass above them, justifying
+the top-25 assessment pool.
+"""
+
+from repro.experiments import ch4
+from repro.experiments.reporting import format_table
+
+
+def test_fig_4_1_imdb(benchmark, ch4_imdb):
+    max_pr, avg_pr = benchmark.pedantic(
+        lambda: ch4.fig_4_1(ch4_imdb), rounds=1, iterations=1
+    )
+    early = [v for v in avg_pr[:3] if v > 0]
+    late = [v for v in avg_pr[8:15] if v > 0]
+    if early and late:
+        assert sum(early) / len(early) > sum(late) / len(late)
+    print()
+    rows = [[i + 2, m, a] for i, (m, a) in enumerate(zip(max_pr[:12], avg_pr[:12]))]
+    print(format_table(["rank", "max PR", "avg PR"], rows))
+    print()
+    print(ch4.table_4_1(ch4_imdb))
+
+
+def test_fig_4_1_lyrics(benchmark, ch4_lyrics):
+    max_pr, avg_pr = benchmark.pedantic(
+        lambda: ch4.fig_4_1(ch4_lyrics), rounds=1, iterations=1
+    )
+    assert len(max_pr) == len(avg_pr)
+    for m, a in zip(max_pr, avg_pr):
+        assert m >= a - 1e-12

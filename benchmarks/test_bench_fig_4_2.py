@@ -1,0 +1,40 @@
+"""Fig. 4.2 — alpha-nDCG-W: diversification vs ranking, alpha sweep.
+
+Shapes to hold: at alpha=0 (pure relevance) ranking dominates; at alpha=0.99
+(novelty crucial) diversification beats ranking on multi-concept queries.
+"""
+
+from repro.experiments import ch4
+from repro.experiments.reporting import format_table
+
+
+def _run(setup, label):
+    data = ch4.fig_4_2(setup, alphas=(0.0, 0.5, 0.99), ks=(1, 2, 3, 4, 5, 6))
+    # alpha = 0: ranking >= diversification everywhere (small tolerance).
+    for kind in ("sc", "mc"):
+        if (0.0, "rank", kind) in data:
+            for r, d in zip(data[(0.0, "rank", kind)], data[(0.0, "div", kind)]):
+                assert r >= d - 0.05
+    # alpha = 0.99: diversification wins on mc queries in aggregate.
+    if (0.99, "div", "mc") in data:
+        assert sum(data[(0.99, "div", "mc")]) >= sum(data[(0.99, "rank", "mc")]) - 0.05
+    print()
+    print(f"Fig. 4.2 ({label})")
+    rows = [
+        [alpha, system, kind, *[round(v, 3) for v in series]]
+        for (alpha, system, kind), series in sorted(data.items())
+    ]
+    print(
+        format_table(
+            ["alpha", "system", "kind", "k=1", "k=2", "k=3", "k=4", "k=5", "k=6"], rows
+        )
+    )
+    return data
+
+
+def test_fig_4_2_imdb(benchmark, ch4_imdb):
+    benchmark.pedantic(lambda: _run(ch4_imdb, "imdb"), rounds=1, iterations=1)
+
+
+def test_fig_4_2_lyrics(benchmark, ch4_lyrics):
+    benchmark.pedantic(lambda: _run(ch4_lyrics, "lyrics"), rounds=1, iterations=1)

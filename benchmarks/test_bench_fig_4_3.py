@@ -1,0 +1,32 @@
+"""Fig. 4.3 — WS-recall: diversification vs ranking.
+
+Shape to hold: WS-recall is monotone in k and diversification's aggregate
+recall is at least ranking's on multi-concept queries (diverse
+interpretations cover more subtopics earlier).
+"""
+
+from repro.experiments import ch4
+from repro.experiments.reporting import format_table
+
+
+def _run(setup, label):
+    data = ch4.fig_4_3(setup, ks=(1, 2, 3, 4, 5, 6, 7, 8))
+    for series in data.values():
+        assert series == sorted(series)
+    if ("div", "mc") in data:
+        assert sum(data[("div", "mc")]) >= sum(data[("rank", "mc")]) - 0.25
+    print()
+    print(f"Fig. 4.3 ({label})")
+    rows = [
+        [system, kind, *[round(v, 3) for v in series]]
+        for (system, kind), series in sorted(data.items())
+    ]
+    print(format_table(["system", "kind", *[f"k={k}" for k in range(1, 9)]], rows))
+
+
+def test_fig_4_3_imdb(benchmark, ch4_imdb):
+    benchmark.pedantic(lambda: _run(ch4_imdb, "imdb"), rounds=1, iterations=1)
+
+
+def test_fig_4_3_lyrics(benchmark, ch4_lyrics):
+    benchmark.pedantic(lambda: _run(ch4_lyrics, "lyrics"), rounds=1, iterations=1)

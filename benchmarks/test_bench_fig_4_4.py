@@ -1,0 +1,23 @@
+"""Fig. 4.4 — relevance vs novelty as the lambda tradeoff varies.
+
+Shape to hold: increasing lambda (toward pure relevance) raises the mean
+relevance of the selected interpretations and lowers their novelty.
+"""
+
+from repro.experiments import ch4
+from repro.experiments.reporting import format_table
+
+
+def test_fig_4_4(benchmark, ch4_imdb):
+    rows = benchmark.pedantic(
+        lambda: ch4.fig_4_4(ch4_imdb, tradeoffs=(0.0, 0.25, 0.5, 0.75, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) >= 2
+    first = rows[0]
+    last = rows[-1]
+    assert last[1] >= first[1] - 1e-9  # relevance grows with lambda
+    assert first[2] >= last[2] - 1e-9  # novelty falls with lambda
+    print()
+    print(format_table(["lambda", "mean relevance", "mean novelty"], [list(r) for r in rows]))

@@ -1,0 +1,58 @@
+"""Fig. 5.2 + Tables 5.1/5.3 — QCO efficiency & interaction cost vs schema size.
+
+Shapes to hold: ontology-based QCOs are at least as efficient as plain
+per-attribute QCOs and their cost advantage appears as the schema grows;
+coarser ontologies (fewer concepts) cost fewer interactions than no
+ontology at all.
+"""
+
+from repro.experiments import ch5
+from repro.experiments.reporting import format_table
+
+
+def test_fig_5_2(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch5.fig_5_2(domain_counts=(2, 5, 10, 20), n_queries=6),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["onto_cost"] <= row["plain_cost"] + 0.75
+        assert row["onto_efficiency"] >= row["plain_efficiency"] - 0.05
+    # On the biggest schema the ontology advantage must be visible.
+    big = rows[-1]
+    assert big["onto_cost"] <= big["plain_cost"]
+    print()
+    print(
+        format_table(
+            ["domains", "tables", "plain cost", "onto cost", "plain eff", "onto eff"],
+            [
+                [
+                    r["domains"],
+                    r["tables"],
+                    r["plain_cost"],
+                    r["onto_cost"],
+                    r["plain_efficiency"],
+                    r["onto_efficiency"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+
+def test_table_5_3(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch5.table_5_3(n_domains=10, n_queries=6), rounds=1, iterations=1
+    )
+    by_label = {r["ontology"]: r["mean_cost"] for r in rows}
+    assert by_label["types (level 1)"] <= by_label["no ontology (attributes)"] + 0.5
+    print()
+    print(
+        format_table(
+            ["ontology", "# concepts", "mean cost"],
+            [[r["ontology"], r["concepts"], r["mean_cost"]] for r in rows],
+        )
+    )
+    print()
+    print(ch5.table_5_1())

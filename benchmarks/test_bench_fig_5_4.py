@@ -1,0 +1,41 @@
+"""Fig. 5.4 + Table 5.2 — interaction cost over synthetic Freebase by query
+complexity.
+
+Shape to hold: ontology QCOs cut the interaction cost for both 2- and
+3-keyword queries, with the worst case improving the most.
+"""
+
+from repro.experiments import ch5
+from repro.experiments.reporting import format_table
+
+
+def test_fig_5_4(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch5.fig_5_4(n_domains=15, n_queries=6), rounds=1, iterations=1
+    )
+    assert rows
+    for row in rows:
+        assert row["onto_cost"] <= row["plain_cost"] + 0.5
+        assert row["onto_max"] <= row["plain_max"]
+    print()
+    print(
+        format_table(
+            ["# keywords", "plain mean", "onto mean", "plain max", "onto max"],
+            [
+                [r["keywords"], r["plain_cost"], r["onto_cost"], r["plain_max"], r["onto_max"]]
+                for r in rows
+            ],
+        )
+    )
+    table_rows = ch5.table_5_2(n_queries=6)
+    print()
+    print("Table 5.2: complexity of keyword queries")
+    print(
+        format_table(
+            ["# keywords", "# queries", "mean |I|", "max |I|"],
+            [
+                [r["keywords"], r["queries"], r["mean_space"], r["max_space"]]
+                for r in table_rows
+            ],
+        )
+    )

@@ -1,0 +1,30 @@
+"""Fig. 5.5 — response time of query construction over synthetic Freebase.
+
+Shape to hold: per-step option computation and best-first top-k
+materialization stay interactive (milliseconds) while work grows moderately
+with the schema size.
+"""
+
+from repro.experiments import ch5
+from repro.experiments.reporting import format_table
+
+
+def test_fig_5_5(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch5.fig_5_5(domain_counts=(2, 5, 10, 20), n_queries=4, top_k=8),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[-1]["topk_pops"] >= rows[0]["topk_pops"]
+    for row in rows:
+        assert row["ms_per_step"] < 1000.0  # interactive
+    print()
+    print(
+        format_table(
+            ["domains", "tables", "ms/step", "top-k ms", "top-k pops"],
+            [
+                [r["domains"], r["tables"], r["ms_per_step"], r["topk_ms"], r["topk_pops"]]
+                for r in rows
+            ],
+        )
+    )

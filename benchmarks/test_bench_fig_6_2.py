@@ -1,0 +1,28 @@
+"""Fig. 6.2 + Table 6.3 — shared instances across Freebase tables and the
+combined YAGO+F summary.
+
+Shape to hold: most shared instances occur in a single table, with a falling
+tail of instances spanning several tables.
+"""
+
+from repro.experiments import ch6
+from repro.experiments.reporting import format_table
+
+
+def test_fig_6_2(benchmark, ch6_setup):
+    rows = benchmark.pedantic(lambda: ch6.fig_6_2(ch6_setup), rounds=1, iterations=1)
+    assert rows
+    histogram = dict(rows)
+    assert histogram.get(1, 0) >= max(histogram.values()) * 0.5
+    print()
+    print("Fig. 6.2: distribution of shared instances over tables")
+    print(format_table(["# tables", "# instances"], [list(r) for r in rows]))
+
+
+def test_table_6_3(benchmark, ch6_setup):
+    summary = benchmark.pedantic(lambda: ch6.table_6_3(ch6_setup), rounds=1, iterations=1)
+    assert summary["attached_tables"] > 0
+    assert summary["classes_with_tables"] <= summary["yago_classes"]
+    print()
+    print("Table 6.3: categories and instances in YAGO+F")
+    print(format_table(["statistic", "value"], [[k, v] for k, v in summary.items()]))

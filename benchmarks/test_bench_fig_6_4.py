@@ -1,0 +1,24 @@
+"""Fig. 6.4 — matching quality vs instance-overlap threshold.
+
+Shape to hold: recall falls monotonically as the threshold rises while
+precision stays high in the useful mid-range — the precision/recall tradeoff
+of instance-based matching.
+"""
+
+from repro.experiments import ch6
+from repro.experiments.reporting import format_table
+
+
+def test_fig_6_4(benchmark, ch6_setup):
+    rows = benchmark.pedantic(
+        lambda: ch6.fig_6_4(ch6_setup, thresholds=(0.1, 0.3, 0.5, 0.7, 0.9)),
+        rounds=1,
+        iterations=1,
+    )
+    recalls = [r for _t, _p, r in rows]
+    assert recalls == sorted(recalls, reverse=True)
+    mid = [p for t, p, _r in rows if 0.25 <= t <= 0.75]
+    assert all(p >= 0.8 for p in mid)
+    print()
+    print("Fig. 6.4: matching quality vs overlap threshold")
+    print(format_table(["threshold", "precision", "recall"], [list(r) for r in rows]))

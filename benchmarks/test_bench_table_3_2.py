@@ -1,0 +1,28 @@
+"""Table 3.2 — greedy plan generation vs database size (simulation §3.8.5).
+
+Shapes to hold: the interpretation space grows polynomially with the number
+of tables while the number of options a user evaluates grows far slower, and
+per-step time stays in the millisecond range.
+"""
+
+from repro.experiments import ch3
+from repro.experiments.reporting import format_table
+
+
+def test_table_3_2(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch3.table_3_2(table_counts=(5, 10, 20, 40, 80), repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[-1]["queries"] > rows[0]["queries"] * 20
+    query_growth = rows[-1]["queries"] / rows[0]["queries"]
+    step_growth = rows[-1]["steps@20"] / max(rows[0]["steps@20"], 1)
+    assert step_growth < query_growth
+    print()
+    keys = [k for k in rows[0] if k != "tables"]
+    print(
+        format_table(
+            ["tables", *keys], [[r["tables"], *(r[k] for k in keys)] for r in rows]
+        )
+    )

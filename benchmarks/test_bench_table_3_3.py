@@ -1,0 +1,28 @@
+"""Table 3.3 — greedy plan generation vs keyword-query length (§3.8.5).
+
+Shapes to hold: the space grows exponentially with the number of keywords
+while the evaluated options grow roughly linearly.
+"""
+
+from repro.experiments import ch3
+from repro.experiments.reporting import format_table
+
+
+def test_table_3_3(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch3.table_3_3(keyword_counts=(2, 4, 6, 8, 10), repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[-1]["queries"] > rows[0]["queries"] * 50
+    # Steps grow sub-linearly relative to the space explosion.
+    step_ratio = rows[-1]["steps@20"] / max(rows[0]["steps@20"], 1)
+    space_ratio = rows[-1]["queries"] / rows[0]["queries"]
+    assert step_ratio < space_ratio / 10
+    print()
+    keys = [k for k in rows[0] if k != "keywords"]
+    print(
+        format_table(
+            ["keywords", *keys], [[r["keywords"], *(r[k] for k in keys)] for r in rows]
+        )
+    )

@@ -1,0 +1,32 @@
+"""Table 3.4 — plan quality: brute force vs greedy (§3.8.6).
+
+Shape to hold: greedy expected cost is only slightly above the brute-force
+optimum (the thesis reports differences below ~2%; we allow 15% slack on
+random universes).
+"""
+
+from repro.experiments import ch3
+from repro.experiments.reporting import format_table
+
+
+def test_table_3_4(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ch3.table_3_4(
+            sizes=((8, 4), (12, 6), (16, 8), (20, 10), (24, 12)), repeats=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row["greedy_cost"] >= row["brute_force_cost"] - 1e-9
+        assert row["greedy_cost"] <= row["brute_force_cost"] * 1.15
+    print()
+    print(
+        format_table(
+            ["# queries", "# options", "brute force", "greedy"],
+            [
+                [r["queries"], r["options"], r["brute_force_cost"], r["greedy_cost"]]
+                for r in rows
+            ],
+        )
+    )

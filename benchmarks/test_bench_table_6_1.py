@@ -1,0 +1,28 @@
+"""Tables 6.1/6.2 — distribution of categories and instances in YAGO.
+
+Shapes to hold: the category-size distribution is heavy-tailed (most leaf
+categories small, few huge) and instances concentrate at the deepest level.
+"""
+
+from repro.experiments import ch6
+from repro.experiments.reporting import format_table
+
+
+def test_table_6_1(benchmark, ch6_setup):
+    rows = benchmark.pedantic(lambda: ch6.table_6_1(ch6_setup), rounds=1, iterations=1)
+    counts = dict(rows)
+    small = sum(v for k, v in counts.items() if k in ("<= 1", "<= 2", "<= 5", "<= 10"))
+    huge = counts.get("> 1000", 0)
+    assert small > huge
+    print()
+    print("Table 6.1: distribution of categories in YAGO")
+    print(format_table(["# instances", "# categories"], [list(r) for r in rows]))
+
+
+def test_table_6_2(benchmark, ch6_setup):
+    rows = benchmark.pedantic(lambda: ch6.table_6_2(ch6_setup), rounds=1, iterations=1)
+    assert rows[-1][2] > 0  # instances at the leaves
+    assert rows[0][2] == 0  # none at the root
+    print()
+    print("Table 6.2: distribution of instances in YAGO")
+    print(format_table(["level", "# classes", "# direct instances"], [list(r) for r in rows]))

@@ -1,0 +1,71 @@
+"""FreeQ: interactive query construction over a Freebase-scale schema.
+
+Reproduces the Chapter 5 scenario: on a flat schema with dozens of domains a
+keyword matches attributes everywhere, so per-attribute questions are
+hopeless.  FreeQ asks concept-level questions from the ontology layer
+("is 'stone' a Person?") and explores the huge interpretation space
+best-first instead of materializing it.
+
+Run:  python examples/freebase_scale_freeq.py
+"""
+
+from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.probability import ATFModel, TemplateCatalog
+from repro.datasets.freebase import build_freebase, freebase_workload
+from repro.freeq.system import FreeQ
+from repro.freeq.traversal import BestFirstExplorer
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import SimulatedUser
+
+
+def main() -> None:
+    print("Building synthetic Freebase (20 domains x 7 tables) ...")
+    instance = build_freebase(n_domains=20, rows_per_entity_table=25)
+    db = instance.database
+    print(f"  {len(db.schema)} tables, {db.total_tuples()} tuples")
+    print(f"  ontology: {instance.ontology.summary()}")
+
+    generator = InterpretationGenerator(
+        db,
+        config=GeneratorConfig(max_atoms_per_keyword=96, max_interpretations=50_000),
+        max_template_joins=4,
+    )
+    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
+    freeq = FreeQ(generator, model, instance.ontology, stop_size=1)
+
+    workload = freebase_workload(instance, n_queries=6)
+    print("\nquery                     plain QCOs   ontology QCOs")
+    total_plain = total_onto = 0
+    example_transcript = None
+    for item in workload:
+        u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
+        plain = ConstructionSession(item.query, generator, model, stop_size=1).run(u1)
+        onto = freeq.construct(item.query, u2)
+        total_plain += plain.options_evaluated
+        total_onto += onto.options_evaluated
+        print(
+            f"{str(item.query):24s}  {plain.options_evaluated:10d}   {onto.options_evaluated:13d}"
+        )
+        if example_transcript is None and any("is a" in d for d, _ok in onto.transcript):
+            example_transcript = (item.query, onto.transcript)
+    print(f"{'TOTAL':24s}  {total_plain:10d}   {total_onto:13d}")
+
+    if example_transcript is not None:
+        query, transcript = example_transcript
+        print(f"\nExample ontology-QCO dialogue for {str(query)!r}:")
+        for step, (description, accepted) in enumerate(transcript, start=1):
+            print(f"  {step}. {description}?  -> {'yes' if accepted else 'no'}")
+
+    item = workload[0]
+    explorer = BestFirstExplorer(item.query, generator, model)
+    top = explorer.top_interpretations(5)
+    print(
+        f"\nBest-first top-5 for {str(item.query)!r} "
+        f"(materialized {explorer.pops} partials, not the whole space):"
+    )
+    for i, (interp, weight) in enumerate(top, start=1):
+        print(f"  {i}. w={weight:.2e}  {interp.to_structured_query().algebra()}")
+
+
+if __name__ == "__main__":
+    main()

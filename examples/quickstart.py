@@ -1,0 +1,69 @@
+"""Quickstart: keyword search over a relational database in ~60 lines.
+
+Builds a small movie database, indexes it, translates an ambiguous keyword
+query into ranked structured interpretations, and executes the best one —
+the core loop shared by every system in this library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.db.database import Database
+from repro.db.schema import Attribute, Schema, Table
+
+
+def build_database() -> Database:
+    schema = Schema()
+    schema.add_table(Table("actor", [Attribute("name"), Attribute("id", textual=False)]))
+    schema.add_table(
+        Table("movie", [Attribute("title"), Attribute("year"), Attribute("id", textual=False)])
+    )
+    schema.add_table(Table("acts", [Attribute("role"), Attribute("id", textual=False)]))
+    schema.link("acts", "actor")
+    schema.link("acts", "movie")
+
+    db = Database(schema)
+    db.insert("actor", {"id": 1, "name": "tom hanks"})
+    db.insert("actor", {"id": 2, "name": "colin hanks"})
+    db.insert("actor", {"id": 3, "name": "jack london"})
+    db.insert("movie", {"id": 1, "title": "the terminal", "year": "2004"})
+    db.insert("movie", {"id": 2, "title": "hanks island", "year": "2001"})
+    db.insert("movie", {"id": 3, "title": "london calling", "year": "2001"})
+    db.insert("acts", {"id": 1, "actor_id": 1, "movie_id": 1, "role": "captain"})
+    db.insert("acts", {"id": 2, "actor_id": 1, "movie_id": 2, "role": "pilot"})
+    db.insert("acts", {"id": 3, "actor_id": 2, "movie_id": 2, "role": "doctor"})
+    db.insert("acts", {"id": 4, "actor_id": 3, "movie_id": 3, "role": "writer"})
+    db.build_indexes()
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    generator = InterpretationGenerator(db, max_template_joins=2)
+    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
+
+    query = KeywordQuery.parse("hanks 2001")
+    print(f"Keyword query: {query}\n")
+
+    space = generator.interpretations(query)
+    ranked = rank_interpretations(space, model)
+    print(f"The query has {len(ranked)} structured interpretations; top 5:\n")
+    for i, (interp, probability) in enumerate(ranked[:5], start=1):
+        print(f"  {i}. P={probability:.3f}  {interp.to_structured_query().algebra()}")
+
+    best, _p = ranked[0]
+    sq = best.to_structured_query()
+    print("\nBest interpretation as SQL:\n")
+    print("  " + sq.to_sql().replace("\n", "\n  "))
+    print("\nResults (joining networks of tuples):\n")
+    for row in sq.execute(db):
+        rendered = " -- ".join(f"{t.table}:{t.key}" for t in row)
+        actor = row[0].get("name")
+        movie = row[-1].get("title")
+        print(f"  {rendered}   ({actor} in {movie!r})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""A complete keyword-search engine in one script.
+
+Chains the library's full pipeline the way a deployed system would:
+
+  typo-tolerant auto-completion -> query cleaning -> segmentation ->
+  interpretation ranking -> top-k execution with early stopping ->
+  snippets and result clustering.
+
+Run:  python examples/search_engine.py
+"""
+
+from repro.core.autocomplete import AutoCompleter
+from repro.core.cleaning import QueryCleaner
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.core.segmentation import QuerySegmenter
+from repro.core.snippets import cluster_results, make_snippet
+from repro.core.topk import TopKExecutor
+from repro.datasets.imdb import build_imdb
+
+
+def main() -> None:
+    print("Building and indexing the synthetic IMDB database ...")
+    db = build_imdb()
+    index = db.require_index()
+    generator = InterpretationGenerator(db, max_template_joins=4)
+    model = ATFModel(index, TemplateCatalog(generator.templates))
+
+    # 1. The user starts typing; auto-completion guides them to real terms.
+    completer = AutoCompleter(index)
+    prefix = "han"
+    completions = completer.complete(prefix)
+    print(f"\nauto-complete {prefix!r}: {[c.term for c in completions[:4]]}")
+
+    # 2. They submit a query with a typo; cleaning repairs it.
+    raw = "hankz terminal"
+    cleaner = QueryCleaner(index)
+    query, corrections = cleaner.clean(KeywordQuery.parse(raw))
+    for c in corrections:
+        print(f"did you mean: {c.keyword.term!r} -> {c.replacement!r} (d={c.distance})")
+    print(f"query: {query}")
+
+    # 3. Segmentation shows which keywords form one concept.
+    segmentation = QuerySegmenter(index).segment(query)
+    print("segments:", [" ".join(s.terms) for s in segmentation])
+
+    # 4. Disambiguation: rank the structured interpretations.
+    ranked = rank_interpretations(generator.interpretations(query), model)
+    print(f"\n{len(ranked)} interpretations; top 3:")
+    for i, (interp, p) in enumerate(ranked[:3], start=1):
+        print(f"  {i}. P={p:.3f}  {interp.to_structured_query().algebra()}")
+
+    # 5. Top-k execution with TA-style early stopping.
+    executor = TopKExecutor(db)
+    results = executor.execute(ranked, k=8)
+    stats = executor.statistics
+    print(
+        f"\ntop-8 results ({stats.interpretations_executed}/{len(ranked)} "
+        f"interpretations executed, early stop: {stats.stopped_early}):"
+    )
+
+    # 6. Presentation: snippets with highlighted keywords ...
+    for r in results[:5]:
+        print(f"  [{r.score:.3f}] {make_snippet(query, r.row).text}")
+
+    # ... and clustering by match signature (automatic disambiguation).
+    clusters = cluster_results(query, [r.row for r in results])
+    print("\nresult clusters:")
+    for cluster in clusters:
+        print(f"  {len(cluster)} result(s) matching via {cluster.label()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of *Usability and Expressiveness in Database Keyword
+Search: Bridging the Gap* (Demidova; VLDB 2009 PhD workshop / PhD thesis 2013).
+
+Subpackages
+-----------
+``repro.db``
+    In-memory relational engine: schemas, tuples, inverted index, join
+    execution, data graph.
+``repro.core``
+    Keyword-query disambiguation framework: structured queries, templates,
+    interpretations, query hierarchy, probabilistic models, candidate
+    networks.
+``repro.iqp``
+    Incremental query construction (Chapter 3): construction plans,
+    brute-force and greedy algorithms, ranking, interactive sessions.
+``repro.divq``
+    Diversification of query interpretations (Chapter 4) and the alpha-nDCG-W /
+    WS-recall metrics.
+``repro.freeq``
+    Scaling construction to very large schemas with ontology-based query
+    construction options (Chapter 5).
+``repro.yagof``
+    Instance-based ontology-to-database matching (Chapter 6).
+``repro.baselines``
+    SQAK, DISCOVER and BANKS-style comparison systems.
+``repro.datasets``
+    Deterministic synthetic IMDB/Lyrics/Freebase/YAGO generators and keyword
+    workloads with ground truth.
+``repro.user``
+    Simulated users (ground-truth oracle, study timing model).
+``repro.experiments``
+    One harness per table/figure of the evaluation chapters.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.keywords import KeywordQuery
+from repro.db.database import Database
+from repro.db.schema import Attribute, ForeignKey, Schema, Table
+
+__all__ = [
+    "Attribute",
+    "Database",
+    "ForeignKey",
+    "KeywordQuery",
+    "Schema",
+    "Table",
+    "__version__",
+]

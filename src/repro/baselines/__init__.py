@@ -1,0 +1,15 @@
+"""Comparison systems (Sections 2.2.2–2.2.4, 3.8.3).
+
+* :mod:`repro.baselines.sqak` — SQAK-style query-interpretation ranking:
+  Steiner-tree size minimization with Lucene-normalized TF-IDF node scores.
+* :mod:`repro.baselines.discover` — DISCOVER/DBXplorer-style ranking by the
+  number of joins.
+* :mod:`repro.baselines.banks` — BANKS-style data-graph search: backward
+  expansion from keyword nodes producing minimal joining tuple trees.
+"""
+
+from repro.baselines.banks import BanksSearch, TupleTree
+from repro.baselines.discover import DiscoverRanker
+from repro.baselines.sqak import SqakRanker
+
+__all__ = ["BanksSearch", "DiscoverRanker", "SqakRanker", "TupleTree"]

@@ -1,0 +1,46 @@
+"""DISCOVER/DBXplorer-style ranking: number of joins (Section 2.2.4).
+
+The earliest schema-based systems ranked candidate networks purely by size —
+shorter joining sequences imply closer association of the keywords.  This is
+the simplest baseline ranking in the reproduction's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.iqp.ranking import RankedInterpretation
+from repro.user.oracle import IntendedInterpretation
+
+
+@dataclass
+class DiscoverRanker:
+    """Ranks interpretations by ascending join count (1/size scoring)."""
+
+    generator: InterpretationGenerator
+
+    def rank(self, query: KeywordQuery) -> list[RankedInterpretation]:
+        space = self.generator.interpretations(query)
+        scored = sorted(
+            ((i.template.size, i) for i in space),
+            key=lambda pair: (pair[0], pair[1].describe()),
+        )
+        total = sum(1.0 / (1.0 + size) for size, _ in scored) or 1.0
+        return [
+            RankedInterpretation(
+                rank=position + 1,
+                interpretation=interp,
+                probability=(1.0 / (1.0 + size)) / total,
+            )
+            for position, (size, interp) in enumerate(scored)
+        ]
+
+    def rank_of(
+        self, query: KeywordQuery, intended: IntendedInterpretation
+    ) -> int | None:
+        for entry in self.rank(query):
+            if intended.matches(entry.interpretation):
+                return entry.rank
+        return None

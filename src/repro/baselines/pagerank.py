@@ -1,0 +1,61 @@
+"""PageRank-style importance on the data graph (Section 2.2.4).
+
+BANKS-lineage systems weight tuples by their connectivity: well-connected
+tuples (a prolific actor, an often-referenced movie) are globally important,
+in the spirit of PageRank/ObjectRank applied to databases.  This module
+computes tuple importance over the :class:`~repro.db.datagraph.DataGraph`
+and exposes an importance-aware scorer for joining tuple trees, used as an
+additional ranking factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import networkx as nx
+
+from repro.db.datagraph import DataGraph, TupleId
+from repro.db.table import Tuple
+
+JTT = Sequence[Tuple]
+
+
+@dataclass
+class TupleImportance:
+    """PageRank scores over all tuples of a database."""
+
+    scores: dict[TupleId, float] = field(default_factory=dict)
+
+    @classmethod
+    def compute(
+        cls, datagraph: DataGraph, damping: float = 0.85, max_iter: int = 100
+    ) -> "TupleImportance":
+        if datagraph.node_count() == 0:
+            return cls()
+        scores = nx.pagerank(datagraph.graph, alpha=damping, max_iter=max_iter)
+        return cls(scores=dict(scores))
+
+    def of(self, uid: TupleId) -> float:
+        return self.scores.get(uid, 0.0)
+
+    def top(self, n: int) -> list[tuple[TupleId, float]]:
+        ordered = sorted(self.scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ordered[:n]
+
+
+@dataclass
+class ImportanceScorer:
+    """Ranks JTTs by aggregate tuple importance (BANKS-style node weights)."""
+
+    importance: TupleImportance
+
+    def score(self, result: JTT) -> float:
+        if not result:
+            return 0.0
+        return sum(self.importance.of(t.uid) for t in result) / len(result)
+
+    def rank(self, results: Sequence[JTT]) -> list[tuple[float, JTT]]:
+        scored = [(self.score(r), r) for r in results]
+        scored.sort(key=lambda pair: (-pair[0], [t.uid for t in pair[1]]))
+        return scored

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Exposes the library's main flows on the bundled synthetic datasets:
+
+    python -m repro.cli search    --dataset imdb "hanks 2001"
+    python -m repro.cli construct --dataset imdb "hanks 2001" --answers y n y
+    python -m repro.cli diversify --dataset lyrics "london" --k 5
+    python -m repro.cli report    --chapter 3
+
+``construct`` runs the IQP dialogue: with ``--answers`` the given y/n
+sequence answers the options (cycling); without it the session is driven
+interactively from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.hierarchy import QueryHierarchy
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.core.snippets import make_snippet
+from repro.core.topk import TopKExecutor
+from repro.datasets.imdb import build_imdb
+from repro.datasets.lyrics import build_lyrics
+from repro.divq.diversify import diversify
+from repro.iqp.infogain import information_gain
+
+
+def _load(dataset: str):
+    if dataset == "imdb":
+        db = build_imdb()
+    elif dataset == "lyrics":
+        db = build_lyrics()
+    else:
+        raise SystemExit(f"unknown dataset {dataset!r} (use imdb or lyrics)")
+    generator = InterpretationGenerator(db, max_template_joins=4)
+    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
+    return db, generator, model
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    db, generator, model = _load(args.dataset)
+    query = KeywordQuery.parse(args.query)
+    ranked = rank_interpretations(generator.interpretations(query), model)
+    if not ranked:
+        print("no interpretations found")
+        return 1
+    print(f"{len(ranked)} interpretations; top {min(args.k, len(ranked))}:")
+    for i, (interp, p) in enumerate(ranked[: args.k], start=1):
+        print(f"  {i}. P={p:.3f}  {interp.to_structured_query().algebra()}")
+    executor = TopKExecutor(db)
+    results = executor.execute(ranked, k=args.k)
+    print(f"\ntop-{args.k} results ({executor.statistics.interpretations_executed} "
+          "interpretations executed):")
+    for r in results:
+        print(f"  [{r.score:.3f}] {make_snippet(query, r.row).text}")
+    return 0
+
+
+@dataclass
+class _ScriptedUser:
+    """Answers construction options from a y/n script (cycling)."""
+
+    answers: list[str]
+    position: int = 0
+    evaluations: int = 0
+    log: list[tuple[str, bool]] = field(default_factory=list)
+
+    def decide(self, description: str) -> bool:
+        answer = self.answers[self.position % len(self.answers)]
+        self.position += 1
+        self.evaluations += 1
+        accepted = answer.lower().startswith("y")
+        self.log.append((description, accepted))
+        return accepted
+
+
+def cmd_construct(args: argparse.Namespace) -> int:
+    _db, generator, model = _load(args.dataset)
+    query = KeywordQuery.parse(args.query)
+    hierarchy = QueryHierarchy(query, generator, model)
+    scripted = _ScriptedUser(args.answers) if args.answers else None
+    steps = 0
+    while steps < args.max_steps:
+        steps += 1
+        while hierarchy.can_expand() and len(hierarchy) < 20:
+            hierarchy.expand_once()
+        if hierarchy.at_complete_level() and len(hierarchy) <= args.stop_size:
+            break
+        weights = [n.weight for n in hierarchy.frontier]
+        best, best_gain = None, 0.0
+        for option in hierarchy.frontier_atoms():
+            pattern = [option.matches(n.atoms) for n in hierarchy.frontier]
+            if all(pattern) or not any(pattern):
+                continue
+            gain = information_gain(weights, pattern)
+            if gain > best_gain:
+                best, best_gain = option, gain
+        if best is None:
+            if hierarchy.can_expand():
+                hierarchy.expand_once()
+                continue
+            break
+        prompt = f"{best.describe()}? [y/n] "
+        if scripted is not None:
+            accepted = scripted.decide(best.describe())
+            print(prompt + ("y" if accepted else "n"))
+        else:  # pragma: no cover - interactive path
+            reply = input(prompt).strip().lower()
+            accepted = reply.startswith("y")
+        if accepted:
+            hierarchy.accept(best)
+        else:
+            hierarchy.reject(best)
+        if not hierarchy.frontier:
+            print("no interpretation consistent with the answers")
+            return 1
+    hierarchy.expand_to_complete()
+    candidates = hierarchy.complete_interpretations()
+    print(f"\n{len(candidates)} candidate interpretation(s):")
+    for i, interp in enumerate(candidates[:5], start=1):
+        print(f"  {i}. {interp.to_structured_query().algebra()}")
+    return 0
+
+
+def cmd_diversify(args: argparse.Namespace) -> int:
+    db, generator, model = _load(args.dataset)
+    query = KeywordQuery.parse(args.query)
+    ranked = rank_interpretations(generator.interpretations(query), model)[:25]
+    if not ranked:
+        print("no interpretations found")
+        return 1
+    result = diversify(ranked, k=args.k, tradeoff=args.tradeoff)
+    print(f"top-{args.k} diversified interpretations (lambda={args.tradeoff}):")
+    for i, interp in enumerate(result.selected, start=1):
+        print(f"  {i}. {interp.to_structured_query().algebra()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ch3, ch4, ch5, ch6
+
+    mains = {3: ch3.main, 4: ch4.main, 5: ch5.main, 6: ch6.main}
+    if args.chapter not in mains:
+        raise SystemExit("chapter must be 3, 4, 5 or 6")
+    mains[args.chapter]()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_search = sub.add_parser("search", help="rank interpretations and fetch top-k results")
+    p_search.add_argument("query")
+    p_search.add_argument("--dataset", default="imdb")
+    p_search.add_argument("--k", type=int, default=5)
+    p_search.set_defaults(func=cmd_search)
+
+    p_construct = sub.add_parser("construct", help="run an IQP construction dialogue")
+    p_construct.add_argument("query")
+    p_construct.add_argument("--dataset", default="imdb")
+    p_construct.add_argument("--answers", nargs="*", default=None, help="scripted y/n answers")
+    p_construct.add_argument("--stop-size", type=int, default=5, dest="stop_size")
+    p_construct.add_argument("--max-steps", type=int, default=100, dest="max_steps")
+    p_construct.set_defaults(func=cmd_construct)
+
+    p_div = sub.add_parser("diversify", help="diversified interpretation ranking")
+    p_div.add_argument("query")
+    p_div.add_argument("--dataset", default="imdb")
+    p_div.add_argument("--k", type=int, default=5)
+    p_div.add_argument("--tradeoff", type=float, default=0.5)
+    p_div.set_defaults(func=cmd_diversify)
+
+    p_report = sub.add_parser("report", help="print a chapter's reproduced tables/figures")
+    p_report.add_argument("--chapter", type=int, required=True)
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

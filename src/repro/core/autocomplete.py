@@ -1,0 +1,84 @@
+"""Query auto-completion (Section 2.1).
+
+Auto-completion guides the user's typing toward terms that actually exist in
+the database: given a prefix, suggest in-vocabulary terms ranked by corpus
+frequency.  Following the error-tolerant refinement the thesis cites (CK09),
+a prefix with no exact extensions falls back to fuzzy matching — terms whose
+prefix is within a small edit distance of the typed one — so misspelled
+prefixes still lead somewhere.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.cleaning import edit_distance
+from repro.db.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One suggestion: the completed term and its evidence."""
+
+    term: str
+    frequency: int  # total occurrences in the database
+    fuzzy: bool = False  # True when reached via error-tolerant matching
+
+
+class AutoCompleter:
+    """Prefix completion over the inverted index vocabulary."""
+
+    def __init__(self, index: InvertedIndex, max_suggestions: int = 8, max_edit: int = 1):
+        self.index = index
+        self.max_suggestions = max_suggestions
+        self.max_edit = max_edit
+        self._vocabulary = index.vocabulary()  # sorted
+
+    def _frequency(self, term: str) -> int:
+        total = 0
+        for table, attribute in self.index.attributes_containing(term):
+            posting = self.index.posting(term, table, attribute)
+            if posting is not None:
+                total += posting.occurrences
+        return total
+
+    def _exact(self, prefix: str) -> list[str]:
+        lo = bisect.bisect_left(self._vocabulary, prefix)
+        out: list[str] = []
+        for term in self._vocabulary[lo:]:
+            if not term.startswith(prefix):
+                break
+            out.append(term)
+        return out
+
+    def _fuzzy(self, prefix: str) -> list[str]:
+        """Terms whose same-length prefix is within ``max_edit`` edits."""
+        out: list[str] = []
+        for term in self._vocabulary:
+            head = term[: len(prefix) + self.max_edit]
+            if edit_distance(prefix, head[: len(prefix)], cap=self.max_edit) <= self.max_edit:
+                out.append(term)
+        return out
+
+    def complete(self, prefix: str) -> list[Completion]:
+        """Suggestions for ``prefix``, most frequent first.
+
+        Exact prefix extensions win; when none exist, error-tolerant matches
+        are offered (flagged ``fuzzy=True``).
+        """
+        prefix = prefix.lower().strip()
+        if not prefix:
+            return []
+        exact = self._exact(prefix)
+        fuzzy = False
+        candidates = exact
+        if not candidates:
+            candidates = [t for t in self._fuzzy(prefix) if t != prefix]
+            fuzzy = True
+        suggestions = [
+            Completion(term=t, frequency=self._frequency(t), fuzzy=fuzzy)
+            for t in candidates
+        ]
+        suggestions.sort(key=lambda c: (-c.frequency, c.term))
+        return suggestions[: self.max_suggestions]

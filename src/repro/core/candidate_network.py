@@ -1,0 +1,105 @@
+"""Candidate-network enumeration (Section 2.2.3, DISCOVER-style).
+
+A candidate network (CN) is a join tree of *non-free* tables — tables
+containing at least one query keyword — connected by foreign keys, satisfying
+completeness (all keywords covered) and minimality (no empty leaves).  We
+enumerate CNs by breadth-first search over the schema graph, as DISCOVER and
+DBXplorer do for small and medium schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from itertools import product
+
+from repro.core.keywords import KeywordQuery
+from repro.core.templates import QueryTemplate
+from repro.db.database import Database
+
+
+@dataclass(frozen=True)
+class CandidateNetwork:
+    """One CN: a join path plus, per keyword, the slot covering it."""
+
+    template: QueryTemplate
+    #: keyword term -> template slot providing the keyword.
+    coverage: tuple[tuple[str, int], ...]
+
+    @cached_property
+    def covered_terms(self) -> frozenset[str]:
+        return frozenset(term for term, _slot in self.coverage)
+
+    @property
+    def size(self) -> int:
+        return self.template.size
+
+    def __str__(self) -> str:
+        parts = []
+        slots_by_term = dict(self.coverage)
+        for slot, table in enumerate(self.template.path):
+            terms = sorted(t for t, s in self.coverage if s == slot)
+            if terms:
+                parts.append(f"{table}:{'+'.join(terms)}")
+            else:
+                parts.append(table)
+        return " |x| ".join(parts)
+
+
+def enumerate_candidate_networks(
+    database: Database,
+    query: KeywordQuery,
+    max_joins: int = 3,
+    max_networks: int = 10_000,
+) -> list[CandidateNetwork]:
+    """All valid CNs for ``query``, smallest (fewest joins) first.
+
+    Validity: every keyword with at least one occurrence is covered
+    (completeness), and each endpoint of the join path is non-free
+    (minimality — otherwise the path could be shortened).
+    """
+    index = database.require_index()
+    term_tables: dict[str, set[str]] = {}
+    for keyword in query.keywords:
+        tables = index.tables_containing(keyword.term)
+        tables |= index.tables_matching_schema_term(keyword.term)
+        if tables:
+            term_tables[keyword.term] = tables
+    if not term_tables:
+        return []
+    terms = sorted(term_tables)
+
+    networks: list[CandidateNetwork] = []
+    seen: set[tuple[str, tuple[tuple[str, int], ...]]] = set()
+    for path in database.schema.join_paths(max_joins):
+        path_tables = set(path)
+        if any(not (term_tables[t] & path_tables) for t in terms):
+            continue
+        slot_options: list[list[int]] = []
+        for term in terms:
+            slots = [i for i, table in enumerate(path) if table in term_tables[term]]
+            slot_options.append(slots)
+        endpoints = {0, len(path) - 1} if len(path) > 1 else {0}
+        for combo in product(*slot_options):
+            occupied = set(combo)
+            if not endpoints <= occupied:
+                continue  # minimality: an empty leaf could be trimmed
+            coverage = tuple(zip(terms, combo))
+            edge_sets = [
+                database.schema.join_edges(left, right)
+                for left, right in zip(path, path[1:])
+            ]
+            if any(not es for es in edge_sets):
+                continue
+            edges = tuple(es[0] for es in edge_sets)
+            template = QueryTemplate(path=tuple(path), edges=edges)
+            key = (template.identifier, coverage)
+            if key in seen:
+                continue
+            seen.add(key)
+            networks.append(CandidateNetwork(template=template, coverage=coverage))
+            if len(networks) >= max_networks:
+                networks.sort(key=lambda cn: (cn.size, str(cn)))
+                return networks
+    networks.sort(key=lambda cn: (cn.size, str(cn)))
+    return networks

@@ -1,0 +1,104 @@
+"""Keyword-query cleaning (the pre-processing step of Section 2.2).
+
+Misspelled keywords have no occurrence in the database and would simply be
+excluded from query construction (Section 3.5.2).  Query cleaning instead
+repairs them against the index vocabulary: for each out-of-vocabulary
+keyword, propose the in-vocabulary terms within a small edit distance,
+ranked by corpus frequency — the CK09-style relaxation the thesis cites for
+auto-completion without correctly spelled prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.keywords import Keyword, KeywordQuery
+from repro.db.index import InvertedIndex
+
+
+def edit_distance(a: str, b: str, cap: int = 3) -> int:
+    """Levenshtein distance with an early-exit cap (banded DP)."""
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        row_min = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            current.append(value)
+            row_min = min(row_min, value)
+        if row_min > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]
+
+
+@dataclass(frozen=True)
+class Correction:
+    """One proposed repair of one keyword occurrence."""
+
+    keyword: Keyword
+    replacement: str
+    distance: int
+    frequency: int  # total occurrences of the replacement in the database
+
+
+class QueryCleaner:
+    """Repairs out-of-vocabulary keywords against the inverted index."""
+
+    def __init__(self, index: InvertedIndex, max_distance: int = 2, max_candidates: int = 5):
+        self.index = index
+        self.max_distance = max_distance
+        self.max_candidates = max_candidates
+        self._vocabulary = index.vocabulary()
+
+    def _frequency(self, term: str) -> int:
+        total = 0
+        for table, attribute in self.index.attributes_containing(term):
+            posting = self.index.posting(term, table, attribute)
+            if posting is not None:
+                total += posting.occurrences
+        return total
+
+    def suggestions(self, keyword: Keyword) -> list[Correction]:
+        """Candidate repairs, nearest first, frequency as the tie-breaker."""
+        if self.index.attributes_containing(keyword.term):
+            return []  # in vocabulary: nothing to repair
+        candidates: list[Correction] = []
+        for term in self._vocabulary:
+            distance = edit_distance(keyword.term, term, cap=self.max_distance)
+            if distance <= self.max_distance:
+                candidates.append(
+                    Correction(
+                        keyword=keyword,
+                        replacement=term,
+                        distance=distance,
+                        frequency=self._frequency(term),
+                    )
+                )
+        candidates.sort(key=lambda c: (c.distance, -c.frequency, c.replacement))
+        return candidates[: self.max_candidates]
+
+    def clean(self, query: KeywordQuery) -> tuple[KeywordQuery, list[Correction]]:
+        """Repair every out-of-vocabulary keyword with its best suggestion.
+
+        Returns the cleaned query plus the corrections applied.  Keywords
+        with no viable repair are kept as-is (the generator will exclude
+        them, as the thesis prescribes).
+        """
+        applied: list[Correction] = []
+        terms: list[str] = []
+        for keyword in query.keywords:
+            repairs = self.suggestions(keyword)
+            if repairs:
+                applied.append(repairs[0])
+                terms.append(repairs[0].replacement)
+            else:
+                terms.append(keyword.term)
+        if not applied:
+            return query, []
+        return KeywordQuery.from_terms(terms), applied

@@ -1,0 +1,190 @@
+"""Interpretation-space generation (Section 3.5.2).
+
+Given a keyword query, the generator finds the candidate interpretations of
+each keyword from the inverted index (value matches) and the schema (table
+name matches), then combines them with pre-computed query templates into
+complete query interpretations — the interpretation space (Def. 3.5.5).
+
+The space grows polynomially with the schema and exponentially with the query
+length, so every enumeration is capped and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.interpretation import (
+    Atom,
+    Interpretation,
+    OperatorAtom,
+    TableAtom,
+    ValueAtom,
+)
+from repro.core.keywords import Keyword, KeywordQuery
+from repro.core.templates import QueryTemplate, generate_templates
+from repro.db.database import Database
+
+#: Default operator vocabulary: keyword term -> aggregation operator
+#: (the analytical-query class of §2.2.7; K4's "number of movies ...").
+DEFAULT_OPERATOR_TERMS: tuple[tuple[str, str], ...] = (
+    ("count", "count"),
+    ("number", "count"),
+    ("total", "count"),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs bounding the enumerated interpretation space."""
+
+    #: Maximum keyword interpretations considered per keyword occurrence.
+    max_atoms_per_keyword: int = 16
+    #: Hard cap on the number of complete interpretations enumerated.
+    max_interpretations: int = 20_000
+    #: Whether keywords may be interpreted as table names (metadata matches).
+    include_table_atoms: bool = True
+    #: Drop interpretations with empty results (DivQ, Section 4.4.2).
+    require_nonempty: bool = False
+    #: Aggregation-operator vocabulary ((term, operator) pairs); empty
+    #: disables analytical interpretations.
+    operator_terms: tuple[tuple[str, str], ...] = DEFAULT_OPERATOR_TERMS
+
+
+@dataclass
+class _PartialAssignment:
+    """Backtracking state: atoms placed so far, keyed insertion order."""
+
+    items: list[tuple[Atom, int]] = field(default_factory=list)
+
+    def occupied_slots(self) -> set[int]:
+        return {slot for _atom, slot in self.items}
+
+
+class InterpretationGenerator:
+    """Combines keyword interpretations and templates into structured queries."""
+
+    def __init__(
+        self,
+        database: Database,
+        templates: Sequence[QueryTemplate] | None = None,
+        config: GeneratorConfig = GeneratorConfig(),
+        max_template_joins: int = 3,
+    ):
+        self.database = database
+        self.config = config
+        self.templates: list[QueryTemplate] = (
+            list(templates)
+            if templates is not None
+            else generate_templates(database.schema, max_joins=max_template_joins)
+        )
+        self._index = database.require_index()
+
+    # -- keyword-level interpretation ---------------------------------------
+
+    def keyword_atoms(self, keyword: Keyword) -> list[Atom]:
+        """All candidate interpretations of one keyword occurrence.
+
+        Value atoms come from the inverted index; table atoms from schema-term
+        matches.  Capped at ``max_atoms_per_keyword``, most frequent value
+        matches first (so the cap keeps the plausible candidates).
+        """
+        atoms: list[Atom] = []
+        refs = self._index.attributes_containing(keyword.term)
+        refs = sorted(
+            refs,
+            key=lambda ref: (-self._index.tf(keyword.term, ref[0], ref[1]), ref),
+        )
+        for table, attribute in refs:
+            atoms.append(ValueAtom(keyword=keyword, table=table, attribute=attribute))
+        if self.config.include_table_atoms:
+            for table in sorted(self._index.tables_matching_schema_term(keyword.term)):
+                atoms.append(TableAtom(keyword=keyword, table=table))
+        operator = dict(self.config.operator_terms).get(keyword.term)
+        if operator is not None:
+            for table in self.database.schema.table_names:
+                atoms.append(
+                    OperatorAtom(keyword=keyword, operator=operator, table=table)
+                )
+        return atoms[: self.config.max_atoms_per_keyword]
+
+    def effective_keywords(self, query: KeywordQuery) -> list[Keyword]:
+        """Keywords that have at least one interpretation in the database.
+
+        Keywords that are misspelled or absent are excluded from query
+        construction (Section 3.5.2).
+        """
+        return [k for k in query.keywords if self.keyword_atoms(k)]
+
+    def atom_map(self, query: KeywordQuery) -> dict[Keyword, list[Atom]]:
+        return {k: self.keyword_atoms(k) for k in self.effective_keywords(query)}
+
+    # -- space enumeration ----------------------------------------------------
+
+    def enumerate(self, query: KeywordQuery) -> Iterator[Interpretation]:
+        """Yield complete (w.r.t. effective keywords) valid interpretations."""
+        atom_map = self.atom_map(query)
+        keywords = list(atom_map)
+        if not keywords:
+            return
+        produced = 0
+        effective_query = KeywordQuery(
+            keywords=tuple(keywords), text=str(query)
+        )
+        for template in self.templates:
+            for assignment in self._assignments(template, keywords, atom_map):
+                interp = Interpretation.build(effective_query, template, assignment)
+                try:
+                    interp.validate()
+                except ValueError:
+                    continue
+                if self.config.require_nonempty and not interp.to_structured_query().has_results(
+                    self.database
+                ):
+                    continue
+                yield interp
+                produced += 1
+                if produced >= self.config.max_interpretations:
+                    return
+
+    def interpretations(self, query: KeywordQuery) -> list[Interpretation]:
+        """The (capped) interpretation space of ``query`` (Def. 3.5.5)."""
+        return list(self.enumerate(query))
+
+    # -- internals -------------------------------------------------------------
+
+    def _assignments(
+        self,
+        template: QueryTemplate,
+        keywords: list[Keyword],
+        atom_map: dict[Keyword, list[Atom]],
+    ) -> Iterator[list[tuple[Atom, int]]]:
+        """Backtrack over keyword placements in one template."""
+
+        def placements(keyword: Keyword) -> list[tuple[Atom, int]]:
+            out: list[tuple[Atom, int]] = []
+            for atom in atom_map[keyword]:
+                for slot in template.positions_of(atom.table):
+                    out.append((atom, slot))
+            return out
+
+        per_keyword = [placements(k) for k in keywords]
+        if any(not p for p in per_keyword):
+            return
+
+        state = _PartialAssignment()
+
+        def backtrack(depth: int) -> Iterator[list[tuple[Atom, int]]]:
+            if depth == len(keywords):
+                yield list(state.items)
+                return
+            for atom, slot in per_keyword[depth]:
+                state.items.append((atom, slot))
+                yield from backtrack(depth + 1)
+                state.items.pop()
+
+        yield from backtrack(0)
+
+    def space_size(self, query: KeywordQuery) -> int:
+        """Size of the (capped) interpretation space."""
+        return sum(1 for _ in self.enumerate(query))

@@ -1,0 +1,86 @@
+"""Query construction options (QCOs).
+
+An option is a question IQP/FreeQ puts to the user.  Two kinds exist:
+
+* :class:`AtomSetOption` — a partial interpretation ("'hanks' is an actor
+  name"); it subsumes exactly the interpretations containing its atoms
+  (Chapter 3's QCOs).
+* :class:`ConceptOption` — an ontology-based QCO ("'hanks' is a *Person*",
+  Chapter 5): it covers every interpretation binding the keyword to *any*
+  attribute grouped under the concept, so one answer prunes across many
+  tables of a large schema.
+
+Both expose ``matches`` (does the option subsume an interpretation with
+these atoms?) and ``is_correct`` (would the ground-truth user accept it?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.interpretation import Atom
+from repro.core.keywords import Keyword
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.user.oracle import IntendedInterpretation
+
+
+@runtime_checkable
+class Option(Protocol):
+    """Anything presentable to the user during query construction."""
+
+    def matches(self, atoms: frozenset[Atom]) -> bool:
+        """Does this option subsume an interpretation with ``atoms``?"""
+        ...
+
+    def is_correct(self, intended: "IntendedInterpretation") -> bool:
+        """Would the intended interpretation's user accept this option?"""
+        ...
+
+    def describe(self) -> str:
+        ...
+
+
+@dataclass(frozen=True)
+class AtomSetOption:
+    """A partial interpretation offered as an option (Chapter 3)."""
+
+    atoms: frozenset[Atom]
+
+    def matches(self, atoms: frozenset[Atom]) -> bool:
+        return self.atoms <= atoms
+
+    def is_correct(self, intended: "IntendedInterpretation") -> bool:
+        return intended.matches_atoms(self.atoms)
+
+    def describe(self) -> str:
+        return "; ".join(sorted(a.describe() for a in self.atoms))
+
+
+@dataclass(frozen=True)
+class ConceptOption:
+    """An ontology-based QCO: one keyword, one concept, many attributes.
+
+    ``atoms`` holds every candidate interpretation of ``keyword`` that falls
+    under ``concept`` — accepting the option keeps interpretations binding
+    the keyword to *any* of them; rejecting drops them all.
+    """
+
+    keyword: Keyword
+    concept: str
+    atoms: frozenset[Atom]
+
+    def __post_init__(self) -> None:
+        for atom in self.atoms:
+            if atom.keyword != self.keyword:
+                raise ValueError("concept option atoms must share the keyword")
+
+    def matches(self, atoms: frozenset[Atom]) -> bool:
+        return any(atom in atoms for atom in self.atoms)
+
+    def is_correct(self, intended: "IntendedInterpretation") -> bool:
+        return any(intended.matches_atom(atom) for atom in self.atoms)
+
+    def describe(self) -> str:
+        return f"{self.keyword.term!r} is a {self.concept}"

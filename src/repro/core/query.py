@@ -1,0 +1,136 @@
+"""Structured queries (Def. 3.5.2): relational algebra with selection + join.
+
+A :class:`StructuredQuery` is a query template (join path) decorated with
+``contains`` predicates: per template slot, per attribute, the bag of keywords
+that must be contained in the attribute value.  It executes against a
+:class:`repro.db.Database` and renders itself as SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.templates import QueryTemplate
+from repro.db.sql import render_sql
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+    from repro.db.table import Tuple
+
+#: Per-slot selections: slot -> ((attribute, (terms...)), ...)
+SelectionMap = dict[int, tuple[tuple[str, tuple[str, ...]], ...]]
+
+
+@dataclass(frozen=True)
+class StructuredQuery:
+    """An executable relational-algebra expression.
+
+    Example: ``sigma_{hanks in name}(actor) |x| acts |x|
+    sigma_{2001 in year}(movie)``.
+    """
+
+    template: QueryTemplate
+    selections: SelectionMap = field(default_factory=dict)
+    #: Optional aggregation: ``(operator, slot)`` — currently COUNT over the
+    #: distinct tuples of one template slot (analytical queries, §2.2.7).
+    aggregate: tuple[str, int] | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of joins — the size-normalization factor of early rankers."""
+        return self.template.size
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    def predicate_count(self) -> int:
+        return sum(len(attrs) for attrs in self.selections.values())
+
+    def term_count(self) -> int:
+        return sum(
+            len(terms) for attrs in self.selections.values() for _a, terms in attrs
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def _db_selections(self) -> dict[int, list[tuple[str, tuple[str, ...]]]]:
+        return {slot: list(attrs) for slot, attrs in self.selections.items()}
+
+    def execute(
+        self, database: "Database", limit: int | None = None
+    ) -> list[tuple["Tuple", ...]]:
+        """Run the query; rows are joining networks of tuples (JTTs)."""
+        return database.execute_path(
+            self.template.path,
+            self.template.edges,
+            self._db_selections(),
+            limit=limit,
+        )
+
+    def has_results(self, database: "Database") -> bool:
+        return database.has_results(
+            self.template.path, self.template.edges, self._db_selections()
+        )
+
+    def count(self, database: "Database") -> int:
+        return database.count_path(
+            self.template.path, self.template.edges, self._db_selections()
+        )
+
+    def result_keys(
+        self, database: "Database", limit: int | None = None
+    ) -> set[tuple[str, Any]]:
+        """Distinct tuple uids across all result rows.
+
+        This is the "primary keys in the result" notion the DivQ metrics use
+        as information nuggets / subtopics (Section 4.5).
+        """
+        keys: set[tuple[str, Any]] = set()
+        for row in self.execute(database, limit=limit):
+            for tup in row:
+                keys.add(tup.uid)
+        return keys
+
+    def aggregate_value(self, database: "Database") -> int:
+        """Evaluate the aggregation (COUNT of distinct target-slot tuples)."""
+        if self.aggregate is None:
+            raise ValueError("query has no aggregation operator")
+        operator, slot = self.aggregate
+        if operator != "count":
+            raise ValueError(f"unsupported aggregation operator {operator!r}")
+        distinct = {row[slot].uid for row in self.execute(database)}
+        return len(distinct)
+
+    # -- presentation ------------------------------------------------------
+
+    def to_sql(self) -> str:
+        sql = render_sql(self.template.path, self.template.edges, self._db_selections())
+        if self.aggregate is not None:
+            operator, slot = self.aggregate
+            alias = f"t{slot}_{self.template.path[slot]}"
+            header = f"SELECT {operator.upper()}(DISTINCT {alias}.id)"
+            sql = sql.replace("SELECT *", header, 1)
+        return sql
+
+    def algebra(self) -> str:
+        """Render in the thesis' algebra notation."""
+        parts: list[str] = []
+        for slot, table in enumerate(self.template.path):
+            attrs = self.selections.get(slot, ())
+            if attrs:
+                predicate = " AND ".join(
+                    f"{{{','.join(terms)}}} in {attribute}" for attribute, terms in attrs
+                )
+                parts.append(f"sigma_{{{predicate}}}({table})")
+            else:
+                parts.append(f"({table})")
+        body = " |x| ".join(parts)
+        if self.aggregate is not None:
+            operator, slot = self.aggregate
+            return f"{operator}_{{{self.template.path[slot]}}}({body})"
+        return body
+
+    def __str__(self) -> str:
+        return self.algebra()

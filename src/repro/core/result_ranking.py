@@ -1,0 +1,102 @@
+"""Ranking of materialized search results — JTTs (Section 2.2.4).
+
+Besides ranking query *interpretations*, schema-based systems rank the
+joining tuple trees a query returns.  This module implements the weighting
+factors the thesis surveys and two composite scoring functions:
+
+* :class:`MonotoneResultScorer` — DISCOVER2/Liu-style: per-tuple TF-IDF
+  relevance summed over the tree, divided by the tree size (size
+  normalization).  Monotone: raising any tuple's score raises the tree's.
+* :class:`SparkResultScorer` — SPARK-style non-monotone aggregation:
+  relevance x completeness x size normalization, where completeness rewards
+  trees containing more of the query's keywords (tunable AND/OR semantics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.keywords import KeywordQuery
+from repro.db.index import InvertedIndex
+from repro.db.table import Tuple
+from repro.db.tokenizer import DEFAULT_TOKENIZER
+
+#: A search result: one joining network of tuples.
+JTT = Sequence[Tuple]
+
+
+@dataclass
+class ResultStatistics:
+    """Per-result keyword accounting shared by the scorers."""
+
+    tfidf_sum: float
+    matched_terms: frozenset[str]
+    size: int
+
+
+def _result_statistics(
+    index: InvertedIndex, query: KeywordQuery, result: JTT
+) -> ResultStatistics:
+    terms = set(query.terms)
+    tfidf = 0.0
+    matched: set[str] = set()
+    for tup in result:
+        for attribute, value in tup.values:
+            if value is None:
+                continue
+            tokens = DEFAULT_TOKENIZER.terms(str(value))
+            for term in terms & tokens:
+                matched.add(term)
+                tf = index.tf(term, tup.table, attribute)
+                idf = index.idf(term, tup.table)
+                tfidf += math.sqrt(max(tf, 0.0)) * idf
+    return ResultStatistics(
+        tfidf_sum=tfidf, matched_terms=frozenset(matched), size=len(result)
+    )
+
+
+@dataclass
+class MonotoneResultScorer:
+    """TF-IDF relevance with 1/size normalization (DISCOVER2 lineage)."""
+
+    index: InvertedIndex
+
+    def score(self, query: KeywordQuery, result: JTT) -> float:
+        if not result:
+            return 0.0
+        stats = _result_statistics(self.index, query, result)
+        return stats.tfidf_sum / stats.size
+
+    def rank(self, query: KeywordQuery, results: Sequence[JTT]) -> list[tuple[float, JTT]]:
+        scored = [(self.score(query, r), r) for r in results]
+        scored.sort(key=lambda pair: (-pair[0], [t.uid for t in pair[1]]))
+        return scored
+
+
+@dataclass
+class SparkResultScorer:
+    """Non-monotone composite: relevance x completeness^p x size norm.
+
+    ``completeness_power`` tunes the AND/OR semantics (Section 2.2.4's
+    completeness factor): 0 ignores coverage (pure OR), large values demand
+    all keywords (approaching AND).
+    """
+
+    index: InvertedIndex
+    completeness_power: float = 2.0
+
+    def score(self, query: KeywordQuery, result: JTT) -> float:
+        if not result or not len(query):
+            return 0.0
+        stats = _result_statistics(self.index, query, result)
+        distinct_terms = set(query.terms)
+        coverage = len(stats.matched_terms) / len(distinct_terms)
+        size_norm = 1.0 / (1.0 + math.log1p(stats.size - 1))
+        return stats.tfidf_sum * (coverage**self.completeness_power) * size_norm
+
+    def rank(self, query: KeywordQuery, results: Sequence[JTT]) -> list[tuple[float, JTT]]:
+        scored = [(self.score(query, r), r) for r in results]
+        scored.sort(key=lambda pair: (-pair[0], [t.uid for t in pair[1]]))
+        return scored

@@ -1,0 +1,131 @@
+"""Keyword-query segmentation (the pre-processing step of Section 2.2).
+
+Keyword queries arrive as flat token bags, but adjacent tokens often form
+one concept ("tom hanks" is a single person name).  The segmenter detects
+such phrases from the database itself: two adjacent keywords form a segment
+when some attribute's cells contain them *together* markedly more often than
+independence predicts — the same joint-cell statistic DivQ's model uses
+(Eq. 4.2).
+
+Segmentation is advisory: it produces a partition of the query into
+segments, each tagged with the attributes that evidence it, which callers
+can use to prune the interpretation space (both keywords of a segment bound
+to the evidencing attribute) or to build phrase predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.keywords import Keyword, KeywordQuery
+from repro.db.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of adjacent keywords evidenced as one concept."""
+
+    keywords: tuple[Keyword, ...]
+    #: Attributes whose cells contain all keywords of the segment.
+    evidence: tuple[tuple[str, str], ...]
+
+    @property
+    def terms(self) -> tuple[str, ...]:
+        return tuple(k.term for k in self.keywords)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+
+@dataclass(frozen=True)
+class Segmentation:
+    """A partition of a keyword query into segments (order preserved)."""
+
+    query: KeywordQuery
+    segments: tuple[Segment, ...]
+
+    def multi_keyword_segments(self) -> list[Segment]:
+        return [s for s in self.segments if len(s) > 1]
+
+    def __iter__(self):
+        return iter(self.segments)
+
+
+class QuerySegmenter:
+    """Greedy left-to-right phrase detection from index statistics."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        min_lift: float = 1.3,
+        min_joint_frequency: float = 0.0,
+    ):
+        self.index = index
+        #: A pair merges when joint frequency exceeds ``min_lift`` times the
+        #: independence expectation in some attribute.
+        self.min_lift = min_lift
+        self.min_joint_frequency = min_joint_frequency
+
+    def _pair_evidence(self, left: str, right: str) -> list[tuple[str, str]]:
+        """Attributes in which ``left right`` co-occur beyond independence."""
+        shared_refs = set(self.index.attributes_containing(left)) & set(
+            self.index.attributes_containing(right)
+        )
+        evidence: list[tuple[str, str]] = []
+        for table, attribute in sorted(shared_refs):
+            joint = self.index.joint_cell_frequency([left, right], table, attribute)
+            if joint <= self.min_joint_frequency:
+                continue
+            stats = self.index.attribute_statistics(table, attribute)
+            if stats.cell_count == 0:
+                continue
+            p_left = len(self.index.tuple_keys(left, table, attribute)) / stats.cell_count
+            p_right = len(self.index.tuple_keys(right, table, attribute)) / stats.cell_count
+            expected = p_left * p_right
+            if expected <= 0.0:
+                continue
+            if joint / expected >= self.min_lift:
+                evidence.append((table, attribute))
+        return evidence
+
+    def _segment_evidence(self, terms: list[str]) -> list[tuple[str, str]]:
+        """Attributes whose cells contain *all* terms of a candidate segment."""
+        refs: set[tuple[str, str]] | None = None
+        for term in terms:
+            term_refs = set(self.index.attributes_containing(term))
+            refs = term_refs if refs is None else refs & term_refs
+            if not refs:
+                return []
+        assert refs is not None
+        out = []
+        for table, attribute in sorted(refs):
+            if self.index.joint_cell_frequency(terms, table, attribute) > 0.0:
+                out.append((table, attribute))
+        return out
+
+    def segment(self, query: KeywordQuery) -> Segmentation:
+        """Partition the query greedily: extend a segment while the next
+        keyword co-occurs with it in at least one attribute."""
+        keywords = list(query.keywords)
+        segments: list[Segment] = []
+        i = 0
+        while i < len(keywords):
+            run = [keywords[i]]
+            evidence: list[tuple[str, str]] = []
+            j = i + 1
+            while j < len(keywords):
+                if not self._pair_evidence(keywords[j - 1].term, keywords[j].term):
+                    break
+                extended = self._segment_evidence([k.term for k in run] + [keywords[j].term])
+                if not extended:
+                    break
+                run.append(keywords[j])
+                evidence = extended
+                j += 1
+            if len(run) == 1:
+                evidence = [
+                    ref for ref in self.index.attributes_containing(run[0].term)
+                ]
+            segments.append(Segment(keywords=tuple(run), evidence=tuple(evidence)))
+            i += len(run)
+        return Segmentation(query=query, segments=tuple(segments))

@@ -1,0 +1,126 @@
+"""Query templates (Def. 3.5.6) and automatic template generation.
+
+A query template is a structured query whose predicates contain variables
+instead of keywords: a join path over the schema graph, e.g.
+``sigma_{? in name}(actor) |x| acts |x| sigma_{? in year}(movie)``.
+
+IQP obtains templates three ways (Section 3.5.2): automatically by exploring
+join paths of the schema graph within a predefined length, from common
+patterns in the query log, or manually from an administrator.  All three are
+supported: :func:`generate_templates` implements the automatic route and
+:class:`~repro.core.probability.TemplateCatalog` (see probability module)
+carries log-based priors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.db.schema import ForeignKey, Schema
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A join path of tables with the connecting foreign keys.
+
+    ``path[i]`` and ``path[i + 1]`` are joined via ``edges[i]``.  A template
+    of a single table has no edges.  Positions (indexes into ``path``) are the
+    slots keyword interpretations bind to.
+    """
+
+    path: tuple[str, ...]
+    edges: tuple[ForeignKey, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("template path must be non-empty")
+        if len(self.path) != len(self.edges) + 1:
+            raise ValueError("path/edges arity mismatch")
+
+    @property
+    def size(self) -> int:
+        """Number of joins in the template."""
+        return len(self.edges)
+
+    @property
+    def identifier(self) -> str:
+        parts = [self.path[0]]
+        for i, edge in enumerate(self.edges):
+            parts.append(f"-[{edge.source}.{edge.source_attr}]-")
+            parts.append(self.path[i + 1])
+        return "".join(parts)
+
+    def positions_of(self, table: str) -> list[int]:
+        """All slots occupied by ``table`` (self-joins yield several)."""
+        return [i for i, name in enumerate(self.path) if name == table]
+
+    def leaf_positions(self) -> tuple[int, ...]:
+        """The endpoint slots, which the minimality condition constrains."""
+        if len(self.path) == 1:
+            return (0,)
+        return (0, len(self.path) - 1)
+
+    def contains_table(self, table: str) -> bool:
+        return table in self.path
+
+    def __str__(self) -> str:
+        return " |x| ".join(self.path)
+
+    def __len__(self) -> int:
+        return len(self.path)
+
+
+def generate_templates(
+    schema: Schema,
+    max_joins: int = 3,
+    max_edge_variants: int = 4,
+    include_self_joins: bool = True,
+) -> list[QueryTemplate]:
+    """Automatically generate templates from the schema graph (Section 3.5.2).
+
+    Enumerates simple join paths of at most ``max_joins`` joins.  When two
+    adjacent tables are connected by several foreign keys (e.g. ``movie``
+    referencing ``person`` both as director and as producer), one template per
+    edge combination is produced, capped at ``max_edge_variants`` combinations
+    per path to bound the blow-up.
+
+    With ``include_self_joins`` each path is additionally mirrored into a
+    palindromic self-join template (``actor |x| acts |x| movie |x| acts |x|
+    actor`` from ``actor |x| acts |x| movie``) when it fits ``max_joins`` —
+    the template class behind queries naming two actors of one movie
+    (Section 3.4's "Tom Cruise and Colin Hanks" example).
+    """
+    templates: list[QueryTemplate] = []
+    base_paths = schema.join_paths(max_joins)
+    candidate_paths: list[tuple[str, ...]] = list(base_paths)
+    if include_self_joins:
+        seen = set(base_paths)
+        for path in base_paths:
+            if len(path) < 3:
+                continue
+            if 2 * (len(path) - 1) > max_joins:
+                continue
+            palindrome = path + path[-2::-1]
+            if palindrome not in seen:
+                seen.add(palindrome)
+                candidate_paths.append(palindrome)
+    for path in candidate_paths:
+        edge_choices: list[list[ForeignKey]] = []
+        valid = True
+        for left, right in zip(path, path[1:]):
+            fks = schema.join_edges(left, right)
+            if not fks:
+                valid = False
+                break
+            edge_choices.append(fks)
+        if not valid:
+            continue
+        variants = 0
+        for combo in product(*edge_choices) if edge_choices else [()]:
+            templates.append(QueryTemplate(path=tuple(path), edges=tuple(combo)))
+            variants += 1
+            if variants >= max_edge_variants:
+                break
+    templates.sort(key=lambda t: (t.size, t.identifier))
+    return templates

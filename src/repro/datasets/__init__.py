@@ -1,0 +1,22 @@
+"""Synthetic datasets and workloads.
+
+The thesis evaluates on crawls of IMDB and a lyrics site, MSN/AOL query logs,
+Freebase and YAGO — none of which can ship with a reproduction.  This package
+provides deterministic synthetic substitutes that preserve the properties the
+algorithms depend on: schema shapes, keyword ambiguity (shared vocabulary
+across attributes/tables), Zipf-like term distributions, big flat
+domain-structured schemas (Freebase) and scale-free ontologies with shared
+instances (YAGO).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.imdb import build_imdb
+from repro.datasets.lyrics import build_lyrics
+from repro.datasets.workload import WorkloadQuery, imdb_workload, lyrics_workload
+
+__all__ = [
+    "WorkloadQuery",
+    "build_imdb",
+    "build_lyrics",
+    "imdb_workload",
+    "lyrics_workload",
+]

@@ -1,0 +1,150 @@
+"""Synthetic IMDB-like database (7 tables, Section 3.8.1).
+
+Schema (entity tables carry textual attributes; relationship tables link
+them, mirroring Fig. 2.2):
+
+* ``movie(id, title, year, plot)``
+* ``actor(id, name)``
+* ``director(id, name)``
+* ``company(id, name)``
+* ``acts(id, actor_id, movie_id, role)``
+* ``directs(id, director_id, movie_id)``
+* ``produced(id, company_id, movie_id)``
+
+Person names are drawn from a shared surname pool that also feeds movie
+titles and roles, so queries like "hanks terminal" or "london" are genuinely
+ambiguous — the property all of Chapter 3/4's experiments depend on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import names
+from repro.db.database import Database
+from repro.db.schema import Attribute, Schema, Table
+
+
+def imdb_schema() -> Schema:
+    schema = Schema()
+    schema.add_table(
+        Table(
+            "movie",
+            [
+                Attribute("title"),
+                Attribute("year"),
+                Attribute("plot"),
+                Attribute("tagline"),
+                Attribute("id", textual=False),
+            ],
+        )
+    )
+    schema.add_table(
+        Table("actor", [Attribute("name"), Attribute("bio"), Attribute("id", textual=False)])
+    )
+    schema.add_table(
+        Table("director", [Attribute("name"), Attribute("bio"), Attribute("id", textual=False)])
+    )
+    schema.add_table(
+        Table("company", [Attribute("name"), Attribute("location"), Attribute("id", textual=False)])
+    )
+    schema.add_table(Table("acts", [Attribute("role"), Attribute("id", textual=False)]))
+    schema.add_table(Table("directs", [Attribute("id", textual=False)]))
+    schema.add_table(Table("produced", [Attribute("id", textual=False)]))
+    schema.link("acts", "actor")
+    schema.link("acts", "movie")
+    schema.link("directs", "director")
+    schema.link("directs", "movie")
+    schema.link("produced", "company")
+    schema.link("produced", "movie")
+    return schema
+
+
+def _person_name(rng: random.Random) -> str:
+    return f"{rng.choice(names.FIRST_NAMES)} {rng.choice(names.SURNAMES)}"
+
+
+def _movie_title(rng: random.Random) -> str:
+    n_words = rng.choice([1, 1, 2])
+    words = rng.sample(names.TITLE_WORDS, n_words)
+    return " ".join(words)
+
+
+def _plot(rng: random.Random) -> str:
+    vocabulary = names.TITLE_WORDS + names.PLACES + names.SURNAMES
+    return " ".join(rng.choice(vocabulary) for _ in range(6))
+
+
+def _bio(rng: random.Random) -> str:
+    """Person biography: mixes places, surnames and title words — the text
+    that makes queries like "london" or "cruise" genuinely ambiguous."""
+    vocabulary = names.PLACES + names.SURNAMES + names.TITLE_WORDS + names.GENRES
+    return " ".join(rng.choice(vocabulary) for _ in range(5))
+
+
+def build_imdb(
+    seed: int = 7,
+    n_movies: int = 150,
+    n_actors: int = 90,
+    n_directors: int = 30,
+    n_companies: int = 20,
+    acts_per_movie: int = 3,
+) -> Database:
+    """Build and index a deterministic synthetic IMDB instance."""
+    rng = random.Random(seed)
+    db = Database(imdb_schema())
+
+    actor_ids = []
+    for i in range(n_actors):
+        tup = db.insert("actor", {"id": i, "name": _person_name(rng), "bio": _bio(rng)})
+        actor_ids.append(tup.key)
+    director_ids = []
+    for i in range(n_directors):
+        tup = db.insert("director", {"id": i, "name": _person_name(rng), "bio": _bio(rng)})
+        director_ids.append(tup.key)
+    company_ids = []
+    for i in range(n_companies):
+        name = f"{rng.choice(names.COMPANY_WORDS)} {rng.choice(names.COMPANY_WORDS)}"
+        tup = db.insert(
+            "company", {"id": i, "name": name, "location": rng.choice(names.PLACES)}
+        )
+        company_ids.append(tup.key)
+
+    link_id = 0
+    for i in range(n_movies):
+        year = rng.randint(1970, 2012)
+        db.insert(
+            "movie",
+            {
+                "id": i,
+                "title": _movie_title(rng),
+                "year": str(year),
+                "plot": _plot(rng),
+                "tagline": " ".join(rng.sample(names.TITLE_WORDS, 3)),
+            },
+        )
+        cast = rng.sample(actor_ids, min(acts_per_movie, len(actor_ids)))
+        for actor_id in cast:
+            db.insert(
+                "acts",
+                {
+                    "id": link_id,
+                    "actor_id": actor_id,
+                    "movie_id": i,
+                    "role": rng.choice(names.ROLE_WORDS),
+                },
+            )
+            link_id += 1
+        db.insert(
+            "directs",
+            {"id": link_id, "director_id": rng.choice(director_ids), "movie_id": i},
+        )
+        link_id += 1
+        db.insert(
+            "produced",
+            {"id": link_id, "company_id": rng.choice(company_ids), "movie_id": i},
+        )
+        link_id += 1
+
+    db.build_indexes()
+    return db

@@ -1,0 +1,55 @@
+"""Shared vocabulary pools for the synthetic datasets.
+
+Keyword ambiguity — the phenomenon every chapter of the thesis studies — is
+manufactured the way it arises in the real IMDB/Lyrics crawls: the same
+surface terms occur as person surnames, movie/song title words and place
+names (the thesis' running examples: "London" the city vs. Jack London the
+author; "Cruise" the actor vs. a movie called "Cruise").  The pools below
+deliberately overlap.
+"""
+
+FIRST_NAMES = [
+    "tom", "james", "mary", "anna", "peter", "laura", "diego", "colin",
+    "andy", "brad", "emma", "lucas", "nina", "oscar", "julia", "victor",
+    "alice", "bruno", "clara", "david", "elena", "frank", "grace", "henry",
+    "irene", "jack", "karen", "leo", "maria", "nathan",
+]
+
+#: Surnames; the starred ones double as title words below.
+SURNAMES = [
+    "hanks", "cruise", "london", "garcia", "gilbert", "boxleitner",
+    "soderbergh", "luna", "pitt", "carey", "baily", "conners", "blake",
+    "winslet", "freeman", "stone", "rivers", "woods", "summer", "winter",
+    "page", "bell", "fox", "wolf", "knight", "bishop", "carter", "mason",
+    "parker", "taylor",
+]
+
+#: Title vocabulary; overlaps with surnames and places on purpose.
+TITLE_WORDS = [
+    "terminal", "titanic", "frida", "emotions", "consideration", "cool",
+    "london", "cruise", "stone", "rivers", "woods", "summer", "winter",
+    "night", "dream", "storm", "ocean", "shadow", "garden", "mirror",
+    "silence", "horizon", "echo", "ember", "crystal", "falcon", "harbor",
+    "island", "jungle", "meadow",
+]
+
+PLACES = [
+    "london", "paris", "berlin", "lyon", "geneva", "hannover", "madrid",
+    "vienna", "brisbane", "beijing", "nantes", "portland", "bilbao",
+    "providence", "osnabrueck",
+]
+
+COMPANY_WORDS = [
+    "terminal", "pictures", "global", "united", "crystal", "falcon",
+    "harbor", "summit", "apex", "nova",
+]
+
+GENRES = [
+    "drama", "comedy", "thriller", "romance", "action", "mystery",
+    "fantasy", "history", "crime", "western",
+]
+
+ROLE_WORDS = [
+    "detective", "captain", "doctor", "teacher", "pilot", "agent",
+    "queen", "king", "soldier", "writer", "sam", "baily", "jack",
+]

@@ -1,0 +1,262 @@
+"""Scalability simulation of Section 3.8.5 (Tables 3.2 and 3.3).
+
+The thesis studies plan-generation scalability on synthetic inputs: the
+schema is a completely connected graph of ``n_tables`` tables; templates are
+random connected subgraphs (in a complete graph, any table subset is
+connected); each keyword occurs in each table with probability 0.6; tables
+and keyword occurrences carry random weights from which interpretation
+probabilities derive.  The number of complete interpretations grows
+polynomially with the schema and exponentially with the query — while the
+number of options a user evaluates grows far slower.
+
+We reproduce the simulation over the abstract option-space layer of
+:mod:`repro.iqp.plan`, with the hierarchy threshold emulated as the number of
+top-probability interpretations visible to the option scorer at each step.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SimulationSpace:
+    """One simulated interpretation space.
+
+    ``option_matrix[o, q]`` is True when option ``o`` (a keyword-to-table
+    binding) subsumes complete interpretation ``q``.
+    """
+
+    weights: np.ndarray  # (n_queries,) positive
+    option_matrix: np.ndarray  # (n_options, n_queries) bool
+    option_labels: list[tuple[int, int]]  # (keyword, table)
+    #: Exact space size before capping (the "# of queries" column).
+    theoretical_queries: int
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def n_options(self) -> int:
+        return int(self.option_matrix.shape[0])
+
+    def probabilities(self) -> np.ndarray:
+        total = float(self.weights.sum())
+        return self.weights / total if total > 0 else np.full_like(self.weights, 1.0)
+
+
+def generate_simulation(
+    n_tables: int,
+    n_keywords: int,
+    seed: int = 31,
+    occurrence_probability: float = 0.6,
+    n_templates: int | None = None,
+    max_template_size: int = 4,
+    max_queries: int = 30_000,
+) -> SimulationSpace:
+    """Generate one simulation instance (deterministic in ``seed``)."""
+    rng = np.random.default_rng(seed)
+    if n_templates is None:
+        # The template pool grows with the schema (join paths of a bigger
+        # graph), driving the polynomial space growth of Table 3.2.
+        n_templates = max(4, (n_tables * n_tables) // 3)
+    table_weight = rng.uniform(0.1, 1.0, size=n_tables)
+    # occurrence[k, t]: does keyword k occur in table t; its weight if so.
+    occurrence = rng.random((n_keywords, n_tables)) < occurrence_probability
+    # Every keyword must occur somewhere, or the query has no interpretation.
+    for k in range(n_keywords):
+        if not occurrence[k].any():
+            occurrence[k, rng.integers(n_tables)] = True
+    binding_weight = rng.uniform(0.05, 1.0, size=(n_keywords, n_tables)) * table_weight
+
+    templates: list[np.ndarray] = []
+    seen_templates: set[tuple[int, ...]] = set()
+    for _ in range(n_templates):
+        size = int(rng.integers(2, max_template_size + 1))
+        size = min(size, n_tables)
+        tables = np.sort(rng.choice(n_tables, size=size, replace=False))
+        key = tuple(int(t) for t in tables)
+        if key in seen_templates:
+            continue
+        seen_templates.add(key)
+        templates.append(tables)
+
+    # Exact space size: sum over templates of prod_k (#occurring tables in T).
+    theoretical = 0
+    per_template_counts: list[list[np.ndarray]] = []
+    for tables in templates:
+        counts = 1
+        placements: list[np.ndarray] = []
+        for k in range(n_keywords):
+            viable = tables[occurrence[k, tables]]
+            placements.append(viable)
+            counts *= len(viable)
+        if counts > 0:
+            theoretical += counts
+            per_template_counts.append(placements)
+
+    # Enumerate (or sample) up to max_queries complete interpretations.
+    queries: list[tuple[int, ...]] = []  # per keyword: bound table
+    weights: list[float] = []
+    budget_per_template = max(1, max_queries // max(1, len(per_template_counts)))
+    for placements in per_template_counts:
+        sizes = [len(p) for p in placements]
+        total = math.prod(sizes)
+        take = min(total, budget_per_template)
+        if total <= take:
+            indices = np.arange(total)
+        else:
+            indices = rng.choice(total, size=take, replace=False)
+        for flat in np.sort(indices):
+            assignment = []
+            remainder = int(flat)
+            for k in range(n_keywords):
+                remainder, digit = divmod(remainder, sizes[k])
+                assignment.append(int(placements[k][digit]))
+            queries.append(tuple(assignment))
+            w = 1.0
+            for k, table in enumerate(assignment):
+                w *= binding_weight[k, table]
+            weights.append(w)
+
+    n_queries = len(queries)
+    labels: list[tuple[int, int]] = []
+    rows: list[np.ndarray] = []
+    query_array = np.array(queries, dtype=np.int64).reshape(n_queries, n_keywords)
+    for k in range(n_keywords):
+        for t in range(n_tables):
+            if not occurrence[k, t]:
+                continue
+            row = query_array[:, k] == t
+            if row.any():
+                labels.append((k, t))
+                rows.append(row)
+    option_matrix = (
+        np.array(rows, dtype=bool)
+        if rows
+        else np.zeros((0, n_queries), dtype=bool)
+    )
+    return SimulationSpace(
+        weights=np.asarray(weights, dtype=float),
+        option_matrix=option_matrix,
+        option_labels=labels,
+        theoretical_queries=theoretical,
+    )
+
+
+@dataclass
+class SimulationRun:
+    """Outcome of one interactive greedy construction over a simulation."""
+
+    steps: int
+    seconds_per_step: float
+    #: The intended interpretation survived every pruning step (it always
+    #: should — the oracle answers consistently).
+    resolved: bool
+    #: Queries left when construction stopped; >1 means the remainder was
+    #: indistinguishable by options (the user scans the final shortlist).
+    remaining: int = 1
+
+
+def run_greedy_simulation(
+    space: SimulationSpace,
+    seed: int = 53,
+    threshold: int = 20,
+    stop_size: int = 1,
+    max_steps: int = 500,
+) -> SimulationRun:
+    """Simulate a full construction dialogue with a random intended query.
+
+    The hierarchy threshold of Alg. 3.2 is emulated by letting the option
+    scorer see only the ``threshold`` most probable *active* interpretations
+    when computing information gain — the partially expanded hierarchy's top
+    level — while pruning applies to the full active set.
+    """
+    rng = np.random.default_rng(seed)
+    n = space.n_queries
+    if n == 0:
+        return SimulationRun(steps=0, seconds_per_step=0.0, resolved=True)
+    probs = space.probabilities()
+    intended = int(rng.choice(n, p=probs))
+    active = np.ones(n, dtype=bool)
+    steps = 0
+    elapsed = 0.0
+    matrix = space.option_matrix
+    weights = space.weights
+    while active.sum() > stop_size and steps < max_steps:
+        started = time.perf_counter()
+        active_idx = np.flatnonzero(active)
+        # Visible top level: the `threshold` heaviest active interpretations.
+        if len(active_idx) > threshold:
+            order = np.argsort(-weights[active_idx])[:threshold]
+            visible = active_idx[order]
+        else:
+            visible = active_idx
+        w = weights[visible]
+        w_sum = w.sum()
+        if w_sum <= 0:
+            break
+        p = w / w_sum
+        logp = np.log2(p, where=p > 0, out=np.zeros_like(p))
+        h_total = float(-(p * logp).sum())
+        sub = matrix[:, visible]  # (n_options, n_visible)
+        mass_yes = sub @ p
+        best_gain = 0.0
+        best_option = -1
+        # Conditional entropy per option, vectorized over the visible set.
+        plogp = p * logp
+        sum_plogp_yes = sub @ plogp
+        for o in range(matrix.shape[0]):
+            m_yes = mass_yes[o]
+            if m_yes <= 0.0 or m_yes >= 1.0:
+                continue
+            m_no = 1.0 - m_yes
+            # H(side) = -(1/m) * sum p_i log2 p_i + log2 m  (renormalized).
+            h_yes = -(sum_plogp_yes[o] / m_yes) + math.log2(m_yes)
+            sum_plogp_no = plogp.sum() - sum_plogp_yes[o]
+            h_no = -(sum_plogp_no / m_no) + math.log2(m_no)
+            gain = h_total - (m_yes * h_yes + m_no * h_no)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_option = o
+        elapsed += time.perf_counter() - started
+        if best_option < 0:
+            break
+        steps += 1
+        answer = bool(matrix[best_option, intended])
+        active &= matrix[best_option] == answer
+    per_step = elapsed / steps if steps else 0.0
+    return SimulationRun(
+        steps=steps,
+        seconds_per_step=per_step,
+        resolved=bool(active[intended]),
+        remaining=int(active.sum()),
+    )
+
+
+def random_option_space(
+    n_queries: int, n_options: int, seed: int = 61
+):
+    """A random abstract option space for the Table 3.4 optimality study.
+
+    Each option subsumes a random half of the queries; probabilities are
+    random — exactly the setup of Section 3.8.6.
+    """
+    from repro.iqp.plan import OptionSpace
+
+    rng = np.random.default_rng(seed)
+    probabilities = rng.random(n_queries)
+    options: dict[str, frozenset[int]] = {}
+    for o in range(n_options):
+        chosen = rng.choice(n_queries, size=max(1, n_queries // 2), replace=False)
+        options[f"opt{o}"] = frozenset(int(c) for c in chosen)
+    return OptionSpace.build(
+        queries=[f"q{i}" for i in range(n_queries)],
+        probabilities=list(probabilities),
+        options=options,
+    )

@@ -1,0 +1,133 @@
+"""Synthetic YAGO-like ontology and aligned database tables (Chapter 6).
+
+YAGO's concept structure (Section 6.4) is a deep subclass tree dominated by
+Wikipedia-derived leaf categories: a handful of broad WordNet-style upper
+classes, a long tail of small leaf categories (most hold a handful of
+instances), and instances concentrated at the leaves.  The generator
+reproduces that shape at configurable scale, and additionally fabricates a
+Freebase-like table catalog whose tables draw their instances from known
+ontology classes plus noise — giving the matching experiments (Fig. 6.4) an
+exact ground truth to score against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.yagof.ontology import InstanceOntology
+
+_TOP_CLASSES = [
+    "person", "artifact", "organization", "location", "event",
+    "abstraction", "living_thing", "substance",
+]
+
+_LEAF_QUALIFIERS = [
+    "american", "british", "german", "french", "italian", "russian",
+    "japanese", "canadian", "australian", "indian",
+]
+
+_LEAF_NOUNS = [
+    "actors", "writers", "films", "albums", "companies", "cities",
+    "rivers", "battles", "novels", "songs", "painters", "athletes",
+    "universities", "museums", "bridges", "festivals",
+]
+
+
+@dataclass
+class YagoInstanceData:
+    """The synthetic ontology, aligned tables and their ground truth."""
+
+    ontology: InstanceOntology
+    #: table name -> instance identifiers (entity keys shared with YAGO).
+    tables: dict[str, set[str]]
+    #: table name -> the ontology class its instances were drawn from.
+    ground_truth: dict[str, str]
+
+
+def build_yago(
+    seed: int = 41,
+    n_mid_per_top: int = 3,
+    n_leaves_per_mid: int = 6,
+    instances_per_leaf_mean: int = 12,
+) -> InstanceOntology:
+    """A three-level ontology: top classes -> mid classes -> leaf categories.
+
+    Leaf instance counts follow a heavy-tailed (geometric-ish) distribution,
+    mirroring Table 6.1: most categories are small, a few are large.
+    """
+    rng = random.Random(seed)
+    ontology = InstanceOntology()
+    instance_counter = 0
+    for top in _TOP_CLASSES:
+        ontology.add_class(top)
+        for mid_index in range(n_mid_per_top):
+            noun = _LEAF_NOUNS[(mid_index * 5 + len(top)) % len(_LEAF_NOUNS)]
+            mid = f"{top}/{noun}"
+            ontology.add_class(mid, top)
+            for leaf_index in range(n_leaves_per_mid):
+                qualifier = _LEAF_QUALIFIERS[leaf_index % len(_LEAF_QUALIFIERS)]
+                leaf = f"{mid}/{qualifier}_{noun}"
+                ontology.add_class(leaf, mid)
+                # Heavy tail: many small leaves, occasional large ones.
+                size = 1 + min(
+                    int(rng.expovariate(1.0 / instances_per_leaf_mean)),
+                    instances_per_leaf_mean * 10,
+                )
+                instances = {
+                    f"inst_{instance_counter + i}" for i in range(size)
+                }
+                instance_counter += size
+                ontology.add_instances(leaf, instances)
+    return ontology
+
+
+def build_aligned_tables(
+    ontology: InstanceOntology,
+    seed: int = 43,
+    n_tables: int = 60,
+    rows_per_table: int = 15,
+    noise_fraction: float = 0.2,
+    overlap_fraction: float = 0.8,
+) -> YagoInstanceData:
+    """Fabricate database tables aligned to ontology classes.
+
+    Each table draws ``overlap_fraction`` of its instances from one true
+    class (mid- or leaf-level) and the rest either from other classes
+    ("semantic noise") or from fresh identifiers unknown to the ontology
+    ("unshared instances").  The true class is recorded as ground truth.
+    """
+    rng = random.Random(seed)
+    candidates = [
+        name
+        for name in ontology.class_names()
+        if ontology.level_of(name) >= 2 and len(ontology.instances_of(name)) >= 3
+    ]
+    if not candidates:
+        raise ValueError("ontology has no populated classes to align with")
+    all_instances = sorted(ontology.all_instances())
+    tables: dict[str, set[str]] = {}
+    ground_truth: dict[str, str] = {}
+    fresh_counter = 0
+    for table_index in range(n_tables):
+        true_class = rng.choice(candidates)
+        pool = sorted(ontology.instances_of(true_class))
+        n_true = max(2, int(rows_per_table * overlap_fraction))
+        chosen = set(rng.sample(pool, min(n_true, len(pool))))
+        n_rest = max(0, rows_per_table - len(chosen))
+        for _ in range(n_rest):
+            if rng.random() < noise_fraction and all_instances:
+                chosen.add(rng.choice(all_instances))
+            else:
+                chosen.add(f"fresh_{fresh_counter}")
+                fresh_counter += 1
+        table_name = f"fb_table_{table_index}_{true_class.split('/')[-1]}"
+        tables[table_name] = chosen
+        ground_truth[table_name] = true_class
+    return YagoInstanceData(ontology=ontology, tables=tables, ground_truth=ground_truth)
+
+
+def build_yago_and_tables(seed: int = 41, **table_kwargs) -> YagoInstanceData:
+    """Convenience: ontology + aligned tables in one call."""
+    ontology = build_yago(seed=seed)
+    return build_aligned_tables(ontology, seed=seed + 2, **table_kwargs)

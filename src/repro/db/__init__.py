@@ -1,0 +1,51 @@
+"""In-memory relational database substrate.
+
+This package provides the relational engine the keyword-search systems of the
+thesis run on: schemas with foreign keys (exposed as an undirected *schema
+graph*), tuple storage, selection/join execution for candidate networks, an
+inverted index over textual attributes with the term statistics the
+probabilistic models need (TF, ATF, DF, IDF), and a tuple-level data graph for
+the data-based baselines.
+
+The engine replaces the MySQL + Lucene substrate used by the original
+experiments while exercising the same code paths: a-priori inverted indexing,
+schema-graph exploration and SQL-style join evaluation.
+"""
+
+from repro.db.database import Database
+from repro.db.datagraph import DataGraph
+from repro.db.errors import (
+    DatabaseError,
+    DuplicateTableError,
+    IntegrityError,
+    UnknownAttributeError,
+    UnknownTableError,
+)
+from repro.db.index import AttributeStatistics, InvertedIndex, Posting
+from repro.db.schema import Attribute, ForeignKey, Schema, Table
+from repro.db.serialize import load_database, save_database
+from repro.db.table import Relation, Tuple
+from repro.db.tokenizer import Tokenizer, tokenize
+
+__all__ = [
+    "Attribute",
+    "AttributeStatistics",
+    "DataGraph",
+    "Database",
+    "DatabaseError",
+    "DuplicateTableError",
+    "ForeignKey",
+    "IntegrityError",
+    "InvertedIndex",
+    "Posting",
+    "Relation",
+    "Schema",
+    "Table",
+    "Tokenizer",
+    "Tuple",
+    "UnknownAttributeError",
+    "UnknownTableError",
+    "load_database",
+    "save_database",
+    "tokenize",
+]

@@ -1,0 +1,72 @@
+"""Tuple-level data graph (Section 2.2.2).
+
+Data-based keyword-search approaches (BANKS and friends) operate on a graph
+whose nodes are database tuples and whose edges are foreign-key links between
+tuples.  :class:`DataGraph` materializes that graph from a :class:`Database`
+so the BANKS-style baseline can run backward-expanding Steiner-tree search.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import networkx as nx
+
+from repro.db.database import Database
+
+#: Node identity in the data graph: ``(table name, primary key)``.
+TupleId = tuple[str, Any]
+
+
+class DataGraph:
+    """Undirected tuple graph with unit edge weights.
+
+    The thesis notes edge weights can reflect tuple proximity or PageRank
+    style importance; unit weights reproduce the minimality-driven ranking
+    (number of joins) the comparisons in Chapter 3 rely on.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.graph = nx.Graph()
+        self._build()
+
+    def _build(self) -> None:
+        for table in self.database.schema:
+            for tup in self.database.relation(table.name):
+                self.graph.add_node(tup.uid)
+        for fk in self.database.schema.foreign_keys:
+            target_relation = self.database.relation(fk.target)
+            target_pk = self.database.schema.table(fk.target).primary_key
+            use_pk_lookup = fk.target_attr == target_pk
+            for tup in self.database.relation(fk.source):
+                value = tup.get(fk.source_attr)
+                if value is None:
+                    continue
+                if use_pk_lookup:
+                    target = target_relation.get(value)
+                    matches = [target] if target is not None else []
+                else:
+                    matches = target_relation.lookup(fk.target_attr, value)
+                for match in matches:
+                    self.graph.add_edge(tup.uid, match.uid, weight=1.0)
+
+    # -- queries -----------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def neighbors(self, node: TupleId) -> Iterable[TupleId]:
+        return self.graph.neighbors(node)
+
+    def keyword_nodes(self, term: str) -> set[TupleId]:
+        """All tuple ids whose indexed text contains ``term``."""
+        index = self.database.require_index()
+        nodes: set[TupleId] = set()
+        for table, attribute in index.attributes_containing(term):
+            for key in index.tuple_keys(term, table, attribute):
+                nodes.add((table, key))
+        return nodes

@@ -1,0 +1,34 @@
+"""Exception hierarchy of the relational substrate."""
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by the :mod:`repro.db` engine."""
+
+
+class UnknownTableError(DatabaseError):
+    """A referenced table does not exist in the schema."""
+
+    def __init__(self, table_name: str):
+        super().__init__(f"unknown table: {table_name!r}")
+        self.table_name = table_name
+
+
+class UnknownAttributeError(DatabaseError):
+    """A referenced attribute does not exist on its table."""
+
+    def __init__(self, table_name: str, attribute_name: str):
+        super().__init__(f"unknown attribute: {table_name!r}.{attribute_name!r}")
+        self.table_name = table_name
+        self.attribute_name = attribute_name
+
+
+class DuplicateTableError(DatabaseError):
+    """A table with the same name was already registered."""
+
+    def __init__(self, table_name: str):
+        super().__init__(f"duplicate table: {table_name!r}")
+        self.table_name = table_name
+
+
+class IntegrityError(DatabaseError):
+    """A tuple violates a schema constraint (arity, key or foreign key)."""

@@ -1,0 +1,94 @@
+"""Database persistence: JSON round-tripping of schemas and instances.
+
+Lets users snapshot a populated :class:`~repro.db.database.Database` (e.g. a
+generated synthetic dataset) and reload it without re-running the generator —
+the minimal durability layer a reproduction package needs for shipping
+fixtures and caching expensive builds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, ForeignKey, Schema, Table
+
+FORMAT_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    return {
+        "tables": [
+            {
+                "name": table.name,
+                "primary_key": table.primary_key,
+                "attributes": [
+                    {"name": a.name, "textual": a.textual}
+                    for a in table.attributes.values()
+                ],
+            }
+            for table in schema
+        ],
+        "foreign_keys": [
+            {
+                "source": fk.source,
+                "source_attr": fk.source_attr,
+                "target": fk.target,
+                "target_attr": fk.target_attr,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_dict(payload: dict[str, Any]) -> Schema:
+    schema = Schema()
+    for spec in payload["tables"]:
+        attributes = [
+            Attribute(a["name"], textual=a["textual"]) for a in spec["attributes"]
+        ]
+        schema.add_table(
+            Table(spec["name"], attributes, primary_key=spec["primary_key"])
+        )
+    for fk in payload["foreign_keys"]:
+        schema.add_foreign_key(
+            ForeignKey(fk["source"], fk["source_attr"], fk["target"], fk["target_attr"])
+        )
+    return schema
+
+
+def database_to_dict(database: Database) -> dict[str, Any]:
+    """Serialize schema + all rows (indexes are rebuilt on load)."""
+    return {
+        "version": FORMAT_VERSION,
+        "schema": schema_to_dict(database.schema),
+        "rows": {
+            table.name: [tup.as_dict() for tup in database.relation(table.name)]
+            for table in database.schema
+        },
+    }
+
+
+def database_from_dict(payload: dict[str, Any]) -> Database:
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported database format version: {version!r}")
+    schema = schema_from_dict(payload["schema"])
+    db = Database(schema)
+    for table_name, rows in payload["rows"].items():
+        db.insert_many(table_name, rows)
+    db.build_indexes()
+    return db
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    """Write the database to a JSON file."""
+    Path(path).write_text(json.dumps(database_to_dict(database)), encoding="utf-8")
+
+
+def load_database(path: str | Path) -> Database:
+    """Read a database from a JSON file (indexes rebuilt eagerly)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return database_from_dict(payload)

@@ -1,0 +1,54 @@
+"""Rendering join paths with keyword selections as SQL text.
+
+Every candidate network / query interpretation corresponds to a single SQL
+statement (Section 2.2.6).  The engine executes the plans natively; this
+module produces the equivalent ``SELECT * FROM ... JOIN ... WHERE ...`` text
+so examples, logs and the IQP query window can show users real SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.database import Selection
+from repro.db.schema import ForeignKey
+
+
+def _alias(table: str, position: int) -> str:
+    return f"t{position}_{table}"
+
+
+def render_sql(
+    path: Sequence[str],
+    edges: Sequence[ForeignKey],
+    selections: dict[int, Sequence[Selection]] | None = None,
+) -> str:
+    """Render a join path as a SQL statement with CONTAINS-style predicates.
+
+    Keyword containment ``k in A`` is rendered as ``A LIKE '%k%'`` — the
+    closest standard-SQL rendering of the thesis' ``contains`` predicate.
+    """
+    if len(path) != len(edges) + 1:
+        raise ValueError("path/edges arity mismatch")
+    selections = selections or {}
+    lines = ["SELECT *", f"FROM {path[0]} AS {_alias(path[0], 0)}"]
+    for position in range(1, len(path)):
+        edge = edges[position - 1]
+        table = path[position]
+        alias = _alias(table, position)
+        prev_alias = _alias(path[position - 1], position - 1)
+        if edge.source == path[position - 1]:
+            condition = f"{prev_alias}.{edge.source_attr} = {alias}.{edge.target_attr}"
+        else:
+            condition = f"{prev_alias}.{edge.target_attr} = {alias}.{edge.source_attr}"
+        lines.append(f"JOIN {table} AS {alias} ON {condition}")
+    predicates: list[str] = []
+    for position in sorted(selections):
+        alias = _alias(path[position], position)
+        for attribute, terms in selections[position]:
+            for term in terms:
+                escaped = str(term).replace("'", "''")
+                predicates.append(f"{alias}.{attribute} LIKE '%{escaped}%'")
+    if predicates:
+        lines.append("WHERE " + "\n  AND ".join(predicates))
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Tuple storage: relations (table instances) and tuples.
+
+A :class:`Relation` stores the rows of one table.  Rows are plain dicts keyed
+by attribute name, wrapped in a lightweight :class:`Tuple` that remembers the
+owning table — the unit the inverted index, the data graph and join results
+all refer to.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.db.errors import IntegrityError, UnknownAttributeError
+from repro.db.schema import Table
+
+
+@dataclass(frozen=True)
+class Tuple:
+    """One row of one table.
+
+    Identity is ``(table, primary key value)`` — exactly the "information
+    nugget" granularity used by the DivQ metrics (Section 4.5).
+    """
+
+    table: str
+    key: Any
+    values: tuple[tuple[str, Any], ...]
+
+    def __getitem__(self, attribute: str) -> Any:
+        for name, value in self.values:
+            if name == attribute:
+                return value
+        raise KeyError(attribute)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        for name, value in self.values:
+            if name == attribute:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.values)
+
+    @property
+    def uid(self) -> tuple[str, Any]:
+        """Globally unique tuple id: ``(table name, primary key)``."""
+        return (self.table, self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tuple({self.table}:{self.key})"
+
+
+class Relation:
+    """The stored rows of one table, with a primary-key index and FK indexes."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._rows: dict[Any, Tuple] = {}
+        # attribute name -> value -> set of primary keys (exact-match index)
+        self._value_index: dict[str, dict[Any, set[Any]]] = defaultdict(lambda: defaultdict(set))
+        self._indexed_attributes: set[str] = set()
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, row: dict[str, Any]) -> Tuple:
+        """Insert a row; unknown attributes are rejected, missing ones are None."""
+        for name in row:
+            if not self.table.has_attribute(name):
+                raise UnknownAttributeError(self.table.name, name)
+        pk_name = self.table.primary_key
+        key = row.get(pk_name)
+        if key is None:
+            key = len(self._rows)
+            while key in self._rows:
+                key += 1
+        if key in self._rows:
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in table {self.table.name!r}"
+            )
+        values = tuple(
+            (name, row.get(name) if name != pk_name else key)
+            for name in self.table.attribute_names
+        )
+        tup = Tuple(self.table.name, key, values)
+        self._rows[key] = tup
+        for attr in self._indexed_attributes:
+            self._value_index[attr][tup.get(attr)].add(key)
+        return tup
+
+    def create_index(self, attribute: str) -> None:
+        """Build (or rebuild) an exact-match index on ``attribute``."""
+        if not self.table.has_attribute(attribute):
+            raise UnknownAttributeError(self.table.name, attribute)
+        index: dict[Any, set[Any]] = defaultdict(set)
+        for key, tup in self._rows.items():
+            index[tup.get(attribute)].add(key)
+        self._value_index[attribute] = index
+        self._indexed_attributes.add(attribute)
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, key: Any) -> Tuple | None:
+        return self._rows.get(key)
+
+    def lookup(self, attribute: str, value: Any) -> list[Tuple]:
+        """All tuples with ``attribute == value`` (uses index when present)."""
+        if attribute in self._indexed_attributes:
+            return [self._rows[k] for k in sorted(self._value_index[attribute][value], key=repr)]
+        return [t for t in self._rows.values() if t.get(attribute) == value]
+
+    def scan(self) -> Iterator[Tuple]:
+        return iter(self._rows.values())
+
+    def keys(self) -> Iterable[Any]:
+        return self._rows.keys()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return self.scan()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.table.name}, {len(self)} rows)"

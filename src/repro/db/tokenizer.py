@@ -1,0 +1,102 @@
+"""Tokenization and normalization of textual attribute values.
+
+Section 2.2.1 of the thesis builds the inverted index from terms extracted
+from the cells of textual attributes, optionally normalized with stop-word
+removal and stemming.  We implement lower-casing, punctuation splitting, an
+(optional) English stop-word list and a light suffix stemmer — enough to make
+index lookups robust without dragging in an external NLP stack.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stop-word list.  Kept deliberately small: keyword queries
+#: against databases are short, and over-aggressive stopping would delete
+#: meaningful tokens from titles (e.g. the movie "It").
+DEFAULT_STOPWORDS = frozenset(
+    {
+        "a",
+        "an",
+        "and",
+        "are",
+        "as",
+        "at",
+        "be",
+        "by",
+        "for",
+        "from",
+        "in",
+        "into",
+        "is",
+        "of",
+        "on",
+        "or",
+        "that",
+        "the",
+        "to",
+        "with",
+    }
+)
+
+#: Suffixes removed by the light stemmer, longest first.
+_STEM_SUFFIXES = ("ing", "ies", "ed", "es", "s")
+
+
+def _light_stem(token: str) -> str:
+    """Strip a single common English suffix, keeping at least 3 characters."""
+    for suffix in _STEM_SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            if suffix == "ies":
+                return token[: -len(suffix)] + "y"
+            return token[: -len(suffix)]
+    return token
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable text tokenizer.
+
+    Parameters
+    ----------
+    stopwords:
+        Tokens dropped after normalization.  Pass ``frozenset()`` to keep
+        everything.
+    stem:
+        If true, apply the light suffix stemmer to every token.
+    """
+
+    stopwords: frozenset[str] = field(default=frozenset())
+    stem: bool = False
+
+    def tokens(self, text: str) -> list[str]:
+        """Return the normalized token sequence of ``text`` (with duplicates)."""
+        if not text:
+            return []
+        raw = _TOKEN_RE.findall(str(text).lower())
+        out: list[str] = []
+        for token in raw:
+            if token in self.stopwords:
+                continue
+            if self.stem:
+                token = _light_stem(token)
+            out.append(token)
+        return out
+
+    def terms(self, text: str) -> set[str]:
+        """Return the distinct normalized terms of ``text``."""
+        return set(self.tokens(text))
+
+
+#: Engine-wide default: no stemming, no stopping.  Keyword queries over
+#: databases (e.g. "hanks terminal") match attribute values verbatim; the
+#: experiments of the thesis rely on exact term matches.
+DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` with the engine-wide default tokenizer."""
+    return DEFAULT_TOKENIZER.tokens(text)

@@ -1,0 +1,63 @@
+"""Query-ambiguity analysis (Sections 4.6.1 and 4.6.2 / Fig. 4.1).
+
+Two diagnostics from Chapter 4:
+
+* the entropy of the top-ranked interpretation probabilities, used to select
+  ambiguous queries for the evaluation (high entropy = ambiguous),
+* the probability ratio ``PR_i = P(Q_i | K) / sum_{j<i} P(Q_j | K)`` of
+  Fig. 4.1, showing how fast interpretation probabilities fall with rank —
+  the justification for pruning the assessment pool at top-25.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.probability import entropy, normalize
+
+
+def query_ambiguity_entropy(probabilities: Sequence[float], k: int = 10) -> float:
+    """Entropy of the top-``k`` normalized interpretation probabilities."""
+    top = sorted(probabilities, reverse=True)[:k]
+    if not top:
+        return 0.0
+    return entropy(normalize(list(top)))
+
+
+def probability_ratios(probabilities: Sequence[float]) -> list[float]:
+    """``PR_i`` per rank (1-based ranks; ``PR_1`` is undefined and skipped).
+
+    Input may be unnormalized; output[i] corresponds to rank ``i + 2``.
+    """
+    probs = sorted(normalize(list(probabilities)), reverse=True)
+    ratios: list[float] = []
+    cumulative = 0.0
+    for i, p in enumerate(probs):
+        if i > 0:
+            ratios.append(p / cumulative if cumulative > 0 else 0.0)
+        cumulative += p
+    return ratios
+
+
+def max_and_average_ratio_profile(
+    per_query_probabilities: Sequence[Sequence[float]], max_rank: int = 25
+) -> tuple[list[float], list[float]]:
+    """Fig. 4.1's series: max and average ``PR_i`` per rank over a query set.
+
+    Returns ``(max_pr, avg_pr)`` lists indexed by rank - 2 (ranks 2..max_rank).
+    """
+    buckets: list[list[float]] = [[] for _ in range(max_rank - 1)]
+    for probabilities in per_query_probabilities:
+        ratios = probability_ratios(probabilities)
+        for i, ratio in enumerate(ratios[: max_rank - 1]):
+            buckets[i].append(ratio)
+    max_pr: list[float] = []
+    avg_pr: list[float] = []
+    for bucket in buckets:
+        if bucket:
+            max_pr.append(max(bucket))
+            avg_pr.append(sum(bucket) / len(bucket))
+        else:
+            max_pr.append(0.0)
+            avg_pr.append(0.0)
+    return max_pr, avg_pr

@@ -1,0 +1,106 @@
+"""Simulated relevance assessments (substitute for the user study of §4.6.2).
+
+The original study had 16 participants judge, on a two-point Likert scale,
+whether each query interpretation could reflect the informational need behind
+the keyword query; graded relevance is the average over participants, and
+inter-assessor agreement was low (kappa ~0.3) — a signature of genuinely
+ambiguous queries.
+
+We reproduce that data-generating process: a pool of simulated assessors,
+each holding a plausibility threshold drawn at random, judges every
+interpretation.  An interpretation's plausibility combines (a) whether it is
+the workload's ground-truth intent (always judged relevant), and (b) its
+model probability, temperature-flattened so secondary interpretations retain
+non-zero support — producing graded, disagreement-bearing scores.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class AssessorPool:
+    """A population of simulated assessors with heterogeneous leniency."""
+
+    n_assessors: int = 12
+    #: Flattening exponent applied to model probabilities: values < 1 boost
+    #: the plausibility of less probable interpretations.
+    temperature: float = 0.35
+    #: Minimum plausibility of any interpretation that has results at all.
+    floor: float = 0.05
+    seed: int = 97
+
+    def judge(
+        self,
+        plausibilities: Sequence[float],
+        intended_index: int | None = None,
+    ) -> list[float]:
+        """Graded relevance per interpretation: mean of Bernoulli judgments."""
+        rng = random.Random(self.seed)
+        n = len(plausibilities)
+        if n == 0:
+            return []
+        votes = [0] * n
+        for _assessor in range(self.n_assessors):
+            leniency = rng.uniform(0.6, 1.4)
+            for i, plausibility in enumerate(plausibilities):
+                p = min(1.0, plausibility * leniency)
+                if intended_index is not None and i == intended_index:
+                    p = max(p, 0.9)
+                if rng.random() < p:
+                    votes[i] += 1
+        return [v / self.n_assessors for v in votes]
+
+    def plausibility(self, probability: float, max_probability: float) -> float:
+        """Map a model probability to an assessor-facing plausibility."""
+        if max_probability <= 0.0:
+            return self.floor
+        ratio = probability / max_probability
+        return max(self.floor, ratio**self.temperature)
+
+
+def simulate_assessments(
+    probabilities: Sequence[float],
+    intended_index: int | None = None,
+    pool: AssessorPool | None = None,
+) -> list[float]:
+    """Graded relevance scores for a ranked interpretation list.
+
+    ``probabilities`` are the model's normalized ``P(Q | K)`` values aligned
+    with the interpretation list; ``intended_index`` marks the ground-truth
+    interpretation when known.
+    """
+    pool = pool or AssessorPool()
+    max_p = max(probabilities) if probabilities else 0.0
+    plausibilities = [pool.plausibility(p, max_p) for p in probabilities]
+    return pool.judge(plausibilities, intended_index)
+
+
+def agreement_kappa(judgments: Sequence[Sequence[bool]]) -> float:
+    """Fleiss-style kappa over binary judgments (assessors x items).
+
+    Used by tests to confirm the simulated pool exhibits the low agreement
+    the thesis reports for ambiguous queries (§4.6.2).
+    """
+    if not judgments or not judgments[0]:
+        return 1.0
+    n_assessors = len(judgments)
+    n_items = len(judgments[0])
+    if n_assessors < 2:
+        return 1.0
+    p_item: list[float] = []
+    positives = 0
+    for item in range(n_items):
+        yes = sum(1 for a in range(n_assessors) if judgments[a][item])
+        positives += yes
+        pairs = yes * (yes - 1) + (n_assessors - yes) * (n_assessors - yes - 1)
+        p_item.append(pairs / (n_assessors * (n_assessors - 1)))
+    p_bar = sum(p_item) / n_items
+    p_yes = positives / (n_assessors * n_items)
+    p_e = p_yes**2 + (1 - p_yes) ** 2
+    if p_e >= 1.0:
+        return 1.0
+    return (p_bar - p_e) / (1 - p_e)

@@ -1,0 +1,160 @@
+"""Evaluation metrics for diversified database search (Section 4.5).
+
+The thesis adapts two document-retrieval metrics to structured results,
+where an *information nugget* / *subtopic* is a primary key in a query
+interpretation's result and nuggets carry graded relevance:
+
+* **α-nDCG-W** (Section 4.5.1): the gain of the interpretation at rank k is
+  its graded relevance discounted by ``(1 - alpha) ** r`` where ``r`` counts
+  how often the interpretation's result keys were already returned by
+  higher-ranked interpretations (Eqs. 4.5/4.6).
+* **WS-recall** (Section 4.5.2): aggregated relevance of the subtopics
+  covered by the top-k interpretations over the maximum achievable
+  aggregated relevance (Eq. 4.7).
+
+Both operate on ``(relevance, result_keys)`` pairs in presentation order, so
+they are independent of how results were produced.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Mapping, Sequence
+
+#: One ranked entry: (graded relevance of the interpretation, result keys).
+RankedEntry = tuple[float, frozenset[Hashable]]
+
+
+def overlap_penalty_exponent(
+    result_keys: frozenset[Hashable], seen_counts: Counter
+) -> int:
+    """The exponent ``r`` of Eq. 4.6.
+
+    For each primary key in the current result, count how many earlier
+    interpretations returned it, and aggregate the counts.
+    """
+    return sum(seen_counts[key] for key in result_keys)
+
+
+def _gain_vector(entries: Sequence[RankedEntry], alpha: float) -> list[float]:
+    """Per-rank gains ``G[k] = relevance * (1 - alpha) ** r`` (Eq. 4.5)."""
+    seen: Counter = Counter()
+    gains: list[float] = []
+    for relevance, keys in entries:
+        r = overlap_penalty_exponent(keys, seen)
+        gains.append(relevance * (1.0 - alpha) ** r)
+        for key in keys:
+            seen[key] += 1
+    return gains
+
+
+def _dcg(gains: Sequence[float]) -> list[float]:
+    """Cumulative log2-discounted gain at every rank (1-based discount)."""
+    out: list[float] = []
+    total = 0.0
+    for i, gain in enumerate(gains, start=1):
+        total += gain / math.log2(i + 1)
+        out.append(total)
+    return out
+
+
+def _ideal_dcg(entries: Sequence[RankedEntry], alpha: float, k: int) -> list[float]:
+    """Greedy ideal ordering, the standard α-nDCG normalization.
+
+    At each rank, pick the unused entry with the maximal penalized gain given
+    the keys already returned.  (The thesis normalizes by the user-score
+    ordering; the greedy ideal dominates it, keeping the metric in [0, 1].)
+    """
+    remaining = list(entries)
+    seen: Counter = Counter()
+    gains: list[float] = []
+    for _rank in range(min(k, len(remaining))):
+        best_idx = 0
+        best_gain = float("-inf")
+        for idx, (relevance, keys) in enumerate(remaining):
+            gain = relevance * (1.0 - alpha) ** overlap_penalty_exponent(keys, seen)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = idx
+        relevance, keys = remaining.pop(best_idx)
+        gains.append(best_gain)
+        for key in keys:
+            seen[key] += 1
+    return _dcg(gains)
+
+
+def alpha_ndcg_w(
+    entries: Sequence[RankedEntry],
+    alpha: float = 0.5,
+    k: int | None = None,
+    ideal_entries: Sequence[RankedEntry] | None = None,
+) -> float:
+    """α-nDCG-W at rank ``k`` (Section 4.5.1).
+
+    ``entries`` is the system ranking; ``ideal_entries`` the pool to build
+    the ideal ranking from (defaults to ``entries`` itself).  With
+    ``alpha=0`` the metric degenerates to standard (graded) nDCG.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    if not entries:
+        return 0.0
+    k = len(entries) if k is None else min(k, len(entries))
+    if k <= 0:
+        return 0.0
+    gains = _gain_vector(entries[:k], alpha)
+    dcg = _dcg(gains)[k - 1]
+    pool = ideal_entries if ideal_entries is not None else entries
+    ideal = _ideal_dcg(pool, alpha, k)
+    ideal_value = ideal[k - 1] if len(ideal) >= k else (ideal[-1] if ideal else 0.0)
+    if ideal_value <= 0.0:
+        return 0.0
+    return min(dcg / ideal_value, 1.0)
+
+
+def subtopic_relevance(
+    entries: Sequence[RankedEntry],
+) -> dict[Hashable, float]:
+    """Graded relevance of each subtopic (primary key), Section 4.6.4.
+
+    A key returned by several interpretations takes the *maximum* of their
+    relevance scores.
+    """
+    relevance: dict[Hashable, float] = {}
+    for rel, keys in entries:
+        for key in keys:
+            if rel > relevance.get(key, 0.0):
+                relevance[key] = rel
+    return relevance
+
+
+def ws_recall(
+    entries: Sequence[RankedEntry],
+    k: int,
+    universe: Mapping[Hashable, float] | None = None,
+) -> float:
+    """Weighted S-recall at rank ``k`` (Eq. 4.7).
+
+    ``universe`` maps every relevant subtopic to its graded relevance; when
+    omitted it is derived from ``entries`` via :func:`subtopic_relevance`.
+    With binary relevance this equals classical S-recall.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    uni = dict(universe) if universe is not None else subtopic_relevance(entries)
+    denominator = sum(v for v in uni.values() if v > 0.0)
+    if denominator <= 0.0:
+        return 0.0
+    covered: set[Hashable] = set()
+    for _rel, keys in entries[:k]:
+        covered |= keys
+    numerator = sum(uni.get(key, 0.0) for key in covered)
+    return numerator / denominator
+
+
+def s_recall(entries: Sequence[RankedEntry], k: int, universe: set | None = None) -> float:
+    """Classical (unweighted) instance recall at ``k`` — for comparison."""
+    binary_entries = [(1.0 if rel > 0 else 0.0, keys) for rel, keys in entries]
+    uni = {key: 1.0 for key in universe} if universe is not None else None
+    return ws_recall(binary_entries, k, uni)

@@ -1,0 +1,26 @@
+"""Query-interpretation similarity (Def. 4.4.1).
+
+Two interpretations of one keyword query are similar when they interpret the
+keywords the same way: similarity is the Jaccard coefficient between their
+sets of keyword interpretations (atoms).  Always in [0, 1]; 1 means identical
+keyword bindings (possibly under different templates).
+"""
+
+from __future__ import annotations
+
+from repro.core.interpretation import Atom, Interpretation
+
+
+def jaccard_atoms(first: frozenset[Atom], second: frozenset[Atom]) -> float:
+    """Jaccard coefficient of two atom sets (Eq. 4.3)."""
+    if not first and not second:
+        return 1.0
+    union = first | second
+    if not union:
+        return 1.0
+    return len(first & second) / len(union)
+
+
+def jaccard_similarity(first: Interpretation, second: Interpretation) -> float:
+    """Similarity of two query interpretations (Eq. 4.3)."""
+    return jaccard_atoms(first.atoms, second.atoms)

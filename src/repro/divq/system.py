@@ -1,0 +1,64 @@
+"""The DivQ system facade (Chapter 4).
+
+Bundles the diversification pipeline — disambiguate, rank by the
+co-occurrence-aware model, re-rank for novelty, optionally materialize — in
+one object, mirroring the :class:`repro.freeq.system.FreeQ` facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.interpretation import Interpretation
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import DivQModel, TemplateCatalog, rank_interpretations
+from repro.db.database import Database
+from repro.divq.diversify import DiversificationResult, diversify
+
+
+@dataclass
+class DivQ:
+    """Diversified keyword search over one database."""
+
+    database: Database
+    generator: InterpretationGenerator = field(init=False)
+    model: DivQModel = field(init=False)
+    #: λ of Eq. 4.4 — 1.0 pure relevance, 0.0 pure novelty.
+    tradeoff: float = 0.5
+    #: Size of the relevance-ranked candidate pool handed to Alg. 4.1.
+    pool_size: int = 25
+    max_template_joins: int = 4
+    check_nonempty: bool = True
+
+    def __post_init__(self) -> None:
+        self.generator = InterpretationGenerator(
+            self.database, max_template_joins=self.max_template_joins
+        )
+        self.model = DivQModel(
+            self.database.require_index(),
+            TemplateCatalog(self.generator.templates),
+            database=self.database,
+            check_nonempty=self.check_nonempty,
+        )
+
+    def ranked_interpretations(
+        self, query: KeywordQuery
+    ) -> list[tuple[Interpretation, float]]:
+        """The relevance ranking (non-empty interpretations, pooled)."""
+        ranked = rank_interpretations(self.generator.interpretations(query), self.model)
+        return [(i, p) for i, p in ranked if p > 0.0][: self.pool_size]
+
+    def search(self, query: KeywordQuery, k: int = 10) -> DiversificationResult:
+        """Top-``k`` relevant-and-diverse interpretations (Alg. 4.1)."""
+        return diversify(self.ranked_interpretations(query), k=k, tradeoff=self.tradeoff)
+
+    def materialize(
+        self, query: KeywordQuery, k: int = 10, limit_per_interpretation: int = 20
+    ) -> list[tuple[Interpretation, list]]:
+        """Diversified interpretations with their executed result rows."""
+        result = self.search(query, k)
+        return [
+            (interp, interp.execute(self.database, limit=limit_per_interpretation))
+            for interp in result.selected
+        ]

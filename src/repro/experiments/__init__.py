@@ -1,0 +1,13 @@
+"""Experiment harnesses: one entry point per table/figure of the thesis.
+
+Every harness returns plain data structures (rows/series) *and* can print a
+report in the shape of the original table or figure caption.  The benchmark
+suite under ``benchmarks/`` wraps these harnesses with pytest-benchmark; the
+``examples/`` scripts call them directly.
+
+Experiment-to-module map: see DESIGN.md ("Per-experiment index").
+"""
+
+from repro.experiments.reporting import format_table, summary_stats
+
+__all__ = ["format_table", "summary_stats"]

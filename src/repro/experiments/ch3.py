@@ -1,0 +1,399 @@
+"""Chapter 3 experiments: incremental query construction (IQP).
+
+Harnesses (one per table/figure of Section 3.8):
+
+* :func:`fig_3_5`  — interaction cost under three probability estimates.
+* :func:`fig_3_6`  — interaction cost: SQAK rank vs IQP rank vs construction.
+* :func:`fig_3_7`  — usability study: task time by complexity category
+  (also yields the Table 3.1 example-task rows).
+* :func:`table_3_2` — greedy plan scalability vs database size.
+* :func:`table_3_3` — greedy plan scalability vs keyword-query length.
+* :func:`table_3_4` — plan quality: brute force vs greedy.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.probability import ATFModel, ProbabilityModel, TemplateCatalog, UniformModel
+from repro.baselines.sqak import SqakRanker
+from repro.datasets.imdb import build_imdb
+from repro.datasets.lyrics import build_lyrics
+from repro.datasets.simulation import (
+    generate_simulation,
+    random_option_space,
+    run_greedy_simulation,
+)
+from repro.datasets.workload import (
+    WorkloadQuery,
+    imdb_workload,
+    lyrics_workload,
+    train_catalog_from_workload,
+)
+from repro.db.database import Database
+from repro.experiments.reporting import format_table, summary_stats
+from repro.iqp.brute_force import brute_force_plan
+from repro.iqp.greedy_plan import greedy_plan
+from repro.iqp.ranking import Ranker
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import SimulatedUser
+from repro.user.study import StudyTimingModel
+
+
+@dataclass
+class Chapter3Setup:
+    """Shared fixtures: database, generator, workload and the three models."""
+
+    dataset: str
+    database: Database
+    generator: InterpretationGenerator
+    workload: list[WorkloadQuery]
+    models: dict[str, ProbabilityModel] = field(default_factory=dict)
+
+
+def build_setup(dataset: str = "imdb", n_queries: int = 30, seed: int = 7) -> Chapter3Setup:
+    if dataset == "imdb":
+        db = build_imdb(seed=seed)
+        workload_fn = imdb_workload
+    elif dataset == "lyrics":
+        db = build_lyrics(seed=seed)
+        workload_fn = lyrics_workload
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    generator = InterpretationGenerator(db, max_template_joins=4)
+    workload = workload_fn(db, n_queries=n_queries)
+    index = db.require_index()
+    uniform_catalog = TemplateCatalog(generator.templates)
+    log_catalog = TemplateCatalog(generator.templates)
+    train_catalog_from_workload(log_catalog, generator.templates, workload)
+    models: dict[str, ProbabilityModel] = {
+        "baseline": UniformModel(),
+        "atf_tequal": ATFModel(index, uniform_catalog),
+        "atf_tlog": ATFModel(index, log_catalog),
+    }
+    return Chapter3Setup(
+        dataset=dataset,
+        database=db,
+        generator=generator,
+        workload=workload,
+        models=models,
+    )
+
+
+def _construction_cost(
+    setup: Chapter3Setup, item: WorkloadQuery, model: ProbabilityModel
+) -> int:
+    user = SimulatedUser(item.intended)
+    session = ConstructionSession(item.query, setup.generator, model)
+    result = session.run(user)
+    return result.options_evaluated
+
+
+# -- Fig. 3.5 ----------------------------------------------------------------
+
+
+def fig_3_5(
+    dataset: str = "imdb", n_queries: int = 30, setup: Chapter3Setup | None = None
+) -> dict[str, list[int]]:
+    """Per-query interaction cost for the three probability estimates."""
+    setup = setup or build_setup(dataset, n_queries)
+    costs: dict[str, list[int]] = {name: [] for name in setup.models}
+    for item in setup.workload:
+        for name, model in setup.models.items():
+            costs[name].append(_construction_cost(setup, item, model))
+    return costs
+
+
+def fig_3_5_report(dataset: str = "imdb", n_queries: int = 30) -> str:
+    costs = fig_3_5(dataset, n_queries)
+    headers = ["estimate", "mean cost", "median", "p80", "max"]
+    rows = []
+    for name, values in costs.items():
+        if not values:
+            continue
+        ordered = sorted(values)
+        p80 = ordered[int(0.8 * (len(ordered) - 1))]
+        rows.append(
+            [name, sum(values) / len(values), statistics.median(values), p80, max(values)]
+        )
+    return (
+        f"Fig. 3.5 ({dataset}): interaction cost of query construction\n"
+        + format_table(headers, rows)
+    )
+
+
+# -- Fig. 3.6 ----------------------------------------------------------------
+
+
+def fig_3_6(
+    dataset: str = "imdb", n_queries: int = 30, setup: Chapter3Setup | None = None
+) -> dict[str, list[int]]:
+    """Interaction cost of SQAK ranking, IQP ranking and IQP construction.
+
+    The cost of a ranking interface is the rank of the intended
+    interpretation (the user scans the list); an absent interpretation costs
+    the full list length.  Construction uses (ATF, Tequal), mirroring the
+    no-query-log situation of Section 3.8.3.
+    """
+    setup = setup or build_setup(dataset, n_queries)
+    model = setup.models["atf_tequal"]
+    iqp_ranker = Ranker(setup.generator, model)
+    sqak_ranker = SqakRanker(setup.generator, setup.database.require_index())
+    out: dict[str, list[int]] = {"rank_sqak": [], "rank_iqp": [], "construction_iqp": []}
+    for item in setup.workload:
+        iqp_list = iqp_ranker.rank(item.query)
+        space_size = max(len(iqp_list), 1)
+        iqp_rank = iqp_ranker.rank_of(item.query, item.intended, iqp_list)
+        sqak_rank = sqak_ranker.rank_of(item.query, item.intended)
+        out["rank_iqp"].append(iqp_rank if iqp_rank is not None else space_size)
+        out["rank_sqak"].append(sqak_rank if sqak_rank is not None else space_size)
+        out["construction_iqp"].append(
+            _construction_cost(setup, item, model)
+        )
+    return out
+
+
+def fig_3_6_report(dataset: str = "imdb", n_queries: int = 30) -> str:
+    data = fig_3_6(dataset, n_queries)
+    headers = ["interface", "min", "q1", "median", "q3", "max", "mean"]
+    rows = [[name, *summary_stats(values).row()] for name, values in data.items()]
+    return (
+        f"Fig. 3.6 ({dataset}): interaction cost boxplot, ranking vs construction\n"
+        + format_table(headers, rows)
+    )
+
+
+# -- Fig. 3.7 / Table 3.1 ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StudyTask:
+    """One user-study task (a Table 3.1 row)."""
+
+    query: str
+    intended_rank: int  # C1
+    construction_options: int  # C2
+    space_size: int  # |I|
+    category: int  # rank page (complexity category)
+
+
+def study_tasks(
+    dataset: str = "imdb",
+    n_queries: int = 40,
+    setup: Chapter3Setup | None = None,
+    page_size: int = 5,
+) -> list[StudyTask]:
+    """Workload queries annotated with rank, construction cost and |I|.
+
+    ``page_size`` defines one complexity category (the original study used
+    20-query result pages; our scaled-down interpretation spaces use pages of
+    5 so the task set still spans several categories — see EXPERIMENTS.md).
+    """
+    setup = setup or build_setup(dataset, n_queries)
+    model = setup.models["atf_tequal"]
+    ranker = Ranker(setup.generator, model)
+    tasks: list[StudyTask] = []
+    for item in setup.workload:
+        ranked = ranker.rank(item.query)
+        rank = ranker.rank_of(item.query, item.intended, ranked)
+        if rank is None:
+            continue
+        cost = _construction_cost(setup, item, model)
+        tasks.append(
+            StudyTask(
+                query=str(item.query),
+                intended_rank=rank,
+                construction_options=cost,
+                space_size=len(ranked),
+                category=(rank - 1) // page_size,
+            )
+        )
+    return tasks
+
+
+def fig_3_7(
+    dataset: str = "imdb",
+    n_queries: int = 40,
+    timing: StudyTimingModel | None = None,
+    setup: Chapter3Setup | None = None,
+    page_size: int = 5,
+) -> list[tuple[int, float, float]]:
+    """Median task time per complexity category: (category, ranking, construction)."""
+    timing = timing or StudyTimingModel()
+    tasks = study_tasks(dataset, n_queries, setup, page_size=page_size)
+    by_category: dict[int, list[StudyTask]] = {}
+    for task in tasks:
+        by_category.setdefault(task.category, []).append(task)
+    rows: list[tuple[int, float, float]] = []
+    for category in sorted(by_category):
+        group = by_category[category]
+        ranking_times = [timing.ranking_task(t.intended_rank).seconds for t in group]
+        construction_times = [
+            timing.construction_task(t.construction_options, shortlist_scanned=2).seconds
+            for t in group
+        ]
+        rows.append(
+            (
+                category,
+                statistics.median(ranking_times),
+                statistics.median(construction_times),
+            )
+        )
+    return rows
+
+
+def fig_3_7_report(dataset: str = "imdb", n_queries: int = 40) -> str:
+    setup = build_setup(dataset, n_queries)
+    tasks = study_tasks(dataset, n_queries, setup)
+    rows = fig_3_7(dataset, n_queries, setup=setup)
+    hardest = sorted(tasks, key=lambda t: -t.intended_rank)[:5]
+    table_3_1 = format_table(
+        ["task (query)", "C1 rank", "C2 options", "|I|"],
+        [[t.query, t.intended_rank, t.construction_options, t.space_size] for t in hardest],
+    )
+    table_3_7 = format_table(
+        ["category", "ranking median (s)", "construction median (s)"],
+        [list(r) for r in rows],
+    )
+    return (
+        f"Table 3.1 ({dataset}): example tasks\n{table_3_1}\n\n"
+        f"Fig. 3.7 ({dataset}): median task time by complexity category\n{table_3_7}"
+    )
+
+
+# -- Tables 3.2 / 3.3 -------------------------------------------------------------
+
+
+def table_3_2(
+    table_counts: tuple[int, ...] = (5, 10, 20, 40, 80),
+    thresholds: tuple[int, ...] = (10, 20, 30),
+    n_keywords: int = 3,
+    repeats: int = 10,
+    seed: int = 31,
+) -> list[dict]:
+    """Greedy algorithm vs database size (simulation of §3.8.5)."""
+    rows: list[dict] = []
+    for n_tables in table_counts:
+        space = generate_simulation(n_tables=n_tables, n_keywords=n_keywords, seed=seed)
+        row: dict = {"tables": n_tables, "queries": space.theoretical_queries}
+        for threshold in thresholds:
+            runs = [
+                run_greedy_simulation(space, seed=seed + 100 + i, threshold=threshold)
+                for i in range(repeats)
+            ]
+            row[f"steps@{threshold}"] = sum(r.steps for r in runs) / repeats
+            row[f"ms_per_step@{threshold}"] = (
+                1000.0 * sum(r.seconds_per_step for r in runs) / repeats
+            )
+        rows.append(row)
+    return rows
+
+
+def table_3_3(
+    keyword_counts: tuple[int, ...] = (2, 4, 6, 8, 10),
+    thresholds: tuple[int, ...] = (10, 20, 30),
+    n_tables: int = 10,
+    repeats: int = 10,
+    seed: int = 37,
+) -> list[dict]:
+    """Greedy algorithm vs keyword-query length (simulation of §3.8.5)."""
+    rows: list[dict] = []
+    for n_keywords in keyword_counts:
+        space = generate_simulation(n_tables=n_tables, n_keywords=n_keywords, seed=seed)
+        row: dict = {"keywords": n_keywords, "queries": space.theoretical_queries}
+        for threshold in thresholds:
+            runs = [
+                run_greedy_simulation(space, seed=seed + 100 + i, threshold=threshold)
+                for i in range(repeats)
+            ]
+            row[f"steps@{threshold}"] = sum(r.steps for r in runs) / repeats
+            row[f"ms_per_step@{threshold}"] = (
+                1000.0 * sum(r.seconds_per_step for r in runs) / repeats
+            )
+        rows.append(row)
+    return rows
+
+
+def _simulation_report(rows: list[dict], first_column: str, caption: str) -> str:
+    if not rows:
+        return caption
+    keys = [k for k in rows[0] if k not in (first_column, "queries")]
+    headers = [first_column, "# queries", *keys]
+    table_rows = [
+        [row[first_column], row["queries"], *(row[k] for k in keys)] for row in rows
+    ]
+    return caption + "\n" + format_table(headers, table_rows)
+
+
+def table_3_2_report(**kwargs) -> str:
+    return _simulation_report(
+        table_3_2(**kwargs), "tables", "Table 3.2: greedy algorithm vs database size"
+    )
+
+
+def table_3_3_report(**kwargs) -> str:
+    return _simulation_report(
+        table_3_3(**kwargs), "keywords", "Table 3.3: greedy algorithm vs # keywords"
+    )
+
+
+# -- Table 3.4 -------------------------------------------------------------------
+
+
+def table_3_4(
+    sizes: tuple[tuple[int, int], ...] = ((8, 4), (12, 6), (16, 8), (20, 10), (24, 12)),
+    repeats: int = 10,
+    seed: int = 61,
+) -> list[dict]:
+    """Expected plan cost: brute force vs greedy (Section 3.8.6)."""
+    rows: list[dict] = []
+    for n_queries, n_options in sizes:
+        brute_costs: list[float] = []
+        greedy_costs: list[float] = []
+        for i in range(repeats):
+            space = random_option_space(n_queries, n_options, seed=seed + i)
+            _plan_b, cost_b = brute_force_plan(space)
+            _plan_g, cost_g = greedy_plan(space)
+            brute_costs.append(cost_b)
+            greedy_costs.append(cost_g)
+        rows.append(
+            {
+                "queries": n_queries,
+                "options": n_options,
+                "brute_force_cost": sum(brute_costs) / repeats,
+                "greedy_cost": sum(greedy_costs) / repeats,
+            }
+        )
+    return rows
+
+
+def table_3_4_report(**kwargs) -> str:
+    rows = table_3_4(**kwargs)
+    return "Table 3.4: result quality of the two algorithms\n" + format_table(
+        ["# queries", "# options", "brute force cost", "greedy cost"],
+        [
+            [r["queries"], r["options"], r["brute_force_cost"], r["greedy_cost"]]
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    for dataset in ("imdb", "lyrics"):
+        print(fig_3_5_report(dataset))
+        print()
+        print(fig_3_6_report(dataset))
+        print()
+    print(fig_3_7_report("imdb"))
+    print()
+    print(table_3_2_report())
+    print()
+    print(table_3_3_report())
+    print()
+    print(table_3_4_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,376 @@
+"""Chapter 5 experiments: FreeQ on a very large database.
+
+Harnesses (one per table/figure of Section 5.7):
+
+* :func:`table_5_1` — example construction dialogue with ontology QCOs.
+* :func:`fig_5_2`   — QCO efficiency and interaction cost vs schema size,
+  plain (per-attribute) QCOs vs ontology-based QCOs.
+* :func:`table_5_2` — complexity classes of the keyword workload.
+* :func:`table_5_3` — ontologies of different granularity and their effect.
+* :func:`fig_5_4`   — interaction cost over the full synthetic Freebase by
+  query complexity, plain vs ontology QCOs.
+* :func:`fig_5_5`   — response time per construction step vs schema size,
+  plus best-first top-k materialization effort.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.hierarchy import QueryHierarchy
+from repro.core.probability import ATFModel, ProbabilityModel, TemplateCatalog
+from repro.datasets.freebase import FreebaseInstance, build_freebase, freebase_workload
+from repro.datasets.workload import WorkloadQuery
+from repro.experiments.reporting import format_table
+from repro.freeq.qco import OntologyQCOProvider, provider_efficiency
+from repro.freeq.system import FreeQ
+from repro.freeq.traversal import BestFirstExplorer
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import SimulatedUser
+
+#: Generator settings for large flat schemas: admit many bindings per keyword
+#: so ambiguity scales with the number of domains.
+LARGE_SCHEMA_CONFIG = GeneratorConfig(max_atoms_per_keyword=96, max_interpretations=50_000)
+
+
+@dataclass
+class Chapter5Setup:
+    """One schema-size point: database, ontology, generator, model, workload."""
+
+    n_domains: int
+    instance: FreebaseInstance
+    generator: InterpretationGenerator
+    model: ProbabilityModel
+    workload: list[WorkloadQuery] = field(default_factory=list)
+
+
+def build_setup(
+    n_domains: int = 20,
+    n_queries: int = 12,
+    seed: int = 23,
+    rows_per_entity_table: int = 25,
+    n_keywords: int = 2,
+) -> Chapter5Setup:
+    instance = build_freebase(
+        seed=seed, n_domains=n_domains, rows_per_entity_table=rows_per_entity_table
+    )
+    generator = InterpretationGenerator(
+        instance.database, config=LARGE_SCHEMA_CONFIG, max_template_joins=4
+    )
+    catalog = TemplateCatalog(generator.templates)
+    model = ATFModel(instance.database.require_index(), catalog)
+    workload = freebase_workload(instance, n_queries=n_queries, n_keywords=n_keywords)
+    return Chapter5Setup(
+        n_domains=n_domains,
+        instance=instance,
+        generator=generator,
+        model=model,
+        workload=workload,
+    )
+
+
+def _run_plain(setup: Chapter5Setup, item: WorkloadQuery, stop_size: int = 1):
+    user = SimulatedUser(item.intended)
+    session = ConstructionSession(
+        item.query, setup.generator, setup.model, stop_size=stop_size
+    )
+    return session.run(user)
+
+
+def _run_ontology(
+    setup: Chapter5Setup, item: WorkloadQuery, stop_size: int = 1, level: int = 1
+):
+    user = SimulatedUser(item.intended)
+    freeq = FreeQ(
+        setup.generator,
+        setup.model,
+        setup.instance.ontology,
+        qco_level=level,
+        stop_size=stop_size,
+    )
+    return freeq.construct(item.query, user)
+
+
+# -- Table 5.1 ---------------------------------------------------------------
+
+
+def table_5_1(setup: Chapter5Setup | None = None) -> str:
+    """An example construction dialogue using ontology-based QCOs."""
+    setup = setup or build_setup(n_domains=10, n_queries=6)
+    best: tuple[int, list[tuple[str, bool]], str] | None = None
+    for item in setup.workload:
+        result = _run_ontology(setup, item)
+        if result.transcript and (best is None or len(result.transcript) > best[0]):
+            best = (len(result.transcript), result.transcript, str(item.query))
+    if best is None:
+        return "Table 5.1: no dialogue recorded"
+    _n, transcript, query = best
+    rows = [[i + 1, text, "accept" if ok else "reject"] for i, (text, ok) in enumerate(transcript)]
+    return f"Table 5.1: construction dialogue for {query!r}\n" + format_table(
+        ["step", "query construction option", "answer"], rows
+    )
+
+
+# -- Fig. 5.2 ---------------------------------------------------------------
+
+
+def first_step_efficiency(
+    setup: Chapter5Setup, item: WorkloadQuery, provider=None
+) -> float:
+    """QCO-set efficiency at the first decision point of a construction."""
+    hierarchy = QueryHierarchy(item.query, setup.generator, setup.model)
+    # Expand at least one keyword level (level-0 nodes carry no atoms yet),
+    # then keep the top level at the usual threshold.
+    while hierarchy.can_expand() and (hierarchy.level < 1 or len(hierarchy) < 20):
+        hierarchy.expand_once()
+    if provider is None:
+        options = hierarchy.frontier_atoms()
+    else:
+        options = provider(hierarchy)
+    return provider_efficiency(hierarchy, options)
+
+
+def fig_5_2(
+    domain_counts: tuple[int, ...] = (2, 5, 10, 20),
+    n_queries: int = 8,
+    seed: int = 23,
+) -> list[dict]:
+    """QCO efficiency and interaction cost vs schema size."""
+    rows: list[dict] = []
+    for n_domains in domain_counts:
+        setup = build_setup(n_domains=n_domains, n_queries=n_queries, seed=seed)
+        provider = OntologyQCOProvider(setup.instance.ontology)
+        plain_costs: list[int] = []
+        onto_costs: list[int] = []
+        plain_eff: list[float] = []
+        onto_eff: list[float] = []
+        for item in setup.workload:
+            plain_costs.append(_run_plain(setup, item).options_evaluated)
+            onto_costs.append(_run_ontology(setup, item).options_evaluated)
+            plain_eff.append(first_step_efficiency(setup, item))
+            onto_eff.append(first_step_efficiency(setup, item, provider))
+        n = max(len(setup.workload), 1)
+        rows.append(
+            {
+                "domains": n_domains,
+                "tables": len(setup.instance.database.schema),
+                "plain_cost": sum(plain_costs) / n,
+                "onto_cost": sum(onto_costs) / n,
+                "plain_efficiency": sum(plain_eff) / n,
+                "onto_efficiency": sum(onto_eff) / n,
+            }
+        )
+    return rows
+
+
+def fig_5_2_report(**kwargs) -> str:
+    rows = fig_5_2(**kwargs)
+    return (
+        "Fig. 5.2: QCO efficiency and interaction cost vs schema size\n"
+        + format_table(
+            ["domains", "tables", "plain cost", "onto cost", "plain eff", "onto eff"],
+            [
+                [
+                    r["domains"],
+                    r["tables"],
+                    r["plain_cost"],
+                    r["onto_cost"],
+                    r["plain_efficiency"],
+                    r["onto_efficiency"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+
+# -- Table 5.2 ---------------------------------------------------------------
+
+
+def table_5_2(setup: Chapter5Setup | None = None, n_queries: int = 10) -> list[dict]:
+    """Complexity classes of the keyword workload: keywords and space size."""
+    rows: list[dict] = []
+    for n_keywords in (2, 3):
+        setup_k = build_setup(
+            n_domains=setup.n_domains if setup else 10,
+            n_queries=n_queries,
+            n_keywords=n_keywords,
+        )
+        sizes = [
+            setup_k.generator.space_size(item.query) for item in setup_k.workload
+        ]
+        if not sizes:
+            continue
+        rows.append(
+            {
+                "keywords": n_keywords,
+                "queries": len(sizes),
+                "mean_space": sum(sizes) / len(sizes),
+                "max_space": max(sizes),
+            }
+        )
+    return rows
+
+
+def table_5_2_report(**kwargs) -> str:
+    rows = table_5_2(**kwargs)
+    return "Table 5.2: complexity of keyword queries\n" + format_table(
+        ["# keywords", "# queries", "mean |I|", "max |I|"],
+        [[r["keywords"], r["queries"], r["mean_space"], r["max_space"]] for r in rows],
+    )
+
+
+# -- Table 5.3 ---------------------------------------------------------------
+
+
+def table_5_3(
+    n_domains: int = 10, n_queries: int = 8, seed: int = 23
+) -> list[dict]:
+    """Ontology granularity sweep: concepts per level and interaction cost."""
+    setup = build_setup(n_domains=n_domains, n_queries=n_queries, seed=seed)
+    ontology = setup.instance.ontology
+    rows: list[dict] = []
+    configs: list[tuple[str, int | None]] = [
+        ("types (level 1)", 1),
+        ("type/domain (level 2)", 2),
+        ("no ontology (attributes)", None),
+    ]
+    for label, level in configs:
+        costs: list[int] = []
+        for item in setup.workload:
+            if level is None:
+                costs.append(_run_plain(setup, item).options_evaluated)
+            else:
+                costs.append(_run_ontology(setup, item, level=level).options_evaluated)
+        n_concepts = (
+            len(ontology.concepts_at_level(level)) if level is not None else 0
+        )
+        rows.append(
+            {
+                "ontology": label,
+                "concepts": n_concepts,
+                "mean_cost": sum(costs) / max(len(costs), 1),
+            }
+        )
+    return rows
+
+
+def table_5_3_report(**kwargs) -> str:
+    rows = table_5_3(**kwargs)
+    return "Table 5.3: ontologies of different size\n" + format_table(
+        ["ontology", "# concepts", "mean interaction cost"],
+        [[r["ontology"], r["concepts"], r["mean_cost"]] for r in rows],
+    )
+
+
+# -- Fig. 5.4 ---------------------------------------------------------------
+
+
+def fig_5_4(
+    n_domains: int = 20, n_queries: int = 8, seed: int = 23
+) -> list[dict]:
+    """Interaction cost over the full synthetic Freebase by query complexity."""
+    rows: list[dict] = []
+    for n_keywords in (2, 3):
+        setup = build_setup(
+            n_domains=n_domains, n_queries=n_queries, seed=seed, n_keywords=n_keywords
+        )
+        plain = [_run_plain(setup, item).options_evaluated for item in setup.workload]
+        onto = [_run_ontology(setup, item).options_evaluated for item in setup.workload]
+        if not plain:
+            continue
+        rows.append(
+            {
+                "keywords": n_keywords,
+                "plain_cost": statistics.mean(plain),
+                "onto_cost": statistics.mean(onto),
+                "plain_max": max(plain),
+                "onto_max": max(onto),
+            }
+        )
+    return rows
+
+
+def fig_5_4_report(**kwargs) -> str:
+    rows = fig_5_4(**kwargs)
+    return (
+        "Fig. 5.4: interaction cost of query construction over Freebase\n"
+        + format_table(
+            ["# keywords", "plain mean", "onto mean", "plain max", "onto max"],
+            [
+                [r["keywords"], r["plain_cost"], r["onto_cost"], r["plain_max"], r["onto_max"]]
+                for r in rows
+            ],
+        )
+    )
+
+
+# -- Fig. 5.5 ---------------------------------------------------------------
+
+
+def fig_5_5(
+    domain_counts: tuple[int, ...] = (2, 5, 10, 20),
+    n_queries: int = 6,
+    top_k: int = 10,
+    seed: int = 23,
+) -> list[dict]:
+    """Response time per construction step and best-first top-k effort."""
+    rows: list[dict] = []
+    for n_domains in domain_counts:
+        setup = build_setup(n_domains=n_domains, n_queries=n_queries, seed=seed)
+        step_times: list[float] = []
+        explorer_times: list[float] = []
+        explorer_pops: list[int] = []
+        for item in setup.workload:
+            result = _run_ontology(setup, item)
+            step_times.extend(result.option_times)
+            explorer = BestFirstExplorer(item.query, setup.generator, setup.model)
+            started = time.perf_counter()
+            explorer.top_interpretations(top_k)
+            explorer_times.append(time.perf_counter() - started)
+            explorer_pops.append(explorer.pops)
+        rows.append(
+            {
+                "domains": n_domains,
+                "tables": len(setup.instance.database.schema),
+                "ms_per_step": 1000.0 * statistics.mean(step_times) if step_times else 0.0,
+                "topk_ms": 1000.0 * statistics.mean(explorer_times),
+                "topk_pops": statistics.mean(explorer_pops),
+            }
+        )
+    return rows
+
+
+def fig_5_5_report(**kwargs) -> str:
+    rows = fig_5_5(**kwargs)
+    return (
+        "Fig. 5.5: response time of query construction over Freebase\n"
+        + format_table(
+            ["domains", "tables", "ms/step", "top-k ms", "top-k pops"],
+            [
+                [r["domains"], r["tables"], r["ms_per_step"], r["topk_ms"], r["topk_pops"]]
+                for r in rows
+            ],
+        )
+    )
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(table_5_1())
+    print()
+    print(fig_5_2_report())
+    print()
+    print(table_5_2_report())
+    print()
+    print(table_5_3_report())
+    print()
+    print(fig_5_4_report())
+    print()
+    print(fig_5_5_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

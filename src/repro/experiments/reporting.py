@@ -1,0 +1,69 @@
+"""Report formatting shared by all experiment harnesses."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an ASCII table with right-padded columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Boxplot-style summary of a sample (Fig. 3.6's rendering)."""
+
+    n: int
+    minimum: float
+    lower_quartile: float
+    median: float
+    upper_quartile: float
+    maximum: float
+    mean: float
+
+    def row(self) -> list[float]:
+        return [
+            self.minimum,
+            self.lower_quartile,
+            self.median,
+            self.upper_quartile,
+            self.maximum,
+            self.mean,
+        ]
+
+
+def summary_stats(values: Sequence[float]) -> SummaryStats:
+    if not values:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    quartiles = statistics.quantiles(ordered, n=4) if n >= 2 else [ordered[0]] * 3
+    return SummaryStats(
+        n=n,
+        minimum=ordered[0],
+        lower_quartile=quartiles[0],
+        median=statistics.median(ordered),
+        upper_quartile=quartiles[2],
+        maximum=ordered[-1],
+        mean=sum(ordered) / n,
+    )

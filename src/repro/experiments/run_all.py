@@ -1,0 +1,73 @@
+"""One-shot report generator: every reproduced table and figure to stdout
+(or a directory of text files).
+
+    python -m repro.experiments.run_all [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import ch3, ch4, ch5, ch6
+
+
+def collect_reports() -> dict[str, str]:
+    """Produce every chapter's report text, keyed by a file-friendly name."""
+    reports: dict[str, str] = {}
+
+    setup3_imdb = ch3.build_setup("imdb", 20)
+    setup3_lyrics = ch3.build_setup("lyrics", 20)
+    reports["ch3_fig_3_5_imdb"] = ch3.fig_3_5_report("imdb", 20)
+    reports["ch3_fig_3_5_lyrics"] = ch3.fig_3_5_report("lyrics", 20)
+    reports["ch3_fig_3_6_imdb"] = ch3.fig_3_6_report("imdb", 20)
+    reports["ch3_fig_3_6_lyrics"] = ch3.fig_3_6_report("lyrics", 20)
+    reports["ch3_fig_3_7_table_3_1"] = ch3.fig_3_7_report("imdb", 30)
+    reports["ch3_table_3_2"] = ch3.table_3_2_report()
+    reports["ch3_table_3_3"] = ch3.table_3_3_report()
+    reports["ch3_table_3_4"] = ch3.table_3_4_report()
+    del setup3_imdb, setup3_lyrics
+
+    for dataset in ("imdb", "lyrics"):
+        setup4 = ch4.build_setup(dataset, n_queries=12)
+        reports[f"ch4_table_4_1_{dataset}"] = ch4.table_4_1(setup4)
+        reports[f"ch4_fig_4_1_{dataset}"] = ch4.fig_4_1_report(dataset, setup4)
+        reports[f"ch4_fig_4_2_{dataset}"] = ch4.fig_4_2_report(dataset, setup4)
+        reports[f"ch4_fig_4_3_{dataset}"] = ch4.fig_4_3_report(dataset, setup4)
+        reports[f"ch4_fig_4_4_{dataset}"] = ch4.fig_4_4_report(dataset, setup4)
+
+    reports["ch5_table_5_1"] = ch5.table_5_1()
+    reports["ch5_fig_5_2"] = ch5.fig_5_2_report()
+    reports["ch5_table_5_2"] = ch5.table_5_2_report()
+    reports["ch5_table_5_3"] = ch5.table_5_3_report()
+    reports["ch5_fig_5_4"] = ch5.fig_5_4_report()
+    reports["ch5_fig_5_5"] = ch5.fig_5_5_report()
+
+    setup6 = ch6.build_setup()
+    reports["ch6_table_6_1"] = ch6.table_6_1_report(setup6)
+    reports["ch6_table_6_2"] = ch6.table_6_2_report(setup6)
+    reports["ch6_fig_6_2"] = ch6.fig_6_2_report(setup6)
+    reports["ch6_table_6_3"] = ch6.table_6_3_report(setup6)
+    reports["ch6_fig_6_4"] = ch6.fig_6_4_report(setup6)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    reports = collect_reports()
+    if argv:
+        out_dir = Path(argv[0])
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in reports.items():
+            (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(reports)} reports to {out_dir}")
+    else:
+        for name, text in reports.items():
+            print(f"==== {name} ====")
+            print(text)
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

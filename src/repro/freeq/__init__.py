@@ -1,0 +1,26 @@
+"""FreeQ: scaling interactive query construction to very large databases
+(Chapter 5).
+
+Two bottlenecks appear on Freebase-scale schemas (thousands of tables):
+per-table query construction options become uninformative (a keyword occurs
+in hundreds of attributes), and the interpretation space cannot be
+materialized.  FreeQ answers with (a) an abstract *ontology layer* over the
+schema whose concepts group attributes across tables, turning many per-table
+QCOs into one concept-level QCO (Section 5.5), and (b) best-first incremental
+exploration of the query hierarchy (Section 5.6).
+"""
+
+from repro.freeq.ontology import Concept, SchemaOntology
+from repro.freeq.qco import OntologyQCOProvider, option_efficiency, provider_efficiency
+from repro.freeq.system import FreeQ
+from repro.freeq.traversal import BestFirstExplorer
+
+__all__ = [
+    "BestFirstExplorer",
+    "Concept",
+    "FreeQ",
+    "OntologyQCOProvider",
+    "SchemaOntology",
+    "option_efficiency",
+    "provider_efficiency",
+]

@@ -1,0 +1,200 @@
+"""The abstract ontology layer over a database schema (Section 5.5.1).
+
+A :class:`SchemaOntology` is a concept tree rooted at ``Thing``.  Leaf
+assignments attach schema elements — ``(table, attribute)`` pairs for value
+interpretations and tables for metadata interpretations — to concepts.
+Concept-level query construction options then ask about semantic classes
+("Is 'london' a *Person*?") instead of individual columns, which is what
+keeps interaction cost flat as the schema grows (Fig. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Schema element reference: ("attr", table, attribute) or ("table", table).
+ElementRef = tuple[str, ...]
+
+
+def attr_ref(table: str, attribute: str) -> ElementRef:
+    return ("attr", table, attribute)
+
+
+def table_ref(table: str) -> ElementRef:
+    return ("table", table)
+
+
+@dataclass
+class Concept:
+    """One node of the ontology tree."""
+
+    name: str
+    parent: str | None
+    children: list[str] = field(default_factory=list)
+    #: Elements assigned directly to this concept.
+    elements: set[ElementRef] = field(default_factory=set)
+
+
+class SchemaOntology:
+    """A concept tree with schema-element assignments.
+
+    Level 0 is the root (``Thing``); deeper levels refine concepts.  The
+    experiments of Table 5.3 sweep ontology granularity by cutting the tree
+    at different levels (:meth:`concept_at_level`).
+    """
+
+    ROOT = "Thing"
+
+    def __init__(self):
+        self._concepts: dict[str, Concept] = {
+            self.ROOT: Concept(name=self.ROOT, parent=None)
+        }
+        self._element_concept: dict[ElementRef, str] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_concept(self, name: str, parent: str | None = None) -> Concept:
+        parent = parent or self.ROOT
+        if name in self._concepts:
+            raise ValueError(f"duplicate concept {name!r}")
+        if parent not in self._concepts:
+            raise KeyError(f"unknown parent concept {parent!r}")
+        concept = Concept(name=name, parent=parent)
+        self._concepts[name] = concept
+        self._concepts[parent].children.append(name)
+        return concept
+
+    def ensure_concept(self, name: str, parent: str | None = None) -> Concept:
+        if name in self._concepts:
+            return self._concepts[name]
+        return self.add_concept(name, parent)
+
+    def assign_attribute(self, table: str, attribute: str, concept: str) -> None:
+        self._assign(attr_ref(table, attribute), concept)
+
+    def assign_table(self, table: str, concept: str) -> None:
+        self._assign(table_ref(table), concept)
+
+    def _assign(self, element: ElementRef, concept: str) -> None:
+        if concept not in self._concepts:
+            raise KeyError(f"unknown concept {concept!r}")
+        previous = self._element_concept.get(element)
+        if previous is not None:
+            self._concepts[previous].elements.discard(element)
+        self._concepts[concept].elements.add(element)
+        self._element_concept[element] = concept
+
+    # -- structure queries ----------------------------------------------------
+
+    def concept(self, name: str) -> Concept:
+        return self._concepts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._concepts
+
+    def concept_names(self) -> list[str]:
+        return sorted(self._concepts)
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def ancestors(self, name: str) -> list[str]:
+        """Path from the root to ``name`` (inclusive)."""
+        path: list[str] = []
+        current: str | None = name
+        while current is not None:
+            path.append(current)
+            current = self._concepts[current].parent
+        path.reverse()
+        return path
+
+    def level_of(self, name: str) -> int:
+        return len(self.ancestors(name)) - 1
+
+    def depth(self) -> int:
+        return max((self.level_of(name) for name in self._concepts), default=0)
+
+    def concepts_at_level(self, level: int) -> list[str]:
+        return sorted(n for n in self._concepts if self.level_of(n) == level)
+
+    # -- element queries ----------------------------------------------------------
+
+    def concept_of_attribute(self, table: str, attribute: str) -> str | None:
+        return self._element_concept.get(attr_ref(table, attribute))
+
+    def concept_of_table(self, table: str) -> str | None:
+        return self._element_concept.get(table_ref(table))
+
+    def concept_at_level(self, element_concept: str, level: int) -> str:
+        """The ancestor of ``element_concept`` at ``level`` (clamped to leaf)."""
+        path = self.ancestors(element_concept)
+        if level >= len(path):
+            return path[-1]
+        return path[level]
+
+    def elements_under(self, name: str) -> set[ElementRef]:
+        """All elements assigned to ``name`` or any descendant."""
+        out: set[ElementRef] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            concept = self._concepts[current]
+            out |= concept.elements
+            stack.extend(concept.children)
+        return out
+
+    # -- statistics ---------------------------------------------------------------
+
+    def fan_out(self, level: int) -> float:
+        """Mean number of elements grouped per concept at ``level``.
+
+        The informativeness driver of Section 5.5.3: higher fan-out means one
+        QCO answer prunes more of the interpretation space.
+        """
+        concepts = self.concepts_at_level(level)
+        if not concepts:
+            return 0.0
+        sizes = [len(self.elements_under(c)) for c in concepts]
+        populated = [s for s in sizes if s > 0]
+        if not populated:
+            return 0.0
+        return sum(populated) / len(populated)
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "concepts": len(self),
+            "depth": self.depth(),
+            "elements": len(self._element_concept),
+            "level1_concepts": len(self.concepts_at_level(1)),
+        }
+
+
+def build_type_domain_ontology(
+    assignments: Iterable[tuple[str, str, str, str]],
+    domain_groups: dict[str, str] | None = None,
+) -> SchemaOntology:
+    """Build the layered (semantic type [-> domain group] -> domain) ontology.
+
+    ``assignments`` yields ``(table, attribute, semantic_type, domain)``.
+    Without ``domain_groups`` the tree is ``Thing -> type -> type/domain``.
+    With it, an intermediate grouping layer is inserted
+    (``Thing -> type -> type/group -> type/group/domain``), which is what
+    keeps concept-level drill-down logarithmic instead of linear in the
+    number of domains on big flat schemas.
+    """
+    ontology = SchemaOntology()
+    for table, attribute, semantic_type, domain in assignments:
+        ontology.ensure_concept(semantic_type, SchemaOntology.ROOT)
+        parent = semantic_type
+        if domain_groups is not None:
+            group = domain_groups.get(domain, "misc")
+            group_concept = f"{semantic_type}/{group}"
+            ontology.ensure_concept(group_concept, semantic_type)
+            parent = group_concept
+        leaf = f"{parent}/{domain}"
+        ontology.ensure_concept(leaf, parent)
+        ontology.assign_attribute(table, attribute, leaf)
+        if ontology.concept_of_table(table) is None:
+            ontology.assign_table(table, leaf)
+    return ontology

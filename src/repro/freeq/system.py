@@ -1,0 +1,54 @@
+"""The FreeQ system facade (Chapter 5).
+
+Wires the ontology layer, the ontology-aware QCO provider and the best-first
+explorer into the construction-session machinery of Chapter 3: a FreeQ
+session is an IQP session whose options come from the ontology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ProbabilityModel
+from repro.freeq.ontology import SchemaOntology
+from repro.freeq.qco import OntologyQCOProvider
+from repro.freeq.traversal import BestFirstExplorer
+from repro.iqp.session import ConstructionResult, ConstructionSession
+from repro.user.oracle import SimulatedUser
+
+
+@dataclass
+class FreeQ:
+    """Interactive query construction over a very large database."""
+
+    generator: InterpretationGenerator
+    model: ProbabilityModel
+    ontology: SchemaOntology
+    #: Concept granularity for ontology QCOs (Table 5.3's sweep variable).
+    qco_level: int = 1
+    threshold: int = 20
+    stop_size: int = 5
+    max_frontier: int = 10_000
+
+    def session(self, query: KeywordQuery) -> ConstructionSession:
+        provider = OntologyQCOProvider(self.ontology, level=self.qco_level)
+        return ConstructionSession(
+            query,
+            self.generator,
+            self.model,
+            threshold=self.threshold,
+            stop_size=self.stop_size,
+            max_frontier=self.max_frontier,
+            option_provider=provider,
+        )
+
+    def construct(self, query: KeywordQuery, user: SimulatedUser) -> ConstructionResult:
+        """Run one interactive construction dialogue."""
+        return self.session(query).run(user)
+
+    def top_interpretations(self, query: KeywordQuery, n: int = 10):
+        """Best-first top-n interpretations without space materialization."""
+        explorer = BestFirstExplorer(query, self.generator, self.model)
+        return explorer.top_interpretations(n)

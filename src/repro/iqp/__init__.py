@@ -1,0 +1,41 @@
+"""IQP: probabilistic incremental query construction (Chapter 3).
+
+The package splits into two layers:
+
+* an *abstract plan layer* (:mod:`repro.iqp.plan`, :mod:`repro.iqp.brute_force`,
+  :mod:`repro.iqp.greedy_plan`) operating on option spaces — complete query
+  interpretations with probabilities plus query construction options with
+  their subsumption sets.  This is the layer the optimality experiments
+  (Table 3.4) and the scalability simulations (Tables 3.2/3.3) exercise.
+* a *database-backed session layer* (:mod:`repro.iqp.session`,
+  :mod:`repro.iqp.ranking`) running the greedy information-gain construction
+  over a real query hierarchy against a database, used by the IMDB/Lyrics
+  experiments (Figs. 3.5–3.7).
+"""
+
+from repro.iqp.brute_force import brute_force_plan
+from repro.iqp.greedy_plan import greedy_plan
+from repro.iqp.infogain import conditional_entropy, information_gain
+from repro.iqp.nary import NaryNode, nary_expected_cost, to_binary, to_nary
+from repro.iqp.plan import OptionSpace, PlanNode, expected_cost, ranked_list_cost
+from repro.iqp.ranking import RankedInterpretation, Ranker
+from repro.iqp.session import ConstructionResult, ConstructionSession
+
+__all__ = [
+    "ConstructionResult",
+    "ConstructionSession",
+    "NaryNode",
+    "OptionSpace",
+    "PlanNode",
+    "RankedInterpretation",
+    "Ranker",
+    "brute_force_plan",
+    "conditional_entropy",
+    "expected_cost",
+    "greedy_plan",
+    "information_gain",
+    "nary_expected_cost",
+    "ranked_list_cost",
+    "to_binary",
+    "to_nary",
+]

@@ -1,0 +1,74 @@
+"""Brute-force construction of the minimum query construction plan (Alg. 3.1).
+
+Recursively enumerates every option at every node and keeps the subtree of
+minimum expected interaction cost (Lemma 3.7.1).  Exponential — usable only
+for the small universes of the optimality study (Table 3.4).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.iqp.plan import (
+    OptionSpace,
+    PlanNode,
+    make_scan_node,
+    ranked_list_cost,
+    splitting_options,
+)
+
+
+def brute_force_plan(space: OptionSpace) -> tuple[PlanNode, float]:
+    """Return the optimal QCP and its expected interaction cost.
+
+    Cost is expressed in *expected option evaluations* conditioned on the
+    root (i.e. Eq. 3.1 over the whole space).  When a subset cannot be split
+    by any remaining option, the plan degenerates to a ranked-list scan of
+    that subset (the special-case QCP of Section 3.5.5).
+    """
+
+    @lru_cache(maxsize=None)
+    def best(subset: frozenset[int]) -> float:
+        if len(subset) <= 1:
+            return 0.0
+        candidates = splitting_options(space, subset)
+        conditional = dict(zip(sorted(subset), space.conditional(subset)))
+        if not candidates:
+            return ranked_list_cost(list(conditional.values()))
+        best_cost = float("inf")
+        subset_mass = space.mass(subset)
+        for _option, inside, outside in candidates:
+            p_in = space.mass(inside) / subset_mass if subset_mass else 0.0
+            cost = 1.0 + p_in * best(inside) + (1.0 - p_in) * best(outside)
+            if cost < best_cost:
+                best_cost = cost
+        return best_cost
+
+    def build(subset: frozenset[int]) -> PlanNode:
+        if len(subset) == 1:
+            (only,) = subset
+            return PlanNode(subset=subset, query_index=only)
+        candidates = splitting_options(space, subset)
+        if not candidates:
+            return make_scan_node(space, subset)
+        subset_mass = space.mass(subset)
+        best_cost = float("inf")
+        best_choice = None
+        for option, inside, outside in candidates:
+            p_in = space.mass(inside) / subset_mass if subset_mass else 0.0
+            cost = 1.0 + p_in * best(inside) + (1.0 - p_in) * best(outside)
+            if cost < best_cost:
+                best_cost = cost
+                best_choice = (option, inside, outside)
+        assert best_choice is not None
+        option, inside, outside = best_choice
+        return PlanNode(
+            subset=subset,
+            option=option,
+            accept=build(inside),
+            reject=build(outside),
+        )
+
+    root_subset = space.all_indices()
+    plan = build(root_subset)
+    return plan, best(root_subset)

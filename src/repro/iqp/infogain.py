@@ -1,0 +1,45 @@
+"""Information gain of query construction options (Section 3.7.3).
+
+``IG(I | O) = H(I) - H(I | O)`` where ``H(I)`` is the entropy of the
+(current top level of the) interpretation space and ``H(I | O)`` the
+conditional entropy once the user has told us whether option ``O`` subsumes
+the intended interpretation (Eqs. 3.11-3.13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.probability import entropy, normalize
+
+
+def conditional_entropy(
+    probabilities: Sequence[float], subsumed: Sequence[bool]
+) -> float:
+    """``H(I | O)`` for an option with the given subsumption pattern.
+
+    ``probabilities`` are (possibly unnormalized) weights of the top-level
+    interpretations; ``subsumed[i]`` says whether the option subsumes
+    interpretation ``i``.
+    """
+    if len(probabilities) != len(subsumed):
+        raise ValueError("probabilities/subsumed arity mismatch")
+    probs = normalize(list(probabilities))
+    p_yes = sum(p for p, s in zip(probs, subsumed) if s)
+    p_no = 1.0 - p_yes
+    h = 0.0
+    if p_yes > 0.0:
+        yes_branch = normalize([p for p, s in zip(probs, subsumed) if s])
+        h += p_yes * entropy(yes_branch)
+    if p_no > 0.0:
+        no_branch = normalize([p for p, s in zip(probs, subsumed) if not s])
+        h += p_no * entropy(no_branch)
+    return h
+
+
+def information_gain(
+    probabilities: Sequence[float], subsumed: Sequence[bool]
+) -> float:
+    """``IG(I | O)`` (Eq. 3.11).  Maximal for an even probability split."""
+    probs = normalize(list(probabilities))
+    return entropy(probs) - conditional_entropy(probs, subsumed)

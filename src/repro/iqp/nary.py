@@ -1,0 +1,116 @@
+"""N-ary query construction plans (Fig. 3.4).
+
+The IQP user interface presents *several* options per round; the underlying
+binary QCP (Fig. 3.3) transforms uniquely into that N-ary tree: traversing
+the binary tree in post-order, each node absorbs its right ("reject") child's
+edges and children, so a chain of rejects becomes one multi-option round.
+The inverse direction folds an N-ary node's option list back into a reject
+chain.  Both directions preserve the interaction cost: evaluating the i-th
+option of a round costs i evaluations either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.iqp.plan import OptionSpace, PlanNode
+
+
+@dataclass
+class NaryNode:
+    """One round of the N-ary plan: options presented together.
+
+    ``options[i]`` leads to ``children[i]`` when accepted; rejecting all
+    options leaves the user at ``fallthrough`` (a leaf or scan node carried
+    over from the binary tree's terminal right spine).
+    """
+
+    subset: frozenset[int]
+    options: list[Hashable] = field(default_factory=list)
+    children: list["NaryNode"] = field(default_factory=list)
+    query_index: int | None = None
+    scan_order: tuple[int, ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.query_index is not None or bool(self.scan_order)
+
+    def depth_of(self, query_index: int, depth: int = 0) -> int:
+        """Options evaluated to reach ``query_index`` (equals the binary cost)."""
+        if self.query_index is not None:
+            if self.query_index != query_index:
+                raise KeyError(query_index)
+            return depth
+        if self.scan_order:
+            position = self.scan_order.index(query_index)
+            return depth + min(position + 1, max(len(self.scan_order) - 1, 0))
+        for i, child in enumerate(self.children):
+            if query_index in child.subset:
+                if i < len(self.options) and self.options[i] is None:
+                    # Fallthrough branch: reached by rejecting the i real
+                    # options — no extra evaluation for landing there.
+                    return child.depth_of(query_index, depth + i)
+                # The user evaluates options 1..i+1, accepts the (i+1)-th.
+                return child.depth_of(query_index, depth + i + 1)
+        raise KeyError(query_index)
+
+
+def to_nary(binary: PlanNode) -> NaryNode:
+    """Transform a binary QCP into the equivalent N-ary plan (Fig. 3.4).
+
+    Walks the right ("reject") spine of each binary node, collecting each
+    accept branch as one option of the round.
+    """
+    if binary.is_leaf:
+        assert binary.query_index is not None
+        return NaryNode(subset=binary.subset, query_index=binary.query_index)
+    if binary.scan:
+        return NaryNode(subset=binary.subset, scan_order=binary.scan_order)
+    node = NaryNode(subset=binary.subset)
+    current: PlanNode | None = binary
+    while current is not None and not current.is_leaf and not current.scan:
+        assert current.accept is not None and current.reject is not None
+        node.options.append(current.option)
+        node.children.append(to_nary(current.accept))
+        current = current.reject
+    if current is not None:
+        # Terminal right child: a leaf or a scan fallthrough becomes the last
+        # "option" the user implicitly lands on after rejecting the others.
+        node.options.append(None)
+        node.children.append(to_nary(current))
+    return node
+
+
+def to_binary(nary: NaryNode) -> PlanNode:
+    """Fold an N-ary plan back into the equivalent binary QCP."""
+    if nary.query_index is not None:
+        return PlanNode(subset=nary.subset, query_index=nary.query_index)
+    if nary.scan_order:
+        return PlanNode(subset=nary.subset, scan=True, scan_order=nary.scan_order)
+    # Build the reject chain right-to-left.
+    assert nary.options and nary.children
+    current = to_binary(nary.children[-1])
+    # The trailing fallthrough option (None) is the chain terminal itself.
+    remaining = list(zip(nary.options, nary.children))
+    if remaining[-1][0] is None:
+        remaining = remaining[:-1]
+    for option, child in reversed(remaining):
+        accept = to_binary(child)
+        subset = accept.subset | current.subset
+        current = PlanNode(
+            subset=subset, option=option, accept=accept, reject=current
+        )
+    return current
+
+
+def nary_expected_cost(nary: NaryNode, space: OptionSpace) -> float:
+    """Interaction cost of the N-ary plan (matches the binary Eq. 3.1 cost)."""
+    total = 0.0
+    for i in range(len(space.queries)):
+        try:
+            depth = nary.depth_of(i)
+        except KeyError:
+            continue
+        total += depth * space.probabilities[i]
+    return total

@@ -1,0 +1,157 @@
+"""Query construction plans over abstract option spaces (Defs. 3.5.8–3.5.10).
+
+A query construction plan (QCP) is a binary decision tree: each internal node
+asks the user to accept or reject one query construction option; each leaf is
+one complete query interpretation.  Its interaction cost (Eq. 3.1) is the
+expected number of options a user evaluates before reaching a leaf.
+
+The plan algorithms are independent of databases: they need only (a) the set
+of complete interpretations with probabilities and (b) for each option, which
+interpretations it subsumes.  :class:`OptionSpace` captures exactly that, so
+the same code runs against real query hierarchies and against the random
+simulations of Section 3.8.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.probability import normalize
+
+
+@dataclass(frozen=True)
+class OptionSpace:
+    """An abstract universe for plan construction.
+
+    ``options[o]`` is the set of query indices (into ``queries``) that option
+    ``o`` subsumes — accepting ``o`` keeps exactly those queries.
+    """
+
+    queries: tuple[Hashable, ...]
+    probabilities: tuple[float, ...]
+    options: dict[Hashable, frozenset[int]]
+
+    @classmethod
+    def build(
+        cls,
+        queries: Sequence[Hashable],
+        probabilities: Sequence[float],
+        options: dict[Hashable, frozenset[int] | set[int]],
+    ) -> "OptionSpace":
+        if len(queries) != len(probabilities):
+            raise ValueError("queries/probabilities arity mismatch")
+        probs = tuple(normalize(list(probabilities)))
+        return cls(
+            queries=tuple(queries),
+            probabilities=probs,
+            options={k: frozenset(v) for k, v in options.items()},
+        )
+
+    def all_indices(self) -> frozenset[int]:
+        return frozenset(range(len(self.queries)))
+
+    def conditional(self, subset: frozenset[int]) -> list[float]:
+        """Probabilities renormalized over ``subset`` (indexed as sorted list)."""
+        return normalize([self.probabilities[i] for i in sorted(subset)])
+
+    def mass(self, subset: frozenset[int]) -> float:
+        return sum(self.probabilities[i] for i in subset)
+
+
+@dataclass
+class PlanNode:
+    """One node of a QCP binary tree.
+
+    A leaf carries ``query_index``; an internal node carries the ``option``
+    asked here plus the accept (left) and reject (right) subtrees.
+    """
+
+    subset: frozenset[int]
+    option: Hashable | None = None
+    accept: "PlanNode | None" = None
+    reject: "PlanNode | None" = None
+    query_index: int | None = None
+    #: True when the node is a forced ranked-list scan (no splitting options).
+    scan: bool = False
+    scan_order: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.query_index is not None
+
+    def depth_of(self, query_index: int, depth: int = 0) -> int:
+        """Number of options evaluated on the path to ``query_index``."""
+        if self.is_leaf:
+            if self.query_index != query_index:
+                raise KeyError(query_index)
+            return depth
+        if self.scan:
+            position = self.scan_order.index(query_index)
+            # Scanning a ranked list: the user evaluates one entry per step,
+            # but the last entry is implied once all others are rejected.
+            return depth + min(position + 1, max(len(self.scan_order) - 1, 0))
+        assert self.accept is not None and self.reject is not None
+        if query_index in self.accept.subset:
+            return self.accept.depth_of(query_index, depth + 1)
+        return self.reject.depth_of(query_index, depth + 1)
+
+
+def ranked_list_cost(probabilities: Sequence[float]) -> float:
+    """Expected evaluations when scanning a ranked list (Section 3.5.5).
+
+    The list is ordered by decreasing probability; evaluating entry ``i``
+    costs ``i + 1`` evaluations, except the final entry which is implied
+    after rejecting all others.
+    """
+    probs = sorted(normalize(list(probabilities)), reverse=True)
+    n = len(probs)
+    if n <= 1:
+        return 0.0
+    cost = sum((i + 1) * p for i, p in enumerate(probs[:-1]))
+    cost += (n - 1) * probs[-1]
+    return cost
+
+
+def expected_cost(plan: PlanNode, space: OptionSpace) -> float:
+    """Interaction cost of a plan (Eq. 3.1): sum of depth(leaf) * P(leaf)."""
+
+    def walk(node: PlanNode, depth: int) -> float:
+        if node.is_leaf:
+            assert node.query_index is not None
+            return depth * space.probabilities[node.query_index]
+        if node.scan:
+            conditional = space.conditional(node.subset)
+            ordered = sorted(node.subset)
+            total = 0.0
+            n = len(ordered)
+            position = {q: i for i, q in enumerate(node.scan_order)}
+            for q, p_cond in zip(ordered, conditional):
+                steps = min(position[q] + 1, max(n - 1, 0))
+                total += (depth + steps) * space.probabilities[q]
+            return total
+        assert node.accept is not None and node.reject is not None
+        return walk(node.accept, depth + 1) + walk(node.reject, depth + 1)
+
+    return walk(plan, 0)
+
+
+def make_scan_node(space: OptionSpace, subset: frozenset[int]) -> PlanNode:
+    """A ranked-list fallback node over ``subset`` (probability-ordered)."""
+    order = tuple(
+        sorted(subset, key=lambda i: (-space.probabilities[i], i))
+    )
+    return PlanNode(subset=subset, scan=True, scan_order=order)
+
+
+def splitting_options(
+    space: OptionSpace, subset: frozenset[int]
+) -> list[tuple[Hashable, frozenset[int], frozenset[int]]]:
+    """Options that genuinely split ``subset`` (both branches non-empty)."""
+    out: list[tuple[Hashable, frozenset[int], frozenset[int]]] = []
+    for option, covered in sorted(space.options.items(), key=lambda kv: repr(kv[0])):
+        inside = covered & subset
+        outside = subset - inside
+        if inside and outside:
+            out.append((option, inside, outside))
+    return out

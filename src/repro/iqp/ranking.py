@@ -1,0 +1,58 @@
+"""Query-interpretation ranking (the ranking-centric interface, §3.5.5).
+
+Ranks the complete interpretation space of a keyword query by the
+probabilistic model — the "Rank (IQP)" configuration of Fig. 3.6 — and
+locates the rank of a ground-truth interpretation, which is the interaction
+cost of the ranking interface (the user scans the ordered list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.interpretation import Interpretation
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ProbabilityModel, rank_interpretations
+from repro.user.oracle import IntendedInterpretation
+
+
+@dataclass(frozen=True)
+class RankedInterpretation:
+    rank: int  # 1-based
+    interpretation: Interpretation
+    probability: float
+
+
+class Ranker:
+    """Ranks interpretation spaces with a pluggable probabilistic model."""
+
+    def __init__(self, generator: InterpretationGenerator, model: ProbabilityModel):
+        self.generator = generator
+        self.model = model
+
+    def rank(self, query: KeywordQuery) -> list[RankedInterpretation]:
+        space = self.generator.interpretations(query)
+        ranked = rank_interpretations(space, self.model)
+        return [
+            RankedInterpretation(rank=i + 1, interpretation=interp, probability=prob)
+            for i, (interp, prob) in enumerate(ranked)
+        ]
+
+    def rank_of(
+        self,
+        query: KeywordQuery,
+        intended: IntendedInterpretation,
+        ranked: list[RankedInterpretation] | None = None,
+    ) -> int | None:
+        """1-based rank of the intended interpretation, or None if absent.
+
+        This is the interaction cost of the ranking interface: the user must
+        evaluate every interpretation prior to (and including) the intended
+        one (Section 3.8.3).
+        """
+        entries = ranked if ranked is not None else self.rank(query)
+        for entry in entries:
+            if intended.matches(entry.interpretation):
+                return entry.rank
+        return None

@@ -1,0 +1,26 @@
+"""Keyword search over semi-structured data (Section 2.2.2).
+
+The thesis' general characterization covers XML and RDF alongside relational
+data: over XML, the result of a keyword query is the subtree rooted at the
+(smallest) lowest common ancestor of nodes that collectively match the
+keywords; over RDF, keywords map to graph nodes whose neighborhood is
+explored to extract minimal connecting subgraphs.  This package implements
+both semantics on small in-memory models:
+
+* :mod:`repro.semistructured.xmltree` — an XML-like node tree with Dewey
+  labels and SLCA (smallest lowest common ancestor) keyword search,
+* :mod:`repro.semistructured.rdfgraph` — a triple store with minimal
+  connecting-subgraph keyword search.
+"""
+
+from repro.semistructured.rdfgraph import RdfGraph, Triple, rdf_keyword_search
+from repro.semistructured.xmltree import XmlNode, XmlTree, slca_search
+
+__all__ = [
+    "RdfGraph",
+    "Triple",
+    "XmlNode",
+    "XmlTree",
+    "rdf_keyword_search",
+    "slca_search",
+]

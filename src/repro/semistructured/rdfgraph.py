@@ -1,0 +1,137 @@
+"""RDF keyword search: minimal connecting subgraphs (Section 2.2.2).
+
+Over RDF, the user's keywords are mapped to the nodes of the triple graph
+and the neighborhood of those nodes is explored to extract subgraphs
+containing all keywords.  The implementation mirrors the BANKS machinery at
+the RDF granularity: multi-source shortest paths per keyword group over the
+undirected view of the triple graph, candidate roots reached by every group,
+results ranked by total connection cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import networkx as nx
+
+from repro.core.keywords import KeywordQuery
+from repro.db.tokenizer import DEFAULT_TOKENIZER
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement: subject --predicate--> object."""
+
+    subject: str
+    predicate: str
+    object: str
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """A keyword-search result: connected nodes covering all keywords."""
+
+    nodes: frozenset[str]
+    cost: float
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+class RdfGraph:
+    """A small in-memory triple store with a node-level keyword index."""
+
+    def __init__(self):
+        self._triples: list[Triple] = []
+        self._graph = nx.Graph()
+        self._keyword_nodes: dict[str, set[str]] = {}
+
+    def add(self, subject: str, predicate: str, object: str) -> Triple:
+        triple = Triple(subject, predicate, object)
+        self._triples.append(triple)
+        self._graph.add_edge(subject, object, predicate=predicate)
+        for node in (subject, object):
+            for term in DEFAULT_TOKENIZER.terms(node):
+                self._keyword_nodes.setdefault(term, set()).add(node)
+        return triple
+
+    def triples(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def keyword_nodes(self, term: str) -> set[str]:
+        return set(self._keyword_nodes.get(term, ()))
+
+    def neighbors(self, node: str) -> list[str]:
+        if node not in self._graph:
+            return []
+        return sorted(self._graph.neighbors(node))
+
+
+def _multi_source_distances(
+    graph: nx.Graph, sources: set[str]
+) -> dict[str, tuple[float, str]]:
+    dist: dict[str, tuple[float, str]] = {}
+    heap: list[tuple[float, str, str]] = [(0.0, s, s) for s in sources]
+    heapq.heapify(heap)
+    while heap:
+        d, node, pred = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = (d, pred)
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                heapq.heappush(heap, (d + 1.0, neighbor, node))
+    return dist
+
+
+def rdf_keyword_search(
+    graph: RdfGraph, query: KeywordQuery, k: int = 10
+) -> list[Subgraph]:
+    """Top-``k`` minimal connecting subgraphs for ``query`` (AND semantics)."""
+    groups: list[set[str]] = []
+    for term in dict.fromkeys(kw.term for kw in query.keywords):
+        nodes = graph.keyword_nodes(term)
+        if not nodes:
+            return []
+        groups.append(nodes)
+    if not groups:
+        return []
+    distances = [_multi_source_distances(graph.graph, g) for g in groups]
+    roots = set(distances[0])
+    for dist in distances[1:]:
+        roots &= set(dist)
+    scored = sorted(
+        ((sum(d[root][0] for d in distances), root) for root in roots),
+        key=lambda pair: (pair[0], pair[1]),
+    )
+    results: list[Subgraph] = []
+    seen: set[frozenset[str]] = set()
+    for cost, root in scored:
+        nodes: set[str] = set()
+        for dist in distances:
+            current = root
+            nodes.add(current)
+            while True:
+                _d, pred = dist[current]
+                if pred == current:
+                    break
+                nodes.add(pred)
+                current = pred
+        frozen = frozenset(nodes)
+        if frozen in seen:
+            continue
+        seen.add(frozen)
+        results.append(Subgraph(nodes=frozen, cost=cost))
+        if len(results) >= k:
+            break
+    return results

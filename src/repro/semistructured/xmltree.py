@@ -1,0 +1,141 @@
+"""XML keyword search with LCA semantics (Section 2.2.2).
+
+The result of a keyword query over an XML tree is the subtree rooted at the
+Lowest Common Ancestor of nodes that collectively match the keywords; the
+established refinement — SLCA, *smallest* LCA — keeps only results that do
+not contain another result, the XML analogue of the relational minimality
+condition.
+
+Nodes carry Dewey labels (the position path from the root), under which LCA
+computation is longest-common-prefix — the standard implementation
+technique of the XML keyword search literature the thesis cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.keywords import KeywordQuery
+from repro.db.tokenizer import DEFAULT_TOKENIZER
+
+#: A Dewey label: the child-position path from the root, e.g. (0, 2, 1).
+Dewey = tuple[int, ...]
+
+
+@dataclass
+class XmlNode:
+    """One element of the tree: a tag, optional text, children."""
+
+    tag: str
+    text: str = ""
+    children: list["XmlNode"] = field(default_factory=list)
+
+    def child(self, tag: str, text: str = "") -> "XmlNode":
+        """Append and return a new child element."""
+        node = XmlNode(tag=tag, text=text)
+        self.children.append(node)
+        return node
+
+
+class XmlTree:
+    """An XML document with Dewey labels and a keyword index."""
+
+    def __init__(self, root: XmlNode):
+        self.root = root
+        self._by_dewey: dict[Dewey, XmlNode] = {}
+        self._keyword_nodes: dict[str, set[Dewey]] = {}
+        self._label(root, ())
+
+    def _label(self, node: XmlNode, dewey: Dewey) -> None:
+        self._by_dewey[dewey] = node
+        for term in DEFAULT_TOKENIZER.terms(node.text) | DEFAULT_TOKENIZER.terms(node.tag):
+            self._keyword_nodes.setdefault(term, set()).add(dewey)
+        for position, child in enumerate(node.children):
+            self._label(child, dewey + (position,))
+
+    # -- access -----------------------------------------------------------
+
+    def node(self, dewey: Dewey) -> XmlNode:
+        return self._by_dewey[dewey]
+
+    def nodes(self) -> Iterator[tuple[Dewey, XmlNode]]:
+        return iter(sorted(self._by_dewey.items()))
+
+    def keyword_nodes(self, term: str) -> set[Dewey]:
+        """Dewey labels of nodes whose tag or text contains ``term``."""
+        return set(self._keyword_nodes.get(term, ()))
+
+    def __len__(self) -> int:
+        return len(self._by_dewey)
+
+    # -- LCA machinery --------------------------------------------------------
+
+    @staticmethod
+    def common_prefix(a: Dewey, b: Dewey) -> Dewey:
+        out = []
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            out.append(x)
+        return tuple(out)
+
+    @staticmethod
+    def is_ancestor(ancestor: Dewey, descendant: Dewey) -> bool:
+        """True for proper and improper ancestry (a node is its own ancestor)."""
+        return descendant[: len(ancestor)] == ancestor
+
+    def subtree_text(self, dewey: Dewey) -> str:
+        """All text under a node — what a result subtree presents."""
+        node = self._by_dewey[dewey]
+        parts = [node.text] if node.text else []
+        for position, _child in enumerate(node.children):
+            parts.append(self.subtree_text(dewey + (position,)))
+        return " ".join(p for p in parts if p)
+
+
+def slca_search(tree: XmlTree, query: KeywordQuery) -> list[Dewey]:
+    """Smallest-LCA keyword search (Section 2.2.2's XML result semantics).
+
+    Returns the Dewey labels of the smallest subtrees containing *all*
+    query keywords, sorted.  AND semantics: keywords with no match anywhere
+    make the result empty (unlike the relational OR-leaning pipelines, XML
+    LCA search is conventionally conjunctive).
+    """
+    groups = []
+    for term in dict.fromkeys(k.term for k in query.keywords):
+        nodes = tree.keyword_nodes(term)
+        if not nodes:
+            return []
+        groups.append(nodes)
+    if not groups:
+        return []
+    # Candidate LCAs: for each match of the rarest group, pair with the
+    # nearest match of every other group (quadratic but fine at this scale).
+    groups.sort(key=len)
+    candidates: set[Dewey] = set()
+    for anchor in groups[0]:
+        lca = anchor
+        for other in groups[1:]:
+            best: Dewey | None = None
+            for match in other:
+                prefix = XmlTree.common_prefix(lca, match)
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+            assert best is not None
+            lca = best
+        candidates.add(lca)
+    # SLCA filter: drop candidates that are ancestors of other candidates.
+    slcas = [
+        c
+        for c in candidates
+        if not any(
+            c != other and XmlTree.is_ancestor(c, other) for other in candidates
+        )
+    ]
+    # Verify containment (the nearest-match heuristic can over-ascend).
+    verified = []
+    for c in slcas:
+        if all(any(XmlTree.is_ancestor(c, m) for m in g) for g in groups):
+            verified.append(c)
+    return sorted(verified)

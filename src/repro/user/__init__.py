@@ -1,0 +1,19 @@
+"""Simulated users.
+
+The thesis' interaction-cost experiments are driven "in an automatic way"
+(Section 3.8.2): ground-truth interpretations are established a-priori and
+the system accepts correct options and rejects incorrect ones automatically.
+:class:`~repro.user.oracle.SimulatedUser` reproduces that oracle; the
+:mod:`repro.user.study` module adds the timing model behind the usability
+study of Fig. 3.7.
+"""
+
+from repro.user.oracle import IntendedInterpretation, SimulatedUser
+from repro.user.study import StudyTimingModel, TaskOutcome
+
+__all__ = [
+    "IntendedInterpretation",
+    "SimulatedUser",
+    "StudyTimingModel",
+    "TaskOutcome",
+]

@@ -1,0 +1,116 @@
+"""Ground-truth interpretations and the simulated user oracle.
+
+For every workload query the generator records which structured
+interpretation the (simulated) user intends: per keyword occurrence, the
+database element it maps to, and optionally the intended join path.  The
+oracle accepts a query construction option iff every atom of the option
+matches the intended interpretation — exactly how Section 3.8.2 automates the
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.interpretation import (
+    Atom,
+    Interpretation,
+    OperatorAtom,
+    TableAtom,
+    ValueAtom,
+)
+
+#: Intended element of one keyword: ("value", table, attribute),
+#: ("table", table) or ("operator", operator, table).
+ElementSpec = tuple[str, ...]
+
+
+def value_spec(table: str, attribute: str) -> ElementSpec:
+    return ("value", table, attribute)
+
+
+def table_spec(table: str) -> ElementSpec:
+    return ("table", table)
+
+
+def operator_spec(operator: str, table: str) -> ElementSpec:
+    return ("operator", operator, table)
+
+
+@dataclass(frozen=True)
+class IntendedInterpretation:
+    """The ground truth of one keyword query.
+
+    ``bindings`` maps keyword *positions* to element specs.  ``template_path``
+    optionally pins the intended join path (compared up to reversal, as the
+    schema graph is undirected).
+    """
+
+    bindings: Mapping[int, ElementSpec]
+    template_path: tuple[str, ...] | None = None
+
+    def matches_atom(self, atom: Atom) -> bool:
+        spec = self.bindings.get(atom.keyword.position)
+        if spec is None:
+            return False
+        if isinstance(atom, ValueAtom):
+            return spec == ("value", atom.table, atom.attribute)
+        if isinstance(atom, TableAtom):
+            return spec == ("table", atom.table)
+        if isinstance(atom, OperatorAtom):
+            return spec == ("operator", atom.operator, atom.table)
+        return False
+
+    def matches_atoms(self, atoms: Iterable[Atom]) -> bool:
+        return all(self.matches_atom(a) for a in atoms)
+
+    def matches(self, interpretation: Interpretation) -> bool:
+        """True iff the interpretation is exactly the intended one."""
+        if not self.matches_atoms(interpretation.atoms):
+            return False
+        bound = {a.keyword.position for a in interpretation.atoms}
+        if bound != set(self.bindings):
+            return False
+        if self.template_path is not None:
+            path = interpretation.template.path
+            if path != self.template_path and path != self.template_path[::-1]:
+                return False
+        return True
+
+
+@dataclass
+class SimulatedUser:
+    """Oracle that evaluates query construction options against ground truth.
+
+    Every call to :meth:`evaluate` counts as one interaction (the user reads
+    the option and decides) — the unit of interaction cost throughout
+    Chapter 3.  Accepts either an :class:`repro.core.options.Option` or a
+    plain frozen atom set (treated as a partial interpretation).
+    """
+
+    intended: IntendedInterpretation
+    evaluations: int = 0
+    accepted: list = field(default_factory=list)
+    rejected: list = field(default_factory=list)
+
+    def evaluate(self, option) -> bool:
+        self.evaluations += 1
+        if isinstance(option, frozenset):
+            correct = self.intended.matches_atoms(option)
+        else:
+            correct = option.is_correct(self.intended)
+        if correct:
+            self.accepted.append(option)
+            return True
+        self.rejected.append(option)
+        return False
+
+    def picks(self, interpretation: Interpretation) -> bool:
+        """Whether the user recognizes ``interpretation`` as the intended one."""
+        return self.intended.matches(interpretation)
+
+    def reset(self) -> None:
+        self.evaluations = 0
+        self.accepted.clear()
+        self.rejected.clear()

@@ -1,0 +1,33 @@
+"""YAGO+F: combining a large-scale database with an ontology (Chapter 6).
+
+Implements the instance-based matching between a large class ontology
+(YAGO-like: hundreds of thousands of Wikipedia-derived categories in a
+subclass hierarchy) and the tables of a large database (Freebase-like), and
+the analyses of the resulting combined YAGO+F hierarchy:
+
+* concept/instance distribution statistics (Tables 6.1/6.2),
+* shared-instance distribution over database tables (Fig. 6.2),
+* overlap-threshold matching with precision/recall evaluation (Fig. 6.4),
+* the combined hierarchy summary (Table 6.3).
+"""
+
+from repro.yagof.analysis import (
+    category_size_distribution,
+    instance_level_distribution,
+    shared_instance_distribution,
+    yagof_summary,
+)
+from repro.yagof.matching import MatchConfig, Matching, match_tables
+from repro.yagof.ontology import InstanceOntology, YagoFHierarchy
+
+__all__ = [
+    "InstanceOntology",
+    "MatchConfig",
+    "Matching",
+    "YagoFHierarchy",
+    "category_size_distribution",
+    "instance_level_distribution",
+    "match_tables",
+    "shared_instance_distribution",
+    "yagof_summary",
+]

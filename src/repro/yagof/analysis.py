@@ -1,0 +1,89 @@
+"""Distribution analyses of YAGO, Freebase and YAGO+F (Section 6.4/6.6).
+
+Reproduces the descriptive statistics of Chapter 6:
+
+* Table 6.1 — distribution of YAGO categories over instance-count buckets
+  (most Wikipedia-derived leaf categories are tiny; a few are huge),
+* Table 6.2 — distribution of instances over ontology levels,
+* Fig. 6.2 — distribution of shared instances over database tables (how many
+  tables an instance appears in),
+* Table 6.3 — summary of the combined YAGO+F hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Mapping, Sequence
+
+from repro.yagof.ontology import InstanceOntology, YagoFHierarchy
+
+Instance = Hashable
+
+#: Default instance-count buckets of Table 6.1.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 50, 100, 1000)
+
+
+def category_size_distribution(
+    ontology: InstanceOntology, buckets: Sequence[int] = DEFAULT_BUCKETS
+) -> list[tuple[str, int]]:
+    """Table 6.1: number of categories per instance-count bucket.
+
+    Buckets are half-open: a bucket labelled ``<= b`` counts classes whose
+    transitive instance count is within (previous bucket, b]; a final
+    ``> last`` bucket catches the rest.  Empty classes get their own bucket.
+    """
+    rows: list[tuple[str, int]] = []
+    counts = [len(ontology.instances_of(name)) for name in ontology.class_names()]
+    empty = sum(1 for c in counts if c == 0)
+    rows.append(("0", empty))
+    previous = 0
+    for bound in buckets:
+        n = sum(1 for c in counts if previous < c <= bound)
+        rows.append((f"<= {bound}", n))
+        previous = bound
+    rows.append((f"> {buckets[-1]}", sum(1 for c in counts if c > buckets[-1])))
+    return rows
+
+
+def instance_level_distribution(ontology: InstanceOntology) -> list[tuple[int, int, int]]:
+    """Table 6.2: per level, the number of classes and directly assigned instances."""
+    rows: list[tuple[int, int, int]] = []
+    for level in range(ontology.depth() + 1):
+        classes = ontology.classes_at_level(level)
+        instances = set()
+        for name in classes:
+            instances |= ontology.direct_instances(name)
+        rows.append((level, len(classes), len(instances)))
+    return rows
+
+
+def shared_instance_distribution(
+    tables: Mapping[str, set[Instance]],
+    shared_instances: set[Instance] | None = None,
+) -> list[tuple[int, int]]:
+    """Fig. 6.2: how many instances occur in exactly ``k`` tables.
+
+    ``shared_instances`` restricts the census to instances shared with the
+    ontology (the thesis' "shared instances"); by default every instance of
+    any table is counted.
+    """
+    membership: Counter = Counter()
+    for _table, instances in tables.items():
+        for instance in instances:
+            if shared_instances is not None and instance not in shared_instances:
+                continue
+            membership[instance] += 1
+    histogram: Counter = Counter(membership.values())
+    return sorted(histogram.items())
+
+
+def yagof_summary(hierarchy: YagoFHierarchy) -> dict[str, int]:
+    """Table 6.3: categories and instances in the combined YAGO+F structure."""
+    ontology = hierarchy.ontology
+    return {
+        "yago_classes": len(ontology),
+        "yago_instances": len(ontology.all_instances()),
+        "classes_with_tables": len(hierarchy.classes_with_tables()),
+        "attached_tables": len(hierarchy.attached_tables()),
+        "shared_instances": hierarchy.shared_instance_count(),
+    }

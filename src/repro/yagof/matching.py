@@ -1,0 +1,142 @@
+"""Instance-based matching of YAGO classes and database tables (Section 6.5).
+
+A table matches a class when their instance sets overlap sufficiently.  The
+matcher scores each (table, class) pair by *coverage* — the fraction of the
+table's instances contained in the class — and assigns the table to the most
+*specific* class among those exceeding the threshold (deepest in the tree;
+matching the root trivially covers everything and says nothing).
+
+The threshold trades precision against recall (Fig. 6.4): a high threshold
+only accepts clean alignments (high precision, low recall); a low threshold
+attaches noisy tables too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.yagof.ontology import InstanceOntology, YagoFHierarchy
+
+Instance = Hashable
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Matcher knobs."""
+
+    #: Minimum coverage |I(table) ∩ I(class)| / |I(table)| to accept a match.
+    threshold: float = 0.5
+    #: Minimum absolute number of shared instances (guards tiny tables).
+    min_shared: int = 2
+    #: Never match classes above this level (0 = root is excluded anyway).
+    min_level: int = 1
+
+
+@dataclass
+class Matching:
+    """Result of one matching run."""
+
+    #: table -> (class, coverage score, shared instances)
+    assignments: dict[str, tuple[str, float, frozenset[Instance]]] = field(
+        default_factory=dict
+    )
+    unmatched: list[str] = field(default_factory=list)
+
+    def to_hierarchy(self, ontology: InstanceOntology) -> YagoFHierarchy:
+        hierarchy = YagoFHierarchy(ontology=ontology)
+        for table, (class_name, _score, shared) in sorted(self.assignments.items()):
+            hierarchy.attach(class_name, table, shared)
+        return hierarchy
+
+    def precision_recall(
+        self, ground_truth: Mapping[str, str], ontology: InstanceOntology
+    ) -> tuple[float, float]:
+        """Precision/recall of class assignments against the ground truth.
+
+        A predicted class counts as correct when it equals the true class or
+        is one of its ancestors/descendants within one level (matching a
+        slightly coarser or finer category is still a useful alignment —
+        the lenient criterion Chapter 6's manual evaluation applies).
+        """
+        correct = 0
+        predicted = len(self.assignments)
+        for table, (predicted_class, _score, _shared) in self.assignments.items():
+            truth = ground_truth.get(table)
+            if truth is None:
+                continue
+            if predicted_class == truth:
+                correct += 1
+                continue
+            truth_path = ontology.ancestors(truth)
+            pred_path = ontology.ancestors(predicted_class)
+            if (
+                predicted_class in truth_path[-2:]
+                or truth in pred_path[-2:]
+            ):
+                correct += 1
+        matchable = sum(1 for t in ground_truth if ground_truth[t] in ontology)
+        precision = correct / predicted if predicted else 0.0
+        recall = correct / matchable if matchable else 0.0
+        return precision, recall
+
+
+def match_tables(
+    ontology: InstanceOntology,
+    tables: Mapping[str, set[Instance]],
+    config: MatchConfig = MatchConfig(),
+) -> Matching:
+    """Match every table against the ontology by instance overlap.
+
+    For each table, candidate classes are those sharing at least
+    ``min_shared`` instances; among candidates meeting the coverage
+    threshold the deepest (most specific) class wins, with coverage as the
+    tie-breaker.
+    """
+    result = Matching()
+    # Pre-compute transitive instance sets once per class.
+    class_instances: dict[str, set[Instance]] = {
+        name: ontology.instances_of(name) for name in ontology.class_names()
+    }
+    for table, instances in sorted(tables.items()):
+        if not instances:
+            result.unmatched.append(table)
+            continue
+        best: tuple[int, float, str, frozenset[Instance]] | None = None
+        for class_name, members in class_instances.items():
+            level = ontology.level_of(class_name)
+            if level < config.min_level:
+                continue
+            shared = instances & members
+            if len(shared) < config.min_shared:
+                continue
+            coverage = len(shared) / len(instances)
+            if coverage < config.threshold:
+                continue
+            key = (level, coverage, class_name, frozenset(shared))
+            if best is None or (key[0], key[1]) > (best[0], best[1]):
+                best = key
+        if best is None:
+            result.unmatched.append(table)
+        else:
+            level, coverage, class_name, shared = best
+            result.assignments[table] = (class_name, coverage, shared)
+    return result
+
+
+def threshold_sweep(
+    ontology: InstanceOntology,
+    tables: Mapping[str, set[Instance]],
+    ground_truth: Mapping[str, str],
+    thresholds: list[float],
+    min_shared: int = 2,
+) -> list[tuple[float, float, float]]:
+    """``(threshold, precision, recall)`` rows — the Fig. 6.4 series."""
+    rows: list[tuple[float, float, float]] = []
+    for threshold in thresholds:
+        matching = match_tables(
+            ontology, tables, MatchConfig(threshold=threshold, min_shared=min_shared)
+        )
+        precision, recall = matching.precision_recall(ground_truth, ontology)
+        rows.append((threshold, precision, recall))
+    return rows

@@ -1,0 +1,143 @@
+"""Instance-bearing class ontologies (Section 6.4) and the YAGO+F hierarchy.
+
+Unlike the schema ontology of Chapter 5 (which groups schema *elements*),
+the YAGO-side ontology assigns *instances* (entity identifiers) to classes
+arranged in a subclass tree; matching against database tables is driven by
+instance overlap (Section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+Instance = Hashable
+
+
+@dataclass
+class OntologyClass:
+    name: str
+    parent: str | None
+    children: list[str] = field(default_factory=list)
+    instances: set[Instance] = field(default_factory=set)
+
+
+class InstanceOntology:
+    """A class tree with direct instance assignments (YAGO-style)."""
+
+    ROOT = "entity"
+
+    def __init__(self):
+        self._classes: dict[str, OntologyClass] = {
+            self.ROOT: OntologyClass(name=self.ROOT, parent=None)
+        }
+
+    # -- construction -----------------------------------------------------
+
+    def add_class(self, name: str, parent: str | None = None) -> OntologyClass:
+        parent = parent or self.ROOT
+        if name in self._classes:
+            raise ValueError(f"duplicate class {name!r}")
+        if parent not in self._classes:
+            raise KeyError(f"unknown parent class {parent!r}")
+        cls = OntologyClass(name=name, parent=parent)
+        self._classes[name] = cls
+        self._classes[parent].children.append(name)
+        return cls
+
+    def add_instances(self, name: str, instances: Iterable[Instance]) -> None:
+        self._classes[name].instances.update(instances)
+
+    # -- structure ----------------------------------------------------------
+
+    def cls(self, name: str) -> OntologyClass:
+        return self._classes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def class_names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def ancestors(self, name: str) -> list[str]:
+        path: list[str] = []
+        current: str | None = name
+        while current is not None:
+            path.append(current)
+            current = self._classes[current].parent
+        path.reverse()
+        return path
+
+    def level_of(self, name: str) -> int:
+        return len(self.ancestors(name)) - 1
+
+    def depth(self) -> int:
+        return max((self.level_of(n) for n in self._classes), default=0)
+
+    def leaves(self) -> list[str]:
+        return sorted(n for n, c in self._classes.items() if not c.children)
+
+    def classes_at_level(self, level: int) -> list[str]:
+        return sorted(n for n in self._classes if self.level_of(n) == level)
+
+    # -- instances -------------------------------------------------------------
+
+    def direct_instances(self, name: str) -> set[Instance]:
+        return set(self._classes[name].instances)
+
+    def instances_of(self, name: str) -> set[Instance]:
+        """All instances of ``name`` and its descendants (transitive)."""
+        out: set[Instance] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            cls = self._classes[current]
+            out |= cls.instances
+            stack.extend(cls.children)
+        return out
+
+    def all_instances(self) -> set[Instance]:
+        return self.instances_of(self.ROOT)
+
+
+@dataclass
+class YagoFHierarchy:
+    """The combined structure: database tables attached to ontology classes.
+
+    ``attachments[class]`` lists the tables matched under the class; the
+    instance sets recorded per attachment are the shared instances that
+    justified the match.
+    """
+
+    ontology: InstanceOntology
+    attachments: dict[str, list[tuple[str, frozenset[Instance]]]] = field(
+        default_factory=dict
+    )
+
+    def attach(self, class_name: str, table: str, shared: Iterable[Instance]) -> None:
+        if class_name not in self.ontology:
+            raise KeyError(f"unknown class {class_name!r}")
+        self.attachments.setdefault(class_name, []).append(
+            (table, frozenset(shared))
+        )
+
+    def attached_tables(self) -> set[str]:
+        return {
+            table for entries in self.attachments.values() for table, _shared in entries
+        }
+
+    def classes_with_tables(self) -> list[str]:
+        return sorted(self.attachments)
+
+    def shared_instance_count(self) -> int:
+        return len(
+            {
+                instance
+                for entries in self.attachments.values()
+                for _table, shared in entries
+                for instance in shared
+            }
+        )

@@ -1,0 +1,80 @@
+"""Shared fixtures.
+
+``mini_db`` is a hand-built three-table movie database with exactly known
+content, used wherever tests assert precise values.  The synthetic
+IMDB/Lyrics/Freebase instances are session-scoped (building them is the
+expensive part of the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.probability import ATFModel, TemplateCatalog
+from repro.datasets.freebase import build_freebase
+from repro.datasets.imdb import build_imdb
+from repro.datasets.lyrics import build_lyrics
+from repro.db.database import Database
+from repro.db.schema import Attribute, Schema, Table
+
+
+def build_mini_db() -> Database:
+    """actor(1..3) -- acts -- movie(1..3), with deliberate term collisions.
+
+    * "hanks" occurs in actor.name (twice) and movie.title ("hanks island").
+    * "london" occurs in actor.name and movie.title.
+    * movie years are textual so "2001" is a keyword.
+    """
+    schema = Schema()
+    schema.add_table(Table("actor", [Attribute("name"), Attribute("id", textual=False)]))
+    schema.add_table(
+        Table("movie", [Attribute("title"), Attribute("year"), Attribute("id", textual=False)])
+    )
+    schema.add_table(Table("acts", [Attribute("role"), Attribute("id", textual=False)]))
+    schema.link("acts", "actor")
+    schema.link("acts", "movie")
+    db = Database(schema)
+    db.insert("actor", {"id": 1, "name": "tom hanks"})
+    db.insert("actor", {"id": 2, "name": "colin hanks"})
+    db.insert("actor", {"id": 3, "name": "jack london"})
+    db.insert("movie", {"id": 1, "title": "terminal", "year": "2004"})
+    db.insert("movie", {"id": 2, "title": "hanks island", "year": "2001"})
+    db.insert("movie", {"id": 3, "title": "london calling", "year": "2001"})
+    db.insert("acts", {"id": 1, "actor_id": 1, "movie_id": 1, "role": "captain"})
+    db.insert("acts", {"id": 2, "actor_id": 1, "movie_id": 2, "role": "pilot"})
+    db.insert("acts", {"id": 3, "actor_id": 2, "movie_id": 2, "role": "doctor"})
+    db.insert("acts", {"id": 4, "actor_id": 3, "movie_id": 3, "role": "writer"})
+    db.build_indexes()
+    return db
+
+
+@pytest.fixture
+def mini_db() -> Database:
+    return build_mini_db()
+
+
+@pytest.fixture
+def mini_generator(mini_db) -> InterpretationGenerator:
+    return InterpretationGenerator(mini_db, max_template_joins=4)
+
+
+@pytest.fixture
+def mini_model(mini_db, mini_generator) -> ATFModel:
+    catalog = TemplateCatalog(mini_generator.templates)
+    return ATFModel(mini_db.require_index(), catalog)
+
+
+@pytest.fixture(scope="session")
+def imdb_db() -> Database:
+    return build_imdb()
+
+
+@pytest.fixture(scope="session")
+def lyrics_db() -> Database:
+    return build_lyrics()
+
+
+@pytest.fixture(scope="session")
+def freebase_instance():
+    return build_freebase(n_domains=6, rows_per_entity_table=10)

@@ -1,0 +1,123 @@
+"""Unit tests for analytical (aggregation) queries — §2.2.7, the K4 example."""
+
+import pytest
+
+from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.interpretation import Interpretation, OperatorAtom, ValueAtom
+from repro.core.keywords import Keyword, KeywordQuery
+from repro.core.query import StructuredQuery
+from repro.core.templates import QueryTemplate
+from repro.user.oracle import IntendedInterpretation, operator_spec, value_spec
+
+
+@pytest.fixture
+def count_interpretation(mini_db):
+    """count_{movie}(actor:"hanks" |x| acts |x| movie) — movies with hanks."""
+    e1 = mini_db.schema.join_edges("actor", "acts")[0]
+    e2 = mini_db.schema.join_edges("acts", "movie")[0]
+    template = QueryTemplate(path=("actor", "acts", "movie"), edges=(e1, e2))
+    query = KeywordQuery.from_terms(["count", "hanks"])
+    k_count, k_hanks = query.keywords
+    return Interpretation.build(
+        query,
+        template,
+        {
+            OperatorAtom(k_count, "count", "movie"): 2,
+            ValueAtom(k_hanks, "actor", "name"): 0,
+        },
+    )
+
+
+class TestOperatorAtom:
+    def test_describe(self):
+        atom = OperatorAtom(Keyword(0, "number"), "count", "movie")
+        assert "COUNT" in atom.describe()
+        assert atom.kind == "operator"
+
+    def test_validate_single_operator(self, count_interpretation):
+        count_interpretation.validate()
+
+    def test_validate_rejects_two_operators(self, mini_db):
+        e1 = mini_db.schema.join_edges("actor", "acts")[0]
+        e2 = mini_db.schema.join_edges("acts", "movie")[0]
+        template = QueryTemplate(path=("actor", "acts", "movie"), edges=(e1, e2))
+        query = KeywordQuery.from_terms(["count", "number"])
+        k0, k1 = query.keywords
+        interp = Interpretation.build(
+            query,
+            template,
+            {
+                OperatorAtom(k0, "count", "movie"): 2,
+                OperatorAtom(k1, "count", "actor"): 0,
+            },
+        )
+        with pytest.raises(ValueError):
+            interp.validate()
+
+
+class TestAggregateQuery:
+    def test_count_value(self, mini_db, count_interpretation):
+        sq = count_interpretation.to_structured_query()
+        assert sq.is_aggregate
+        # hanks actors appear in movies 1 and 2 -> COUNT(DISTINCT movie) = 2.
+        assert sq.aggregate_value(mini_db) == 2
+
+    def test_algebra_rendering(self, count_interpretation):
+        algebra = count_interpretation.to_structured_query().algebra()
+        assert algebra.startswith("count_{movie}(")
+
+    def test_sql_rendering(self, count_interpretation):
+        sql = count_interpretation.to_structured_query().to_sql()
+        assert sql.startswith("SELECT COUNT(DISTINCT t2_movie.id)")
+
+    def test_non_aggregate_raises(self, mini_db):
+        template = QueryTemplate(path=("actor",), edges=())
+        sq = StructuredQuery(template=template)
+        with pytest.raises(ValueError):
+            sq.aggregate_value(mini_db)
+
+    def test_unsupported_operator(self, mini_db):
+        template = QueryTemplate(path=("actor",), edges=())
+        sq = StructuredQuery(template=template, aggregate=("avg", 0))
+        with pytest.raises(ValueError):
+            sq.aggregate_value(mini_db)
+
+
+class TestGeneratorIntegration:
+    def test_operator_atoms_generated(self, mini_db):
+        gen = InterpretationGenerator(mini_db, max_template_joins=2)
+        atoms = gen.keyword_atoms(Keyword(0, "count"))
+        assert any(isinstance(a, OperatorAtom) for a in atoms)
+
+    def test_operator_vocabulary_configurable(self, mini_db):
+        gen = InterpretationGenerator(
+            mini_db, config=GeneratorConfig(operator_terms=())
+        )
+        atoms = gen.keyword_atoms(Keyword(0, "count"))
+        assert not any(isinstance(a, OperatorAtom) for a in atoms)
+
+    def test_k4_style_query_resolvable(self, mini_db):
+        """"count movie hanks": the analytical intent is in the space."""
+        gen = InterpretationGenerator(
+            mini_db, config=GeneratorConfig(max_atoms_per_keyword=24), max_template_joins=2
+        )
+        query = KeywordQuery.from_terms(["count", "movie", "hanks"])
+        intended = IntendedInterpretation(
+            bindings={
+                0: operator_spec("count", "movie"),
+                1: ("table", "movie"),
+                2: value_spec("actor", "name"),
+            },
+            template_path=("actor", "acts", "movie"),
+        )
+        space = gen.interpretations(query)
+        matches = [i for i in space if intended.matches(i)]
+        assert len(matches) == 1
+        assert matches[0].to_structured_query().aggregate_value(mini_db) == 2
+
+    def test_oracle_operator_spec(self):
+        intended = IntendedInterpretation(bindings={0: operator_spec("count", "movie")})
+        assert intended.matches_atom(OperatorAtom(Keyword(0, "count"), "count", "movie"))
+        assert not intended.matches_atom(
+            OperatorAtom(Keyword(0, "count"), "count", "actor")
+        )

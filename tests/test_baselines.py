@@ -1,0 +1,117 @@
+"""Unit tests for repro.baselines (SQAK, DISCOVER, BANKS)."""
+
+import pytest
+
+from repro.baselines.banks import BanksSearch
+from repro.baselines.discover import DiscoverRanker
+from repro.baselines.sqak import SqakRanker
+from repro.core.keywords import KeywordQuery
+from repro.db.datagraph import DataGraph
+from repro.user.oracle import IntendedInterpretation, value_spec
+
+HANKS_2001 = KeywordQuery.from_terms(["hanks", "2001"])
+
+
+class TestSqak:
+    @pytest.fixture
+    def ranker(self, mini_db, mini_generator):
+        return SqakRanker(mini_generator, mini_db.require_index())
+
+    def test_rank_is_complete_permutation(self, ranker, mini_generator):
+        ranked = ranker.rank(HANKS_2001)
+        assert len(ranked) == len(mini_generator.interpretations(HANKS_2001))
+        assert [r.rank for r in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_scores_prefer_fewer_joins(self, ranker):
+        """Steiner minimization: all predicates equal, shorter trees win."""
+        ranked = ranker.rank(KeywordQuery.from_terms(["hanks"]))
+        sizes = [r.interpretation.template.size for r in ranked]
+        assert sizes[0] == min(sizes)
+
+    def test_distinctive_match_preferred(self, ranker, mini_db):
+        """TF-IDF prefers the rarer binding: "london" is rarer (hence more
+        distinctive) in actor.name than "hanks" — SQAK node cost reflects it."""
+        idx = mini_db.require_index()
+        assert idx.idf("london", "actor") > idx.idf("hanks", "actor")
+
+    def test_rank_of_intended(self, ranker):
+        intended = IntendedInterpretation(
+            bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")},
+            template_path=("actor", "acts", "movie"),
+        )
+        assert ranker.rank_of(HANKS_2001, intended) is not None
+
+    def test_probabilities_normalized(self, ranker):
+        ranked = ranker.rank(HANKS_2001)
+        assert sum(r.probability for r in ranked) == pytest.approx(1.0)
+
+
+class TestDiscover:
+    @pytest.fixture
+    def ranker(self, mini_generator):
+        return DiscoverRanker(mini_generator)
+
+    def test_orders_by_join_count(self, ranker):
+        ranked = ranker.rank(HANKS_2001)
+        sizes = [r.interpretation.template.size for r in ranked]
+        assert sizes == sorted(sizes)
+
+    def test_rank_of(self, ranker):
+        intended = IntendedInterpretation(
+            bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")},
+            template_path=("actor", "acts", "movie"),
+        )
+        rank = ranker.rank_of(HANKS_2001, intended)
+        assert rank is not None
+
+    def test_missing_interpretation(self, ranker):
+        ghost = IntendedInterpretation(bindings={0: value_spec("company", "name")})
+        assert ranker.rank_of(HANKS_2001, ghost) is None
+
+
+class TestBanks:
+    @pytest.fixture
+    def search(self, mini_db):
+        return BanksSearch(DataGraph(mini_db))
+
+    def test_finds_joining_tuple_trees(self, search):
+        trees = search.search(HANKS_2001, k=5)
+        assert trees
+        # Best tree should join a hanks actor with a 2001 movie via acts.
+        best = trees[0]
+        tables = {t for t, _k in best.nodes}
+        assert "actor" in tables or "movie" in tables
+
+    def test_tree_connects_all_keyword_groups(self, search, mini_db):
+        groups = search.keyword_groups(HANKS_2001)
+        for tree in search.search(HANKS_2001, k=3):
+            for group in groups:
+                assert tree.nodes & group or any(
+                    n in group for n in tree.nodes
+                ), "tree misses a keyword group"
+
+    def test_costs_ascending(self, search):
+        trees = search.search(HANKS_2001, k=5)
+        costs = [t.cost for t in trees]
+        assert costs == sorted(costs)
+
+    def test_minimal_tree_shape(self, search):
+        """The cheapest JTT for hanks+2001 is actor-acts-movie (3 tuples)."""
+        trees = search.search(HANKS_2001, k=1)
+        assert trees[0].size <= 3
+
+    def test_unmatched_keywords(self, search):
+        assert search.search(KeywordQuery.from_terms(["zzz"]), k=3) == []
+
+    def test_single_keyword(self, search):
+        trees = search.search(KeywordQuery.from_terms(["london"]), k=3)
+        assert trees
+        assert trees[0].cost == 0.0  # the keyword node itself
+
+    def test_deduplicated_node_sets(self, search):
+        trees = search.search(HANKS_2001, k=10)
+        node_sets = [t.nodes for t in trees]
+        assert len(node_sets) == len(set(node_sets))
+
+    def test_k_limits_results(self, search):
+        assert len(search.search(HANKS_2001, k=2)) <= 2

@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.candidate_network (DISCOVER-style CNs)."""
+
+from repro.core.candidate_network import enumerate_candidate_networks
+from repro.core.keywords import KeywordQuery
+
+
+class TestEnumeration:
+    def test_finds_actor_movie_network(self, mini_db):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        cns = enumerate_candidate_networks(mini_db, q, max_joins=2)
+        assert cns
+        rendered = [str(cn) for cn in cns]
+        assert any("actor:hanks" in r and "movie:2001" in r for r in rendered)
+
+    def test_completeness_all_terms_covered(self, mini_db):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        for cn in enumerate_candidate_networks(mini_db, q, max_joins=2):
+            assert cn.covered_terms == {"hanks", "2001"}
+
+    def test_minimality_endpoints_non_free(self, mini_db):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        for cn in enumerate_candidate_networks(mini_db, q, max_joins=2):
+            slots = {slot for _t, slot in cn.coverage}
+            endpoints = set(cn.template.leaf_positions())
+            assert endpoints <= slots
+
+    def test_smallest_first(self, mini_db):
+        q = KeywordQuery.from_terms(["hanks"])
+        sizes = [cn.size for cn in enumerate_candidate_networks(mini_db, q, max_joins=2)]
+        assert sizes == sorted(sizes)
+
+    def test_single_keyword_single_table_cn(self, mini_db):
+        q = KeywordQuery.from_terms(["london"])
+        cns = enumerate_candidate_networks(mini_db, q, max_joins=1)
+        assert any(cn.size == 0 for cn in cns)
+
+    def test_absent_keywords_yield_nothing(self, mini_db):
+        q = KeywordQuery.from_terms(["zzz"])
+        assert enumerate_candidate_networks(mini_db, q, max_joins=2) == []
+
+    def test_partially_absent_keyword_ignored(self, mini_db):
+        """Terms with no occurrence are dropped (OR-completeness over the rest)."""
+        q = KeywordQuery.from_terms(["hanks", "zzz"])
+        cns = enumerate_candidate_networks(mini_db, q, max_joins=2)
+        assert cns
+        for cn in cns:
+            assert cn.covered_terms == {"hanks"}
+
+    def test_max_networks_cap(self, mini_db):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        cns = enumerate_candidate_networks(mini_db, q, max_joins=3, max_networks=2)
+        assert len(cns) <= 2
+
+    def test_schema_term_tables_count_as_non_free(self, mini_db):
+        q = KeywordQuery.from_terms(["actor"])
+        cns = enumerate_candidate_networks(mini_db, q, max_joins=1)
+        assert any("actor" in cn.template.path for cn in cns)
+
+    def test_deterministic(self, mini_db):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        a = [str(cn) for cn in enumerate_candidate_networks(mini_db, q, max_joins=2)]
+        b = [str(cn) for cn in enumerate_candidate_networks(mini_db, q, max_joins=2)]
+        assert a == b

@@ -1,0 +1,90 @@
+"""Unit tests for repro.divq.assessors and repro.divq.analysis."""
+
+import pytest
+
+from repro.divq.analysis import (
+    max_and_average_ratio_profile,
+    probability_ratios,
+    query_ambiguity_entropy,
+)
+from repro.divq.assessors import AssessorPool, agreement_kappa, simulate_assessments
+
+
+class TestAssessorPool:
+    def test_scores_in_unit_interval(self):
+        scores = simulate_assessments([0.5, 0.3, 0.2], intended_index=0)
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_intended_scores_high(self):
+        scores = simulate_assessments([0.5, 0.3, 0.2], intended_index=1)
+        assert scores[1] >= 0.7
+
+    def test_probable_scores_above_floor(self):
+        scores = simulate_assessments([0.9, 0.05, 0.05])
+        assert scores[0] > scores[2]
+
+    def test_deterministic_given_seed(self):
+        a = simulate_assessments([0.5, 0.3, 0.2], 0, AssessorPool(seed=5))
+        b = simulate_assessments([0.5, 0.3, 0.2], 0, AssessorPool(seed=5))
+        assert a == b
+
+    def test_empty(self):
+        assert simulate_assessments([]) == []
+
+    def test_graded_disagreement_present(self):
+        """Ambiguous interpretations should get non-unanimous judgments."""
+        scores = simulate_assessments([0.4, 0.3, 0.2, 0.1], intended_index=None)
+        assert any(0.0 < s < 1.0 for s in scores)
+
+    def test_plausibility_floor(self):
+        pool = AssessorPool(floor=0.05)
+        assert pool.plausibility(0.0, 1.0) == 0.05
+        assert pool.plausibility(0.5, 0.0) == 0.05
+
+
+class TestKappa:
+    def test_perfect_agreement(self):
+        judgments = [[True, False], [True, False]]
+        assert agreement_kappa(judgments) == pytest.approx(1.0)
+
+    def test_single_assessor(self):
+        assert agreement_kappa([[True, False]]) == 1.0
+
+    def test_empty(self):
+        assert agreement_kappa([]) == 1.0
+
+    def test_disagreement_lowers_kappa(self):
+        agree = [[True, False, True], [True, False, True]]
+        disagree = [[True, False, True], [False, True, False]]
+        assert agreement_kappa(disagree) < agreement_kappa(agree)
+
+
+class TestAnalysis:
+    def test_entropy_selects_ambiguous(self):
+        flat = query_ambiguity_entropy([0.25, 0.25, 0.25, 0.25])
+        peaked = query_ambiguity_entropy([0.97, 0.01, 0.01, 0.01])
+        assert flat > peaked
+
+    def test_entropy_empty(self):
+        assert query_ambiguity_entropy([]) == 0.0
+
+    def test_probability_ratios_definition(self):
+        ratios = probability_ratios([0.5, 0.3, 0.2])
+        assert ratios[0] == pytest.approx(0.3 / 0.5)
+        assert ratios[1] == pytest.approx(0.2 / 0.8)
+
+    def test_ratios_fall_for_peaked_distributions(self):
+        ratios = probability_ratios([0.9, 0.05, 0.03, 0.02])
+        assert ratios[0] < 0.1
+
+    def test_profile_shapes(self):
+        max_pr, avg_pr = max_and_average_ratio_profile(
+            [[0.5, 0.3, 0.2], [0.6, 0.4]], max_rank=5
+        )
+        assert len(max_pr) == len(avg_pr) == 4
+        for m, a in zip(max_pr, avg_pr):
+            assert m >= a
+
+    def test_profile_empty(self):
+        max_pr, avg_pr = max_and_average_ratio_profile([], max_rank=3)
+        assert max_pr == [0.0, 0.0] and avg_pr == [0.0, 0.0]

@@ -1,0 +1,121 @@
+"""Unit tests for repro.divq.metrics (alpha-nDCG-W, WS-recall)."""
+
+import pytest
+
+from collections import Counter
+
+from repro.divq.metrics import (
+    alpha_ndcg_w,
+    overlap_penalty_exponent,
+    s_recall,
+    subtopic_relevance,
+    ws_recall,
+)
+
+
+def entries(*specs):
+    """Each spec: (relevance, iterable of keys)."""
+    return [(rel, frozenset(keys)) for rel, keys in specs]
+
+
+class TestOverlapPenalty:
+    def test_no_previous_results(self):
+        assert overlap_penalty_exponent(frozenset({"a", "b"}), Counter()) == 0
+
+    def test_counts_repeats(self):
+        seen = Counter({"a": 2, "b": 1})
+        assert overlap_penalty_exponent(frozenset({"a", "b", "c"}), seen) == 3
+
+
+class TestAlphaNdcgW:
+    def test_alpha_zero_is_plain_ndcg(self):
+        e = entries((1.0, {"a"}), (0.5, {"a"}))
+        # With alpha=0 overlap is ignored: the descending-relevance order is
+        # ideal, so the metric is exactly 1.
+        assert alpha_ndcg_w(e, alpha=0.0, k=2) == pytest.approx(1.0)
+
+    def test_redundancy_penalized_at_high_alpha(self):
+        redundant = entries((1.0, {"a"}), (0.9, {"a"}))
+        diverse = entries((1.0, {"a"}), (0.9, {"b"}))
+        assert alpha_ndcg_w(diverse, 0.99, 2, ideal_entries=diverse) > alpha_ndcg_w(
+            redundant, 0.99, 2, ideal_entries=diverse
+        )
+
+    def test_value_in_unit_interval(self):
+        e = entries((0.9, {"a", "b"}), (0.5, {"b"}), (0.2, {"c"}))
+        for alpha in (0.0, 0.5, 0.99):
+            for k in (1, 2, 3):
+                v = alpha_ndcg_w(e, alpha, k)
+                assert 0.0 <= v <= 1.0
+
+    def test_empty_entries(self):
+        assert alpha_ndcg_w([], 0.5, 5) == 0.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            alpha_ndcg_w(entries((1.0, {"a"})), alpha=2.0)
+
+    def test_k_defaults_to_length(self):
+        e = entries((1.0, {"a"}), (0.5, {"b"}))
+        assert alpha_ndcg_w(e, 0.5) == alpha_ndcg_w(e, 0.5, k=2)
+
+    def test_ideal_pool_separate_from_ranking(self):
+        system = entries((0.2, {"c"}), (1.0, {"a"}))
+        ideal = entries((1.0, {"a"}), (0.2, {"c"}))
+        v = alpha_ndcg_w(system, 0.0, 2, ideal_entries=ideal)
+        assert v < 1.0  # system put the weak result first
+
+    def test_zero_relevance_everywhere(self):
+        e = entries((0.0, {"a"}), (0.0, {"b"}))
+        assert alpha_ndcg_w(e, 0.5, 2) == 0.0
+
+
+class TestSubtopicRelevance:
+    def test_max_over_interpretations(self):
+        e = entries((0.9, {"a", "b"}), (0.5, {"b", "c"}))
+        rel = subtopic_relevance(e)
+        assert rel == {"a": 0.9, "b": 0.9, "c": 0.5}
+
+    def test_empty(self):
+        assert subtopic_relevance([]) == {}
+
+
+class TestWsRecall:
+    def test_full_coverage_is_one(self):
+        e = entries((1.0, {"a"}), (0.5, {"b"}))
+        assert ws_recall(e, k=2) == pytest.approx(1.0)
+
+    def test_partial_coverage_weighted(self):
+        e = entries((1.0, {"a"}), (0.5, {"b"}))
+        # Top-1 covers "a" (weight 1.0) of total 1.5.
+        assert ws_recall(e, k=1) == pytest.approx(1.0 / 1.5)
+
+    def test_monotone_in_k(self):
+        e = entries((1.0, {"a"}), (0.5, {"b"}), (0.2, {"c"}))
+        values = [ws_recall(e, k) for k in range(4)]
+        assert values == sorted(values)
+
+    def test_explicit_universe(self):
+        e = entries((1.0, {"a"}),)
+        universe = {"a": 1.0, "b": 1.0}
+        assert ws_recall(e, 1, universe) == pytest.approx(0.5)
+
+    def test_k_zero(self):
+        assert ws_recall(entries((1.0, {"a"})), 0) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ws_recall(entries((1.0, {"a"})), -1)
+
+    def test_empty_universe(self):
+        assert ws_recall([], 3) == 0.0
+
+    def test_binary_relevance_equals_s_recall(self):
+        e = entries((1.0, {"a"}), (1.0, {"b"}), (1.0, {"a", "c"}))
+        for k in (1, 2, 3):
+            assert ws_recall(e, k) == pytest.approx(s_recall(e, k))
+
+    def test_graded_beats_binary_for_heavy_subtopics(self):
+        """A heavy subtopic covered early pushes WS-recall above S-recall."""
+        e = entries((1.0, {"heavy"}), (0.1, {"light"}))
+        assert ws_recall(e, 1) > s_recall(e, 1)

@@ -1,0 +1,53 @@
+"""Unit tests for the DivQ system facade."""
+
+import pytest
+
+from repro.core.keywords import KeywordQuery
+from repro.divq.system import DivQ
+
+
+@pytest.fixture(scope="module")
+def divq(imdb_db):
+    return DivQ(imdb_db, tradeoff=0.1)
+
+
+class TestDivQFacade:
+    def test_ranked_interpretations_nonempty_pool(self, divq, imdb_db):
+        from repro.datasets.workload import imdb_workload
+
+        item = imdb_workload(imdb_db, n_queries=5)[0]
+        ranked = divq.ranked_interpretations(item.query)
+        assert ranked
+        assert len(ranked) <= divq.pool_size
+        for interp, p in ranked:
+            assert p > 0.0
+            assert interp.to_structured_query().has_results(imdb_db)
+
+    def test_search_returns_k(self, divq, imdb_db):
+        from repro.datasets.workload import imdb_workload
+
+        item = imdb_workload(imdb_db, n_queries=5)[0]
+        result = divq.search(item.query, k=3)
+        assert 0 < len(result.selected) <= 3
+
+    def test_most_relevant_first(self, divq, imdb_db):
+        from repro.datasets.workload import imdb_workload
+
+        item = imdb_workload(imdb_db, n_queries=5)[0]
+        ranked = divq.ranked_interpretations(item.query)
+        result = divq.search(item.query, k=3)
+        assert result.selected[0].describe() == ranked[0][0].describe()
+
+    def test_materialize_rows(self, divq, imdb_db):
+        from repro.datasets.workload import imdb_workload
+
+        item = imdb_workload(imdb_db, n_queries=5)[0]
+        materialized = divq.materialize(item.query, k=3, limit_per_interpretation=5)
+        assert materialized
+        for interp, rows in materialized:
+            assert rows, f"{interp} should have results (pool is non-empty only)"
+            assert len(rows) <= 5
+
+    def test_unknown_query_empty(self, divq):
+        result = divq.search(KeywordQuery.from_terms(["zzzzz"]), k=3)
+        assert result.selected == []

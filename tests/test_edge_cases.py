@@ -1,0 +1,172 @@
+"""Edge cases and failure injection across modules.
+
+These tests target the corners the main suites do not: degenerate models,
+dangling foreign keys, empty frontiers, adversarial user answers, and
+self-inconsistent inputs — the library must degrade gracefully, not crash.
+"""
+
+import pytest
+
+from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.hierarchy import QueryHierarchy
+from repro.core.keywords import KeywordQuery
+from repro.core.options import AtomSetOption
+from repro.core.probability import ATFModel, TemplateCatalog, UniformModel
+from repro.db.database import Database
+from repro.db.schema import Attribute, Schema, Table
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import IntendedInterpretation, SimulatedUser, value_spec
+
+
+class _ZeroModel:
+    """Adversarial model: zero weight for everything."""
+
+    def atom_weight(self, atom, template):
+        return 0.0
+
+    def template_prior(self, template):
+        return 0.0
+
+    def interpretation_weight(self, interpretation):
+        return 0.0
+
+
+class _LyingUser(SimulatedUser):
+    """Answers the opposite of the truth — construction must still terminate."""
+
+    def evaluate(self, option) -> bool:
+        truthful = super().evaluate(option)
+        # Flip the bookkeeping too, so counters stay consistent.
+        if truthful:
+            self.accepted.pop()
+            self.rejected.append(option)
+        else:
+            self.rejected.pop()
+            self.accepted.append(option)
+        return not truthful
+
+
+HANKS_2001 = KeywordQuery.from_terms(["hanks", "2001"])
+INTENDED = IntendedInterpretation(
+    bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")},
+    template_path=("actor", "acts", "movie"),
+)
+
+
+class TestDegenerateModels:
+    def test_zero_weight_model_still_constructs(self, mini_generator):
+        """All-zero weights fall back to uniform probabilities (normalize)."""
+        user = SimulatedUser(INTENDED)
+        session = ConstructionSession(HANKS_2001, mini_generator, _ZeroModel())
+        result = session.run(user)
+        assert result.success
+
+    def test_zero_weight_hierarchy_probabilities(self, mini_generator):
+        h = QueryHierarchy(HANKS_2001, mini_generator, _ZeroModel())
+        h.expand_to_complete()
+        probs = h.frontier_probabilities()
+        assert probs and abs(sum(probs) - 1.0) < 1e-9
+
+
+class TestAdversarialUser:
+    def test_lying_user_terminates(self, mini_generator, mini_model):
+        user = _LyingUser(INTENDED)
+        session = ConstructionSession(HANKS_2001, mini_generator, mini_model, max_steps=50)
+        result = session.run(user)
+        # The dialogue must end; with consistently wrong answers the
+        # intended interpretation is (correctly) not in the shortlist.
+        assert result.options_evaluated <= 50
+
+    def test_contradictory_prunes_empty(self, mini_generator, mini_model):
+        """Rejecting every option empties the frontier without crashing."""
+        h = QueryHierarchy(HANKS_2001, mini_generator, mini_model)
+        h.expand_to_complete()
+        for option in list(h.frontier_atoms()):
+            h.reject(option)
+            if not h.frontier:
+                break
+        assert len(h) == 0
+        assert h.frontier_probabilities() == []
+
+
+class TestDanglingData:
+    def test_dangling_fk_join_skips_row(self):
+        schema = Schema()
+        schema.add_table(Table("a", [Attribute("x")]))
+        schema.add_table(Table("b", [Attribute("y")]))
+        schema.link("b", "a")
+        db = Database(schema)
+        db.insert("a", {"id": 1, "x": "one"})
+        db.insert("b", {"id": 1, "a_id": 1, "y": "ok"})
+        db.insert("b", {"id": 2, "a_id": 999, "y": "dangling"})  # no such a
+        db.insert("b", {"id": 3, "a_id": None, "y": "null"})
+        db.build_indexes()
+        fk = schema.join_edges("b", "a")[0]
+        rows = db.execute_path(["b", "a"], [fk])
+        assert len(rows) == 1
+        assert rows[0][0].key == 1
+
+    def test_empty_table_in_join_path(self, mini_db):
+        mini_db.add_table(Table("review", [Attribute("text")]))
+        mini_db.schema.link("review", "movie")
+        db2 = mini_db  # review table exists but is empty
+        fk = db2.schema.join_edges("review", "movie")[0]
+        assert db2.execute_path(["review", "movie"], [fk]) == []
+
+
+class TestDegenerateQueries:
+    def test_single_effective_keyword_query(self, mini_generator, mini_model):
+        query = KeywordQuery.from_terms(["hanks", "zzz", "qqq"])
+        user = SimulatedUser(
+            IntendedInterpretation(bindings={0: value_spec("actor", "name")})
+        )
+        result = ConstructionSession(query, mini_generator, mini_model).run(user)
+        # Construction proceeds on the one effective keyword.
+        assert result.final_candidates or not result.success
+
+    def test_duplicate_keyword_query_space(self, mini_generator):
+        query = KeywordQuery.from_terms(["hanks", "hanks", "hanks"])
+        space = mini_generator.interpretations(query)
+        for interp in space:
+            interp.validate()
+
+    def test_very_long_query_capped(self, mini_db):
+        gen = InterpretationGenerator(
+            mini_db, config=GeneratorConfig(max_interpretations=50)
+        )
+        query = KeywordQuery.from_terms(["hanks", "london", "tom", "2001", "terminal"])
+        assert len(gen.interpretations(query)) <= 50
+
+
+class TestOptionEdgeCases:
+    def test_empty_atom_option_matches_everything(self, mini_generator, mini_model):
+        h = QueryHierarchy(HANKS_2001, mini_generator, mini_model)
+        h.expand_to_complete()
+        n = len(h)
+        empty = AtomSetOption(frozenset())
+        h.accept(empty)  # subsumes everything: no pruning
+        assert len(h) == n
+
+    def test_option_probability_of_empty_option_is_one(self, mini_generator, mini_model):
+        h = QueryHierarchy(HANKS_2001, mini_generator, mini_model)
+        h.expand_to_complete()
+        assert h.option_probability(AtomSetOption(frozenset())) == pytest.approx(1.0)
+
+
+class TestModelConsistency:
+    def test_atf_and_uniform_agree_on_space_membership(self, mini_db):
+        """The model must not change *which* interpretations exist."""
+        gen = InterpretationGenerator(mini_db, max_template_joins=2)
+        space = gen.interpretations(HANKS_2001)
+        catalog = TemplateCatalog(gen.templates)
+        atf = ATFModel(mini_db.require_index(), catalog)
+        uni = UniformModel()
+        assert all(atf.interpretation_weight(i) >= 0 for i in space)
+        assert all(uni.interpretation_weight(i) == 1.0 for i in space)
+
+    def test_catalog_with_no_templates(self):
+        catalog = TemplateCatalog([])
+        from repro.core.templates import QueryTemplate
+
+        t = QueryTemplate(path=("x",), edges=())
+        assert catalog.prior(t) == 0.0

@@ -1,0 +1,200 @@
+"""Smoke tests of the experiment harnesses (scaled-down parameters).
+
+Each harness is checked for (a) running end-to-end and (b) the qualitative
+*shape* the thesis reports — who wins, which direction things move.
+"""
+
+import pytest
+
+from repro.experiments import ch3, ch4, ch5, ch6
+from repro.experiments.reporting import format_table, summary_stats
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "a" in text and "2.5" in text
+        assert len(text.splitlines()) == 4
+
+    def test_summary_stats(self):
+        s = summary_stats([1, 2, 3, 4, 5])
+        assert s.median == 3
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.lower_quartile <= s.median <= s.upper_quartile
+
+    def test_summary_stats_empty(self):
+        assert summary_stats([]).n == 0
+
+    def test_summary_stats_single(self):
+        s = summary_stats([7.0])
+        assert s.median == 7.0 and s.mean == 7.0
+
+
+@pytest.fixture(scope="module")
+def ch3_setup():
+    return ch3.build_setup("imdb", n_queries=10)
+
+
+class TestChapter3:
+    def test_fig_3_5_shape(self, ch3_setup):
+        costs = ch3.fig_3_5(setup=ch3_setup)
+        assert set(costs) == {"baseline", "atf_tequal", "atf_tlog"}
+        n = len(ch3_setup.workload)
+        assert all(len(v) == n for v in costs.values())
+        # The probabilistic estimates beat the uniform baseline on average.
+        mean = lambda v: sum(v) / len(v)
+        assert mean(costs["atf_tlog"]) <= mean(costs["baseline"]) + 0.5
+
+    def test_fig_3_6_construction_bounded(self, ch3_setup):
+        data = ch3.fig_3_6(setup=ch3_setup)
+        assert max(data["construction_iqp"]) <= max(
+            max(data["rank_iqp"]), max(data["rank_sqak"])
+        )
+
+    def test_fig_3_7_rows(self, ch3_setup):
+        rows = ch3.fig_3_7(setup=ch3_setup)
+        assert rows
+        for category, ranking_s, construction_s in rows:
+            assert category >= 0
+            assert ranking_s > 0 and construction_s > 0
+
+    def test_study_tasks_consistent(self, ch3_setup):
+        tasks = ch3.study_tasks(setup=ch3_setup)
+        for task in tasks:
+            assert 1 <= task.intended_rank <= task.space_size
+
+    def test_table_3_2_shape(self):
+        rows = ch3.table_3_2(table_counts=(5, 20), repeats=3)
+        assert rows[1]["queries"] > rows[0]["queries"]
+        assert rows[1]["steps@20"] < rows[1]["queries"]
+
+    def test_table_3_3_shape(self):
+        rows = ch3.table_3_3(keyword_counts=(2, 6), repeats=3)
+        assert rows[1]["queries"] > rows[0]["queries"]
+
+    def test_table_3_4_greedy_close_to_optimal(self):
+        rows = ch3.table_3_4(sizes=((8, 4), (12, 6)), repeats=4)
+        for row in rows:
+            assert row["greedy_cost"] >= row["brute_force_cost"] - 1e-9
+            assert row["greedy_cost"] <= row["brute_force_cost"] * 1.2
+
+    def test_reports_render(self, ch3_setup):
+        assert "Fig. 3.5" in ch3.fig_3_5_report("imdb", 6)
+        assert "Table 3.4" in ch3.table_3_4_report(sizes=((8, 4),), repeats=2)
+
+
+@pytest.fixture(scope="module")
+def ch4_setup():
+    return ch4.build_setup("imdb", n_queries=8)
+
+
+class TestChapter4:
+    def test_judged_topics_built(self, ch4_setup):
+        assert ch4_setup.judged
+        for judged in ch4_setup.judged:
+            assert len(judged.interpretations) >= 3
+            assert len(judged.relevance) == len(judged.interpretations)
+
+    def test_fig_4_1_ratios_fall(self, ch4_setup):
+        max_pr, avg_pr = ch4.fig_4_1(ch4_setup)
+        early = sum(avg_pr[:3]) / 3
+        late_values = [v for v in avg_pr[8:] if v > 0]
+        if late_values:
+            assert early > sum(late_values) / len(late_values)
+
+    def test_fig_4_2_alpha_zero_ranking_wins(self, ch4_setup):
+        data = ch4.fig_4_2(ch4_setup, alphas=(0.0,), ks=(3, 5))
+        for kind in ("sc", "mc"):
+            if (0.0, "rank", kind) in data:
+                rank = data[(0.0, "rank", kind)]
+                div = data[(0.0, "div", kind)]
+                assert all(r >= d - 0.05 for r, d in zip(rank, div))
+
+    def test_fig_4_2_high_alpha_div_wins_mc(self, ch4_setup):
+        data = ch4.fig_4_2(ch4_setup, alphas=(0.99,), ks=(4, 6, 8))
+        if (0.99, "div", "mc") in data:
+            div = data[(0.99, "div", "mc")]
+            rank = data[(0.99, "rank", "mc")]
+            assert sum(div) >= sum(rank) - 0.05
+
+    def test_fig_4_3_values_valid(self, ch4_setup):
+        data = ch4.fig_4_3(ch4_setup, ks=(1, 3, 5))
+        for series in data.values():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in series)
+            assert series == sorted(series)  # monotone in k
+
+    def test_fig_4_4_tradeoff_direction(self, ch4_setup):
+        rows = ch4.fig_4_4(ch4_setup, tradeoffs=(0.0, 1.0))
+        assert len(rows) == 2
+        (_l0, rel0, nov0), (_l1, rel1, nov1) = rows
+        assert rel1 >= rel0 - 1e-9  # relevance grows with lambda
+        assert nov0 >= nov1 - 1e-9  # novelty falls with lambda
+
+    def test_table_4_1_renders(self, ch4_setup):
+        assert "Table 4.1" in ch4.table_4_1(ch4_setup)
+
+
+class TestChapter5:
+    @pytest.fixture(scope="class")
+    def setup5(self):
+        return ch5.build_setup(n_domains=6, n_queries=6, rows_per_entity_table=12)
+
+    def test_construction_runs(self, setup5):
+        assert setup5.workload
+        item = setup5.workload[0]
+        result = ch5._run_ontology(setup5, item)
+        assert result.success
+
+    def test_fig_5_2_ontology_no_worse(self):
+        rows = ch5.fig_5_2(domain_counts=(3, 8), n_queries=5)
+        for row in rows:
+            assert row["onto_cost"] <= row["plain_cost"] + 0.75
+            assert row["onto_efficiency"] >= row["plain_efficiency"] - 0.05
+
+    def test_table_5_3_no_ontology_worst(self):
+        rows = ch5.table_5_3(n_domains=6, n_queries=5)
+        by_label = {r["ontology"]: r["mean_cost"] for r in rows}
+        assert by_label["types (level 1)"] <= by_label["no ontology (attributes)"] + 0.5
+
+    def test_table_5_2_rows(self):
+        rows = ch5.table_5_2(n_queries=4)
+        assert {r["keywords"] for r in rows} == {2, 3}
+
+    def test_fig_5_5_effort_grows(self):
+        rows = ch5.fig_5_5(domain_counts=(3, 8), n_queries=3, top_k=5)
+        assert rows[1]["topk_pops"] >= rows[0]["topk_pops"]
+
+    def test_table_5_1_renders(self, setup5):
+        assert "Table 5.1" in ch5.table_5_1(setup5)
+
+
+class TestChapter6:
+    @pytest.fixture(scope="class")
+    def setup6(self):
+        return ch6.build_setup(n_tables=30)
+
+    def test_table_6_1_counts_all_classes(self, setup6):
+        rows = ch6.table_6_1(setup6)
+        assert sum(n for _label, n in rows) == len(setup6.data.ontology)
+
+    def test_table_6_2_instances_at_leaves(self, setup6):
+        rows = ch6.table_6_2(setup6)
+        assert rows[-1][2] > 0
+
+    def test_fig_6_2_histogram(self, setup6):
+        rows = ch6.fig_6_2(setup6)
+        assert rows
+        assert all(k >= 1 and n >= 1 for k, n in rows)
+
+    def test_table_6_3_summary(self, setup6):
+        summary = ch6.table_6_3(setup6)
+        assert summary["attached_tables"] <= 30
+
+    def test_fig_6_4_recall_monotone(self, setup6):
+        rows = ch6.fig_6_4(setup6, thresholds=(0.2, 0.5, 0.8))
+        recalls = [r for _t, _p, r in rows]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_reports_render(self, setup6):
+        assert "Table 6.1" in ch6.table_6_1_report(setup6)
+        assert "Fig. 6.4" in ch6.fig_6_4_report(setup6)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.freeq.ontology (schema ontology layer)."""
+
+import pytest
+
+from repro.freeq.ontology import SchemaOntology, build_type_domain_ontology
+
+
+@pytest.fixture
+def ontology() -> SchemaOntology:
+    o = SchemaOntology()
+    o.add_concept("Person")
+    o.add_concept("Person/film", "Person")
+    o.add_concept("Person/music", "Person")
+    o.add_concept("CreativeWork")
+    o.assign_attribute("film_actor", "name", "Person/film")
+    o.assign_attribute("music_artist", "name", "Person/music")
+    o.assign_table("film_actor", "Person/film")
+    return o
+
+
+class TestStructure:
+    def test_root_exists(self):
+        o = SchemaOntology()
+        assert SchemaOntology.ROOT in o
+        assert len(o) == 1
+
+    def test_add_duplicate_rejected(self, ontology):
+        with pytest.raises(ValueError):
+            ontology.add_concept("Person")
+
+    def test_unknown_parent_rejected(self):
+        o = SchemaOntology()
+        with pytest.raises(KeyError):
+            o.add_concept("X", "Ghost")
+
+    def test_ensure_concept_idempotent(self, ontology):
+        a = ontology.ensure_concept("Person")
+        b = ontology.ensure_concept("Person")
+        assert a is b
+
+    def test_ancestors(self, ontology):
+        assert ontology.ancestors("Person/film") == ["Thing", "Person", "Person/film"]
+
+    def test_levels(self, ontology):
+        assert ontology.level_of("Thing") == 0
+        assert ontology.level_of("Person") == 1
+        assert ontology.level_of("Person/film") == 2
+        assert ontology.depth() == 2
+
+    def test_concepts_at_level(self, ontology):
+        assert ontology.concepts_at_level(1) == ["CreativeWork", "Person"]
+
+    def test_concept_at_level_clamps(self, ontology):
+        assert ontology.concept_at_level("Person/film", 1) == "Person"
+        assert ontology.concept_at_level("Person/film", 5) == "Person/film"
+        assert ontology.concept_at_level("Person/film", 0) == "Thing"
+
+
+class TestAssignments:
+    def test_concept_of_attribute(self, ontology):
+        assert ontology.concept_of_attribute("film_actor", "name") == "Person/film"
+        assert ontology.concept_of_attribute("ghost", "name") is None
+
+    def test_concept_of_table(self, ontology):
+        assert ontology.concept_of_table("film_actor") == "Person/film"
+        assert ontology.concept_of_table("music_artist") is None
+
+    def test_assign_to_unknown_concept(self, ontology):
+        with pytest.raises(KeyError):
+            ontology.assign_attribute("x", "y", "Ghost")
+
+    def test_reassignment_moves_element(self, ontology):
+        ontology.assign_attribute("film_actor", "name", "Person/music")
+        assert ontology.concept_of_attribute("film_actor", "name") == "Person/music"
+        assert ("attr", "film_actor", "name") not in ontology.concept("Person/film").elements
+
+    def test_elements_under_transitive(self, ontology):
+        elements = ontology.elements_under("Person")
+        assert ("attr", "film_actor", "name") in elements
+        assert ("attr", "music_artist", "name") in elements
+
+    def test_fan_out(self, ontology):
+        # Person groups 3 elements (2 attrs + 1 table) in one concept.
+        assert ontology.fan_out(1) >= 1.0
+
+    def test_summary(self, ontology):
+        s = ontology.summary()
+        assert s["concepts"] == len(ontology)
+        assert s["depth"] == 2
+
+
+class TestBuilder:
+    def test_two_layer_build(self):
+        o = build_type_domain_ontology(
+            [("film_actor", "name", "Person", "film"), ("book_author", "name", "Person", "book")]
+        )
+        assert o.concept_of_attribute("film_actor", "name") == "Person/film"
+        assert o.level_of("Person/film") == 2
+
+    def test_three_layer_build_with_groups(self):
+        o = build_type_domain_ontology(
+            [("film_actor", "name", "Person", "film")],
+            domain_groups={"film": "media"},
+        )
+        assert o.concept_of_attribute("film_actor", "name") == "Person/media/film"
+        assert o.ancestors("Person/media/film") == [
+            "Thing",
+            "Person",
+            "Person/media",
+            "Person/media/film",
+        ]
+
+    def test_tables_assigned_once(self):
+        o = build_type_domain_ontology(
+            [
+                ("t", "name", "Person", "film"),
+                ("t", "bio", "Text", "film"),
+            ]
+        )
+        assert o.concept_of_table("t") == "Person/film"

@@ -1,0 +1,131 @@
+"""Unit tests for repro.freeq.qco (ontology QCOs + efficiency measure)."""
+
+import pytest
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.hierarchy import QueryHierarchy
+from repro.core.keywords import KeywordQuery
+from repro.core.options import AtomSetOption, ConceptOption
+from repro.core.probability import ATFModel, TemplateCatalog
+from repro.db.database import Database
+from repro.db.schema import Attribute, Schema, Table
+from repro.freeq.ontology import SchemaOntology
+from repro.freeq.qco import OntologyQCOProvider, option_efficiency, provider_efficiency
+
+
+@pytest.fixture
+def concept_db() -> Database:
+    """Two person tables sharing a surname — one semantic concept, two
+    attributes, so concept-level QCOs genuinely group candidates."""
+    schema = Schema()
+    schema.add_table(Table("actor", [Attribute("name"), Attribute("id", textual=False)]))
+    schema.add_table(Table("director", [Attribute("name"), Attribute("id", textual=False)]))
+    schema.add_table(
+        Table("movie", [Attribute("title"), Attribute("year"), Attribute("id", textual=False)])
+    )
+    schema.add_table(Table("acts", [Attribute("id", textual=False)]))
+    schema.add_table(Table("directs", [Attribute("id", textual=False)]))
+    schema.link("acts", "actor")
+    schema.link("acts", "movie")
+    schema.link("directs", "director")
+    schema.link("directs", "movie")
+    db = Database(schema)
+    db.insert("actor", {"id": 1, "name": "tom hanks"})
+    db.insert("director", {"id": 1, "name": "mary hanks"})
+    db.insert("movie", {"id": 1, "title": "hanks story", "year": "2001"})
+    db.insert("acts", {"id": 1, "actor_id": 1, "movie_id": 1})
+    db.insert("directs", {"id": 1, "director_id": 1, "movie_id": 1})
+    db.build_indexes()
+    return db
+
+
+@pytest.fixture
+def mini_ontology(concept_db) -> SchemaOntology:
+    o = SchemaOntology()
+    o.add_concept("Person")
+    o.add_concept("Work")
+    o.assign_attribute("actor", "name", "Person")
+    o.assign_attribute("director", "name", "Person")
+    o.assign_attribute("movie", "title", "Work")
+    o.assign_attribute("movie", "year", "Work")
+    o.assign_table("actor", "Person")
+    o.assign_table("director", "Person")
+    o.assign_table("movie", "Work")
+    return o
+
+
+@pytest.fixture
+def expanded_hierarchy(concept_db):
+    generator = InterpretationGenerator(concept_db, max_template_joins=2)
+    model = ATFModel(concept_db.require_index(), TemplateCatalog(generator.templates))
+    q = KeywordQuery.from_terms(["hanks", "2001"])
+    h = QueryHierarchy(q, generator, model)
+    h.expand_to_complete()
+    return h
+
+
+class TestProvider:
+    def test_emits_concept_options(self, expanded_hierarchy, mini_ontology):
+        provider = OntologyQCOProvider(mini_ontology)
+        options = provider(expanded_hierarchy)
+        concepts = [o for o in options if isinstance(o, ConceptOption)]
+        assert concepts
+        assert any(o.concept == "Person" for o in concepts)
+
+    def test_concept_groups_multiple_attributes(self, expanded_hierarchy, mini_ontology):
+        provider = OntologyQCOProvider(mini_ontology)
+        for option in provider(expanded_hierarchy):
+            if isinstance(option, ConceptOption):
+                assert len(option.atoms) >= 2
+                assert len({a.keyword for a in option.atoms}) == 1
+
+    def test_atom_options_included_by_default(self, expanded_hierarchy, mini_ontology):
+        provider = OntologyQCOProvider(mini_ontology)
+        options = provider(expanded_hierarchy)
+        assert any(isinstance(o, AtomSetOption) for o in options)
+
+    def test_atom_options_can_be_excluded(self, expanded_hierarchy, mini_ontology):
+        provider = OntologyQCOProvider(mini_ontology, include_atom_options=False)
+        options = provider(expanded_hierarchy)
+        assert options  # concept options exist
+        assert all(isinstance(o, ConceptOption) for o in options)
+
+    def test_unassigned_atoms_fall_back(self, expanded_hierarchy):
+        empty_ontology = SchemaOntology()
+        provider = OntologyQCOProvider(empty_ontology)
+        options = provider(expanded_hierarchy)
+        assert options
+        assert all(isinstance(o, AtomSetOption) for o in options)
+
+    def test_deterministic(self, expanded_hierarchy, mini_ontology):
+        provider = OntologyQCOProvider(mini_ontology)
+        a = [o.describe() for o in provider(expanded_hierarchy)]
+        b = [o.describe() for o in provider(expanded_hierarchy)]
+        assert a == b
+
+
+class TestEfficiency:
+    def test_perfect_split_efficiency_one(self):
+        assert option_efficiency([0.5, 0.5], [True, False]) == pytest.approx(1.0)
+
+    def test_no_split_efficiency_zero(self):
+        assert option_efficiency([0.5, 0.5], [True, True]) == 0.0
+
+    def test_single_node_frontier(self):
+        assert option_efficiency([1.0], [True]) == 0.0
+
+    def test_range(self):
+        v = option_efficiency([0.6, 0.3, 0.1], [True, False, False])
+        assert 0.0 <= v <= 1.0
+
+    def test_provider_efficiency_concepts_dominate_atoms(
+        self, expanded_hierarchy, mini_ontology
+    ):
+        """Concept QCOs are at least as efficient as the best atom QCO on
+        the mini database (they aggregate probability mass)."""
+        atom_eff = provider_efficiency(
+            expanded_hierarchy, expanded_hierarchy.frontier_atoms()
+        )
+        provider = OntologyQCOProvider(mini_ontology)
+        concept_eff = provider_efficiency(expanded_hierarchy, provider(expanded_hierarchy))
+        assert concept_eff >= atom_eff - 1e-9

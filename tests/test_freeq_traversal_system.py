@@ -1,0 +1,98 @@
+"""Unit tests for repro.freeq.traversal and repro.freeq.system."""
+
+import pytest
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.datasets.freebase import freebase_workload
+from repro.freeq.system import FreeQ
+from repro.freeq.traversal import BestFirstExplorer
+from repro.user.oracle import IntendedInterpretation, SimulatedUser, value_spec
+
+HANKS_2001 = KeywordQuery.from_terms(["hanks", "2001"])
+INTENDED = IntendedInterpretation(
+    bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")},
+    template_path=("actor", "acts", "movie"),
+)
+
+
+class TestBestFirstExplorer:
+    def test_order_matches_exhaustive_ranking(self, mini_generator, mini_model):
+        """Best-first top-k must equal the exhaustively ranked top-k."""
+        explorer = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        top = explorer.top_interpretations(5)
+        exhaustive = rank_interpretations(
+            mini_generator.interpretations(HANKS_2001), mini_model
+        )
+        top_described = [i.describe() for i, _w in top]
+        exhaustive_described = [i.describe() for i, _p in exhaustive[:5]]
+        assert top_described == exhaustive_described
+
+    def test_weights_descend(self, mini_generator, mini_model):
+        explorer = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        weights = [w for _i, w in explorer.top_interpretations(8)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_results_are_valid_complete(self, mini_generator, mini_model):
+        explorer = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        for interp, _w in explorer.top_interpretations(5):
+            interp.validate()
+            assert interp.is_complete
+
+    def test_pops_bounded(self, mini_generator, mini_model):
+        explorer = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        explorer.top_interpretations(3, max_pops=10)
+        assert explorer.pops <= 10
+
+    def test_empty_query(self, mini_generator, mini_model):
+        explorer = BestFirstExplorer(
+            KeywordQuery.from_terms([]), mini_generator, mini_model
+        )
+        assert explorer.top_interpretations(3) == []
+
+    def test_n_zero(self, mini_generator, mini_model):
+        explorer = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        assert explorer.top_interpretations(0) == []
+
+    def test_partial_materialization(self, mini_generator, mini_model):
+        """Asking for 1 interpretation must not enumerate the whole space."""
+        explorer = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        explorer.top_interpretations(1)
+        full = BestFirstExplorer(HANKS_2001, mini_generator, mini_model)
+        full.top_interpretations(10_000)
+        assert explorer.pops < full.pops
+
+
+class TestFreeQSystem:
+    @pytest.fixture
+    def freeq(self, freebase_instance):
+        generator = InterpretationGenerator(
+            freebase_instance.database, max_template_joins=2
+        )
+        catalog = TemplateCatalog(generator.templates)
+        model = ATFModel(freebase_instance.database.require_index(), catalog)
+        return FreeQ(generator, model, freebase_instance.ontology)
+
+    def test_construct_succeeds(self, freeq, freebase_instance):
+        workload = freebase_workload(freebase_instance, n_queries=4)
+        assert workload
+        for item in workload:
+            result = freeq.construct(item.query, SimulatedUser(item.intended))
+            assert result.success
+
+    def test_concept_options_appear_in_transcripts(self, freeq, freebase_instance):
+        workload = freebase_workload(freebase_instance, n_queries=6)
+        transcripts = []
+        for item in workload:
+            result = freeq.construct(item.query, SimulatedUser(item.intended))
+            transcripts.extend(d for d, _ok in result.transcript)
+        assert any(
+            "Person" in d or "CreativeWork" in d or "Organization" in d
+            for d in transcripts
+        )
+
+    def test_top_interpretations(self, freeq, freebase_instance):
+        workload = freebase_workload(freebase_instance, n_queries=2)
+        top = freeq.top_interpretations(workload[0].query, n=3)
+        assert 0 < len(top) <= 3

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.generator (interpretation-space generation)."""
+
+import pytest
+
+from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.interpretation import TableAtom, ValueAtom
+from repro.core.keywords import Keyword, KeywordQuery
+
+
+class TestKeywordAtoms:
+    def test_value_atoms_found(self, mini_generator):
+        atoms = mini_generator.keyword_atoms(Keyword(0, "hanks"))
+        refs = {(a.table, a.attribute) for a in atoms if isinstance(a, ValueAtom)}
+        assert ("actor", "name") in refs
+        assert ("movie", "title") in refs
+
+    def test_table_atoms_found(self, mini_generator):
+        atoms = mini_generator.keyword_atoms(Keyword(0, "actor"))
+        assert any(isinstance(a, TableAtom) and a.table == "actor" for a in atoms)
+
+    def test_table_atoms_disabled(self, mini_db):
+        gen = InterpretationGenerator(
+            mini_db, config=GeneratorConfig(include_table_atoms=False)
+        )
+        atoms = gen.keyword_atoms(Keyword(0, "actor"))
+        assert not any(isinstance(a, TableAtom) for a in atoms)
+
+    def test_absent_keyword_no_atoms(self, mini_generator):
+        assert mini_generator.keyword_atoms(Keyword(0, "zzz")) == []
+
+    def test_atom_cap(self, mini_db):
+        gen = InterpretationGenerator(mini_db, config=GeneratorConfig(max_atoms_per_keyword=1))
+        assert len(gen.keyword_atoms(Keyword(0, "hanks"))) == 1
+
+    def test_cap_keeps_most_frequent(self, mini_db):
+        gen = InterpretationGenerator(mini_db, config=GeneratorConfig(max_atoms_per_keyword=1))
+        (atom,) = gen.keyword_atoms(Keyword(0, "hanks"))
+        # "hanks" is denser in actor.name (2/6) than movie.title (1/6).
+        assert (atom.table, atom.attribute) == ("actor", "name")
+
+
+class TestEffectiveKeywords:
+    def test_misspelled_keyword_excluded(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "zzz"])
+        effective = mini_generator.effective_keywords(q)
+        assert [k.term for k in effective] == ["hanks"]
+
+    def test_all_effective(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        assert len(mini_generator.effective_keywords(q)) == 2
+
+
+class TestEnumeration:
+    def test_space_nonempty(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        space = mini_generator.interpretations(q)
+        assert space
+
+    def test_all_complete_and_valid(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        for interp in mini_generator.interpretations(q):
+            assert interp.is_complete
+            interp.validate()
+
+    def test_intended_interpretation_present(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        space = mini_generator.interpretations(q)
+        found = False
+        for interp in space:
+            tables = {(a.table, a.attribute) for a in interp.atoms if isinstance(a, ValueAtom)}
+            if tables == {("actor", "name"), ("movie", "year")}:
+                found = True
+        assert found
+
+    def test_minimality_enforced(self, mini_generator):
+        """No interpretation has an empty endpoint table."""
+        q = KeywordQuery.from_terms(["tom", "hanks"])
+        for interp in mini_generator.interpretations(q):
+            occupied = {slot for _a, slot in interp.assignment}
+            for leaf in interp.template.leaf_positions():
+                assert leaf in occupied
+
+    def test_cap_on_interpretations(self, mini_db):
+        gen = InterpretationGenerator(
+            mini_db, config=GeneratorConfig(max_interpretations=3)
+        )
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        assert len(gen.interpretations(q)) <= 3
+
+    def test_empty_query_yields_nothing(self, mini_generator):
+        assert mini_generator.interpretations(KeywordQuery.from_terms([])) == []
+
+    def test_unmatchable_query_yields_nothing(self, mini_generator):
+        assert mini_generator.interpretations(KeywordQuery.from_terms(["zzz"])) == []
+
+    def test_space_size(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        assert mini_generator.space_size(q) == len(mini_generator.interpretations(q))
+
+    def test_deterministic(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        a = [i.describe() for i in mini_generator.interpretations(q)]
+        b = [i.describe() for i in mini_generator.interpretations(q)]
+        assert a == b
+
+    def test_require_nonempty_filters(self, mini_db):
+        gen_all = InterpretationGenerator(mini_db)
+        gen_nonempty = InterpretationGenerator(
+            mini_db, config=GeneratorConfig(require_nonempty=True)
+        )
+        q = KeywordQuery.from_terms(["london", "2004"])
+        all_space = gen_all.interpretations(q)
+        nonempty = gen_nonempty.interpretations(q)
+        assert len(nonempty) <= len(all_space)
+        for interp in nonempty:
+            assert interp.to_structured_query().has_results(mini_db)
+
+    def test_duplicate_keywords_get_distinct_bindings(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks", "hanks"])
+        for interp in mini_generator.interpretations(q):
+            positions = {a.keyword.position for a in interp.atoms}
+            assert positions == {0, 1}

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.hierarchy (query hierarchy, Alg. 3.2 substrate)."""
+
+import pytest
+
+from repro.core.hierarchy import QueryHierarchy
+from repro.core.keywords import KeywordQuery
+from repro.core.options import AtomSetOption
+from repro.core.probability import UniformModel
+
+
+@pytest.fixture
+def hierarchy(mini_generator, mini_model):
+    q = KeywordQuery.from_terms(["hanks", "2001"])
+    return QueryHierarchy(q, mini_generator, mini_model)
+
+
+class TestExpansion:
+    def test_initial_frontier_is_templates(self, hierarchy, mini_generator):
+        assert len(hierarchy) == len(mini_generator.templates)
+        assert hierarchy.level == 0
+
+    def test_depth_counts_effective_keywords(self, hierarchy):
+        assert hierarchy.depth == 2
+
+    def test_expand_once_advances_level(self, hierarchy):
+        hierarchy.expand_once()
+        assert hierarchy.level == 1
+        for node in hierarchy.frontier:
+            assert len(node.assignment) == 1
+
+    def test_expand_to_complete(self, hierarchy):
+        hierarchy.expand_to_complete()
+        assert hierarchy.at_complete_level()
+        assert not hierarchy.can_expand()
+
+    def test_complete_level_minimality(self, hierarchy):
+        hierarchy.expand_to_complete()
+        for node in hierarchy.frontier:
+            occupied = {slot for _a, slot in node.assignment}
+            assert all(leaf in occupied for leaf in node.template.leaf_positions())
+
+    def test_generated_nodes_counted(self, hierarchy):
+        before = hierarchy.generated_nodes
+        hierarchy.expand_once()
+        assert hierarchy.generated_nodes > before
+
+    def test_max_frontier_cap(self, mini_generator, mini_model):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        h = QueryHierarchy(q, mini_generator, mini_model, max_frontier=3)
+        h.expand_to_complete()
+        assert len(h) <= 3
+
+    def test_complete_interpretations_requires_full_expansion(self, hierarchy):
+        with pytest.raises(RuntimeError):
+            hierarchy.complete_interpretations()
+
+    def test_complete_interpretations_valid(self, hierarchy):
+        hierarchy.expand_to_complete()
+        interps = hierarchy.complete_interpretations()
+        assert interps
+        for interp in interps:
+            interp.validate()
+            assert interp.is_complete
+
+
+class TestPruning:
+    def test_accept_keeps_matching_nodes(self, hierarchy):
+        hierarchy.expand_to_complete()
+        options = hierarchy.frontier_atoms()
+        splitting = next(
+            o
+            for o in options
+            if 0 < sum(o.matches(n.atoms) for n in hierarchy.frontier) < len(hierarchy)
+        )
+        hierarchy.accept(splitting)
+        assert all(splitting.matches(n.atoms) for n in hierarchy.frontier)
+
+    def test_reject_drops_matching_nodes(self, hierarchy):
+        hierarchy.expand_to_complete()
+        options = hierarchy.frontier_atoms()
+        splitting = next(
+            o
+            for o in options
+            if 0 < sum(o.matches(n.atoms) for n in hierarchy.frontier) < len(hierarchy)
+        )
+        hierarchy.reject(splitting)
+        assert not any(splitting.matches(n.atoms) for n in hierarchy.frontier)
+
+    def test_accept_then_reject_disjoint(self, hierarchy):
+        hierarchy.expand_to_complete()
+        n_before = len(hierarchy)
+        option = hierarchy.frontier_atoms()[0]
+        kept = sum(option.matches(n.atoms) for n in hierarchy.frontier)
+        hierarchy.accept(option)
+        assert len(hierarchy) == kept
+        assert len(hierarchy) <= n_before
+
+
+class TestProbabilities:
+    def test_frontier_probabilities_sum_to_one(self, hierarchy):
+        hierarchy.expand_to_complete()
+        probs = hierarchy.frontier_probabilities()
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_option_probability_in_unit_interval(self, hierarchy):
+        hierarchy.expand_to_complete()
+        for option in hierarchy.frontier_atoms():
+            p = hierarchy.option_probability(option)
+            assert 0.0 <= p <= 1.0 + 1e-9
+
+    def test_uniform_model_hierarchy(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks"])
+        h = QueryHierarchy(q, mini_generator, UniformModel())
+        h.expand_to_complete()
+        probs = h.frontier_probabilities()
+        assert all(p == pytest.approx(probs[0]) for p in probs)
+
+    def test_frontier_matches_generator_space(self, hierarchy, mini_generator):
+        """Full expansion reproduces the generator's interpretation space."""
+        hierarchy.expand_to_complete()
+        frontier_atoms = {
+            frozenset((a, s) for a, s in n.assignment) for n in hierarchy.frontier
+        }
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        space_atoms = {
+            frozenset(i.assignment) for i in mini_generator.interpretations(q)
+        }
+        assert frontier_atoms == space_atoms

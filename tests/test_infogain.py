@@ -1,0 +1,62 @@
+"""Unit tests for repro.iqp.infogain (Eqs. 3.11-3.13)."""
+
+import pytest
+
+from repro.iqp.infogain import conditional_entropy, information_gain
+
+
+class TestConditionalEntropy:
+    def test_perfect_split_zero_entropy(self):
+        # Two equally likely queries; option isolates one.
+        assert conditional_entropy([0.5, 0.5], [True, False]) == pytest.approx(0.0)
+
+    def test_useless_option_keeps_entropy(self):
+        # Option subsumes everything: no information.
+        h = conditional_entropy([0.25] * 4, [True] * 4)
+        assert h == pytest.approx(2.0)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            conditional_entropy([0.5], [True, False])
+
+    def test_unnormalized_weights_accepted(self):
+        a = conditional_entropy([1.0, 1.0, 2.0], [True, False, False])
+        b = conditional_entropy([0.25, 0.25, 0.5], [True, False, False])
+        assert a == pytest.approx(b)
+
+
+class TestInformationGain:
+    def test_even_split_maximal(self):
+        probs = [0.25] * 4
+        even = information_gain(probs, [True, True, False, False])
+        uneven = information_gain(probs, [True, False, False, False])
+        assert even > uneven
+
+    def test_even_split_gains_one_bit(self):
+        assert information_gain([0.25] * 4, [True, True, False, False]) == pytest.approx(1.0)
+
+    def test_no_split_zero_gain(self):
+        assert information_gain([0.5, 0.5], [True, True]) == pytest.approx(0.0)
+        assert information_gain([0.5, 0.5], [False, False]) == pytest.approx(0.0)
+
+    def test_gain_nonnegative(self):
+        import itertools
+
+        probs = [0.4, 0.3, 0.2, 0.1]
+        for pattern in itertools.product([True, False], repeat=4):
+            assert information_gain(probs, list(pattern)) >= -1e-12
+
+    def test_gain_bounded_by_entropy(self):
+        from repro.core.probability import entropy, normalize
+
+        probs = [0.4, 0.3, 0.2, 0.1]
+        h = entropy(normalize(probs))
+        assert information_gain(probs, [True, False, True, False]) <= h + 1e-12
+
+    def test_probability_weighted_split(self):
+        """With skewed probabilities, the best split tracks the mass, not
+        the count: isolating the heavy query beats halving the count."""
+        probs = [0.7, 0.1, 0.1, 0.1]
+        isolate_heavy = information_gain(probs, [True, False, False, False])
+        halve_count = information_gain(probs, [True, True, False, False])
+        assert isolate_heavy > halve_count

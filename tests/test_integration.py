@@ -1,0 +1,193 @@
+"""Integration tests across modules: end-to-end flows of all four systems."""
+
+import pytest
+
+from repro.baselines.sqak import SqakRanker
+from repro.core.generator import InterpretationGenerator
+from repro.core.probability import ATFModel, DivQModel, TemplateCatalog, rank_interpretations
+from repro.datasets.workload import imdb_workload, lyrics_workload, train_catalog_from_workload
+from repro.divq.diversify import diversify
+from repro.divq.metrics import alpha_ndcg_w, subtopic_relevance, ws_recall
+from repro.divq.similarity import jaccard_similarity
+from repro.iqp.ranking import Ranker
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import SimulatedUser
+
+
+@pytest.fixture(scope="module")
+def imdb_stack(imdb_db):
+    generator = InterpretationGenerator(imdb_db, max_template_joins=4)
+    catalog = TemplateCatalog(generator.templates)
+    model = ATFModel(imdb_db.require_index(), catalog)
+    workload = imdb_workload(imdb_db, n_queries=12)
+    return imdb_db, generator, model, workload
+
+
+class TestIQPEndToEnd:
+    def test_construction_resolves_most_queries(self, imdb_stack):
+        db, generator, model, workload = imdb_stack
+        successes = 0
+        for item in workload:
+            user = SimulatedUser(item.intended)
+            result = ConstructionSession(item.query, generator, model).run(user)
+            successes += result.success
+        assert successes >= len(workload) * 0.8
+
+    def test_construction_cost_below_space_size(self, imdb_stack):
+        """Construction must beat scanning the whole interpretation space."""
+        db, generator, model, workload = imdb_stack
+        for item in workload:
+            space_size = generator.space_size(item.query)
+            if space_size < 5:
+                continue
+            user = SimulatedUser(item.intended)
+            result = ConstructionSession(item.query, generator, model).run(user)
+            assert result.options_evaluated < space_size
+
+    def test_atf_model_at_least_as_good_as_uniform(self, imdb_stack):
+        from repro.core.probability import UniformModel
+
+        db, generator, model, workload = imdb_stack
+        atf_total = 0
+        uniform_total = 0
+        for item in workload:
+            u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
+            atf_total += ConstructionSession(item.query, generator, model).run(u1).options_evaluated
+            uniform_total += (
+                ConstructionSession(item.query, generator, UniformModel()).run(u2).options_evaluated
+            )
+        # The ATF estimates cut cost on average (Fig. 3.5); allow small
+        # per-workload noise since individual queries can go either way.
+        assert atf_total <= uniform_total * 1.15 + 2
+
+    def test_query_log_training_helps_lyrics(self, lyrics_db):
+        """The (ATF, TLog) configuration should not cost more interactions
+        than (ATF, Tequal) on Lyrics, whose template usage is highly skewed."""
+        generator = InterpretationGenerator(lyrics_db, max_template_joins=4)
+        workload = lyrics_workload(lyrics_db, n_queries=10)
+        idx = lyrics_db.require_index()
+        tequal = ATFModel(idx, TemplateCatalog(generator.templates))
+        tlog_catalog = TemplateCatalog(generator.templates)
+        train_catalog_from_workload(tlog_catalog, generator.templates, workload)
+        tlog = ATFModel(idx, tlog_catalog)
+        cost_equal = cost_log = 0
+        for item in workload:
+            u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
+            cost_equal += ConstructionSession(item.query, generator, tequal).run(u1).options_evaluated
+            cost_log += ConstructionSession(item.query, generator, tlog).run(u2).options_evaluated
+        assert cost_log <= cost_equal
+
+    def test_construction_variance_below_ranking(self, imdb_stack):
+        """Fig. 3.6's key claim: construction cost varies far less than the
+        rank of the intended interpretation."""
+        import statistics
+
+        db, generator, model, workload = imdb_stack
+        ranker = Ranker(generator, model)
+        ranks, costs = [], []
+        for item in workload:
+            rank = ranker.rank_of(item.query, item.intended)
+            if rank is None:
+                continue
+            ranks.append(rank)
+            user = SimulatedUser(item.intended)
+            costs.append(
+                ConstructionSession(item.query, generator, model).run(user).options_evaluated
+            )
+        assert len(ranks) >= 5
+        assert max(costs) <= max(ranks)
+        if len(ranks) >= 2 and statistics.pvariance(ranks) > 0:
+            assert statistics.pvariance(costs) <= statistics.pvariance(ranks)
+
+
+class TestDivQEndToEnd:
+    def test_diversification_reduces_redundancy(self, imdb_stack):
+        """Across the workload, diversified top-5 lists must cover at least
+        as many distinct result tuples as the relevance-ranked top-5."""
+        db, generator, _model, workload = imdb_stack
+        catalog = TemplateCatalog(generator.templates)
+        model = DivQModel(db.require_index(), catalog, database=db)
+        improved = regressed = 0
+        for item in workload:
+            ranked = rank_interpretations(generator.interpretations(item.query), model)
+            ranked = ranked[:15]
+            if len(ranked) < 6:
+                continue
+            keys = {
+                id(i): frozenset(i.result_keys(db, limit=50)) for i, _p in ranked
+            }
+            rank_cover = set()
+            for interp, _p in ranked[:5]:
+                rank_cover |= keys[id(interp)]
+            result = diversify(ranked, k=5, tradeoff=0.1)
+            div_cover = set()
+            for interp in result.selected:
+                div_cover |= keys[id(interp)]
+            if len(div_cover) > len(rank_cover):
+                improved += 1
+            elif len(div_cover) < len(rank_cover):
+                regressed += 1
+        assert improved >= regressed
+
+    def test_metrics_pipeline(self, imdb_stack):
+        db, generator, _model, workload = imdb_stack
+        catalog = TemplateCatalog(generator.templates)
+        model = DivQModel(db.require_index(), catalog, database=db)
+        item = workload[0]
+        ranked = rank_interpretations(generator.interpretations(item.query), model)[:10]
+        entries = [
+            (p, frozenset(i.result_keys(db, limit=50))) for i, p in ranked
+        ]
+        universe = subtopic_relevance(entries)
+        for k in (1, 3, 5):
+            assert 0.0 <= alpha_ndcg_w(entries, 0.5, k) <= 1.0
+            assert 0.0 <= ws_recall(entries, k, universe) <= 1.0
+
+    def test_similarity_reflects_shared_bindings(self, imdb_stack):
+        db, generator, model, workload = imdb_stack
+        item = workload[0]
+        space = generator.interpretations(item.query)
+        if len(space) >= 2:
+            sim = jaccard_similarity(space[0], space[0])
+            assert sim == 1.0
+
+
+class TestBaselineComparison:
+    def test_iqp_ranking_competitive_with_sqak(self, imdb_stack):
+        """Median intended rank of IQP's ATF ranking should not be worse
+        than SQAK's on the synthetic IMDB workload (Section 3.8.3)."""
+        import statistics
+
+        db, generator, model, workload = imdb_stack
+        iqp = Ranker(generator, model)
+        sqak = SqakRanker(generator, db.require_index())
+        iqp_ranks, sqak_ranks = [], []
+        for item in workload:
+            r1 = iqp.rank_of(item.query, item.intended)
+            r2 = sqak.rank_of(item.query, item.intended)
+            if r1 is not None and r2 is not None:
+                iqp_ranks.append(r1)
+                sqak_ranks.append(r2)
+        assert len(iqp_ranks) >= 5
+        assert statistics.median(iqp_ranks) <= statistics.median(sqak_ranks)
+
+
+class TestFreeQEndToEnd:
+    def test_ontology_cost_not_worse_than_plain(self, freebase_instance):
+        from repro.freeq.system import FreeQ
+        from repro.datasets.freebase import freebase_workload
+
+        db = freebase_instance.database
+        generator = InterpretationGenerator(db, max_template_joins=2)
+        model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
+        freeq = FreeQ(generator, model, freebase_instance.ontology, stop_size=1)
+        workload = freebase_workload(freebase_instance, n_queries=6)
+        plain_total = onto_total = 0
+        for item in workload:
+            u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
+            plain = ConstructionSession(item.query, generator, model, stop_size=1).run(u1)
+            onto = freeq.construct(item.query, u2)
+            plain_total += plain.options_evaluated
+            onto_total += onto.options_evaluated
+            assert onto.success
+        assert onto_total <= plain_total

@@ -1,0 +1,43 @@
+"""Unit tests for repro.core.keywords."""
+
+from repro.core.keywords import Keyword, KeywordQuery
+
+
+class TestParse:
+    def test_parse_normalizes(self):
+        q = KeywordQuery.parse("Hanks Terminal")
+        assert q.terms == ("hanks", "terminal")
+        assert q.text == "Hanks Terminal"
+
+    def test_positions_assigned(self):
+        q = KeywordQuery.parse("a b c")
+        assert [k.position for k in q] == [0, 1, 2]
+
+    def test_bag_semantics_duplicates(self):
+        q = KeywordQuery.parse("la la")
+        assert len(q) == 2
+        assert q.keywords[0] != q.keywords[1]  # distinct positions
+
+    def test_from_terms(self):
+        q = KeywordQuery.from_terms(["tom", "hanks"])
+        assert q.terms == ("tom", "hanks")
+        assert str(q) == "tom hanks"
+
+    def test_empty_query(self):
+        q = KeywordQuery.parse("")
+        assert len(q) == 0
+
+
+class TestKeyword:
+    def test_ordering_by_position(self):
+        assert Keyword(0, "b") < Keyword(1, "a")
+
+    def test_str(self):
+        assert str(Keyword(0, "hanks")) == "hanks"
+
+    def test_hashable(self):
+        assert len({Keyword(0, "a"), Keyword(0, "a"), Keyword(1, "a")}) == 2
+
+    def test_query_iteration(self):
+        q = KeywordQuery.from_terms(["x", "y"])
+        assert list(q) == [Keyword(0, "x"), Keyword(1, "y")]

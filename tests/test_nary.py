@@ -1,0 +1,71 @@
+"""Unit tests for repro.iqp.nary (binary <-> N-ary plan transformation)."""
+
+import pytest
+
+from repro.datasets.simulation import random_option_space
+from repro.iqp.brute_force import brute_force_plan
+from repro.iqp.greedy_plan import greedy_plan
+from repro.iqp.nary import nary_expected_cost, to_binary, to_nary
+from repro.iqp.plan import OptionSpace, expected_cost
+
+
+@pytest.fixture
+def chain_space() -> OptionSpace:
+    """3 queries separated by 2 options, forcing a reject chain."""
+    return OptionSpace.build(
+        queries=["a", "b", "c"],
+        probabilities=[0.5, 0.3, 0.2],
+        options={"isA": {0}, "isB": {1}},
+    )
+
+
+class TestToNary:
+    def test_reject_chain_becomes_one_round(self, chain_space):
+        plan, _cost = greedy_plan(chain_space)
+        nary = to_nary(plan)
+        # The chain of two binary questions collapses into one round with
+        # two real options plus the fallthrough.
+        assert len(nary.options) >= 2
+
+    def test_depths_preserved(self, chain_space):
+        plan, _cost = greedy_plan(chain_space)
+        nary = to_nary(plan)
+        for i in range(3):
+            assert nary.depth_of(i) == plan.depth_of(i)
+
+    def test_cost_preserved(self, chain_space):
+        plan, cost = greedy_plan(chain_space)
+        nary = to_nary(plan)
+        assert nary_expected_cost(nary, chain_space) == pytest.approx(cost)
+
+    def test_leaf_passthrough(self):
+        space = OptionSpace.build(["only"], [1.0], {})
+        plan, _ = greedy_plan(space)
+        nary = to_nary(plan)
+        assert nary.is_leaf
+        assert nary.depth_of(0) == 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_binary_nary_binary_cost_invariant(self, seed):
+        space = random_option_space(n_queries=10, n_options=5, seed=seed)
+        plan, cost = greedy_plan(space)
+        nary = to_nary(plan)
+        back = to_binary(nary)
+        assert expected_cost(back, space) == pytest.approx(cost)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_nary_cost_equals_binary_cost(self, seed):
+        space = random_option_space(n_queries=8, n_options=4, seed=seed + 50)
+        plan, cost = brute_force_plan(space)
+        nary = to_nary(plan)
+        assert nary_expected_cost(nary, space) == pytest.approx(cost)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_depths_match_for_all_queries(self, seed):
+        space = random_option_space(n_queries=9, n_options=5, seed=seed + 100)
+        plan, _ = greedy_plan(space)
+        nary = to_nary(plan)
+        for i in range(9):
+            assert nary.depth_of(i) == plan.depth_of(i)

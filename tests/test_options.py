@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.options (QCO kinds)."""
+
+import pytest
+
+from repro.core.interpretation import TableAtom, ValueAtom
+from repro.core.keywords import Keyword
+from repro.core.options import AtomSetOption, ConceptOption
+from repro.user.oracle import IntendedInterpretation, table_spec, value_spec
+
+K0 = Keyword(0, "hanks")
+K1 = Keyword(1, "2001")
+A_ACTOR = ValueAtom(K0, "actor", "name")
+A_DIRECTOR = ValueAtom(K0, "director", "name")
+A_TITLE = ValueAtom(K0, "movie", "title")
+A_YEAR = ValueAtom(K1, "movie", "year")
+
+INTENDED = IntendedInterpretation(
+    bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")}
+)
+
+
+class TestAtomSetOption:
+    def test_matches_subset(self):
+        opt = AtomSetOption(frozenset([A_ACTOR]))
+        assert opt.matches(frozenset([A_ACTOR, A_YEAR]))
+        assert not opt.matches(frozenset([A_TITLE, A_YEAR]))
+
+    def test_multi_atom_option(self):
+        opt = AtomSetOption(frozenset([A_ACTOR, A_YEAR]))
+        assert opt.matches(frozenset([A_ACTOR, A_YEAR]))
+        assert not opt.matches(frozenset([A_ACTOR]))
+
+    def test_is_correct(self):
+        assert AtomSetOption(frozenset([A_ACTOR])).is_correct(INTENDED)
+        assert not AtomSetOption(frozenset([A_TITLE])).is_correct(INTENDED)
+
+    def test_describe(self):
+        assert "actor.name" in AtomSetOption(frozenset([A_ACTOR])).describe()
+
+
+class TestConceptOption:
+    def test_matches_any_member(self):
+        opt = ConceptOption(
+            keyword=K0, concept="Person", atoms=frozenset([A_ACTOR, A_DIRECTOR])
+        )
+        assert opt.matches(frozenset([A_ACTOR, A_YEAR]))
+        assert opt.matches(frozenset([A_DIRECTOR, A_YEAR]))
+        assert not opt.matches(frozenset([A_TITLE, A_YEAR]))
+
+    def test_is_correct_when_any_atom_correct(self):
+        opt = ConceptOption(
+            keyword=K0, concept="Person", atoms=frozenset([A_ACTOR, A_DIRECTOR])
+        )
+        assert opt.is_correct(INTENDED)
+
+    def test_is_incorrect_when_no_atom_correct(self):
+        opt = ConceptOption(keyword=K0, concept="Work", atoms=frozenset([A_TITLE]))
+        assert not opt.is_correct(INTENDED)
+
+    def test_rejects_mixed_keywords(self):
+        with pytest.raises(ValueError):
+            ConceptOption(keyword=K0, concept="X", atoms=frozenset([A_ACTOR, A_YEAR]))
+
+    def test_describe_names_concept(self):
+        opt = ConceptOption(keyword=K0, concept="Person", atoms=frozenset([A_ACTOR]))
+        assert "Person" in opt.describe()
+        assert "hanks" in opt.describe()
+
+
+class TestOracleSpecs:
+    def test_table_spec_matching(self):
+        intended = IntendedInterpretation(bindings={0: table_spec("actor")})
+        atom = TableAtom(K0, "actor")
+        assert intended.matches_atom(atom)
+        assert not intended.matches_atom(TableAtom(K0, "movie"))
+
+    def test_unbound_position_never_matches(self):
+        intended = IntendedInterpretation(bindings={5: value_spec("actor", "name")})
+        assert not intended.matches_atom(A_ACTOR)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.baselines.pagerank and repro.cli."""
+
+import pytest
+
+from repro.baselines.pagerank import ImportanceScorer, TupleImportance
+from repro.cli import build_parser, main
+from repro.db.datagraph import DataGraph
+
+
+class TestTupleImportance:
+    def test_scores_cover_all_tuples(self, mini_db):
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        assert len(importance.scores) == mini_db.total_tuples()
+
+    def test_scores_sum_to_one(self, mini_db):
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        assert sum(importance.scores.values()) == pytest.approx(1.0)
+
+    def test_connected_tuple_more_important(self, mini_db):
+        """tom hanks (2 movies) outranks jack london (1 movie)."""
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        assert importance.of(("actor", 1)) > importance.of(("actor", 3))
+
+    def test_top(self, mini_db):
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        top = importance.top(3)
+        assert len(top) == 3
+        scores = [s for _uid, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_uid_zero(self, mini_db):
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        assert importance.of(("ghost", 99)) == 0.0
+
+
+class TestImportanceScorer:
+    def test_rank_descending(self, mini_db):
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        scorer = ImportanceScorer(importance)
+        e1 = mini_db.schema.join_edges("actor", "acts")[0]
+        e2 = mini_db.schema.join_edges("acts", "movie")[0]
+        results = mini_db.execute_path(["actor", "acts", "movie"], [e1, e2])
+        ranked = scorer.rank(results)
+        scores = [s for s, _r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_result_zero(self, mini_db):
+        importance = TupleImportance.compute(DataGraph(mini_db))
+        assert ImportanceScorer(importance).score([]) == 0.0
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "hanks 2001", "--dataset", "imdb", "--k", "3"])
+        assert args.query == "hanks 2001"
+        assert args.k == 3
+
+    def test_search_runs(self, capsys):
+        code = main(["search", "hanks", "--dataset", "imdb", "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interpretations" in out
+
+    def test_search_no_hits(self, capsys):
+        code = main(["search", "zzzzzz", "--dataset", "imdb"])
+        assert code == 1
+
+    def test_construct_scripted(self, capsys):
+        code = main(
+            ["construct", "hanks 2001", "--dataset", "imdb", "--answers", "n", "y"]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "[y/n]" in out
+
+    def test_diversify_runs(self, capsys):
+        code = main(["diversify", "london", "--dataset", "imdb", "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diversified" in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["search", "hanks", "--dataset", "nope"])

@@ -1,0 +1,114 @@
+"""Unit tests for repro.iqp.plan (QCPs over abstract option spaces)."""
+
+import pytest
+
+from repro.iqp.plan import (
+    OptionSpace,
+    PlanNode,
+    expected_cost,
+    make_scan_node,
+    ranked_list_cost,
+    splitting_options,
+)
+
+
+@pytest.fixture
+def four_query_space() -> OptionSpace:
+    """4 queries; opt_a = {0,1}, opt_b = {0,2}."""
+    return OptionSpace.build(
+        queries=["q0", "q1", "q2", "q3"],
+        probabilities=[0.4, 0.3, 0.2, 0.1],
+        options={"a": {0, 1}, "b": {0, 2}},
+    )
+
+
+class TestOptionSpace:
+    def test_probabilities_normalized(self):
+        space = OptionSpace.build(["x", "y"], [2.0, 2.0], {})
+        assert space.probabilities == (0.5, 0.5)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            OptionSpace.build(["x"], [0.5, 0.5], {})
+
+    def test_all_indices(self, four_query_space):
+        assert four_query_space.all_indices() == frozenset({0, 1, 2, 3})
+
+    def test_conditional_renormalizes(self, four_query_space):
+        cond = four_query_space.conditional(frozenset({0, 1}))
+        assert sum(cond) == pytest.approx(1.0)
+        assert cond[0] == pytest.approx(0.4 / 0.7)
+
+    def test_mass(self, four_query_space):
+        assert four_query_space.mass(frozenset({0, 1})) == pytest.approx(0.7)
+
+
+class TestRankedListCost:
+    def test_single_item_free(self):
+        assert ranked_list_cost([1.0]) == 0.0
+
+    def test_empty(self):
+        assert ranked_list_cost([]) == 0.0
+
+    def test_two_items(self):
+        # Best-first scan: top item costs 1; second is implied after the
+        # first rejection (cost 1).
+        assert ranked_list_cost([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_skewed_cheaper_than_uniform(self):
+        assert ranked_list_cost([0.9, 0.05, 0.05]) < ranked_list_cost([1 / 3] * 3)
+
+    def test_uses_descending_order(self):
+        assert ranked_list_cost([0.1, 0.9]) == ranked_list_cost([0.9, 0.1])
+
+
+class TestSplittingOptions:
+    def test_finds_splitting(self, four_query_space):
+        opts = splitting_options(four_query_space, four_query_space.all_indices())
+        names = [o for o, _i, _o2 in opts]
+        assert set(names) == {"a", "b"}
+
+    def test_non_splitting_excluded(self, four_query_space):
+        opts = splitting_options(four_query_space, frozenset({0, 1}))
+        names = [o for o, _i, _o2 in opts]
+        assert "a" not in names  # subsumes the whole subset
+        assert "b" in names
+
+    def test_sides_partition_subset(self, four_query_space):
+        subset = four_query_space.all_indices()
+        for _o, inside, outside in splitting_options(four_query_space, subset):
+            assert inside | outside == subset
+            assert not inside & outside
+
+
+class TestPlanNodesAndCost:
+    def test_leaf_depth(self):
+        leaf = PlanNode(subset=frozenset({1}), query_index=1)
+        assert leaf.depth_of(1) == 0
+        with pytest.raises(KeyError):
+            leaf.depth_of(2)
+
+    def test_internal_depth(self, four_query_space):
+        accept = PlanNode(subset=frozenset({0, 1}), scan=True, scan_order=(0, 1))
+        reject = PlanNode(subset=frozenset({2, 3}), scan=True, scan_order=(2, 3))
+        root = PlanNode(
+            subset=four_query_space.all_indices(), option="a", accept=accept, reject=reject
+        )
+        # q0: root question (1) + scan position 1 -> capped at n-1=1.
+        assert root.depth_of(0) == 2
+        assert root.depth_of(2) == 2
+
+    def test_expected_cost_of_scan_equals_ranked_list(self, four_query_space):
+        node = make_scan_node(four_query_space, four_query_space.all_indices())
+        assert expected_cost(node, four_query_space) == pytest.approx(
+            ranked_list_cost(list(four_query_space.probabilities))
+        )
+
+    def test_scan_node_probability_order(self, four_query_space):
+        node = make_scan_node(four_query_space, four_query_space.all_indices())
+        assert node.scan_order == (0, 1, 2, 3)
+
+    def test_expected_cost_single_leaf(self):
+        space = OptionSpace.build(["only"], [1.0], {})
+        leaf = PlanNode(subset=frozenset({0}), query_index=0)
+        assert expected_cost(leaf, space) == 0.0

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.probability (Eqs. 3.5-3.8, 4.2)."""
+
+import pytest
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.interpretation import TableAtom, ValueAtom
+from repro.core.keywords import Keyword, KeywordQuery
+from repro.core.probability import (
+    ATFModel,
+    DivQModel,
+    TemplateCatalog,
+    UniformModel,
+    entropy,
+    normalize,
+    rank_interpretations,
+)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        assert sum(normalize([1.0, 2.0, 3.0])) == pytest.approx(1.0)
+
+    def test_preserves_ratios(self):
+        p = normalize([1.0, 3.0])
+        assert p[1] == pytest.approx(3 * p[0])
+
+    def test_zero_weights_uniform(self):
+        assert normalize([0.0, 0.0]) == [0.5, 0.5]
+
+    def test_empty(self):
+        assert normalize([]) == []
+
+
+class TestEntropy:
+    def test_uniform_maximal(self):
+        assert entropy([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_certain_zero(self):
+        assert entropy([1.0, 0.0]) == 0.0
+
+    def test_monotone_in_spread(self):
+        assert entropy([0.5, 0.5]) > entropy([0.9, 0.1])
+
+
+class TestTemplateCatalog:
+    def test_uniform_prior_without_log(self, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates)
+        t = mini_generator.templates[0]
+        assert catalog.prior(t) == pytest.approx(1.0 / len(mini_generator.templates))
+
+    def test_log_prior_eq_3_7(self, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates, alpha=1.0)
+        t0, t1 = mini_generator.templates[0], mini_generator.templates[1]
+        catalog.record_usage(t0, 9)
+        n_templates = len(mini_generator.templates)
+        assert catalog.prior(t0) == pytest.approx((9 + 1) / (9 + n_templates))
+        assert catalog.prior(t1) == pytest.approx(1 / (9 + n_templates))
+
+    def test_recorded_template_outranks_unrecorded(self, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates)
+        t0, t1 = mini_generator.templates[0], mini_generator.templates[1]
+        catalog.record_usage(t0, 5)
+        assert catalog.prior(t0) > catalog.prior(t1)
+
+    def test_record_log_by_identifier(self, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates)
+        t0 = mini_generator.templates[0]
+        catalog.record_log([t0.identifier, t0.identifier])
+        assert catalog.frequency(t0) == pytest.approx(1.0)
+
+    def test_frequency_zero_without_log(self, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates)
+        assert catalog.frequency(mini_generator.templates[0]) == 0.0
+
+
+class TestATFModel:
+    def test_value_atom_weight_is_atf(self, mini_db, mini_generator, mini_model):
+        atom = ValueAtom(Keyword(0, "hanks"), "actor", "name")
+        t = mini_generator.templates[0]
+        idx = mini_db.require_index()
+        assert mini_model.atom_weight(atom, t) == pytest.approx(
+            idx.atf("hanks", "actor", "name")
+        )
+
+    def test_table_atom_weight(self, mini_generator, mini_model):
+        atom = TableAtom(Keyword(0, "actor"), "actor")
+        assert mini_model.atom_weight(atom, mini_generator.templates[0]) == 0.5
+
+    def test_interpretation_weight_is_product(self, mini_db, mini_generator, mini_model):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        interp = mini_generator.interpretations(q)[0]
+        expected = mini_model.template_prior(interp.template)
+        for atom in interp.atoms:
+            expected *= mini_model.atom_weight(atom, interp.template)
+        assert mini_model.interpretation_weight(interp) == pytest.approx(expected)
+
+    def test_typical_interpretation_preferred(self, mini_db, mini_generator, mini_model):
+        """ATF prefers "hanks" as an actor name (2 of 6 tokens) over a movie
+        title word (1 of 6) — the §3.8.3 typicality preference."""
+        idx = mini_db.require_index()
+        assert idx.atf("hanks", "actor", "name") > idx.atf("hanks", "movie", "title")
+
+
+class TestRankInterpretations:
+    def test_best_first_order(self, mini_generator, mini_model):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        ranked = rank_interpretations(mini_generator.interpretations(q), mini_model)
+        probs = [p for _i, p in ranked]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probabilities_normalized(self, mini_generator, mini_model):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        ranked = rank_interpretations(mini_generator.interpretations(q), mini_model)
+        assert sum(p for _i, p in ranked) == pytest.approx(1.0)
+
+    def test_uniform_model_ties_broken_deterministically(self, mini_generator):
+        q = KeywordQuery.from_terms(["hanks"])
+        space = mini_generator.interpretations(q)
+        a = rank_interpretations(space, UniformModel())
+        b = rank_interpretations(space, UniformModel())
+        assert [i.describe() for i, _ in a] == [i.describe() for i, _ in b]
+
+
+class TestDivQModel:
+    @pytest.fixture
+    def divq_model(self, mini_db, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates)
+        return DivQModel(mini_db.require_index(), catalog, database=mini_db)
+
+    def test_cooccurrence_beats_split_binding(self, mini_db, mini_generator, divq_model):
+        """"tom hanks" both in actor.name outranks splitting across tables."""
+        q = KeywordQuery.from_terms(["tom", "hanks"])
+        space = mini_generator.interpretations(q)
+        ranked = rank_interpretations(space, divq_model)
+        best = ranked[0][0]
+        attrs = {(a.table, a.attribute) for a in best.atoms if isinstance(a, ValueAtom)}
+        assert attrs == {("actor", "name")}
+
+    def test_check_nonempty_zeroes_empty_results(self, mini_db, mini_generator):
+        catalog = TemplateCatalog(mini_generator.templates)
+        model = DivQModel(
+            mini_db.require_index(), catalog, database=mini_db, check_nonempty=True
+        )
+        q = KeywordQuery.from_terms(["london", "2004"])
+        space = mini_generator.interpretations(q)
+        for interp in space:
+            w = model.interpretation_weight(interp)
+            if not interp.to_structured_query().has_results(mini_db):
+                assert w == 0.0
+
+    def test_weights_nonnegative(self, mini_generator, divq_model):
+        q = KeywordQuery.from_terms(["hanks", "2001"])
+        for interp in mini_generator.interpretations(q):
+            assert divq_model.interpretation_weight(interp) >= 0.0

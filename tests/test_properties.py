@@ -1,0 +1,283 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interpretation import ValueAtom
+from repro.core.keywords import Keyword
+from repro.core.probability import entropy, normalize
+from repro.db.tokenizer import Tokenizer, tokenize
+from repro.divq.metrics import alpha_ndcg_w, ws_recall
+from repro.divq.similarity import jaccard_atoms
+from repro.iqp.infogain import conditional_entropy, information_gain
+from repro.iqp.plan import OptionSpace, expected_cost, make_scan_node, ranked_list_cost
+
+# -- strategies ---------------------------------------------------------------
+
+texts = st.text(max_size=80)
+weights = st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20)
+positive_weights = st.lists(
+    st.floats(min_value=1e-6, max_value=100.0), min_size=1, max_size=20
+)
+
+
+def atoms_strategy():
+    return st.sets(
+        st.builds(
+            ValueAtom,
+            keyword=st.builds(Keyword, st.integers(0, 3), st.sampled_from(["a", "b", "c"])),
+            table=st.sampled_from(["t1", "t2", "t3"]),
+            attribute=st.sampled_from(["x", "y"]),
+        ),
+        max_size=6,
+    ).map(frozenset)
+
+
+# -- tokenizer --------------------------------------------------------------
+
+
+class TestTokenizerProperties:
+    @given(texts)
+    def test_tokens_are_normalized(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(texts)
+    def test_idempotent(self, text):
+        once = tokenize(text)
+        again = tokenize(" ".join(once))
+        assert once == again
+
+    @given(texts, texts)
+    def test_concatenation_concatenates(self, a, b):
+        assert tokenize(a + " " + b) == tokenize(a) + tokenize(b)
+
+    @given(texts)
+    def test_terms_subset_of_tokens(self, text):
+        t = Tokenizer()
+        assert t.terms(text) == set(t.tokens(text))
+
+
+# -- probability ----------------------------------------------------------------
+
+
+class TestProbabilityProperties:
+    @given(positive_weights)
+    def test_normalize_sums_to_one(self, ws):
+        assert math.isclose(sum(normalize(ws)), 1.0, rel_tol=1e-9)
+
+    @given(positive_weights)
+    def test_normalize_preserves_order(self, ws):
+        probs = normalize(ws)
+        for (w1, p1), (w2, p2) in zip(zip(ws, probs), zip(ws[1:], probs[1:])):
+            if w1 < w2:
+                assert p1 <= p2 + 1e-12
+
+    @given(positive_weights)
+    def test_entropy_bounds(self, ws):
+        h = entropy(normalize(ws))
+        assert -1e-9 <= h <= math.log2(len(ws)) + 1e-9
+
+    @given(positive_weights, st.data())
+    def test_information_gain_bounds(self, ws, data):
+        pattern = data.draw(
+            st.lists(st.booleans(), min_size=len(ws), max_size=len(ws))
+        )
+        gain = information_gain(ws, pattern)
+        h = entropy(normalize(ws))
+        assert -1e-9 <= gain <= h + 1e-9
+
+    @given(positive_weights, st.data())
+    def test_conditional_entropy_nonnegative(self, ws, data):
+        pattern = data.draw(
+            st.lists(st.booleans(), min_size=len(ws), max_size=len(ws))
+        )
+        assert conditional_entropy(ws, pattern) >= -1e-9
+
+
+# -- similarity ---------------------------------------------------------------
+
+
+class TestJaccardProperties:
+    @given(atoms_strategy(), atoms_strategy())
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard_atoms(a, b) <= 1.0
+
+    @given(atoms_strategy(), atoms_strategy())
+    def test_symmetry(self, a, b):
+        assert jaccard_atoms(a, b) == jaccard_atoms(b, a)
+
+    @given(atoms_strategy())
+    def test_reflexivity(self, a):
+        assert jaccard_atoms(a, a) == 1.0
+
+    @given(atoms_strategy(), atoms_strategy())
+    def test_disjoint_nonempty_is_zero(self, a, b):
+        if a and b and not (a & b):
+            assert jaccard_atoms(a, b) == 0.0
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def entry_lists():
+    key_sets = st.frozensets(st.integers(0, 8), max_size=5)
+    return st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1.0), key_sets),
+        min_size=1,
+        max_size=8,
+    )
+
+
+class TestMetricProperties:
+    @given(entry_lists(), st.floats(min_value=0.0, max_value=1.0), st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_alpha_ndcg_w_in_unit_interval(self, entries, alpha, k):
+        v = alpha_ndcg_w(entries, alpha, k)
+        assert 0.0 <= v <= 1.0
+
+    @given(entry_lists(), st.integers(0, 8))
+    @settings(max_examples=60)
+    def test_ws_recall_in_unit_interval(self, entries, k):
+        v = ws_recall(entries, k)
+        assert 0.0 <= v <= 1.0 + 1e-9
+
+    @given(entry_lists())
+    @settings(max_examples=60)
+    def test_ws_recall_monotone_in_k(self, entries):
+        values = [ws_recall(entries, k) for k in range(len(entries) + 1)]
+        for earlier, later in zip(values, values[1:]):
+            assert later >= earlier - 1e-12
+
+    @given(entry_lists())
+    @settings(max_examples=60)
+    def test_full_ws_recall_is_one_or_zero(self, entries):
+        from repro.divq.metrics import subtopic_relevance
+
+        v = ws_recall(entries, len(entries))
+        universe_mass = sum(subtopic_relevance(entries).values())
+        if universe_mass > 0:
+            assert math.isclose(v, 1.0)
+        else:
+            assert v == 0.0
+
+
+# -- plans ---------------------------------------------------------------------
+
+
+class TestPlanProperties:
+    @given(positive_weights)
+    def test_ranked_list_cost_bounds(self, ws):
+        n = len(ws)
+        cost = ranked_list_cost(ws)
+        assert 0.0 <= cost <= max(n - 1, 0) + 1e-9 if n <= 2 else cost <= n
+
+    @given(positive_weights)
+    def test_scan_node_cost_matches_ranked_list(self, ws):
+        n = len(ws)
+        space = OptionSpace.build([f"q{i}" for i in range(n)], ws, {})
+        node = make_scan_node(space, space.all_indices())
+        assert math.isclose(
+            expected_cost(node, space), ranked_list_cost(ws), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_at_least_brute_force(self, n_queries, n_options, seed):
+        from repro.datasets.simulation import random_option_space
+        from repro.iqp.brute_force import brute_force_plan
+        from repro.iqp.greedy_plan import greedy_plan
+
+        space = random_option_space(n_queries, n_options, seed=seed)
+        _bp, b = brute_force_plan(space)
+        _gp, g = greedy_plan(space)
+        assert g >= b - 1e-9
+
+
+class TestHierarchyProperties:
+    """Pruning invariants of the query hierarchy under random dialogues."""
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=12), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_random_answers_preserve_consistency(self, answers, option_skip):
+        """Whatever the user answers, every surviving frontier node is
+        consistent with every answer given so far."""
+        from repro.core.hierarchy import QueryHierarchy
+        from repro.core.keywords import KeywordQuery
+        from repro.core.probability import UniformModel
+        from tests.conftest import build_mini_db
+        from repro.core.generator import InterpretationGenerator
+
+        db = build_mini_db()
+        generator = InterpretationGenerator(db, max_template_joins=2)
+        h = QueryHierarchy(
+            KeywordQuery.from_terms(["hanks", "2001"]), generator, UniformModel()
+        )
+        h.expand_to_complete()
+        history = []
+        for answer in answers:
+            options = h.frontier_atoms()
+            if not options:
+                break
+            option = options[option_skip % len(options)]
+            pattern = [option.matches(n.atoms) for n in h.frontier]
+            if all(pattern) or not any(pattern):
+                continue  # non-splitting, the session would skip it
+            history.append((option, answer))
+            if answer:
+                h.accept(option)
+            else:
+                h.reject(option)
+            if not h.frontier:
+                break
+        for node in h.frontier:
+            for option, answer in history:
+                assert option.matches(node.atoms) == answer
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_truthful_answers_keep_intended(self, seed):
+        """A truthful oracle never prunes the intended interpretation."""
+        import random as _random
+
+        from repro.core.generator import InterpretationGenerator
+        from repro.core.hierarchy import QueryHierarchy
+        from repro.core.keywords import KeywordQuery
+        from repro.core.probability import UniformModel
+        from repro.user.oracle import IntendedInterpretation, value_spec
+        from tests.conftest import build_mini_db
+
+        db = build_mini_db()
+        generator = InterpretationGenerator(db, max_template_joins=2)
+        intended = IntendedInterpretation(
+            bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")},
+            template_path=("actor", "acts", "movie"),
+        )
+        h = QueryHierarchy(
+            KeywordQuery.from_terms(["hanks", "2001"]), generator, UniformModel()
+        )
+        h.expand_to_complete()
+        rng = _random.Random(seed)
+        for _ in range(8):
+            options = [
+                o
+                for o in h.frontier_atoms()
+                if 0 < sum(o.matches(n.atoms) for n in h.frontier) < len(h)
+            ]
+            if not options:
+                break
+            option = rng.choice(options)
+            if option.is_correct(intended):
+                h.accept(option)
+            else:
+                h.reject(option)
+        assert any(
+            intended.matches(i) for i in h.complete_interpretations()
+        ), "truthful pruning lost the intended interpretation"

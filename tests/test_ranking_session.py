@@ -1,0 +1,137 @@
+"""Unit tests for repro.iqp.ranking and repro.iqp.session."""
+
+import pytest
+
+from repro.core.keywords import KeywordQuery
+from repro.iqp.ranking import Ranker
+from repro.iqp.session import ConstructionSession
+from repro.user.oracle import IntendedInterpretation, SimulatedUser, value_spec
+
+HANKS_2001 = KeywordQuery.from_terms(["hanks", "2001"])
+INTENDED = IntendedInterpretation(
+    bindings={0: value_spec("actor", "name"), 1: value_spec("movie", "year")},
+    template_path=("actor", "acts", "movie"),
+)
+
+
+class TestRanker:
+    def test_ranks_start_at_one(self, mini_generator, mini_model):
+        ranked = Ranker(mini_generator, mini_model).rank(HANKS_2001)
+        assert [r.rank for r in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_probabilities_descending(self, mini_generator, mini_model):
+        ranked = Ranker(mini_generator, mini_model).rank(HANKS_2001)
+        probs = [r.probability for r in ranked]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_rank_of_intended(self, mini_generator, mini_model):
+        ranker = Ranker(mini_generator, mini_model)
+        rank = ranker.rank_of(HANKS_2001, INTENDED)
+        assert rank is not None and rank >= 1
+
+    def test_rank_of_missing_returns_none(self, mini_generator, mini_model):
+        ranker = Ranker(mini_generator, mini_model)
+        ghost = IntendedInterpretation(bindings={0: value_spec("company", "name")})
+        assert ranker.rank_of(HANKS_2001, ghost) is None
+
+    def test_rank_of_accepts_precomputed_list(self, mini_generator, mini_model):
+        ranker = Ranker(mini_generator, mini_model)
+        ranked = ranker.rank(HANKS_2001)
+        assert ranker.rank_of(HANKS_2001, INTENDED, ranked) == ranker.rank_of(
+            HANKS_2001, INTENDED
+        )
+
+
+class TestConstructionSession:
+    def test_session_reaches_intended(self, mini_generator, mini_model):
+        user = SimulatedUser(INTENDED)
+        result = ConstructionSession(HANKS_2001, mini_generator, mini_model).run(user)
+        assert result.success
+        assert result.shortlist_rank is not None
+
+    def test_interaction_cost_counted(self, mini_generator, mini_model):
+        user = SimulatedUser(INTENDED)
+        result = ConstructionSession(HANKS_2001, mini_generator, mini_model).run(user)
+        assert result.options_evaluated == user.evaluations
+        assert len(result.transcript) == result.options_evaluated
+
+    def test_stop_size_one_isolates_intended(self, mini_generator, mini_model):
+        user = SimulatedUser(INTENDED)
+        session = ConstructionSession(
+            HANKS_2001, mini_generator, mini_model, stop_size=1
+        )
+        result = session.run(user)
+        assert result.success
+        assert result.shortlist_rank == 1
+
+    def test_lower_stop_size_costs_more(self, mini_generator, mini_model):
+        costs = {}
+        for stop in (1, 5):
+            user = SimulatedUser(INTENDED)
+            result = ConstructionSession(
+                HANKS_2001, mini_generator, mini_model, stop_size=stop
+            ).run(user)
+            costs[stop] = result.options_evaluated
+        assert costs[1] >= costs[5]
+
+    def test_final_candidates_complete(self, mini_generator, mini_model):
+        user = SimulatedUser(INTENDED)
+        result = ConstructionSession(HANKS_2001, mini_generator, mini_model).run(user)
+        for interp in result.final_candidates:
+            assert interp.is_complete
+
+    def test_invalid_threshold(self, mini_generator, mini_model):
+        with pytest.raises(ValueError):
+            ConstructionSession(HANKS_2001, mini_generator, mini_model, threshold=0)
+
+    def test_unanswerable_query(self, mini_generator, mini_model):
+        query = KeywordQuery.from_terms(["zzz"])
+        user = SimulatedUser(INTENDED)
+        result = ConstructionSession(query, mini_generator, mini_model).run(user)
+        assert not result.success
+
+    def test_all_transcript_answers_consistent_with_oracle(
+        self, mini_generator, mini_model
+    ):
+        user = SimulatedUser(INTENDED)
+        result = ConstructionSession(
+            HANKS_2001, mini_generator, mini_model, stop_size=1
+        ).run(user)
+        accepted = [d for d, ok in result.transcript if ok]
+        for description in accepted:
+            assert "actor.name" in description or "movie.year" in description
+
+
+class TestSimulatedUser:
+    def test_evaluation_counter(self, mini_generator):
+        user = SimulatedUser(INTENDED)
+        from repro.core.interpretation import ValueAtom
+        from repro.core.keywords import Keyword
+        from repro.core.options import AtomSetOption
+
+        good = AtomSetOption(frozenset([ValueAtom(Keyword(0, "hanks"), "actor", "name")]))
+        bad = AtomSetOption(frozenset([ValueAtom(Keyword(0, "hanks"), "movie", "title")]))
+        assert user.evaluate(good)
+        assert not user.evaluate(bad)
+        assert user.evaluations == 2
+        assert len(user.accepted) == 1 and len(user.rejected) == 1
+
+    def test_reset(self):
+        user = SimulatedUser(INTENDED)
+        user.evaluations = 5
+        user.reset()
+        assert user.evaluations == 0
+
+    def test_frozenset_option_supported(self):
+        from repro.core.interpretation import ValueAtom
+        from repro.core.keywords import Keyword
+
+        user = SimulatedUser(INTENDED)
+        atoms = frozenset([ValueAtom(Keyword(0, "hanks"), "actor", "name")])
+        assert user.evaluate(atoms)
+
+    def test_picks_requires_exact_match(self, mini_generator, mini_model):
+        user = SimulatedUser(INTENDED)
+        ranked = Ranker(mini_generator, mini_model).rank(HANKS_2001)
+        picked = [r.interpretation for r in ranked if user.picks(r.interpretation)]
+        assert len(picked) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.result_ranking and repro.core.topk."""
+
+import pytest
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.core.result_ranking import MonotoneResultScorer, SparkResultScorer
+from repro.core.topk import TopKExecutor
+
+HANKS_2001 = KeywordQuery.from_terms(["hanks", "2001"])
+
+
+@pytest.fixture
+def ranked_space(mini_db, mini_generator, mini_model):
+    space = mini_generator.interpretations(HANKS_2001)
+    return rank_interpretations(space, mini_model)
+
+
+@pytest.fixture
+def results(mini_db):
+    e1 = mini_db.schema.join_edges("actor", "acts")[0]
+    e2 = mini_db.schema.join_edges("acts", "movie")[0]
+    return mini_db.execute_path(["actor", "acts", "movie"], [e1, e2])
+
+
+class TestMonotoneScorer:
+    def test_matching_result_outscores_nonmatching(self, mini_db, results):
+        scorer = MonotoneResultScorer(mini_db.require_index())
+        by_movie = {row[2].key: row for row in results}
+        hanks_2001_row = by_movie[2]  # hanks island, 2001
+        other_row = by_movie[1]  # terminal, 2004
+        assert scorer.score(HANKS_2001, hanks_2001_row) > scorer.score(
+            HANKS_2001, other_row
+        )
+
+    def test_empty_result_zero(self, mini_db):
+        scorer = MonotoneResultScorer(mini_db.require_index())
+        assert scorer.score(HANKS_2001, []) == 0.0
+
+    def test_rank_descending(self, mini_db, results):
+        scorer = MonotoneResultScorer(mini_db.require_index())
+        ranked = scorer.rank(HANKS_2001, results)
+        scores = [s for s, _r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_size_normalization(self, mini_db):
+        """A single matching tuple outscores the same tuple padded with free
+        tuples (1/size normalization)."""
+        scorer = MonotoneResultScorer(mini_db.require_index())
+        actor = mini_db.relation("actor").get(1)
+        acts = mini_db.relation("acts").get(1)
+        short = [actor]
+        long = [actor, acts]
+        assert scorer.score(HANKS_2001, short) > scorer.score(HANKS_2001, long)
+
+    def test_monotonicity(self, mini_db):
+        """Adding a keyword-matching tuple never lowers the unnormalized
+        relevance (here: checked via equal-size comparisons)."""
+        scorer = MonotoneResultScorer(mini_db.require_index())
+        a1 = mini_db.relation("actor").get(1)  # tom hanks
+        m2 = mini_db.relation("movie").get(2)  # hanks island 2001
+        m1 = mini_db.relation("movie").get(1)  # terminal 2004
+        assert scorer.score(HANKS_2001, [a1, m2]) >= scorer.score(HANKS_2001, [a1, m1])
+
+
+class TestSparkScorer:
+    def test_completeness_rewarded(self, mini_db):
+        scorer = SparkResultScorer(mini_db.require_index())
+        a1 = mini_db.relation("actor").get(1)  # contains "hanks"
+        m2 = mini_db.relation("movie").get(2)  # contains "hanks" and "2001"
+        both_terms = [a1, m2]
+        one_term = [a1, mini_db.relation("movie").get(1)]
+        assert scorer.score(HANKS_2001, both_terms) > scorer.score(HANKS_2001, one_term)
+
+    def test_empty(self, mini_db):
+        scorer = SparkResultScorer(mini_db.require_index())
+        assert scorer.score(HANKS_2001, []) == 0.0
+        assert scorer.score(KeywordQuery.from_terms([]), []) == 0.0
+
+    def test_completeness_power_zero_is_or_semantics(self, mini_db):
+        or_scorer = SparkResultScorer(mini_db.require_index(), completeness_power=0.0)
+        and_scorer = SparkResultScorer(mini_db.require_index(), completeness_power=8.0)
+        partial = [mini_db.relation("actor").get(1)]  # only "hanks"
+        assert or_scorer.score(HANKS_2001, partial) > and_scorer.score(
+            HANKS_2001, partial
+        )
+
+    def test_non_monotone_vs_size(self, mini_db):
+        """SPARK's size normalization dampens long trees even when they add
+        matches — the non-monotone trait."""
+        scorer = SparkResultScorer(mini_db.require_index())
+        a1 = mini_db.relation("actor").get(1)
+        m2 = mini_db.relation("movie").get(2)
+        acts = mini_db.relation("acts").get(2)
+        dense = scorer.score(HANKS_2001, [a1, m2])
+        padded = scorer.score(HANKS_2001, [a1, acts, m2])
+        assert dense > padded
+
+
+class TestTopKExecutor:
+    def test_early_stop_matches_naive(self, mini_db, ranked_space):
+        executor = TopKExecutor(mini_db)
+        smart = executor.execute(ranked_space, k=3)
+        smart_stats = executor.statistics
+        naive = executor.execute_naive(ranked_space, k=3)
+        assert [r.row_uids() for r in smart] == [r.row_uids() for r in naive]
+        assert [r.score for r in smart] == [r.score for r in naive]
+        assert smart_stats.interpretations_executed <= len(ranked_space)
+
+    def test_early_stopping_saves_work(self, mini_db, ranked_space):
+        if len(ranked_space) < 3:
+            pytest.skip("space too small to demonstrate early stopping")
+        executor = TopKExecutor(mini_db)
+        executor.execute(ranked_space, k=1)
+        smart_work = executor.statistics.interpretations_executed
+        executor.execute_naive(ranked_space, k=1)
+        naive_work = executor.statistics.interpretations_executed
+        assert smart_work < naive_work
+
+    def test_scores_descending(self, mini_db, ranked_space):
+        results = TopKExecutor(mini_db).execute(ranked_space, k=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_zero(self, mini_db, ranked_space):
+        assert TopKExecutor(mini_db).execute(ranked_space, k=0) == []
+
+    def test_negative_k(self, mini_db, ranked_space):
+        with pytest.raises(ValueError):
+            TopKExecutor(mini_db).execute(ranked_space, k=-1)
+
+    def test_union_semantics_dedup(self, mini_db, ranked_space):
+        results = TopKExecutor(mini_db).execute(ranked_space, k=50)
+        uids = [r.row_uids() for r in results]
+        assert len(uids) == len(set(uids))
+
+    def test_provenance_ranks_valid(self, mini_db, ranked_space):
+        for r in TopKExecutor(mini_db).execute(ranked_space, k=10):
+            assert 1 <= r.interpretation_rank <= len(ranked_space)

@@ -1,0 +1,32 @@
+"""Smoke tests of the multi-seed robustness harness (single seed for speed)."""
+
+from repro.experiments.robustness import (
+    ShapeCheck,
+    check_atf_beats_baseline,
+    check_construction_bounded_by_ranking,
+    check_diversification_wins_high_alpha,
+    check_ontology_qcos_no_worse,
+)
+
+
+class TestShapeChecks:
+    def test_atf_beats_baseline_default_seed(self):
+        assert check_atf_beats_baseline(seed=7)
+
+    def test_construction_bounded(self):
+        assert check_construction_bounded_by_ranking(seed=7)
+
+    def test_diversification_high_alpha(self):
+        assert check_diversification_wins_high_alpha(seed=7)
+
+    def test_ontology_qcos(self):
+        assert check_ontology_qcos_no_worse(seed=7)
+
+
+class TestShapeCheckAggregation:
+    def test_fraction(self):
+        check = ShapeCheck("x", holds=[True, True, False])
+        assert check.fraction == 2 / 3
+
+    def test_fraction_empty(self):
+        assert ShapeCheck("x").fraction == 0.0

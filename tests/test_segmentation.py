@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.segmentation (query segmentation)."""
+
+import pytest
+
+from repro.core.keywords import KeywordQuery
+from repro.core.segmentation import QuerySegmenter
+
+
+@pytest.fixture
+def segmenter(mini_db) -> QuerySegmenter:
+    return QuerySegmenter(mini_db.require_index())
+
+
+class TestSegmentation:
+    def test_person_name_merges(self, segmenter):
+        """"tom hanks" co-occurs in one actor.name cell -> one segment."""
+        seg = segmenter.segment(KeywordQuery.from_terms(["tom", "hanks"]))
+        assert len(seg.segments) == 1
+        assert seg.segments[0].terms == ("tom", "hanks")
+        assert ("actor", "name") in seg.segments[0].evidence
+
+    def test_unrelated_terms_stay_split(self, segmenter):
+        seg = segmenter.segment(KeywordQuery.from_terms(["hanks", "2001"]))
+        assert len(seg.segments) == 2
+        assert seg.segments[0].terms == ("hanks",)
+        assert seg.segments[1].terms == ("2001",)
+
+    def test_partition_covers_query(self, segmenter):
+        q = KeywordQuery.from_terms(["tom", "hanks", "terminal"])
+        seg = segmenter.segment(q)
+        flattened = [k for s in seg.segments for k in s.keywords]
+        assert flattened == list(q.keywords)
+
+    def test_three_token_segment(self, mini_db):
+        mini_db.insert("actor", {"id": 50, "name": "jean claude damme"})
+        mini_db.insert("actor", {"id": 51, "name": "jean claude petit"})
+        mini_db.build_indexes()
+        segmenter = QuerySegmenter(mini_db.require_index())
+        seg = segmenter.segment(KeywordQuery.from_terms(["jean", "claude", "damme"]))
+        assert seg.segments[0].terms == ("jean", "claude", "damme")
+
+    def test_empty_query(self, segmenter):
+        seg = segmenter.segment(KeywordQuery.from_terms([]))
+        assert seg.segments == ()
+
+    def test_single_keyword(self, segmenter):
+        seg = segmenter.segment(KeywordQuery.from_terms(["hanks"]))
+        assert len(seg.segments) == 1
+        assert len(seg.segments[0]) == 1
+        assert seg.segments[0].evidence  # all attributes containing it
+
+    def test_multi_keyword_segments_filter(self, segmenter):
+        seg = segmenter.segment(KeywordQuery.from_terms(["tom", "hanks", "2001"]))
+        multi = seg.multi_keyword_segments()
+        assert len(multi) == 1
+        assert multi[0].terms == ("tom", "hanks")
+
+    def test_unknown_terms_split(self, segmenter):
+        seg = segmenter.segment(KeywordQuery.from_terms(["zzz", "qqq"]))
+        assert len(seg.segments) == 2
+
+    def test_min_lift_controls_merging(self, mini_db):
+        """With an absurd lift requirement nothing merges."""
+        segmenter = QuerySegmenter(mini_db.require_index(), min_lift=1e9)
+        seg = segmenter.segment(KeywordQuery.from_terms(["tom", "hanks"]))
+        assert len(seg.segments) == 2

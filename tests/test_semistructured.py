@@ -1,0 +1,143 @@
+"""Unit tests for repro.semistructured (XML SLCA + RDF subgraph search)."""
+
+import pytest
+
+from repro.core.keywords import KeywordQuery
+from repro.semistructured.rdfgraph import RdfGraph, rdf_keyword_search
+from repro.semistructured.xmltree import XmlNode, XmlTree, slca_search
+
+
+@pytest.fixture
+def movie_xml() -> XmlTree:
+    """<movies> with two <movie> subtrees (the usual XML-search example)."""
+    root = XmlNode("movies")
+    m1 = root.child("movie")
+    m1.child("title", "the terminal")
+    cast1 = m1.child("cast")
+    cast1.child("actor", "tom hanks")
+    cast1.child("actor", "catherine zeta jones")
+    m2 = root.child("movie")
+    m2.child("title", "cast away")
+    cast2 = m2.child("cast")
+    cast2.child("actor", "tom hanks")
+    cast2.child("actor", "helen hunt")
+    return XmlTree(root)
+
+
+class TestXmlTree:
+    def test_dewey_labels(self, movie_xml):
+        assert movie_xml.node(()).tag == "movies"
+        assert movie_xml.node((0,)).tag == "movie"
+        assert movie_xml.node((0, 0)).text == "the terminal"
+
+    def test_keyword_index_text_and_tags(self, movie_xml):
+        assert (0, 0) in movie_xml.keyword_nodes("terminal")
+        assert (0,) in movie_xml.keyword_nodes("movie")  # tag match
+
+    def test_common_prefix(self):
+        assert XmlTree.common_prefix((0, 1, 2), (0, 1, 5)) == (0, 1)
+        assert XmlTree.common_prefix((0,), (1,)) == ()
+
+    def test_is_ancestor(self):
+        assert XmlTree.is_ancestor((0,), (0, 1, 2))
+        assert XmlTree.is_ancestor((0, 1), (0, 1))
+        assert not XmlTree.is_ancestor((0, 1), (0, 2))
+
+    def test_subtree_text(self, movie_xml):
+        text = movie_xml.subtree_text((0,))
+        assert "terminal" in text and "hanks" in text
+
+    def test_node_count(self, movie_xml):
+        assert len(movie_xml) == 11
+
+
+class TestSlcaSearch:
+    def test_keywords_in_one_movie(self, movie_xml):
+        """hanks + terminal co-occur only in movie 0: SLCA is that movie."""
+        results = slca_search(movie_xml, KeywordQuery.from_terms(["hanks", "terminal"]))
+        assert results == [(0,)]
+
+    def test_keyword_in_both_movies(self, movie_xml):
+        """hanks alone: the SLCAs are the two actor nodes, not the root."""
+        results = slca_search(movie_xml, KeywordQuery.from_terms(["hanks"]))
+        assert results == [(0, 1, 0), (1, 1, 0)]
+
+    def test_cross_movie_keywords_ascend_to_root(self, movie_xml):
+        """terminal + hunt only co-occur under the root."""
+        results = slca_search(movie_xml, KeywordQuery.from_terms(["terminal", "hunt"]))
+        assert results == [()]
+
+    def test_smallest_results_win(self, movie_xml):
+        """SLCA excludes ancestors of other results (the minimality analogue)."""
+        results = slca_search(movie_xml, KeywordQuery.from_terms(["hanks", "cast"]))
+        for r in results:
+            for other in results:
+                if r != other:
+                    assert not XmlTree.is_ancestor(r, other)
+
+    def test_unmatched_keyword_and_semantics(self, movie_xml):
+        assert slca_search(movie_xml, KeywordQuery.from_terms(["hanks", "zzz"])) == []
+
+    def test_empty_query(self, movie_xml):
+        assert slca_search(movie_xml, KeywordQuery.from_terms([])) == []
+
+    def test_results_contain_all_keywords(self, movie_xml):
+        query = KeywordQuery.from_terms(["hanks", "terminal"])
+        for dewey in slca_search(movie_xml, query):
+            text = movie_xml.subtree_text(dewey)
+            for term in query.terms:
+                assert term in text
+
+
+@pytest.fixture
+def movie_rdf() -> RdfGraph:
+    g = RdfGraph()
+    g.add("tom_hanks", "acts_in", "the_terminal")
+    g.add("tom_hanks", "acts_in", "cast_away")
+    g.add("helen_hunt", "acts_in", "cast_away")
+    g.add("the_terminal", "directed_by", "steven_spielberg")
+    g.add("cast_away", "directed_by", "robert_zemeckis")
+    return g
+
+
+class TestRdfSearch:
+    def test_keyword_nodes(self, movie_rdf):
+        assert "tom_hanks" in movie_rdf.keyword_nodes("hanks")
+        assert "the_terminal" in movie_rdf.keyword_nodes("terminal")
+
+    def test_direct_connection(self, movie_rdf):
+        results = rdf_keyword_search(movie_rdf, KeywordQuery.from_terms(["hanks", "terminal"]))
+        assert results
+        best = results[0]
+        assert {"tom_hanks", "the_terminal"} <= best.nodes
+        assert best.cost <= 1.0
+
+    def test_two_hop_connection(self, movie_rdf):
+        """hanks -- cast_away -- hunt: the minimal subgraph spans 3 nodes."""
+        results = rdf_keyword_search(movie_rdf, KeywordQuery.from_terms(["hanks", "hunt"]))
+        best = results[0]
+        assert {"tom_hanks", "cast_away", "helen_hunt"} <= best.nodes
+
+    def test_costs_ascending(self, movie_rdf):
+        results = rdf_keyword_search(
+            movie_rdf, KeywordQuery.from_terms(["hanks", "spielberg"]), k=5
+        )
+        costs = [r.cost for r in results]
+        assert costs == sorted(costs)
+
+    def test_unmatched_keyword(self, movie_rdf):
+        assert rdf_keyword_search(movie_rdf, KeywordQuery.from_terms(["zzz"])) == []
+
+    def test_single_keyword(self, movie_rdf):
+        results = rdf_keyword_search(movie_rdf, KeywordQuery.from_terms(["hanks"]))
+        assert results and results[0].cost == 0.0
+
+    def test_results_deduplicated(self, movie_rdf):
+        results = rdf_keyword_search(movie_rdf, KeywordQuery.from_terms(["acts"]), k=10)
+        node_sets = [r.nodes for r in results]
+        assert len(node_sets) == len(set(node_sets))
+
+    def test_triples_and_neighbors(self, movie_rdf):
+        assert len(movie_rdf) == 5
+        assert "the_terminal" in movie_rdf.neighbors("tom_hanks")
+        assert movie_rdf.neighbors("ghost") == []

@@ -1,0 +1,113 @@
+"""Unit tests for repro.db.serialize and repro.core.autocomplete."""
+
+import json
+
+import pytest
+
+from repro.core.autocomplete import AutoCompleter
+from repro.db.serialize import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestSchemaRoundTrip:
+    def test_tables_preserved(self, mini_db):
+        restored = schema_from_dict(schema_to_dict(mini_db.schema))
+        assert restored.table_names == mini_db.schema.table_names
+
+    def test_attributes_preserved(self, mini_db):
+        restored = schema_from_dict(schema_to_dict(mini_db.schema))
+        for name in mini_db.schema.table_names:
+            original = mini_db.schema.table(name)
+            copy = restored.table(name)
+            assert copy.attribute_names == original.attribute_names
+            assert copy.primary_key == original.primary_key
+            for attr in original.attributes.values():
+                assert copy.attributes[attr.name].textual == attr.textual
+
+    def test_foreign_keys_preserved(self, mini_db):
+        restored = schema_from_dict(schema_to_dict(mini_db.schema))
+        assert restored.foreign_keys == mini_db.schema.foreign_keys
+
+
+class TestDatabaseRoundTrip:
+    def test_rows_preserved(self, mini_db):
+        restored = database_from_dict(database_to_dict(mini_db))
+        assert restored.total_tuples() == mini_db.total_tuples()
+        assert restored.relation("actor").get(1).get("name") == "tom hanks"
+
+    def test_index_rebuilt(self, mini_db):
+        restored = database_from_dict(database_to_dict(mini_db))
+        assert restored.index is not None
+        assert restored.index.tables_containing("hanks") == {"actor", "movie"}
+
+    def test_joins_work_after_restore(self, mini_db):
+        restored = database_from_dict(database_to_dict(mini_db))
+        e1 = restored.schema.join_edges("actor", "acts")[0]
+        e2 = restored.schema.join_edges("acts", "movie")[0]
+        rows = restored.execute_path(
+            ["actor", "acts", "movie"], [e1, e2], {0: [("name", ("hanks",))]}
+        )
+        assert len(rows) == 3
+
+    def test_payload_is_json_serializable(self, mini_db):
+        json.dumps(database_to_dict(mini_db))
+
+    def test_file_round_trip(self, mini_db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(mini_db, path)
+        restored = load_database(path)
+        assert restored.total_tuples() == mini_db.total_tuples()
+
+    def test_version_check(self, mini_db):
+        payload = database_to_dict(mini_db)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            database_from_dict(payload)
+
+
+class TestAutoCompleter:
+    @pytest.fixture
+    def completer(self, mini_db):
+        return AutoCompleter(mini_db.require_index())
+
+    def test_exact_prefix(self, completer):
+        suggestions = completer.complete("han")
+        assert suggestions
+        assert suggestions[0].term == "hanks"
+        assert not suggestions[0].fuzzy
+
+    def test_frequency_order(self, completer):
+        # "hanks" (3 occurrences) should precede rarer 'h...' terms if any.
+        terms = [s.term for s in completer.complete("h")]
+        assert terms[0] == "hanks"
+
+    def test_full_term_prefix(self, completer):
+        suggestions = completer.complete("london")
+        assert any(s.term == "london" for s in suggestions)
+
+    def test_fuzzy_fallback(self, completer):
+        """Misspelled prefix 'hsnk' still reaches 'hanks' fuzzily."""
+        suggestions = completer.complete("hsnk")
+        assert suggestions
+        assert any(s.term == "hanks" for s in suggestions)
+        assert all(s.fuzzy for s in suggestions)
+
+    def test_no_match(self, completer):
+        assert completer.complete("qqqqq") == []
+
+    def test_empty_prefix(self, completer):
+        assert completer.complete("") == []
+        assert completer.complete("   ") == []
+
+    def test_case_insensitive(self, completer):
+        assert completer.complete("HAN")[0].term == "hanks"
+
+    def test_max_suggestions(self, mini_db):
+        completer = AutoCompleter(mini_db.require_index(), max_suggestions=2)
+        assert len(completer.complete("t")) <= 2

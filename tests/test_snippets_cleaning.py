@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.snippets and repro.core.cleaning."""
+
+import pytest
+
+from repro.core.cleaning import Correction, QueryCleaner, edit_distance
+from repro.core.keywords import KeywordQuery
+from repro.core.snippets import cluster_results, make_snippet
+
+HANKS_2001 = KeywordQuery.from_terms(["hanks", "2001"])
+
+
+@pytest.fixture
+def results(mini_db):
+    e1 = mini_db.schema.join_edges("actor", "acts")[0]
+    e2 = mini_db.schema.join_edges("acts", "movie")[0]
+    return mini_db.execute_path(["actor", "acts", "movie"], [e1, e2])
+
+
+class TestSnippets:
+    def test_highlights_keywords(self, results):
+        row = next(r for r in results if r[2].key == 2)
+        snippet = make_snippet(HANKS_2001, row)
+        assert "**hanks**" in snippet.text
+        assert "**2001**" in snippet.text
+
+    def test_matched_attributes_recorded(self, results):
+        row = next(r for r in results if r[2].key == 2)
+        snippet = make_snippet(HANKS_2001, row)
+        assert ("actor", "name") in snippet.matched_attributes
+        assert ("movie", "year") in snippet.matched_attributes
+
+    def test_non_matching_attributes_dropped(self, results):
+        row = next(r for r in results if r[2].key == 2)
+        snippet = make_snippet(HANKS_2001, row)
+        assert "role" not in snippet.text  # acts.role has no keyword
+
+    def test_truncation(self, mini_db):
+        mini_db.insert(
+            "movie", {"id": 90, "title": "hanks " + "x" * 100, "year": "1999"}
+        )
+        row = (mini_db.relation("movie").get(90),)
+        snippet = make_snippet(HANKS_2001, row, max_value_length=20)
+        for fragment in snippet.text.split(", "):
+            if fragment.startswith("title:"):
+                assert fragment.endswith("...")
+
+    def test_no_match_fallback(self, results):
+        query = KeywordQuery.from_terms(["zzz"])
+        snippet = make_snippet(query, results[0])
+        assert snippet.text  # still shows something
+        assert snippet.matched_attributes == ()
+
+    def test_custom_marker(self, results):
+        row = next(r for r in results if r[2].key == 2)
+        snippet = make_snippet(HANKS_2001, row, marker="__")
+        assert "__hanks__" in snippet.text
+
+
+class TestClustering:
+    def test_clusters_by_match_signature(self, results):
+        clusters = cluster_results(HANKS_2001, results)
+        assert clusters
+        signatures = [c.signature for c in clusters]
+        assert len(signatures) == len(set(signatures))
+
+    def test_every_result_clustered(self, results):
+        clusters = cluster_results(HANKS_2001, results)
+        assert sum(len(c) for c in clusters) == len(results)
+
+    def test_biggest_cluster_first(self, results):
+        clusters = cluster_results(HANKS_2001, results)
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_cluster_labels(self, results):
+        clusters = cluster_results(HANKS_2001, results)
+        for cluster in clusters:
+            if cluster.signature:
+                assert "." in cluster.label()
+
+    def test_empty_results(self):
+        assert cluster_results(HANKS_2001, []) == []
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("hanks", "hanks") == 0
+
+    def test_substitution(self):
+        assert edit_distance("hanks", "hanka") == 1
+
+    def test_insertion_deletion(self):
+        assert edit_distance("hanks", "hank") == 1
+        assert edit_distance("hanks", "hankss") == 1
+
+    def test_transposed_is_two(self):
+        assert edit_distance("hanks", "hakns") == 2
+
+    def test_cap_exceeded(self):
+        assert edit_distance("a", "zzzzzzzz", cap=2) > 2
+
+    def test_symmetric(self):
+        assert edit_distance("terminal", "termnal") == edit_distance("termnal", "terminal")
+
+
+class TestQueryCleaner:
+    def test_in_vocabulary_untouched(self, mini_db):
+        cleaner = QueryCleaner(mini_db.require_index())
+        cleaned, corrections = cleaner.clean(HANKS_2001)
+        assert cleaned is HANKS_2001
+        assert corrections == []
+
+    def test_misspelling_repaired(self, mini_db):
+        cleaner = QueryCleaner(mini_db.require_index())
+        cleaned, corrections = cleaner.clean(KeywordQuery.from_terms(["hankz", "2001"]))
+        assert cleaned.terms == ("hanks", "2001")
+        assert len(corrections) == 1
+        assert corrections[0].replacement == "hanks"
+        assert corrections[0].distance == 1
+
+    def test_frequency_breaks_ties(self, mini_db):
+        """Among equal-distance candidates, the more frequent term wins."""
+        cleaner = QueryCleaner(mini_db.require_index())
+        suggestions = cleaner.suggestions(KeywordQuery.from_terms(["hanka"]).keywords[0])
+        assert suggestions
+        assert suggestions[0].replacement == "hanks"
+
+    def test_unrepairable_kept(self, mini_db):
+        cleaner = QueryCleaner(mini_db.require_index(), max_distance=1)
+        cleaned, corrections = cleaner.clean(KeywordQuery.from_terms(["qqqqqqqq"]))
+        assert cleaned.terms == ("qqqqqqqq",)
+        assert corrections == []
+
+    def test_max_candidates(self, mini_db):
+        cleaner = QueryCleaner(mini_db.require_index(), max_candidates=2)
+        suggestions = cleaner.suggestions(KeywordQuery.from_terms(["hank"]).keywords[0])
+        assert len(suggestions) <= 2
+
+    def test_cleaned_query_resolves(self, mini_db, mini_generator):
+        """End to end: a misspelled query becomes answerable after cleaning."""
+        cleaner = QueryCleaner(mini_db.require_index())
+        broken = KeywordQuery.from_terms(["hankz", "2001"])
+        assert len(mini_generator.effective_keywords(broken)) == 1
+        cleaned, _ = cleaner.clean(broken)
+        assert len(mini_generator.effective_keywords(cleaned)) == 2

@@ -1,0 +1,54 @@
+"""Unit tests for repro.db.sql (SQL rendering)."""
+
+import pytest
+
+from repro.db.sql import render_sql
+
+
+def _actor_movie(db):
+    e1 = db.schema.join_edges("actor", "acts")[0]
+    e2 = db.schema.join_edges("acts", "movie")[0]
+    return ["actor", "acts", "movie"], [e1, e2]
+
+
+class TestRenderSql:
+    def test_single_table(self, mini_db):
+        sql = render_sql(["actor"], [], {0: [("name", ("hanks",))]})
+        assert "FROM actor" in sql
+        assert "LIKE '%hanks%'" in sql
+
+    def test_join_clause(self, mini_db):
+        path, edges = _actor_movie(mini_db)
+        sql = render_sql(path, edges)
+        assert sql.count("JOIN") == 2
+        assert "t0_actor" in sql and "t2_movie" in sql
+
+    def test_join_condition_uses_fk(self, mini_db):
+        path, edges = _actor_movie(mini_db)
+        sql = render_sql(path, edges)
+        assert "actor_id" in sql and "movie_id" in sql
+
+    def test_where_with_multiple_terms(self, mini_db):
+        path, edges = _actor_movie(mini_db)
+        sql = render_sql(path, edges, {0: [("name", ("tom", "hanks"))]})
+        assert sql.count("LIKE") == 2
+        assert "AND" in sql
+
+    def test_quote_escaping(self, mini_db):
+        sql = render_sql(["actor"], [], {0: [("name", ("o'brien",))]})
+        assert "o''brien" in sql
+
+    def test_arity_mismatch(self, mini_db):
+        path, edges = _actor_movie(mini_db)
+        with pytest.raises(ValueError):
+            render_sql(path, edges[:1])
+
+    def test_no_where_without_selections(self, mini_db):
+        sql = render_sql(["actor"], [])
+        assert "WHERE" not in sql
+
+    def test_aliases_disambiguate_self_joins(self, mini_db):
+        e1 = mini_db.schema.join_edges("actor", "acts")[0]
+        e2 = mini_db.schema.join_edges("acts", "movie")[0]
+        sql = render_sql(["actor", "acts", "movie", "acts", "actor"], [e1, e2, e2, e1])
+        assert "t0_actor" in sql and "t4_actor" in sql

@@ -1,0 +1,60 @@
+"""Unit tests for repro.user.study (Fig. 3.7 timing model)."""
+
+import pytest
+
+from repro.user.study import StudyTimingModel
+
+
+class TestRankingTask:
+    def test_time_grows_with_rank(self):
+        m = StudyTimingModel()
+        assert m.ranking_task(10).seconds > m.ranking_task(1).seconds
+
+    def test_rank_one(self):
+        m = StudyTimingModel(ranking_seconds_per_entry=2.0, overhead_seconds=10.0)
+        assert m.ranking_task(1).seconds == pytest.approx(12.0)
+
+    def test_timeout_capped(self):
+        m = StudyTimingModel(timeout_seconds=60.0, ranking_seconds_per_entry=10.0)
+        outcome = m.ranking_task(100)
+        assert outcome.timed_out
+        assert outcome.seconds == 60.0
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            StudyTimingModel().ranking_task(0)
+
+
+class TestConstructionTask:
+    def test_zero_options(self):
+        m = StudyTimingModel(overhead_seconds=15.0)
+        assert m.construction_task(0).seconds == pytest.approx(15.0)
+
+    def test_shortlist_scan_added(self):
+        m = StudyTimingModel()
+        with_scan = m.construction_task(3, shortlist_scanned=2).seconds
+        without = m.construction_task(3).seconds
+        assert with_scan > without
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            StudyTimingModel().construction_task(-1)
+
+    def test_interface_labels(self):
+        m = StudyTimingModel()
+        assert m.ranking_task(1).interface == "ranking"
+        assert m.construction_task(1).interface == "construction"
+
+
+class TestCrossover:
+    def test_ranking_wins_low_rank(self):
+        """The Fig. 3.7 shape: ranking is faster when the intended query is
+        near the top; construction is faster when it is buried."""
+        m = StudyTimingModel()
+        assert m.ranking_task(2).seconds < m.construction_task(4).seconds
+
+    def test_construction_wins_high_rank(self):
+        m = StudyTimingModel()
+        assert m.construction_task(7, shortlist_scanned=2).seconds < m.ranking_task(
+            120
+        ).seconds

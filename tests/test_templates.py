@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.templates."""
+
+import pytest
+
+from repro.core.templates import QueryTemplate, generate_templates
+from repro.db.schema import Attribute, Schema, Table
+
+
+class TestQueryTemplate:
+    def _template(self, mini_db):
+        e1 = mini_db.schema.join_edges("actor", "acts")[0]
+        e2 = mini_db.schema.join_edges("acts", "movie")[0]
+        return QueryTemplate(path=("actor", "acts", "movie"), edges=(e1, e2))
+
+    def test_size(self, mini_db):
+        assert self._template(mini_db).size == 2
+
+    def test_single_table(self):
+        t = QueryTemplate(path=("actor",), edges=())
+        assert t.size == 0
+        assert t.leaf_positions() == (0,)
+
+    def test_leaf_positions(self, mini_db):
+        assert self._template(mini_db).leaf_positions() == (0, 2)
+
+    def test_positions_of(self, mini_db):
+        t = self._template(mini_db)
+        assert t.positions_of("acts") == [1]
+        assert t.positions_of("ghost") == []
+
+    def test_positions_of_self_join(self, mini_db):
+        e1 = mini_db.schema.join_edges("actor", "acts")[0]
+        e2 = mini_db.schema.join_edges("acts", "movie")[0]
+        t = QueryTemplate(
+            path=("actor", "acts", "movie", "acts", "actor"), edges=(e1, e2, e2, e1)
+        )
+        assert t.positions_of("actor") == [0, 4]
+
+    def test_identifier_distinct_per_edge(self):
+        s = Schema()
+        s.add_table(Table("person", ["name"]))
+        s.add_table(Table("movie", ["title"]))
+        s.link("movie", "person", source_attr="director_id")
+        s.link("movie", "person", source_attr="producer_id")
+        fk1, fk2 = s.join_edges("movie", "person")
+        t1 = QueryTemplate(("movie", "person"), (fk1,))
+        t2 = QueryTemplate(("movie", "person"), (fk2,))
+        assert t1.identifier != t2.identifier
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            QueryTemplate(path=("a", "b"), edges=())
+
+    def test_empty_path(self):
+        with pytest.raises(ValueError):
+            QueryTemplate(path=(), edges=())
+
+    def test_contains_table(self, mini_db):
+        t = self._template(mini_db)
+        assert t.contains_table("movie")
+        assert not t.contains_table("ghost")
+
+
+class TestGenerateTemplates:
+    def test_single_table_templates_included(self, mini_db):
+        templates = generate_templates(mini_db.schema, max_joins=2)
+        paths = {t.path for t in templates}
+        assert ("actor",) in paths
+
+    def test_actor_movie_chain_included(self, mini_db):
+        templates = generate_templates(mini_db.schema, max_joins=2)
+        paths = {t.path for t in templates}
+        assert ("actor", "acts", "movie") in paths or ("movie", "acts", "actor") in paths
+
+    def test_max_joins_respected(self, mini_db):
+        for t in generate_templates(mini_db.schema, max_joins=2, include_self_joins=False):
+            assert t.size <= 2
+
+    def test_self_join_palindromes(self, mini_db):
+        templates = generate_templates(mini_db.schema, max_joins=4)
+        paths = {t.path for t in templates}
+        assert ("actor", "acts", "movie", "acts", "actor") in paths or (
+            "movie",
+            "acts",
+            "actor",
+            "acts",
+            "movie",
+        ) in paths
+
+    def test_self_joins_can_be_disabled(self, mini_db):
+        templates = generate_templates(mini_db.schema, max_joins=4, include_self_joins=False)
+        for t in templates:
+            assert len(set(t.path)) == len(t.path)
+
+    def test_edge_variants_capped(self):
+        s = Schema()
+        s.add_table(Table("person", ["name"]))
+        s.add_table(Table("movie", ["title"]))
+        for attr in ("a_id", "b_id", "c_id", "d_id", "e_id"):
+            s.table("movie").attributes[attr] = Attribute(attr, textual=False)
+            from repro.db.schema import ForeignKey
+
+            s.add_foreign_key(ForeignKey("movie", attr, "person", "id"))
+        templates = generate_templates(s, max_joins=1, max_edge_variants=3)
+        two_table = [t for t in templates if len(t.path) == 2]
+        assert len(two_table) <= 3
+
+    def test_deterministic_order(self, mini_db):
+        a = generate_templates(mini_db.schema, max_joins=3)
+        b = generate_templates(mini_db.schema, max_joins=3)
+        assert [t.identifier for t in a] == [t.identifier for t in b]
+
+    def test_sorted_by_size(self, mini_db):
+        sizes = [t.size for t in generate_templates(mini_db.schema, max_joins=3)]
+        assert sizes == sorted(sizes)

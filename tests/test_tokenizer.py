@@ -1,0 +1,80 @@
+"""Unit tests for repro.db.tokenizer."""
+
+import pytest
+
+from repro.db.tokenizer import DEFAULT_STOPWORDS, Tokenizer, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hanks Terminal") == ["hanks", "terminal"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("o'brien, jr.") == ["o", "brien", "jr"]
+
+    def test_keeps_digits(self):
+        assert tokenize("Movie 2001") == ["movie", "2001"]
+
+    def test_alphanumeric_tokens_survive(self):
+        assert tokenize("r2d2") == ["r2d2"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n") == []
+
+    def test_duplicates_preserved(self):
+        assert tokenize("la la land") == ["la", "la", "land"]
+
+    def test_non_string_coerced(self):
+        assert Tokenizer().tokens(2001) == ["2001"]  # type: ignore[arg-type]
+
+    def test_none_like_empty(self):
+        assert Tokenizer().tokens("") == []
+
+
+class TestStopwords:
+    def test_default_tokenizer_keeps_stopwords(self):
+        # DB keyword search matches values verbatim; "the" may be meaningful.
+        assert tokenize("the terminal") == ["the", "terminal"]
+
+    def test_stopword_removal_when_configured(self):
+        t = Tokenizer(stopwords=DEFAULT_STOPWORDS)
+        assert t.tokens("the terminal") == ["terminal"]
+
+    def test_all_stopwords_yields_empty(self):
+        t = Tokenizer(stopwords=DEFAULT_STOPWORDS)
+        assert t.tokens("the and of") == []
+
+
+class TestStemming:
+    def test_stemming_off_by_default(self):
+        assert tokenize("running") == ["running"]
+
+    def test_light_stem_ing(self):
+        t = Tokenizer(stem=True)
+        assert t.tokens("running") == ["runn"]
+
+    def test_light_stem_plural(self):
+        t = Tokenizer(stem=True)
+        assert t.tokens("movies") == ["movy"]
+
+    def test_stem_keeps_short_tokens(self):
+        t = Tokenizer(stem=True)
+        assert t.tokens("is") == ["is"]
+
+
+class TestTerms:
+    def test_terms_deduplicate(self):
+        assert Tokenizer().terms("la la land") == {"la", "land"}
+
+    def test_terms_empty(self):
+        assert Tokenizer().terms("") == set()
+
+
+class TestImmutability:
+    def test_tokenizer_is_frozen(self):
+        t = Tokenizer()
+        with pytest.raises(AttributeError):
+            t.stem = True  # type: ignore[misc]

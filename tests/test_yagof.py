@@ -1,0 +1,187 @@
+"""Unit tests for repro.yagof (instance ontology, matching, analysis)."""
+
+import pytest
+
+from repro.datasets.yago_synth import build_aligned_tables, build_yago, build_yago_and_tables
+from repro.yagof.analysis import (
+    category_size_distribution,
+    instance_level_distribution,
+    shared_instance_distribution,
+    yagof_summary,
+)
+from repro.yagof.matching import MatchConfig, match_tables, threshold_sweep
+from repro.yagof.ontology import InstanceOntology
+
+
+@pytest.fixture
+def small_ontology() -> InstanceOntology:
+    o = InstanceOntology()
+    o.add_class("person")
+    o.add_class("person/actors", "person")
+    o.add_class("person/writers", "person")
+    o.add_instances("person/actors", {"a1", "a2", "a3"})
+    o.add_instances("person/writers", {"w1", "w2"})
+    return o
+
+
+class TestInstanceOntology:
+    def test_root(self):
+        o = InstanceOntology()
+        assert InstanceOntology.ROOT in o
+
+    def test_duplicate_class_rejected(self, small_ontology):
+        with pytest.raises(ValueError):
+            small_ontology.add_class("person")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(KeyError):
+            InstanceOntology().add_class("x", "ghost")
+
+    def test_transitive_instances(self, small_ontology):
+        assert small_ontology.instances_of("person") == {"a1", "a2", "a3", "w1", "w2"}
+
+    def test_direct_instances(self, small_ontology):
+        assert small_ontology.direct_instances("person") == set()
+
+    def test_levels_and_leaves(self, small_ontology):
+        assert small_ontology.level_of("person/actors") == 2
+        assert small_ontology.depth() == 2
+        assert small_ontology.leaves() == ["person/actors", "person/writers"]
+
+    def test_all_instances(self, small_ontology):
+        assert len(small_ontology.all_instances()) == 5
+
+
+class TestMatching:
+    def test_clean_table_matches_true_class(self, small_ontology):
+        tables = {"t_actors": {"a1", "a2", "a3"}}
+        m = match_tables(small_ontology, tables, MatchConfig(threshold=0.5))
+        cls, score, shared = m.assignments["t_actors"]
+        assert cls == "person/actors"
+        assert score == 1.0
+        assert shared == frozenset({"a1", "a2", "a3"})
+
+    def test_most_specific_class_wins(self, small_ontology):
+        """A table of actors matches person/actors, not the coarser person."""
+        tables = {"t": {"a1", "a2"}}
+        m = match_tables(small_ontology, tables, MatchConfig(threshold=0.5))
+        assert m.assignments["t"][0] == "person/actors"
+
+    def test_noisy_table_unmatched_at_high_threshold(self, small_ontology):
+        tables = {"t": {"a1", "x1", "x2", "x3", "x4"}}
+        m = match_tables(small_ontology, tables, MatchConfig(threshold=0.5, min_shared=1))
+        assert "t" in m.unmatched
+
+    def test_min_shared_guard(self, small_ontology):
+        tables = {"tiny": {"a1"}}
+        m = match_tables(small_ontology, tables, MatchConfig(threshold=0.1, min_shared=2))
+        assert "tiny" in m.unmatched
+
+    def test_empty_table_unmatched(self, small_ontology):
+        m = match_tables(small_ontology, {"empty": set()})
+        assert "empty" in m.unmatched
+
+    def test_mixed_table_prefers_majority_class(self, small_ontology):
+        tables = {"t": {"a1", "a2", "a3", "w1"}}
+        m = match_tables(small_ontology, tables, MatchConfig(threshold=0.5))
+        assert m.assignments["t"][0] == "person/actors"
+
+    def test_to_hierarchy(self, small_ontology):
+        tables = {"t_actors": {"a1", "a2"}}
+        m = match_tables(small_ontology, tables, MatchConfig(threshold=0.5))
+        h = m.to_hierarchy(small_ontology)
+        assert h.attached_tables() == {"t_actors"}
+        assert "person/actors" in h.classes_with_tables()
+
+
+class TestPrecisionRecall:
+    def test_perfect_on_clean_alignment(self):
+        yago = build_yago(seed=11)
+        data = build_aligned_tables(
+            yago,
+            seed=12,
+            n_tables=30,
+            rows_per_table=5,
+            noise_fraction=0.0,
+            overlap_fraction=1.0,
+        )
+        m = match_tables(data.ontology, data.tables, MatchConfig(threshold=0.5))
+        precision, recall = m.precision_recall(data.ground_truth, data.ontology)
+        assert precision >= 0.9
+        assert recall >= 0.9
+
+    def test_recall_falls_with_threshold(self):
+        data = build_yago_and_tables(seed=13, n_tables=40)
+        rows = threshold_sweep(
+            data.ontology, data.tables, data.ground_truth, [0.2, 0.5, 0.8, 0.95]
+        )
+        recalls = [r for _t, _p, r in rows]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_bounds(self):
+        data = build_yago_and_tables(seed=17, n_tables=20)
+        for _t, p, r in threshold_sweep(
+            data.ontology, data.tables, data.ground_truth, [0.1, 0.5, 0.9]
+        ):
+            assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0
+
+
+class TestAnalysis:
+    def test_category_distribution_covers_all_classes(self, small_ontology):
+        rows = category_size_distribution(small_ontology, buckets=(1, 5, 10))
+        assert sum(n for _label, n in rows) == len(small_ontology)
+
+    def test_heavy_tail_shape(self):
+        """Most synthetic YAGO leaf categories are small (Table 6.1 shape)."""
+        yago = build_yago(seed=41)
+        rows = dict(category_size_distribution(yago))
+        small = rows.get("<= 5", 0) + rows.get("<= 10", 0) + rows.get("<= 2", 0) + rows.get("<= 1", 0)
+        large = rows.get("> 1000", 0)
+        assert small > large
+
+    def test_instance_level_distribution(self):
+        yago = build_yago(seed=41)
+        rows = instance_level_distribution(yago)
+        # Instances live at the leaves (deepest level).
+        deepest = rows[-1]
+        assert deepest[2] > 0
+        assert rows[0][2] == 0
+
+    def test_shared_instance_distribution(self):
+        tables = {"t1": {"a", "b"}, "t2": {"b", "c"}, "t3": {"b"}}
+        rows = dict(shared_instance_distribution(tables))
+        assert rows[1] == 2  # a and c occur in one table
+        assert rows[3] == 1  # b occurs in three tables
+
+    def test_shared_restriction(self):
+        tables = {"t1": {"a", "x"}, "t2": {"a"}}
+        rows = dict(shared_instance_distribution(tables, shared_instances={"a"}))
+        assert rows == {2: 1}
+
+    def test_yagof_summary_counts(self):
+        data = build_yago_and_tables(seed=19, n_tables=15)
+        m = match_tables(data.ontology, data.tables, MatchConfig(threshold=0.5))
+        summary = yagof_summary(m.to_hierarchy(data.ontology))
+        assert summary["attached_tables"] == len(m.assignments)
+        assert summary["yago_classes"] == len(data.ontology)
+        assert summary["shared_instances"] > 0
+
+
+class TestSyntheticGenerators:
+    def test_yago_deterministic(self):
+        a = build_yago(seed=5)
+        b = build_yago(seed=5)
+        assert a.class_names() == b.class_names()
+        assert len(a.all_instances()) == len(b.all_instances())
+
+    def test_aligned_tables_ground_truth_complete(self):
+        data = build_yago_and_tables(seed=7, n_tables=12)
+        assert set(data.tables) == set(data.ground_truth)
+
+    def test_overlap_fraction_respected(self):
+        yago = build_yago(seed=9)
+        data = build_aligned_tables(yago, seed=10, n_tables=10, overlap_fraction=0.9)
+        for table, instances in data.tables.items():
+            true_class = data.ground_truth[table]
+            shared = instances & yago.instances_of(true_class)
+            assert len(shared) >= 2
