@@ -1,0 +1,95 @@
+"""Storage-backend comparison: build time and query latency, memory vs SQLite.
+
+Not a thesis figure — this benchmark guards the storage-backend abstraction:
+it reports what switching engines costs (dataset build/load time, per-query
+interpretation-execution latency) and asserts both engines return identical
+top-ranked results while doing so.  Run with ``-s`` to see the table:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_backends.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.core.topk import TopKExecutor
+from repro.datasets.imdb import build_imdb
+from repro.experiments.reporting import format_table
+
+QUERIES = ["hanks 2001", "london", "stone hill", "summer"]
+BUILD_KWARGS = dict(seed=7, n_movies=150, n_actors=90)
+
+
+def _timed_build(backend: str, db_path=None):
+    start = time.perf_counter()
+    db = build_imdb(**BUILD_KWARGS, backend=backend, db_path=db_path)
+    return db, time.perf_counter() - start
+
+
+def _query_stack(db):
+    generator = InterpretationGenerator(db, max_template_joins=4)
+    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
+    return generator, model
+
+
+def _run_queries(db, generator, model, repeats: int = 3):
+    """Mean per-query latency (ms) and the result signatures for parity."""
+    signatures = []
+    total = 0.0
+    for query_text in QUERIES:
+        query = KeywordQuery.parse(query_text)
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            ranked = rank_interpretations(generator.interpretations(query), model)
+            results = TopKExecutor(db).execute(ranked, k=5)
+            best = time.perf_counter() - start  # last run, caches warm
+        total += best
+        signatures.append(
+            (
+                query_text,
+                [i.to_structured_query().algebra() for i, _p in ranked[:3]],
+                [r.row_uids() for r in results],
+            )
+        )
+    return (total / len(QUERIES)) * 1000.0, signatures
+
+
+def test_bench_backends(benchmark, tmp_path):
+    rows = []
+
+    mem_db, mem_build = _timed_build("memory")
+    mem_latency, mem_signatures = benchmark.pedantic(
+        lambda: _run_queries(mem_db, *_query_stack(mem_db)), rounds=1, iterations=1
+    )
+    rows.append(["memory", f"{mem_build * 1000:.1f}", "-", f"{mem_latency:.2f}"])
+
+    db_path = tmp_path / "imdb.sqlite"
+    sq_db, sq_build = _timed_build("sqlite", db_path=db_path)
+    sq_latency, sq_signatures = _run_queries(sq_db, *_query_stack(sq_db))
+    sq_db.close()
+
+    # Second open: rows already on disk, generation skipped, index rebuilt
+    # from the stored tables.
+    reopened, reload_time = _timed_build("sqlite", db_path=db_path)
+    rows.append(
+        ["sqlite", f"{sq_build * 1000:.1f}", f"{reload_time * 1000:.1f}", f"{sq_latency:.2f}"]
+    )
+
+    # Parity is part of the benchmark contract: same top-ranked
+    # interpretations and identical top-k rows on both engines.
+    assert sq_signatures == mem_signatures
+    reopened_latency, reopened_signatures = _run_queries(reopened, *_query_stack(reopened))
+    assert reopened_signatures == mem_signatures
+    reopened.close()
+
+    print()
+    print(
+        format_table(
+            ["backend", "build ms", "reload ms", "query ms"],
+            rows + [["sqlite (reopened)", "-", f"{reload_time * 1000:.1f}", f"{reopened_latency:.2f}"]],
+        )
+    )

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Docs lint: fail if the docs reference nonexistent CLI flags, modules or files.
+
+Checks, over README.md and docs/*.md:
+
+1. Every ``python -m repro.cli ...`` command in a fenced code block parses
+   against the real argparse parser (subcommand, flags, choices, arity).
+2. Every dotted ``repro.*`` name in code blocks or inline code resolves to an
+   importable module, or a module attribute thereof.
+3. Every repo-relative path mentioned (``src/...``, ``tests/...``,
+   ``benchmarks/...``, ``docs/...``, ``examples/...``, ``scripts/...``)
+   exists.
+
+Run as ``PYTHONPATH=src python scripts/lint_docs.py`` (CI runs it on every
+push, so the docs cannot drift from the code).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+FENCED_RE = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`([^`\n]+)`")
+MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+PATH_RE = re.compile(r"\b(?:src|tests|benchmarks|docs|examples|scripts)/[\w./-]*\w")
+
+
+def iter_code(text: str):
+    """All code content: fenced blocks and inline spans."""
+    for match in FENCED_RE.finditer(text):
+        yield match.group(1)
+    without_fences = FENCED_RE.sub("", text)
+    for match in INLINE_CODE_RE.finditer(without_fences):
+        yield match.group(1)
+
+
+def check_cli_commands(text: str, source: str, errors: list[str]) -> None:
+    from repro.cli import build_parser
+
+    for block in FENCED_RE.finditer(text):
+        for line in block.group(1).splitlines():
+            line = line.strip()
+            if not line.startswith("python -m repro.cli"):
+                continue
+            if "<" in line:  # usage placeholders like <subcommand>
+                continue
+            argv = shlex.split(line)[3:]  # drop "python -m repro.cli"
+            if not argv:
+                errors.append(f"{source}: bare repro.cli invocation: {line}")
+                continue
+            parser = build_parser()
+            try:
+                with contextlib.redirect_stderr(io.StringIO()) as stderr:
+                    parser.parse_args(argv)
+            except SystemExit:
+                detail = stderr.getvalue().strip().splitlines()
+                errors.append(
+                    f"{source}: invalid CLI command: {line}"
+                    + (f" ({detail[-1]})" if detail else "")
+                )
+
+
+def check_module_references(text: str, source: str, errors: list[str]) -> None:
+    for code in iter_code(text):
+        for dotted in set(MODULE_RE.findall(code)):
+            if not _resolves(dotted):
+                errors.append(f"{source}: unresolvable reference: {dotted}")
+
+
+def _resolves(dotted: str) -> bool:
+    """True if ``dotted`` is an importable module or an attribute of one."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        obj = module
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_paths(text: str, source: str, errors: list[str]) -> None:
+    for code in iter_code(text):
+        for path in set(PATH_RE.findall(code)):
+            if not (REPO_ROOT / path).exists():
+                errors.append(f"{source}: missing file or directory: {path}")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        source = doc.relative_to(REPO_ROOT).as_posix()
+        check_cli_commands(text, source, errors)
+        check_module_references(text, source, errors)
+        check_paths(text, source, errors)
+    if errors:
+        print(f"docs lint: {len(errors)} error(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"docs lint: OK ({len(DOC_FILES)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

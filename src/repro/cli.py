@@ -3,13 +3,16 @@
 Exposes the library's main flows on the bundled synthetic datasets:
 
     python -m repro.cli search    --dataset imdb "hanks 2001"
+    python -m repro.cli search    --dataset imdb --backend sqlite --db-path imdb.sqlite "hanks 2001"
     python -m repro.cli construct --dataset imdb "hanks 2001" --answers y n y
     python -m repro.cli diversify --dataset lyrics "london" --k 5
     python -m repro.cli report    --chapter 3
 
 ``construct`` runs the IQP dialogue: with ``--answers`` the given y/n
 sequence answers the options (cycling); without it the session is driven
-interactively from stdin.
+interactively from stdin.  ``--backend``/``--db-path`` select the storage
+engine (see ``docs/cli.md``); a persistent SQLite file is reused on
+subsequent runs instead of re-generating the dataset.
 """
 
 from __future__ import annotations
@@ -26,24 +29,31 @@ from repro.core.snippets import make_snippet
 from repro.core.topk import TopKExecutor
 from repro.datasets.imdb import build_imdb
 from repro.datasets.lyrics import build_lyrics
+from repro.db.backends import available_backends
+from repro.db.errors import DatabaseError
 from repro.divq.diversify import diversify
 from repro.iqp.infogain import information_gain
 
 
-def _load(dataset: str):
-    if dataset == "imdb":
-        db = build_imdb()
-    elif dataset == "lyrics":
-        db = build_lyrics()
-    else:
-        raise SystemExit(f"unknown dataset {dataset!r} (use imdb or lyrics)")
+def _load(dataset: str, backend: str = "memory", db_path: str | None = None):
+    try:
+        if dataset == "imdb":
+            db = build_imdb(backend=backend, db_path=db_path)
+        elif dataset == "lyrics":
+            db = build_lyrics(backend=backend, db_path=db_path)
+        else:
+            raise SystemExit(f"unknown dataset {dataset!r} (use imdb or lyrics)")
+    except ValueError as exc:  # e.g. --db-path with a non-persistent backend
+        raise SystemExit(f"error: {exc}") from None
+    except DatabaseError as exc:  # unreadable/mismatched --db-path file
+        raise SystemExit(f"error: {exc}") from None
     generator = InterpretationGenerator(db, max_template_joins=4)
     model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
     return db, generator, model
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    db, generator, model = _load(args.dataset)
+    db, generator, model = _load(args.dataset, args.backend, args.db_path)
     query = KeywordQuery.parse(args.query)
     ranked = rank_interpretations(generator.interpretations(query), model)
     if not ranked:
@@ -80,7 +90,7 @@ class _ScriptedUser:
 
 
 def cmd_construct(args: argparse.Namespace) -> int:
-    _db, generator, model = _load(args.dataset)
+    _db, generator, model = _load(args.dataset, args.backend, args.db_path)
     query = KeywordQuery.parse(args.query)
     hierarchy = QueryHierarchy(query, generator, model)
     scripted = _ScriptedUser(args.answers) if args.answers else None
@@ -128,7 +138,7 @@ def cmd_construct(args: argparse.Namespace) -> int:
 
 
 def cmd_diversify(args: argparse.Namespace) -> int:
-    db, generator, model = _load(args.dataset)
+    db, generator, model = _load(args.dataset, args.backend, args.db_path)
     query = KeywordQuery.parse(args.query)
     ranked = rank_interpretations(generator.interpretations(query), model)[:25]
     if not ranked:
@@ -151,6 +161,22 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_storage_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=available_backends(),
+        help="storage engine for the dataset (default: memory)",
+    )
+    parser.add_argument(
+        "--db-path",
+        default=None,
+        dest="db_path",
+        help="file path for persistent backends; reused (no re-generation) "
+        "when it already holds the dataset",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -159,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("query")
     p_search.add_argument("--dataset", default="imdb")
     p_search.add_argument("--k", type=int, default=5)
+    _add_storage_options(p_search)
     p_search.set_defaults(func=cmd_search)
 
     p_construct = sub.add_parser("construct", help="run an IQP construction dialogue")
@@ -167,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_construct.add_argument("--answers", nargs="*", default=None, help="scripted y/n answers")
     p_construct.add_argument("--stop-size", type=int, default=5, dest="stop_size")
     p_construct.add_argument("--max-steps", type=int, default=100, dest="max_steps")
+    _add_storage_options(p_construct)
     p_construct.set_defaults(func=cmd_construct)
 
     p_div = sub.add_parser("diversify", help="diversified interpretation ranking")
@@ -174,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_div.add_argument("--dataset", default="imdb")
     p_div.add_argument("--k", type=int, default=5)
     p_div.add_argument("--tradeoff", type=float, default=0.5)
+    _add_storage_options(p_div)
     p_div.set_defaults(func=cmd_diversify)
 
     p_report = sub.add_parser("report", help="print a chapter's reproduced tables/figures")

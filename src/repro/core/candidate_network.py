@@ -15,7 +15,7 @@ from itertools import product
 
 from repro.core.keywords import KeywordQuery
 from repro.core.templates import QueryTemplate
-from repro.db.database import Database
+from repro.db.backends.base import StorageBackend
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,7 @@ class CandidateNetwork:
 
 
 def enumerate_candidate_networks(
-    database: Database,
+    database: StorageBackend,
     query: KeywordQuery,
     max_joins: int = 3,
     max_networks: int = 10_000,

@@ -23,7 +23,7 @@ from repro.core.interpretation import (
 )
 from repro.core.keywords import Keyword, KeywordQuery
 from repro.core.templates import QueryTemplate, generate_templates
-from repro.db.database import Database
+from repro.db.backends.base import StorageBackend
 
 #: Default operator vocabulary: keyword term -> aggregation operator
 #: (the analytical-query class of §2.2.7; K4's "number of movies ...").
@@ -66,7 +66,7 @@ class InterpretationGenerator:
 
     def __init__(
         self,
-        database: Database,
+        database: StorageBackend,
         templates: Sequence[QueryTemplate] | None = None,
         config: GeneratorConfig = GeneratorConfig(),
         max_template_joins: int = 3,

@@ -27,7 +27,7 @@ from repro.core.query import StructuredQuery
 from repro.core.templates import QueryTemplate
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.db.database import Database
+    from repro.db.backends.base import StorageBackend
 
 
 @dataclass(frozen=True, order=True)
@@ -197,10 +197,10 @@ class Interpretation:
             template=self.template, selections=frozen, aggregate=aggregate
         )
 
-    def execute(self, database: "Database", limit: int | None = None):
+    def execute(self, database: "StorageBackend", limit: int | None = None):
         return self.to_structured_query().execute(database, limit=limit)
 
-    def result_keys(self, database: "Database", limit: int | None = None) -> set:
+    def result_keys(self, database: "StorageBackend", limit: int | None = None) -> set:
         """Primary keys of result tuples — DivQ's information nuggets."""
         return self.to_structured_query().result_keys(database, limit=limit)
 

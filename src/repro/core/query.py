@@ -3,7 +3,7 @@
 A :class:`StructuredQuery` is a query template (join path) decorated with
 ``contains`` predicates: per template slot, per attribute, the bag of keywords
 that must be contained in the attribute value.  It executes against a
-:class:`repro.db.Database` and renders itself as SQL.
+any :class:`repro.db.StorageBackend` and renders itself as SQL.
 """
 
 from __future__ import annotations
@@ -15,7 +15,7 @@ from repro.core.templates import QueryTemplate
 from repro.db.sql import render_sql
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.db.database import Database
+    from repro.db.backends.base import StorageBackend
     from repro.db.table import Tuple
 
 #: Per-slot selections: slot -> ((attribute, (terms...)), ...)
@@ -59,7 +59,7 @@ class StructuredQuery:
         return {slot: list(attrs) for slot, attrs in self.selections.items()}
 
     def execute(
-        self, database: "Database", limit: int | None = None
+        self, database: "StorageBackend", limit: int | None = None
     ) -> list[tuple["Tuple", ...]]:
         """Run the query; rows are joining networks of tuples (JTTs)."""
         return database.execute_path(
@@ -69,18 +69,18 @@ class StructuredQuery:
             limit=limit,
         )
 
-    def has_results(self, database: "Database") -> bool:
+    def has_results(self, database: "StorageBackend") -> bool:
         return database.has_results(
             self.template.path, self.template.edges, self._db_selections()
         )
 
-    def count(self, database: "Database") -> int:
+    def count(self, database: "StorageBackend") -> int:
         return database.count_path(
             self.template.path, self.template.edges, self._db_selections()
         )
 
     def result_keys(
-        self, database: "Database", limit: int | None = None
+        self, database: "StorageBackend", limit: int | None = None
     ) -> set[tuple[str, Any]]:
         """Distinct tuple uids across all result rows.
 
@@ -93,7 +93,7 @@ class StructuredQuery:
                 keys.add(tup.uid)
         return keys
 
-    def aggregate_value(self, database: "Database") -> int:
+    def aggregate_value(self, database: "StorageBackend") -> int:
         """Evaluate the aggregation (COUNT of distinct target-slot tuples)."""
         if self.aggregate is None:
             raise ValueError("query has no aggregation operator")

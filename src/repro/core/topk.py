@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.interpretation import Interpretation
-from repro.db.database import Database
+from repro.db.backends.base import StorageBackend
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class TopKStatistics:
 class TopKExecutor:
     """Executes a ranked interpretation list with TA-style early stopping."""
 
-    database: Database
+    database: StorageBackend
     #: Per-interpretation execution cap (guards pathological fan-out).
     per_query_limit: int | None = 5_000
     statistics: TopKStatistics = field(default_factory=TopKStatistics)

@@ -1,0 +1,67 @@
+"""Persistent-store reuse for the dataset builders.
+
+A builder pointed at a populated persistent store must either reuse exactly
+the instance that was asked for, or refuse — silently returning a
+differently-built dataset corrupts any experiment that varies generation
+parameters over a fixed ``db_path``.  Two guards compose here:
+
+* a **fingerprint** of all generation parameters (including the seed),
+  written into the store's metadata on first build and compared on reuse,
+* **row-count checks** per table, which also protect stores created before
+  fingerprints existed or through other code paths.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.db.backends import StorageBackend
+
+_FINGERPRINT_KEY = "dataset_fingerprint"
+
+
+def fingerprint(dataset: str, **params) -> str:
+    """Canonical string identifying one exact generated instance."""
+    return json.dumps({"dataset": dataset, **params}, sort_keys=True)
+
+
+def try_reuse(
+    db: StorageBackend,
+    db_path,
+    label: str,
+    requested_fingerprint: str,
+    expected_counts: Mapping[str, int],
+) -> bool:
+    """True iff ``db`` already holds exactly the requested instance.
+
+    Returns False for non-persistent or empty stores (the caller should
+    generate).  Raises ``ValueError`` — closing ``db`` first — when the store
+    holds a *different* instance; on success the inverted index is rebuilt
+    from the stored tables.
+    """
+    if not (db.is_persistent and db.has_rows()):
+        return False
+    stored = db.get_metadata(_FINGERPRINT_KEY)
+    mismatched = sorted(
+        name
+        for name, count in expected_counts.items()
+        if len(db.relation(name)) != count
+    )
+    if mismatched or (stored is not None and stored != requested_fingerprint):
+        db.close()
+        detail = (
+            f"row counts differ for {', '.join(mismatched)}"
+            if mismatched
+            else "generation parameters differ"
+        )
+        raise ValueError(
+            f"store at {db_path!r} holds a different {label} instance ({detail})"
+        )
+    db.build_indexes()
+    return True
+
+
+def mark_built(db: StorageBackend, built_fingerprint: str) -> None:
+    """Record the fingerprint of a freshly generated instance."""
+    db.set_metadata(_FINGERPRINT_KEY, built_fingerprint)

@@ -21,8 +21,10 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.datasets import names
-from repro.db.database import Database
+from pathlib import Path
+
+from repro.datasets import _store, names
+from repro.db.backends import StorageBackend, create_backend
 from repro.db.schema import Attribute, Schema, Table
 from repro.freeq.ontology import SchemaOntology, build_type_domain_ontology
 
@@ -57,7 +59,7 @@ def domain_names(n_domains: int) -> list[str]:
 class FreebaseInstance:
     """The synthetic database plus its ontology layer and domain list."""
 
-    database: Database
+    database: StorageBackend
     ontology: SchemaOntology
     domains: list[str]
 
@@ -67,8 +69,17 @@ def build_freebase(
     n_domains: int = 20,
     rows_per_entity_table: int = 12,
     links_per_table: int = 16,
+    backend: str | StorageBackend = "memory",
+    db_path: str | Path | None = None,
 ) -> FreebaseInstance:
-    """Build a domain-structured schema of ``7 * n_domains`` tables."""
+    """Build a domain-structured schema of ``7 * n_domains`` tables.
+
+    ``backend``/``db_path`` select the storage engine; a persistent backend
+    with existing rows at ``db_path`` skips row generation (the schema and
+    ontology are deterministic, so they are always rebuilt in place).  Every
+    requested domain must be populated in the stored instance; a mismatch
+    raises ``ValueError``.
+    """
     rng = random.Random(seed)
     schema = Schema()
     assignments: list[tuple[str, str, str, str]] = []
@@ -101,8 +112,32 @@ def build_freebase(
             ]
         )
 
-    db = Database(schema)
-    for domain in domains:
+    db = create_backend(backend, schema, path=db_path)
+    fp = _store.fingerprint(
+        "freebase",
+        seed=seed,
+        n_domains=n_domains,
+        rows_per_entity_table=rows_per_entity_table,
+        links_per_table=links_per_table,
+    )
+    half = max(2, rows_per_entity_table // 2)
+    per_domain = {
+        "person": rows_per_entity_table,
+        "work": rows_per_entity_table,
+        "org": half,
+        "place": half,
+        "person_work": links_per_table,
+        "work_org": links_per_table,
+        "org_place": links_per_table,
+    }
+    expected = {
+        f"{domain}_{suffix}": count
+        for domain in domains
+        for suffix, count in per_domain.items()
+    }
+    reused = _store.try_reuse(db, db_path, "Freebase", fp, expected)
+    domains_to_fill = [] if reused else domains
+    for domain in domains_to_fill:
         person_ids = list(range(rows_per_entity_table))
         for i in person_ids:
             name = f"{rng.choice(names.FIRST_NAMES)} {rng.choice(names.SURNAMES)}"
@@ -132,7 +167,9 @@ def build_freebase(
                 {"id": i, "org_id": rng.choice(org_ids), "place_id": rng.choice(place_ids)},
             )
 
-    db.build_indexes()
+    if not reused:  # try_reuse already built the index over the stored rows
+        db.build_indexes()
+        _store.mark_built(db, fp)
     # Domain groups (a balanced partition of ~sqrt(n) buckets) form the
     # intermediate ontology layer that keeps concept drill-down logarithmic.
     group_size = max(2, int(math.sqrt(len(domains))))

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import random
 
-from repro.datasets import names
-from repro.db.database import Database
+from pathlib import Path
+
+from repro.datasets import _store, names
+from repro.db.backends import StorageBackend, create_backend
 from repro.db.schema import Attribute, Schema, Table
 
 
@@ -89,10 +91,40 @@ def build_imdb(
     n_directors: int = 30,
     n_companies: int = 20,
     acts_per_movie: int = 3,
-) -> Database:
-    """Build and index a deterministic synthetic IMDB instance."""
+    backend: str | StorageBackend = "memory",
+    db_path: str | Path | None = None,
+) -> StorageBackend:
+    """Build and index a deterministic synthetic IMDB instance.
+
+    ``backend``/``db_path`` select the storage engine (see
+    :mod:`repro.db.backends`).  When a persistent backend already holds data
+    at ``db_path`` the generator is skipped entirely: the inverted index is
+    rebuilt from the stored tables, not by re-ingesting rows.  The stored
+    instance must match the requested size parameters; a mismatch raises
+    ``ValueError`` instead of silently returning a different dataset.
+    """
     rng = random.Random(seed)
-    db = Database(imdb_schema())
+    db = create_backend(backend, imdb_schema(), path=db_path)
+    fp = _store.fingerprint(
+        "imdb",
+        seed=seed,
+        n_movies=n_movies,
+        n_actors=n_actors,
+        n_directors=n_directors,
+        n_companies=n_companies,
+        acts_per_movie=acts_per_movie,
+    )
+    expected = {
+        "actor": n_actors,
+        "director": n_directors,
+        "company": n_companies,
+        "movie": n_movies,
+        "acts": n_movies * min(acts_per_movie, n_actors),
+        "directs": n_movies,
+        "produced": n_movies,
+    }
+    if _store.try_reuse(db, db_path, "IMDB", fp, expected):
+        return db
 
     actor_ids = []
     for i in range(n_actors):
@@ -147,4 +179,5 @@ def build_imdb(
         link_id += 1
 
     db.build_indexes()
+    _store.mark_built(db, fp)
     return db

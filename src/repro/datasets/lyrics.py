@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import random
 
-from repro.datasets import names
-from repro.db.database import Database
+from pathlib import Path
+
+from repro.datasets import _store, names
+from repro.db.backends import StorageBackend, create_backend
 from repro.db.schema import Attribute, Schema, Table
 
 
@@ -46,10 +48,32 @@ def build_lyrics(
     n_artists: int = 50,
     albums_per_artist: int = 2,
     songs_per_album: int = 5,
-) -> Database:
-    """Build and index a deterministic synthetic Lyrics instance."""
+    backend: str | StorageBackend = "memory",
+    db_path: str | Path | None = None,
+) -> StorageBackend:
+    """Build and index a deterministic synthetic Lyrics instance.
+
+    ``backend``/``db_path`` select the storage engine; a persistent backend
+    with existing rows at ``db_path`` short-circuits generation and rebuilds
+    the index from the stored tables.  The stored instance must match the
+    requested size parameters; a mismatch raises ``ValueError``.
+    """
     rng = random.Random(seed)
-    db = Database(lyrics_schema())
+    db = create_backend(backend, lyrics_schema(), path=db_path)
+    fp = _store.fingerprint(
+        "lyrics",
+        seed=seed,
+        n_artists=n_artists,
+        albums_per_artist=albums_per_artist,
+        songs_per_album=songs_per_album,
+    )
+    expected = {
+        "artist": n_artists,
+        "album": n_artists * albums_per_artist,
+        "song": n_artists * albums_per_artist * songs_per_album,
+    }
+    if _store.try_reuse(db, db_path, "Lyrics", fp, expected):
+        return db
 
     link_id = 0
     album_id = 0
@@ -90,4 +114,5 @@ def build_lyrics(
             album_id += 1
 
     db.build_indexes()
+    _store.mark_built(db, fp)
     return db

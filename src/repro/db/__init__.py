@@ -1,4 +1,4 @@
-"""In-memory relational database substrate.
+"""Relational database substrate with pluggable storage backends.
 
 This package provides the relational engine the keyword-search systems of the
 thesis run on: schemas with foreign keys (exposed as an undirected *schema
@@ -7,11 +7,23 @@ inverted index over textual attributes with the term statistics the
 probabilistic models need (TF, ATF, DF, IDF), and a tuple-level data graph for
 the data-based baselines.
 
-The engine replaces the MySQL + Lucene substrate used by the original
-experiments while exercising the same code paths: a-priori inverted indexing,
-schema-graph exploration and SQL-style join evaluation.
+Storage is pluggable (:mod:`repro.db.backends`): the default ``Database`` is
+the in-memory :class:`MemoryBackend`; :class:`SQLiteBackend` persists datasets
+to disk and pushes join execution down to SQL.  Both implement the
+:class:`StorageBackend` contract, which replaces the MySQL + Lucene substrate
+used by the original experiments while exercising the same code paths:
+a-priori inverted indexing, schema-graph exploration and SQL-style join
+evaluation.
 """
 
+from repro.db.backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.db.database import Database
 from repro.db.datagraph import DataGraph
 from repro.db.errors import (
@@ -37,15 +49,21 @@ __all__ = [
     "ForeignKey",
     "IntegrityError",
     "InvertedIndex",
+    "MemoryBackend",
     "Posting",
     "Relation",
+    "SQLiteBackend",
     "Schema",
+    "StorageBackend",
     "Table",
     "Tokenizer",
     "Tuple",
     "UnknownAttributeError",
     "UnknownTableError",
+    "available_backends",
+    "create_backend",
     "load_database",
+    "register_backend",
     "save_database",
     "tokenize",
 ]

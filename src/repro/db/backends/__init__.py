@@ -1,0 +1,92 @@
+"""Pluggable storage backends.
+
+The registry maps backend names (as used by ``--backend`` on the CLI and the
+``backend=`` parameter of the dataset builders) to :class:`StorageBackend`
+subclasses.  Third-party engines register themselves with
+:func:`register_backend`; see ``docs/architecture.md`` for the contract a new
+backend must satisfy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Type
+
+from repro.db.backends.base import (
+    RelationView,
+    Selection,
+    SelectionsByPosition,
+    StorageBackend,
+)
+from repro.db.backends.memory import MemoryBackend
+from repro.db.backends.sqlite import SQLiteBackend, SQLiteRelation
+from repro.db.schema import Schema
+from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+
+_REGISTRY: dict[str, Type[StorageBackend]] = {}
+
+
+def register_backend(cls: Type[StorageBackend]) -> Type[StorageBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"backend class {cls.__name__} needs a concrete name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+register_backend(MemoryBackend)
+register_backend(SQLiteBackend)
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`create_backend` (and the CLI's ``--backend``)."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(
+    backend: str | StorageBackend,
+    schema: Schema,
+    *,
+    path: str | Path | None = None,
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+) -> StorageBackend:
+    """Instantiate a backend by registry name.
+
+    ``backend`` may also be an already-constructed instance, which is
+    returned unchanged — the hook tests and embedders use to inject a
+    preconfigured engine.  ``path`` is only meaningful for persistent
+    backends; combining it with ``"memory"`` or with an already-constructed
+    instance (whose storage location is fixed) raises to catch silent data
+    loss.
+    """
+    if isinstance(backend, StorageBackend):
+        if path is not None:
+            raise ValueError(
+                "cannot combine an existing backend instance with a storage path"
+            )
+        return backend
+    try:
+        cls = _REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if path is not None:
+        if not cls.persistent:
+            raise ValueError(f"backend {backend!r} does not support a storage path")
+        return cls(schema, tokenizer=tokenizer, path=path)
+    return cls(schema, tokenizer=tokenizer)
+
+
+__all__ = [
+    "MemoryBackend",
+    "RelationView",
+    "SQLiteBackend",
+    "SQLiteRelation",
+    "Selection",
+    "SelectionsByPosition",
+    "StorageBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

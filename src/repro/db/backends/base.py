@@ -1,0 +1,305 @@
+"""The storage-backend contract.
+
+:class:`StorageBackend` makes explicit the interface the rest of the system
+(interpretation execution in ``core/``, the baselines, the DivQ/FreeQ stacks)
+implicitly programmed against when there was only the in-memory engine:
+
+* a :class:`~repro.db.schema.Schema` plus per-table *relations* that can be
+  scanned, point-looked-up by primary key and exact-matched on an attribute,
+* row insertion that keeps a live :class:`~repro.db.index.InvertedIndex`
+  consistent,
+* a-priori index construction (``build_indexes``), and
+* execution of a *join path with keyword selections* — the SQL statement a
+  candidate network corresponds to (Section 2.2.6) — with an optional LIMIT
+  for top-k early termination.
+
+Backends differ only in *where rows live and who executes the joins*:
+:class:`~repro.db.backends.memory.MemoryBackend` keeps dict-backed relations
+and runs nested-loop joins in Python; :class:`~repro.db.backends.sqlite.
+SQLiteBackend` persists rows to a SQLite file and pushes joins, selections
+and LIMIT down to SQL.  Everything above this interface is backend-agnostic,
+so adding e.g. a Postgres backend is a one-file job (see
+``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.db.errors import UnknownTableError
+from repro.db.index import InvertedIndex
+from repro.db.schema import ForeignKey, Schema, Table
+from repro.db.table import Tuple
+from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+
+#: One selection: all of ``terms`` must be contained in ``attribute``'s value.
+#: ``(attribute, terms)``
+Selection = tuple[str, tuple[str, ...]]
+
+#: Per-position selections of a join path.
+SelectionsByPosition = dict[int, Sequence[Selection]]
+
+
+@runtime_checkable
+class RelationView(Protocol):
+    """What a backend's per-table handle must support.
+
+    The in-memory :class:`~repro.db.table.Relation` is the reference
+    implementation; SQLite exposes the same surface over stored tables.  The
+    inverted index, the data graph and the baselines only ever use this
+    protocol, never backend internals.
+    """
+
+    table: Table
+
+    def insert(self, row: dict[str, Any]) -> Tuple: ...
+
+    def create_index(self, attribute: str) -> None: ...
+
+    def get(self, key: Any) -> Tuple | None: ...
+
+    def lookup(self, attribute: str, value: Any) -> list[Tuple]: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self): ...
+
+
+class StorageBackend(abc.ABC):
+    """Abstract base of every storage engine.
+
+    Subclasses implement row storage (:meth:`relation`, :meth:`insert`,
+    :meth:`add_table`) and join execution (:meth:`execute_path`); selection,
+    statistics and the derived conveniences are shared here so all backends
+    agree on semantics by construction.
+    """
+
+    #: Registry key, e.g. ``"memory"`` or ``"sqlite"``.
+    name: ClassVar[str] = "abstract"
+    #: True when rows survive process restarts (used by dataset builders to
+    #: skip regeneration when a populated store already exists).
+    persistent: ClassVar[bool] = False
+
+    def __init__(self, schema: Schema, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+        self.schema = schema
+        self.tokenizer = tokenizer
+        self.index: InvertedIndex | None = None
+        self._metadata: dict[str, str] = {}
+
+    # -- storage contract (backend-specific) -------------------------------
+
+    @abc.abstractmethod
+    def relation(self, table_name: str) -> RelationView:
+        """The stored rows of one table; raises UnknownTableError."""
+
+    @abc.abstractmethod
+    def _create_storage(self, table: Table) -> RelationView:
+        """Create (or attach to) the storage of one table."""
+
+    @abc.abstractmethod
+    def execute_path(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Tuple, ...]]:
+        """Execute a join path and return joining networks of tuples.
+
+        Parameters
+        ----------
+        path:
+            Table names, in join order.  ``len(path) == len(edges) + 1``.
+        edges:
+            ``edges[i]`` is the foreign key joining ``path[i]`` and
+            ``path[i+1]`` (in either direction).
+        selections:
+            Optional keyword selections per path position.
+        limit:
+            Stop once this many result rows are produced (top-k early
+            termination, Section 2.2.5).
+
+        Returns
+        -------
+        A list of tuples of :class:`Tuple`, aligned with ``path``.
+        """
+
+    def insert(self, table_name: str, row: dict[str, Any]) -> Tuple:
+        """Insert one row, keeping a live inverted index consistent.
+
+        Shared here (over the storage primitives) so no backend can forget
+        the index-maintenance hook and drift from a from-scratch rebuild.
+        """
+        tup = self.relation(table_name).insert(row)
+        if self.index is not None:
+            self.index.add_tuple(self.schema.table(table_name), tup)
+        return tup
+
+    def add_table(self, table: Table) -> RelationView:
+        """Add a table to the schema and create its storage.
+
+        When an index exists it is kept consistent with a from-scratch
+        rebuild: the new table's schema terms, tuple count and any
+        pre-existing rows become visible without ``build_indexes()``.
+        """
+        self.schema.add_table(table)
+        relation = self._create_storage(table)
+        if self.index is not None:
+            self.index.register_table(table, relation)
+        return relation
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_persistent(self) -> bool:
+        """True when this *instance* stores rows beyond the process lifetime.
+
+        Defaults to the class-level ``persistent`` flag; backends whose
+        durability depends on configuration (e.g. SQLite's ``":memory:"``
+        mode) refine it.  Dataset builders use this plus :meth:`has_rows` to
+        skip regeneration.
+        """
+        return self.persistent
+
+    def has_rows(self) -> bool:
+        """True when at least one stored table is non-empty."""
+        return any(len(self.relation(name)) for name in self.schema.table_names)
+
+    def set_metadata(self, key: str, value: str) -> None:
+        """Store a backend-scoped key/value pair (e.g. a dataset fingerprint).
+
+        Persistent backends keep metadata alongside the rows so it survives
+        reopens; the in-memory default lives and dies with the instance.
+        """
+        self._metadata[key] = value
+
+    def get_metadata(self, key: str) -> str | None:
+        return self._metadata.get(key)
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-memory storage)."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- data loading (shared) ----------------------------------------------
+
+    def insert_many(self, table_name: str, rows: Iterable[dict[str, Any]]) -> list[Tuple]:
+        return [self.insert(table_name, row) for row in rows]
+
+    def copy_into(self, other: "StorageBackend") -> "StorageBackend":
+        """Bulk-copy every stored row into ``other`` (same schema assumed)."""
+        for table in self.schema:
+            other.insert_many(
+                table.name, (tup.as_dict() for tup in self.relation(table.name))
+            )
+        return other
+
+    # -- indexing (shared) ---------------------------------------------------
+
+    def build_indexes(self) -> InvertedIndex:
+        """Build the inverted index and exact-match join indexes a-priori."""
+        for fk in self.schema.foreign_keys:
+            self.relation(fk.source).create_index(fk.source_attr)
+            if fk.target_attr != self.schema.table(fk.target).primary_key:
+                self.relation(fk.target).create_index(fk.target_attr)
+        self.index = InvertedIndex(self.tokenizer).build(self)
+        return self.index
+
+    def require_index(self) -> InvertedIndex:
+        if self.index is None:
+            self.build_indexes()
+        assert self.index is not None
+        return self.index
+
+    # -- statistics ----------------------------------------------------------
+
+    def total_tuples(self) -> int:
+        return sum(len(self.relation(name)) for name in self.schema.table_names)
+
+    # -- selection (shared) --------------------------------------------------
+
+    def select(self, table_name: str, selections: Sequence[Selection]) -> list[Tuple]:
+        """Tuples of one table satisfying *all* keyword containments."""
+        relation = self.relation(table_name)
+        if not selections:
+            return list(relation)
+        keys = self.selection_keys(table_name, selections)
+        return [t for t in (relation.get(k) for k in sorted(keys, key=repr)) if t is not None]
+
+    def selection_keys(
+        self, table_name: str, selections: Sequence[Selection]
+    ) -> set[Any]:
+        """Primary keys of tuples satisfying *all* keyword containments.
+
+        Containment is token-based (the tokenizer's notion of "contains", not
+        SQL LIKE substring matching), answered from the inverted index — the
+        semantics every backend must share.
+        """
+        self.relation(table_name)  # validates table
+        index = self.require_index()
+        keys: set[Any] | None = None
+        for attribute, terms in selections:
+            attr_keys = index.candidate_tuple_keys(terms, table_name, attribute)
+            keys = attr_keys if keys is None else keys & attr_keys
+            if not keys:
+                return set()
+        return keys if keys is not None else set()
+
+    # -- join-path execution (shared validation + derived queries) -----------
+
+    def _validate_path(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition,
+        limit: int | None = None,
+    ) -> None:
+        if len(path) != len(edges) + 1:
+            raise ValueError("path/edges arity mismatch")
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        for position, table_name in enumerate(path):
+            self.relation(table_name)  # validates table
+            for attribute, _terms in selections.get(position, ()):
+                if not self.schema.table(table_name).has_attribute(attribute):
+                    raise UnknownTableError(f"{table_name}.{attribute}")
+
+    @staticmethod
+    def _edge_attrs(
+        edge: ForeignKey, current_table: str, next_table: str
+    ) -> tuple[str, str]:
+        """``(bound attr on current, probe attr on next)`` for one join hop."""
+        if edge.source == current_table and edge.target == next_table:
+            return edge.source_attr, edge.target_attr
+        if edge.source == next_table and edge.target == current_table:
+            return edge.target_attr, edge.source_attr
+        raise ValueError(
+            f"foreign key {edge} does not connect {current_table!r} and {next_table!r}"
+        )
+
+    def count_path(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+    ) -> int:
+        """Number of result rows of a join path."""
+        return len(self.execute_path(path, edges, selections))
+
+    def has_results(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+    ) -> bool:
+        """True iff the join path yields at least one result row.
+
+        DivQ assigns zero probability to interpretations with empty results
+        (Section 4.4.2); this is the early-terminating check it uses.
+        """
+        return bool(self.execute_path(path, edges, selections, limit=1))

@@ -1,0 +1,96 @@
+"""The in-memory storage engine (the reference backend).
+
+Dict-backed relations with exact-match indexes, nested-loop join execution in
+Python.  This is the engine the reproduction originally shipped as
+``repro.db.Database``; it remains the default backend and the semantic
+reference every other backend is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.db.backends.base import SelectionsByPosition, StorageBackend
+from repro.db.errors import UnknownTableError
+from repro.db.schema import ForeignKey, Schema, Table
+from repro.db.table import Relation, Tuple
+from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+
+
+class MemoryBackend(StorageBackend):
+    """An in-memory relational database instance."""
+
+    name = "memory"
+    persistent = False
+
+    def __init__(self, schema: Schema, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
+        super().__init__(schema, tokenizer)
+        self._relations: dict[str, Relation] = {}
+        for table in schema:
+            self._create_storage(table)
+
+    # -- data loading -----------------------------------------------------
+
+    def relation(self, table_name: str) -> Relation:
+        try:
+            return self._relations[table_name]
+        except KeyError:
+            raise UnknownTableError(table_name) from None
+
+    def _create_storage(self, table: Table) -> Relation:
+        relation = Relation(table)
+        self._relations[table.name] = relation
+        return relation
+
+    # -- join-path execution ---------------------------------------------------
+
+    def execute_path(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Tuple, ...]]:
+        """Nested-loop execution of a join path (see the base-class contract)."""
+        selections = selections or {}
+        self._validate_path(path, edges, selections, limit)
+
+        base = self.select(path[0], list(selections.get(0, ())))
+        partials: list[tuple[Tuple, ...]] = [(t,) for t in base]
+        for position in range(1, len(path)):
+            if not partials:
+                return []
+            edge = edges[position - 1]
+            next_table = path[position]
+            allowed_keys: set[Any] | None = None
+            position_selections = list(selections.get(position, ()))
+            if position_selections:
+                allowed_keys = self.selection_keys(next_table, position_selections)
+                if not allowed_keys:
+                    return []
+            partials = self._extend(partials, path[position - 1], next_table, edge, allowed_keys)
+        if limit is not None:
+            return partials[:limit]
+        return partials
+
+    def _extend(
+        self,
+        partials: list[tuple[Tuple, ...]],
+        current_table: str,
+        next_table: str,
+        edge: ForeignKey,
+        allowed_keys: set[Any] | None,
+    ) -> list[tuple[Tuple, ...]]:
+        """Join each partial result with matching tuples of ``next_table``."""
+        relation = self.relation(next_table)
+        bound_attr, probe_attr = self._edge_attrs(edge, current_table, next_table)
+        results: list[tuple[Tuple, ...]] = []
+        for partial in partials:
+            bound_value = partial[-1].get(bound_attr)
+            if bound_value is None:
+                continue
+            for match in relation.lookup(probe_attr, bound_value):
+                if allowed_keys is not None and match.key not in allowed_keys:
+                    continue
+                results.append(partial + (match,))
+        return results

@@ -1,0 +1,402 @@
+"""A persistent SQLite storage engine.
+
+Rows live in a SQLite database (a file on disk or ``":memory:"``), so
+datasets survive process restarts and never need re-generation; the inverted
+index is rebuilt by scanning the *stored* tables, not by re-running a dataset
+builder.  Join-path execution — the hot path of interpretation
+materialization — is pushed down to real SQL: one ``SELECT ... JOIN ... WHERE
+pk IN (...) LIMIT k`` statement per candidate network, with keyword
+selections resolved to primary-key sets through the inverted index first so
+containment keeps the tokenizer's semantics (not SQL ``LIKE`` substring
+matching) and stays bit-identical to the in-memory engine.
+
+Standard library only (``sqlite3``); no new dependencies.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.db.backends.base import SelectionsByPosition, StorageBackend
+from repro.db.errors import (
+    DatabaseError,
+    IntegrityError,
+    UnknownAttributeError,
+    UnknownTableError,
+)
+from repro.db.schema import ForeignKey, Schema, Table
+from repro.db.table import Tuple
+from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+
+#: Above this many candidate keys per position the ``pk IN (...)`` predicate
+#: is applied in Python instead of SQL (SQLite caps bound parameters per
+#: statement; historically SQLITE_MAX_VARIABLE_NUMBER = 999).
+_MAX_INLINE_KEYS = 500
+
+#: Budget for *all* inline keys of one statement, across positions.
+_MAX_TOTAL_INLINE_KEYS = 900
+
+
+def _quote(identifier: str) -> str:
+    """Quote an identifier for SQLite (tables/attributes are data here)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def _normalize(value: Any) -> Any:
+    """Coerce a value to what SQLite will hand back on read.
+
+    SQLite stores bools as integers; normalizing *before* the live index
+    sees the value keeps incremental indexing identical to a rebuild from
+    the stored tables after a reopen.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+class SQLiteRelation:
+    """Per-table handle over stored rows (the ``RelationView`` protocol).
+
+    Mirrors :class:`repro.db.table.Relation` semantics — auto-assigned
+    primary keys, ``None`` for missing attributes, insertion-order scans —
+    on top of a SQLite table.
+    """
+
+    def __init__(self, backend: "SQLiteBackend", table: Table):
+        self.table = table
+        self._backend = backend
+        self._conn = backend._conn
+        self._quoted_name = _quote(table.name)
+        self._columns = list(table.attribute_names)
+        self._select_list = ", ".join(_quote(c) for c in self._columns)
+        self._pk = table.primary_key
+        self._pk_index = self._columns.index(self._pk)
+        # Cached row count for O(1) auto-key assignment (lazy; kept in sync
+        # by insert).  ``None`` until the first auto-keyed insert.
+        self._row_count: int | None = None
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, row: dict[str, Any]) -> Tuple:
+        """Insert a row; unknown attributes are rejected, missing ones are None."""
+        for name in row:
+            if not self.table.has_attribute(name):
+                raise UnknownAttributeError(self.table.name, name)
+        key = _normalize(row.get(self._pk))
+        if key is None:
+            key = self._next_key()
+        values = tuple(
+            (name, _normalize(row.get(name)) if name != self._pk else key)
+            for name in self._columns
+        )
+        placeholders = ", ".join("?" for _ in self._columns)
+        try:
+            self._conn.execute(
+                f"INSERT INTO {self._quoted_name} ({self._select_list}) "
+                f"VALUES ({placeholders})",
+                [value for _name, value in values],
+            )
+        except sqlite3.IntegrityError:
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in table {self.table.name!r}"
+            ) from None
+        except sqlite3.Error as exc:
+            # e.g. a value type SQLite cannot store: surface it through the
+            # package's own error hierarchy, not a raw sqlite3 exception.
+            raise DatabaseError(
+                f"cannot store row in table {self.table.name!r}: {exc}"
+            ) from None
+        if self._row_count is not None:
+            self._row_count += 1
+        return Tuple(self.table.name, key, values)
+
+    def _next_key(self) -> int:
+        """Auto-assign a key the way the in-memory Relation does."""
+        if self._row_count is None:
+            self._row_count = len(self)
+        key = self._row_count
+        while self.get(key) is not None:
+            key += 1
+        return key
+
+    def create_index(self, attribute: str) -> None:
+        """Build an exact-match index on ``attribute`` (CREATE INDEX)."""
+        if not self.table.has_attribute(attribute):
+            raise UnknownAttributeError(self.table.name, attribute)
+        index_name = _quote(f"ix_{self.table.name}_{attribute}")
+        self._conn.execute(
+            f"CREATE INDEX IF NOT EXISTS {index_name} "
+            f"ON {self._quoted_name} ({_quote(attribute)})"
+        )
+
+    # -- access ----------------------------------------------------------
+
+    def _to_tuple(self, row: Sequence[Any]) -> Tuple:
+        values = tuple(zip(self._columns, row))
+        return Tuple(self.table.name, row[self._pk_index], values)
+
+    def get(self, key: Any) -> Tuple | None:
+        cursor = self._conn.execute(
+            f"SELECT {self._select_list} FROM {self._quoted_name} "
+            f"WHERE {_quote(self._pk)} IS ?",
+            (key,),
+        )
+        row = cursor.fetchone()
+        return self._to_tuple(row) if row is not None else None
+
+    def lookup(self, attribute: str, value: Any) -> list[Tuple]:
+        """All tuples with ``attribute == value`` (SQL point query)."""
+        if not self.table.has_attribute(attribute):
+            return []
+        cursor = self._conn.execute(
+            f"SELECT {self._select_list} FROM {self._quoted_name} "
+            f"WHERE {_quote(attribute)} IS ?",
+            (value,),
+        )
+        matches = [self._to_tuple(row) for row in cursor.fetchall()]
+        matches.sort(key=lambda t: repr(t.key))
+        return matches
+
+    def scan(self) -> Iterator[Tuple]:
+        cursor = self._conn.execute(
+            f"SELECT {self._select_list} FROM {self._quoted_name} ORDER BY rowid"
+        )
+        for row in cursor.fetchall():
+            yield self._to_tuple(row)
+
+    def keys(self) -> Iterable[Any]:
+        cursor = self._conn.execute(
+            f"SELECT {_quote(self._pk)} FROM {self._quoted_name} ORDER BY rowid"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def __len__(self) -> int:
+        cursor = self._conn.execute(f"SELECT COUNT(*) FROM {self._quoted_name}")
+        return cursor.fetchone()[0]
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return self.scan()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SQLiteRelation({self.table.name}, {len(self)} rows)"
+
+
+class SQLiteBackend(StorageBackend):
+    """Storage backend persisting rows in a SQLite database.
+
+    Durability: bulk loading runs in one transaction committed by
+    ``build_indexes()``; inserts after the index build commit immediately;
+    ``commit()`` / ``close()`` (or the context manager) flush anything else.
+    """
+
+    name = "sqlite"
+    persistent = True
+
+    def __init__(
+        self,
+        schema: Schema,
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+        path: str | Path | None = None,
+    ):
+        super().__init__(schema, tokenizer)
+        self.path = str(path) if path is not None else ":memory:"
+        self._relations: dict[str, SQLiteRelation] = {}
+        try:
+            self._conn = sqlite3.connect(self.path)
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"cannot open {self.path!r}: {exc}") from None
+        try:
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            # Exposes Python's repr() for ORDER BY, so join results sort
+            # exactly like the in-memory engine's repr()-keyed lookups — for
+            # every key type, not just the int/str common case.
+            self._conn.create_function("repro_repr", 1, repr, deterministic=True)
+            for table in schema:
+                self._create_storage(table)
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise DatabaseError(f"cannot open {self.path!r}: {exc}") from None
+        except DatabaseError:
+            # e.g. a schema/file mismatch: don't leak the open connection.
+            self._conn.close()
+            raise
+
+    @property
+    def is_persistent(self) -> bool:
+        """True when rows are stored in a file that outlives the process."""
+        return self.path != ":memory:"
+
+    # -- storage management ------------------------------------------------
+
+    def _create_storage(self, table: Table) -> SQLiteRelation:
+        columns = ", ".join(_quote(name) for name in table.attribute_names)
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {_quote(table.name)} "
+            f"({columns}, PRIMARY KEY ({_quote(table.primary_key)}))"
+        )
+        self._verify_columns(table)
+        relation = SQLiteRelation(self, table)
+        self._relations[table.name] = relation
+        return relation
+
+    def _verify_columns(self, table: Table) -> None:
+        """Fail fast when a pre-existing file disagrees with the schema."""
+        cursor = self._conn.execute(f"PRAGMA table_info({_quote(table.name)})")
+        stored = [row[1] for row in cursor.fetchall()]
+        if stored != table.attribute_names:
+            raise DatabaseError(
+                f"stored table {table.name!r} has columns {stored}, "
+                f"schema expects {table.attribute_names}"
+            )
+
+    def set_metadata(self, key: str, value: str) -> None:
+        """Persist a key/value pair in a side table next to the rows."""
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS _repro_meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        self._conn.execute(
+            "INSERT OR REPLACE INTO _repro_meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+        self._conn.commit()
+
+    def get_metadata(self, key: str) -> str | None:
+        try:
+            cursor = self._conn.execute(
+                "SELECT value FROM _repro_meta WHERE key = ?", (key,)
+            )
+        except sqlite3.OperationalError:  # metadata table never created
+            return None
+        row = cursor.fetchone()
+        return row[0] if row is not None else None
+
+    def commit(self) -> None:
+        """Flush pending writes to the underlying file."""
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+    # -- data loading -----------------------------------------------------
+
+    def relation(self, table_name: str) -> SQLiteRelation:
+        try:
+            return self._relations[table_name]
+        except KeyError:
+            raise UnknownTableError(table_name) from None
+
+    def insert(self, table_name: str, row: dict[str, Any]) -> Tuple:
+        tup = super().insert(table_name, row)
+        if self.index is not None:
+            # Post-build inserts are rare and interactive: make each one
+            # durable immediately.  Bulk loading (before build_indexes())
+            # stays in one transaction and is committed by build_indexes().
+            self._conn.commit()
+        return tup
+
+    def build_indexes(self):
+        index = super().build_indexes()
+        self._conn.commit()  # durability checkpoint after bulk loading
+        return index
+
+    # -- join-path execution ---------------------------------------------------
+
+    def execute_path(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[Tuple, ...]]:
+        """SQL pushdown execution of a join path (see the base-class contract).
+
+        The whole candidate network becomes one SELECT: FK joins run inside
+        SQLite, keyword selections become primary-key IN-predicates resolved
+        through the inverted index, and ``limit`` becomes SQL ``LIMIT``.
+        """
+        selections = selections or {}
+        self._validate_path(path, edges, selections, limit)
+        if limit == 0:
+            return []
+
+        key_filters: dict[int, set[Any]] = {}
+        for position in sorted(selections):
+            if not 0 <= position < len(path):
+                continue  # the nested-loop engine ignores out-of-range slots
+            position_selections = list(selections[position])
+            if not position_selections:
+                continue
+            keys = self.selection_keys(path[position], position_selections)
+            if not keys:
+                return []
+            key_filters[position] = keys
+
+        relations = [self.relation(name) for name in path]
+        select_list: list[str] = []
+        for i, relation in enumerate(relations):
+            select_list.extend(
+                f"t{i}.{_quote(column)}" for column in relation._columns
+            )
+        lines = [
+            "SELECT " + ", ".join(select_list),
+            f"FROM {_quote(path[0])} AS t0",
+        ]
+        for i in range(1, len(path)):
+            bound_attr, probe_attr = self._edge_attrs(edges[i - 1], path[i - 1], path[i])
+            lines.append(
+                f"JOIN {_quote(path[i])} AS t{i} "
+                f"ON t{i - 1}.{_quote(bound_attr)} = t{i}.{_quote(probe_attr)}"
+            )
+
+        params: list[Any] = []
+        predicates: list[str] = []
+        post_filters: dict[int, set[Any]] = {}
+        inline_budget = _MAX_TOTAL_INLINE_KEYS
+        for position, keys in key_filters.items():
+            if len(keys) > min(_MAX_INLINE_KEYS, inline_budget):
+                post_filters[position] = keys
+                continue
+            inline_budget -= len(keys)
+            pk = self.schema.table(path[position]).primary_key
+            placeholders = ", ".join("?" for _ in keys)
+            predicates.append(f"t{position}.{_quote(pk)} IN ({placeholders})")
+            params.extend(sorted(keys, key=repr))
+        if predicates:
+            lines.append("WHERE " + " AND ".join(predicates))
+        # Reproduce the in-memory nested-loop order so ``limit`` truncates to
+        # the same rows on every backend: the base table scans in insertion
+        # order (rowid) unless selected (then keys are sorted by repr()),
+        # and every join probe returns matches sorted by repr().
+        order_terms = []
+        for i in range(len(path)):
+            if i == 0 and 0 not in key_filters:
+                order_terms.append("t0.rowid")
+            else:
+                pk = self.schema.table(path[i]).primary_key
+                order_terms.append(f"repro_repr(t{i}.{_quote(pk)})")
+        lines.append("ORDER BY " + ", ".join(order_terms))
+        if limit is not None and not post_filters:
+            lines.append("LIMIT ?")
+            params.append(limit)
+
+        cursor = self._conn.execute("\n".join(lines), params)
+        results: list[tuple[Tuple, ...]] = []
+        for row in cursor:
+            network: list[Tuple] = []
+            offset = 0
+            for relation in relations:
+                width = len(relation._columns)
+                network.append(relation._to_tuple(row[offset : offset + width]))
+                offset += width
+            if any(
+                network[position].key not in keys
+                for position, keys in post_filters.items()
+            ):
+                continue
+            results.append(tuple(network))
+            if limit is not None and len(results) >= limit:
+                break
+        return results

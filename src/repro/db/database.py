@@ -1,211 +1,21 @@
-"""The database facade: schema + relations + inverted index + join execution.
+"""The database facade — compatibility home of the default engine.
 
-:class:`Database` ties the substrate together and provides the one primitive
-every schema-based system of the thesis needs at materialization time:
-executing a *join path with keyword selections* — i.e. the SQL statement a
-candidate network corresponds to (Section 2.2.6) — and returning joining
-networks of tuples (JTTs).
+Historically this module *was* the storage engine.  The implementation now
+lives in :mod:`repro.db.backends`: the contract is
+:class:`~repro.db.backends.base.StorageBackend`, the in-memory engine is
+:class:`~repro.db.backends.memory.MemoryBackend`, and a persistent SQLite
+engine lives in :mod:`repro.db.backends.sqlite`.  ``Database`` remains the
+name the rest of the codebase (and downstream users) construct for the
+default in-memory engine; it is the memory backend.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from repro.db.backends.base import Selection, StorageBackend
+from repro.db.backends.memory import MemoryBackend
 
-from repro.db.errors import UnknownTableError
-from repro.db.index import InvertedIndex
-from repro.db.schema import ForeignKey, Schema, Table
-from repro.db.table import Relation, Tuple
-from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+#: The default engine, under its original name.  ``Database(schema)`` and
+#: ``MemoryBackend(schema)`` are the same type.
+Database = MemoryBackend
 
-#: One selection: all of ``terms`` must be contained in ``attribute``'s value.
-#: ``(attribute, terms)``
-Selection = tuple[str, tuple[str, ...]]
-
-
-class Database:
-    """An in-memory relational database instance."""
-
-    def __init__(self, schema: Schema, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
-        self.schema = schema
-        self.tokenizer = tokenizer
-        self._relations: dict[str, Relation] = {
-            table.name: Relation(table) for table in schema
-        }
-        self.index: InvertedIndex | None = None
-
-    # -- data loading -----------------------------------------------------
-
-    def relation(self, table_name: str) -> Relation:
-        try:
-            return self._relations[table_name]
-        except KeyError:
-            raise UnknownTableError(table_name) from None
-
-    def insert(self, table_name: str, row: dict[str, Any]) -> Tuple:
-        tup = self.relation(table_name).insert(row)
-        if self.index is not None:
-            # Keep the inverted index live for post-indexing inserts.
-            self.index.add_tuple(self.schema.table(table_name), tup)
-        return tup
-
-    def insert_many(self, table_name: str, rows: Iterable[dict[str, Any]]) -> list[Tuple]:
-        return [self.insert(table_name, row) for row in rows]
-
-    def add_table(self, table: Table) -> Relation:
-        self.schema.add_table(table)
-        self._relations[table.name] = Relation(table)
-        return self._relations[table.name]
-
-    # -- indexing ----------------------------------------------------------
-
-    def build_indexes(self) -> InvertedIndex:
-        """Build the inverted index and exact-match join indexes a-priori."""
-        for fk in self.schema.foreign_keys:
-            self.relation(fk.source).create_index(fk.source_attr)
-            if fk.target_attr != self.schema.table(fk.target).primary_key:
-                self.relation(fk.target).create_index(fk.target_attr)
-        self.index = InvertedIndex(self.tokenizer).build(self)
-        return self.index
-
-    def require_index(self) -> InvertedIndex:
-        if self.index is None:
-            self.build_indexes()
-        assert self.index is not None
-        return self.index
-
-    # -- statistics ----------------------------------------------------------
-
-    def total_tuples(self) -> int:
-        return sum(len(r) for r in self._relations.values())
-
-    # -- selection ----------------------------------------------------------
-
-    def select(self, table_name: str, selections: Sequence[Selection]) -> list[Tuple]:
-        """Tuples of one table satisfying *all* keyword containments."""
-        relation = self.relation(table_name)
-        if not selections:
-            return list(relation)
-        index = self.require_index()
-        keys: set[Any] | None = None
-        for attribute, terms in selections:
-            attr_keys = index.candidate_tuple_keys(terms, table_name, attribute)
-            keys = attr_keys if keys is None else keys & attr_keys
-            if not keys:
-                return []
-        assert keys is not None
-        return [t for t in (relation.get(k) for k in sorted(keys, key=repr)) if t is not None]
-
-    # -- join-path execution ---------------------------------------------------
-
-    def execute_path(
-        self,
-        path: Sequence[str],
-        edges: Sequence[ForeignKey],
-        selections: dict[int, Sequence[Selection]] | None = None,
-        limit: int | None = None,
-    ) -> list[tuple[Tuple, ...]]:
-        """Execute a join path and return joining networks of tuples.
-
-        Parameters
-        ----------
-        path:
-            Table names, in join order.  ``len(path) == len(edges) + 1``.
-        edges:
-            ``edges[i]`` is the foreign key joining ``path[i]`` and
-            ``path[i+1]`` (in either direction).
-        selections:
-            Optional keyword selections per path position.
-        limit:
-            Stop once this many result rows are produced (top-k early
-            termination, Section 2.2.5).
-
-        Returns
-        -------
-        A list of tuples of :class:`Tuple`, aligned with ``path``.
-        """
-        if len(path) != len(edges) + 1:
-            raise ValueError("path/edges arity mismatch")
-        selections = selections or {}
-        for position, table_name in enumerate(path):
-            self.relation(table_name)  # validates table
-            for attribute, _terms in selections.get(position, ()):
-                if not self.schema.table(table_name).has_attribute(attribute):
-                    raise UnknownTableError(f"{table_name}.{attribute}")
-
-        base = self.select(path[0], list(selections.get(0, ())))
-        partials: list[tuple[Tuple, ...]] = [(t,) for t in base]
-        for position in range(1, len(path)):
-            if not partials:
-                return []
-            edge = edges[position - 1]
-            next_table = path[position]
-            allowed_keys: set[Any] | None = None
-            position_selections = list(selections.get(position, ()))
-            if position_selections:
-                allowed = self.select(next_table, position_selections)
-                allowed_keys = {t.key for t in allowed}
-                if not allowed_keys:
-                    return []
-            partials = self._extend(partials, path[position - 1], next_table, edge, allowed_keys)
-        if limit is not None:
-            return partials[:limit]
-        return partials
-
-    def _extend(
-        self,
-        partials: list[tuple[Tuple, ...]],
-        current_table: str,
-        next_table: str,
-        edge: ForeignKey,
-        allowed_keys: set[Any] | None,
-    ) -> list[tuple[Tuple, ...]]:
-        """Join each partial result with matching tuples of ``next_table``."""
-        relation = self.relation(next_table)
-        results: list[tuple[Tuple, ...]] = []
-        if edge.source == current_table and edge.target == next_table:
-            # partial row carries the FK value; look up target by key attr.
-            for partial in partials:
-                fk_value = partial[-1].get(edge.source_attr)
-                if fk_value is None:
-                    continue
-                for match in relation.lookup(edge.target_attr, fk_value):
-                    if allowed_keys is not None and match.key not in allowed_keys:
-                        continue
-                    results.append(partial + (match,))
-        elif edge.source == next_table and edge.target == current_table:
-            # target side already bound; find source rows pointing at it.
-            for partial in partials:
-                bound_value = partial[-1].get(edge.target_attr)
-                if bound_value is None:
-                    continue
-                for match in relation.lookup(edge.source_attr, bound_value):
-                    if allowed_keys is not None and match.key not in allowed_keys:
-                        continue
-                    results.append(partial + (match,))
-        else:
-            raise ValueError(
-                f"foreign key {edge} does not connect {current_table!r} and {next_table!r}"
-            )
-        return results
-
-    def count_path(
-        self,
-        path: Sequence[str],
-        edges: Sequence[ForeignKey],
-        selections: dict[int, Sequence[Selection]] | None = None,
-    ) -> int:
-        """Number of result rows of a join path."""
-        return len(self.execute_path(path, edges, selections))
-
-    def has_results(
-        self,
-        path: Sequence[str],
-        edges: Sequence[ForeignKey],
-        selections: dict[int, Sequence[Selection]] | None = None,
-    ) -> bool:
-        """True iff the join path yields at least one result row.
-
-        DivQ assigns zero probability to interpretations with empty results
-        (Section 4.4.2); this is the early-terminating check it uses.
-        """
-        return bool(self.execute_path(path, edges, selections, limit=1))
+__all__ = ["Database", "MemoryBackend", "Selection", "StorageBackend"]

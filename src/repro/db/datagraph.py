@@ -2,7 +2,7 @@
 
 Data-based keyword-search approaches (BANKS and friends) operate on a graph
 whose nodes are database tuples and whose edges are foreign-key links between
-tuples.  :class:`DataGraph` materializes that graph from a :class:`Database`
+tuples.  :class:`DataGraph` materializes that graph from a storage backend
 so the BANKS-style baseline can run backward-expanding Steiner-tree search.
 """
 
@@ -12,7 +12,7 @@ from typing import Any, Iterable
 
 import networkx as nx
 
-from repro.db.database import Database
+from repro.db.backends.base import StorageBackend
 
 #: Node identity in the data graph: ``(table name, primary key)``.
 TupleId = tuple[str, Any]
@@ -26,7 +26,7 @@ class DataGraph:
     (number of joins) the comparisons in Chapter 3 rely on.
     """
 
-    def __init__(self, database: Database):
+    def __init__(self, database: StorageBackend):
         self.database = database
         self.graph = nx.Graph()
         self._build()

@@ -86,6 +86,23 @@ class InvertedIndex:
                     self._index_cell(table.name, attr_name, tup.key, str(value))
         return self
 
+    def register_table(self, table, relation=None) -> None:
+        """Register a table added after :meth:`build`.
+
+        A from-scratch rebuild would pick up the new table's schema terms and
+        tuple count; without this hook an incrementally maintained index
+        silently drifts from that rebuild (``tables_matching_schema_term``
+        misses the table, IDF sees a zero tuple count).  ``Database.add_table``
+        calls this automatically; pass ``relation`` to also index any rows the
+        table already holds.
+        """
+        self._table_tuple_counts.setdefault(table.name, 0)
+        for term in self.tokenizer.tokens(table.name):
+            self._schema_terms[term].add(table.name)
+        if relation is not None:
+            for tup in relation:
+                self.add_tuple(table, tup)
+
     def add_tuple(self, table, tup) -> None:
         """Incrementally index one freshly inserted tuple.
 
@@ -204,6 +221,35 @@ class InvertedIndex:
             if not shared:
                 return 0.0
         return len(shared) / cells.cell_count
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Canonical, comparable view of the full index state.
+
+        Two indexes over the same logical content produce equal snapshots
+        regardless of construction order (a-priori build vs. incremental
+        maintenance vs. a different storage backend) — the invariant the
+        consistency regression tests assert.
+        """
+        return {
+            "postings": {
+                term: {
+                    ref: (posting.occurrences, tuple(sorted(posting.tuple_keys, key=repr)))
+                    for ref, posting in sorted(refs.items())
+                }
+                for term, refs in sorted(self._postings.items())
+            },
+            "attribute_stats": {
+                ref: (stats.total_tokens, stats.cell_count)
+                for ref, stats in sorted(self._attribute_stats.items())
+                if stats.total_tokens or stats.cell_count
+            },
+            "table_tuple_counts": dict(sorted(self._table_tuple_counts.items())),
+            "schema_terms": {
+                term: tuple(sorted(tables))
+                for term, tables in sorted(self._schema_terms.items())
+                if tables
+            },
+        }
 
     def candidate_tuple_keys(
         self, terms: Iterable[str], table: str, attribute: str

@@ -1,9 +1,14 @@
 """Database persistence: JSON round-tripping of schemas and instances.
 
-Lets users snapshot a populated :class:`~repro.db.database.Database` (e.g. a
-generated synthetic dataset) and reload it without re-running the generator —
-the minimal durability layer a reproduction package needs for shipping
-fixtures and caching expensive builds.
+Lets users snapshot a populated database (e.g. a generated synthetic dataset)
+and reload it without re-running the generator — the minimal durability layer
+a reproduction package needs for shipping fixtures and caching expensive
+builds.  Works with any :class:`~repro.db.backends.base.StorageBackend`:
+snapshots serialize the logical content (schema + rows), and loading can
+target any backend, so a JSON fixture can be rehydrated straight into a
+SQLite file (``load_database(path, backend="sqlite", db_path=...)``).  For
+the SQLite backend the ``.sqlite`` file itself is already durable; JSON stays
+the portable interchange format.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.db.database import Database
+from repro.db.backends import StorageBackend, create_backend
 from repro.db.schema import Attribute, ForeignKey, Schema, Table
 
 FORMAT_VERSION = 1
@@ -59,7 +64,7 @@ def schema_from_dict(payload: dict[str, Any]) -> Schema:
     return schema
 
 
-def database_to_dict(database: Database) -> dict[str, Any]:
+def database_to_dict(database: StorageBackend) -> dict[str, Any]:
     """Serialize schema + all rows (indexes are rebuilt on load)."""
     return {
         "version": FORMAT_VERSION,
@@ -71,24 +76,54 @@ def database_to_dict(database: Database) -> dict[str, Any]:
     }
 
 
-def database_from_dict(payload: dict[str, Any]) -> Database:
+def database_from_dict(
+    payload: dict[str, Any],
+    backend: str | StorageBackend = "memory",
+    db_path: str | Path | None = None,
+) -> StorageBackend:
     version = payload.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported database format version: {version!r}")
     schema = schema_from_dict(payload["schema"])
-    db = Database(schema)
+    db = create_backend(backend, schema, path=db_path)
+    if db.is_persistent and db.has_rows():
+        # The target store already holds data (e.g. re-running load_database
+        # with the same db_path): reuse it instead of re-inserting.  Guarded
+        # by a per-table row-count comparison — cheap, catches the common
+        # wrong-file mistakes, but does not diff row contents.
+        mismatched = [
+            table_name
+            for table_name, rows in payload["rows"].items()
+            if len(db.relation(table_name)) != len(rows)
+        ]
+        if mismatched:
+            db.close()
+            raise ValueError(
+                f"store at {db_path!r} already holds different data "
+                f"(row counts differ for {', '.join(sorted(mismatched))})"
+            )
+        db.build_indexes()
+        return db
     for table_name, rows in payload["rows"].items():
         db.insert_many(table_name, rows)
     db.build_indexes()
     return db
 
 
-def save_database(database: Database, path: str | Path) -> None:
+def save_database(database: StorageBackend, path: str | Path) -> None:
     """Write the database to a JSON file."""
     Path(path).write_text(json.dumps(database_to_dict(database)), encoding="utf-8")
 
 
-def load_database(path: str | Path) -> Database:
-    """Read a database from a JSON file (indexes rebuilt eagerly)."""
+def load_database(
+    path: str | Path,
+    backend: str | StorageBackend = "memory",
+    db_path: str | Path | None = None,
+) -> StorageBackend:
+    """Read a database from a JSON file (indexes rebuilt eagerly).
+
+    ``backend``/``db_path`` choose the storage engine the snapshot is
+    rehydrated into (default: the in-memory engine).
+    """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    return database_from_dict(payload)
+    return database_from_dict(payload, backend=backend, db_path=db_path)

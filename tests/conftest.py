@@ -15,17 +15,12 @@ from repro.core.probability import ATFModel, TemplateCatalog
 from repro.datasets.freebase import build_freebase
 from repro.datasets.imdb import build_imdb
 from repro.datasets.lyrics import build_lyrics
+from repro.db.backends import StorageBackend, create_backend
 from repro.db.database import Database
 from repro.db.schema import Attribute, Schema, Table
 
 
-def build_mini_db() -> Database:
-    """actor(1..3) -- acts -- movie(1..3), with deliberate term collisions.
-
-    * "hanks" occurs in actor.name (twice) and movie.title ("hanks island").
-    * "london" occurs in actor.name and movie.title.
-    * movie years are textual so "2001" is a keyword.
-    """
+def mini_schema() -> Schema:
     schema = Schema()
     schema.add_table(Table("actor", [Attribute("name"), Attribute("id", textual=False)]))
     schema.add_table(
@@ -34,7 +29,22 @@ def build_mini_db() -> Database:
     schema.add_table(Table("acts", [Attribute("role"), Attribute("id", textual=False)]))
     schema.link("acts", "actor")
     schema.link("acts", "movie")
-    db = Database(schema)
+    return schema
+
+
+def build_mini_db(
+    backend: str | StorageBackend = "memory", db_path=None
+) -> StorageBackend:
+    """actor(1..3) -- acts -- movie(1..3), with deliberate term collisions.
+
+    * "hanks" occurs in actor.name (twice) and movie.title ("hanks island").
+    * "london" occurs in actor.name and movie.title.
+    * movie years are textual so "2001" is a keyword.
+
+    ``backend`` selects the storage engine, so the same known content is
+    available to the backend-parity tests on every engine.
+    """
+    db = create_backend(backend, mini_schema(), path=db_path)
     db.insert("actor", {"id": 1, "name": "tom hanks"})
     db.insert("actor", {"id": 2, "name": "colin hanks"})
     db.insert("actor", {"id": 3, "name": "jack london"})
