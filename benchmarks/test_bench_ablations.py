@@ -11,7 +11,7 @@
 
 import statistics
 
-from repro.core.probability import TFIDFModel, TemplateCatalog, rank_interpretations
+from repro.core.probability import TFIDFModel
 from repro.core.topk import TopKExecutor
 from repro.experiments import ch3
 from repro.experiments.reporting import format_table
@@ -26,10 +26,10 @@ def test_ablation_option_selection_policy(benchmark, ch3_imdb):
         model = ch3_imdb.models["atf_tequal"]
         for item in ch3_imdb.workload:
             u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
-            ig = ConstructionSession(item.query, ch3_imdb.generator, model).run(u1)
+            ig = ConstructionSession(item.query, ch3_imdb.engine, model).run(u1)
             rnd = ConstructionSession(
                 item.query,
-                ch3_imdb.generator,
+                ch3_imdb.engine,
                 model,
                 selection_policy="random",
                 policy_seed=13,
@@ -54,12 +54,9 @@ def test_ablation_option_selection_policy(benchmark, ch3_imdb):
 
 def test_ablation_atf_vs_tfidf(benchmark, ch3_imdb):
     def run():
-        atf_ranker = Ranker(ch3_imdb.generator, ch3_imdb.models["atf_tequal"])
-        tfidf_model = TFIDFModel(
-            ch3_imdb.database.require_index(),
-            TemplateCatalog(ch3_imdb.generator.templates),
-        )
-        tfidf_ranker = Ranker(ch3_imdb.generator, tfidf_model)
+        atf_ranker = Ranker(ch3_imdb.engine, ch3_imdb.models["atf_tequal"])
+        tfidf_model = TFIDFModel(ch3_imdb.engine.index, ch3_imdb.engine.catalog)
+        tfidf_ranker = Ranker(ch3_imdb.engine, tfidf_model)
         atf_ranks, tfidf_ranks = [], []
         for item in ch3_imdb.workload:
             r1 = atf_ranker.rank_of(item.query, item.intended)
@@ -87,14 +84,11 @@ def test_ablation_atf_vs_tfidf(benchmark, ch3_imdb):
 
 def test_ablation_topk_early_stopping(benchmark, ch3_imdb):
     def run():
-        model = ch3_imdb.models["atf_tequal"]
         executor = TopKExecutor(ch3_imdb.database)
         smart_work = naive_work = 0
         mismatches = 0
         for item in ch3_imdb.workload[:10]:
-            ranked = rank_interpretations(
-                ch3_imdb.generator.interpretations(item.query), model
-            )
+            ranked = ch3_imdb.engine.rank(item.query)
             smart = executor.execute(ranked, k=3)
             smart_work += executor.statistics.interpretations_executed
             naive = executor.execute_naive(ranked, k=3)

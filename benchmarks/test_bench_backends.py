@@ -2,8 +2,11 @@
 
 Not a thesis figure — this benchmark guards the storage-backend abstraction:
 it reports what switching engines costs (dataset build/load time, per-query
-interpretation-execution latency) and asserts both engines return identical
-top-ranked results while doing so.  Run with ``-s`` to see the table:
+pipeline latency through :class:`repro.engine.QueryEngine`) and asserts both
+engines return identical top-ranked results while doing so.  Result caching
+is disabled here so the numbers measure actual execution; the cache's effect
+is measured separately in ``benchmarks/test_bench_engine.py``.  Run with
+``-s`` to see the table:
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_backends.py -s
 """
@@ -12,15 +15,14 @@ from __future__ import annotations
 
 import time
 
-from repro.core.generator import InterpretationGenerator
-from repro.core.keywords import KeywordQuery
-from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
-from repro.core.topk import TopKExecutor
 from repro.datasets.imdb import build_imdb
+from repro.engine import EngineConfig, QueryEngine
 from repro.experiments.reporting import format_table
 
 QUERIES = ["hanks 2001", "london", "stone hill", "summer"]
 BUILD_KWARGS = dict(seed=7, n_movies=150, n_actors=90)
+#: Measure raw pipeline latency: no result cache.
+UNCACHED = EngineConfig(cache_results=False)
 
 
 def _timed_build(backend: str, db_path=None):
@@ -29,30 +31,22 @@ def _timed_build(backend: str, db_path=None):
     return db, time.perf_counter() - start
 
 
-def _query_stack(db):
-    generator = InterpretationGenerator(db, max_template_joins=4)
-    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
-    return generator, model
-
-
-def _run_queries(db, generator, model, repeats: int = 3):
-    """Mean per-query latency (ms) and the result signatures for parity."""
+def _run_queries(engine: QueryEngine, repeats: int = 3):
+    """Mean best-of-N per-query latency (ms) and result signatures for parity."""
     signatures = []
     total = 0.0
     for query_text in QUERIES:
-        query = KeywordQuery.parse(query_text)
-        best = 0.0
+        best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
-            ranked = rank_interpretations(generator.interpretations(query), model)
-            results = TopKExecutor(db).execute(ranked, k=5)
-            best = time.perf_counter() - start  # last run, caches warm
+            context = engine.run(query_text, k=5)
+            best = min(best, time.perf_counter() - start)
         total += best
         signatures.append(
             (
                 query_text,
-                [i.to_structured_query().algebra() for i, _p in ranked[:3]],
-                [r.row_uids() for r in results],
+                [i.to_structured_query().algebra() for i, _p in context.ranked[:3]],
+                [r.row_uids() for r in context.results],
             )
         )
     return (total / len(QUERIES)) * 1000.0, signatures
@@ -62,18 +56,19 @@ def test_bench_backends(benchmark, tmp_path):
     rows = []
 
     mem_db, mem_build = _timed_build("memory")
+    mem_engine = QueryEngine(mem_db, config=UNCACHED)
     mem_latency, mem_signatures = benchmark.pedantic(
-        lambda: _run_queries(mem_db, *_query_stack(mem_db)), rounds=1, iterations=1
+        lambda: _run_queries(mem_engine), rounds=1, iterations=1
     )
     rows.append(["memory", f"{mem_build * 1000:.1f}", "-", f"{mem_latency:.2f}"])
 
     db_path = tmp_path / "imdb.sqlite"
     sq_db, sq_build = _timed_build("sqlite", db_path=db_path)
-    sq_latency, sq_signatures = _run_queries(sq_db, *_query_stack(sq_db))
+    sq_latency, sq_signatures = _run_queries(QueryEngine(sq_db, config=UNCACHED))
     sq_db.close()
 
-    # Second open: rows already on disk, generation skipped, index rebuilt
-    # from the stored tables.
+    # Second open: rows already on disk, generation skipped, index loaded
+    # from the persisted postings side tables.
     reopened, reload_time = _timed_build("sqlite", db_path=db_path)
     rows.append(
         ["sqlite", f"{sq_build * 1000:.1f}", f"{reload_time * 1000:.1f}", f"{sq_latency:.2f}"]
@@ -82,7 +77,9 @@ def test_bench_backends(benchmark, tmp_path):
     # Parity is part of the benchmark contract: same top-ranked
     # interpretations and identical top-k rows on both engines.
     assert sq_signatures == mem_signatures
-    reopened_latency, reopened_signatures = _run_queries(reopened, *_query_stack(reopened))
+    reopened_latency, reopened_signatures = _run_queries(
+        QueryEngine(reopened, config=UNCACHED)
+    )
     assert reopened_signatures == mem_signatures
     reopened.close()
 

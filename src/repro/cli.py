@@ -3,16 +3,22 @@
 Exposes the library's main flows on the bundled synthetic datasets:
 
     python -m repro.cli search    --dataset imdb "hanks 2001"
+    python -m repro.cli search    --dataset imdb --explain "hanks 2001"
     python -m repro.cli search    --dataset imdb --backend sqlite --db-path imdb.sqlite "hanks 2001"
     python -m repro.cli construct --dataset imdb "hanks 2001" --answers y n y
     python -m repro.cli diversify --dataset lyrics "london" --k 5
     python -m repro.cli report    --chapter 3
 
+Every query flow routes through one :class:`repro.engine.QueryEngine`
+(segment → generate → rank → execute); ``query`` is an alias of ``search``.
+``--explain`` prints the rendered SQL of the top interpretations, per-stage
+timings and the result-cache hit/miss counters from the engine context.
 ``construct`` runs the IQP dialogue: with ``--answers`` the given y/n
 sequence answers the options (cycling); without it the session is driven
 interactively from stdin.  ``--backend``/``--db-path`` select the storage
 engine (see ``docs/cli.md``); a persistent SQLite file is reused on
-subsequent runs instead of re-generating the dataset.
+subsequent runs — including its persisted index postings and cached
+interpretation results — instead of re-generating the dataset.
 """
 
 from __future__ import annotations
@@ -21,53 +27,45 @@ import argparse
 import sys
 from dataclasses import dataclass, field
 
-from repro.core.generator import InterpretationGenerator
 from repro.core.hierarchy import QueryHierarchy
 from repro.core.keywords import KeywordQuery
-from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
 from repro.core.snippets import make_snippet
-from repro.core.topk import TopKExecutor
-from repro.datasets.imdb import build_imdb
-from repro.datasets.lyrics import build_lyrics
 from repro.db.backends import available_backends
 from repro.db.errors import DatabaseError
 from repro.divq.diversify import diversify
+from repro.engine import QueryEngine
 from repro.iqp.infogain import information_gain
 
 
-def _load(dataset: str, backend: str = "memory", db_path: str | None = None):
+def _engine(args: argparse.Namespace) -> QueryEngine:
+    """The one pipeline entry point every query subcommand uses."""
     try:
-        if dataset == "imdb":
-            db = build_imdb(backend=backend, db_path=db_path)
-        elif dataset == "lyrics":
-            db = build_lyrics(backend=backend, db_path=db_path)
-        else:
-            raise SystemExit(f"unknown dataset {dataset!r} (use imdb or lyrics)")
-    except ValueError as exc:  # e.g. --db-path with a non-persistent backend
+        return QueryEngine.for_dataset(
+            args.dataset, backend=args.backend, db_path=args.db_path
+        )
+    except ValueError as exc:  # unknown dataset / --db-path misuse
         raise SystemExit(f"error: {exc}") from None
     except DatabaseError as exc:  # unreadable/mismatched --db-path file
         raise SystemExit(f"error: {exc}") from None
-    generator = InterpretationGenerator(db, max_template_joins=4)
-    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
-    return db, generator, model
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    db, generator, model = _load(args.dataset, args.backend, args.db_path)
-    query = KeywordQuery.parse(args.query)
-    ranked = rank_interpretations(generator.interpretations(query), model)
-    if not ranked:
+    engine = _engine(args)
+    context = engine.run(args.query, k=args.k, explain=args.explain)
+    if not context.ranked:
         print("no interpretations found")
         return 1
+    ranked = context.ranked
     print(f"{len(ranked)} interpretations; top {min(args.k, len(ranked))}:")
     for i, (interp, p) in enumerate(ranked[: args.k], start=1):
         print(f"  {i}. P={p:.3f}  {interp.to_structured_query().algebra()}")
-    executor = TopKExecutor(db)
-    results = executor.execute(ranked, k=args.k)
-    print(f"\ntop-{args.k} results ({executor.statistics.interpretations_executed} "
-          "interpretations executed):")
-    for r in results:
-        print(f"  [{r.score:.3f}] {make_snippet(query, r.row).text}")
+    executed = context.executor_statistics.interpretations_executed
+    print(f"\ntop-{args.k} results ({executed} interpretations executed):")
+    for r in context.results:
+        print(f"  [{r.score:.3f}] {make_snippet(context.query, r.row).text}")
+    if args.explain:
+        print()
+        print("\n".join(context.explain_lines()))
     return 0
 
 
@@ -90,9 +88,9 @@ class _ScriptedUser:
 
 
 def cmd_construct(args: argparse.Namespace) -> int:
-    _db, generator, model = _load(args.dataset, args.backend, args.db_path)
+    engine = _engine(args)
     query = KeywordQuery.parse(args.query)
-    hierarchy = QueryHierarchy(query, generator, model)
+    hierarchy = QueryHierarchy(query, engine.generator, engine.model)
     scripted = _ScriptedUser(args.answers) if args.answers else None
     steps = 0
     while steps < args.max_steps:
@@ -138,9 +136,8 @@ def cmd_construct(args: argparse.Namespace) -> int:
 
 
 def cmd_diversify(args: argparse.Namespace) -> int:
-    db, generator, model = _load(args.dataset, args.backend, args.db_path)
-    query = KeywordQuery.parse(args.query)
-    ranked = rank_interpretations(generator.interpretations(query), model)[:25]
+    engine = _engine(args)
+    ranked = engine.rank(args.query)[:25]
     if not ranked:
         print("no interpretations found")
         return 1
@@ -181,10 +178,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_search = sub.add_parser("search", help="rank interpretations and fetch top-k results")
+    p_search = sub.add_parser(
+        "search",
+        aliases=["query"],
+        help="rank interpretations and fetch top-k results",
+    )
     p_search.add_argument("query")
     p_search.add_argument("--dataset", default="imdb")
     p_search.add_argument("--k", type=int, default=5)
+    p_search.add_argument(
+        "--explain",
+        action="store_true",
+        help="print rendered SQL, per-stage timings and cache hit/miss counters",
+    )
     _add_storage_options(p_search)
     p_search.set_defaults(func=cmd_search)
 

@@ -8,6 +8,7 @@ any :class:`repro.db.StorageBackend` and renders itself as SQL.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -102,6 +103,39 @@ class StructuredQuery:
             raise ValueError(f"unsupported aggregation operator {operator!r}")
         distinct = {row[slot].uid for row in self.execute(database)}
         return len(distinct)
+
+    def cache_key(self) -> str:
+        """Canonical form identifying this query's result set.
+
+        Two structurally equal queries — same join path, same foreign keys,
+        same per-slot selections, same aggregation — produce the same key on
+        every process, which is what lets the cross-session
+        :class:`~repro.engine.cache.ResultCache` reuse execution results.
+        Selections are already slot- and attribute-sorted by construction
+        (:meth:`Interpretation.to_structured_query`); sorting again here keeps
+        the key canonical for hand-built queries too.
+        """
+        return json.dumps(
+            {
+                "path": list(self.template.path),
+                "edges": [
+                    (e.source, e.source_attr, e.target, e.target_attr)
+                    for e in self.template.edges
+                ],
+                "selections": [
+                    (
+                        slot,
+                        sorted(
+                            (attribute, sorted(terms))
+                            for attribute, terms in attrs
+                        ),
+                    )
+                    for slot, attrs in sorted(self.selections.items())
+                ],
+                "aggregate": list(self.aggregate) if self.aggregate else None,
+            },
+            sort_keys=True,
+        )
 
     # -- presentation ------------------------------------------------------
 

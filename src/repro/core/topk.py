@@ -17,10 +17,13 @@ compares against the naive execute-everything strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.interpretation import Interpretation
 from repro.db.backends.base import StorageBackend
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> engine import cycle
+    from repro.engine.cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -37,11 +40,18 @@ class TopKResult:
 
 @dataclass
 class TopKStatistics:
-    """Work accounting for the early-stopping comparison."""
+    """Work accounting for the early-stopping comparison.
+
+    ``interpretations_executed`` counts *actual* ``execute_path`` runs: an
+    interpretation whose rows come out of the result cache costs no execution
+    and shows up in ``cache_hits`` instead.
+    """
 
     interpretations_executed: int = 0
     rows_materialized: int = 0
     stopped_early: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -51,7 +61,26 @@ class TopKExecutor:
     database: StorageBackend
     #: Per-interpretation execution cap (guards pathological fan-out).
     per_query_limit: int | None = 5_000
+    #: Optional cross-session result cache (see ``repro.engine.cache``):
+    #: interpretations whose rows are cached are never re-executed.
+    cache: "ResultCache | None" = None
     statistics: TopKStatistics = field(default_factory=TopKStatistics)
+
+    def _rows_for(self, interpretation: Interpretation) -> list[tuple]:
+        """Result rows of one interpretation, through the cache when present."""
+        if self.cache is None:
+            self.statistics.interpretations_executed += 1
+            return interpretation.execute(self.database, limit=self.per_query_limit)
+        query = interpretation.to_structured_query()
+        rows = self.cache.get(query, self.per_query_limit)
+        if rows is not None:
+            self.statistics.cache_hits += 1
+            return rows
+        self.statistics.cache_misses += 1
+        self.statistics.interpretations_executed += 1
+        rows = query.execute(self.database, limit=self.per_query_limit)
+        self.cache.put(query, self.per_query_limit, rows)
+        return rows
 
     def execute(
         self,
@@ -77,8 +106,7 @@ class TopKExecutor:
             if len(results) >= k and results[k - 1].score >= score:
                 self.statistics.stopped_early = True
                 break
-            self.statistics.interpretations_executed += 1
-            rows = interpretation.execute(self.database, limit=self.per_query_limit)
+            rows = self._rows_for(interpretation)
             self.statistics.rows_materialized += len(rows)
             for row in rows:
                 uids = tuple(t.uid for t in row)
@@ -101,8 +129,7 @@ class TopKExecutor:
         results: list[TopKResult] = []
         seen_rows: set[tuple] = set()
         for position, (interpretation, score) in enumerate(ranked):
-            self.statistics.interpretations_executed += 1
-            rows = interpretation.execute(self.database, limit=self.per_query_limit)
+            rows = self._rows_for(interpretation)
             self.statistics.rows_materialized += len(rows)
             for row in rows:
                 uids = tuple(t.uid for t in row)

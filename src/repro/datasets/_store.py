@@ -18,12 +18,20 @@ from typing import Mapping
 
 from repro.db.backends import StorageBackend
 
-_FINGERPRINT_KEY = "dataset_fingerprint"
-
 
 def fingerprint(dataset: str, **params) -> str:
     """Canonical string identifying one exact generated instance."""
     return json.dumps({"dataset": dataset, **params}, sort_keys=True)
+
+
+def _fingerprint_key(built_fingerprint: str) -> str:
+    """Metadata key for one dataset's fingerprint, namespaced per dataset.
+
+    Several datasets may coexist in one persistent file (tables are
+    namespaced); a single global key would let the second dataset overwrite
+    the first one's fingerprint and break its reuse check.
+    """
+    return "dataset_fingerprint:" + json.loads(built_fingerprint)["dataset"]
 
 
 def try_reuse(
@@ -42,7 +50,7 @@ def try_reuse(
     """
     if not (db.is_persistent and db.has_rows()):
         return False
-    stored = db.get_metadata(_FINGERPRINT_KEY)
+    stored = db.get_metadata(_fingerprint_key(requested_fingerprint))
     mismatched = sorted(
         name
         for name, count in expected_counts.items()
@@ -64,4 +72,4 @@ def try_reuse(
 
 def mark_built(db: StorageBackend, built_fingerprint: str) -> None:
     """Record the fingerprint of a freshly generated instance."""
-    db.set_metadata(_FINGERPRINT_KEY, built_fingerprint)
+    db.set_metadata(_fingerprint_key(built_fingerprint), built_fingerprint)

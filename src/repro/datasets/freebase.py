@@ -146,11 +146,11 @@ def build_freebase(
         for i in work_ids:
             title = " ".join(rng.sample(names.TITLE_WORDS, rng.choice([1, 2])))
             db.insert(f"{domain}_work", {"id": i, "title": title})
-        org_ids = list(range(max(2, rows_per_entity_table // 2)))
+        org_ids = list(range(half))
         for i in org_ids:
             org_name = f"{rng.choice(names.COMPANY_WORDS)} {rng.choice(names.COMPANY_WORDS)}"
             db.insert(f"{domain}_org", {"id": i, "name": org_name})
-        place_ids = list(range(max(2, rows_per_entity_table // 2)))
+        place_ids = list(range(half))
         for i in place_ids:
             db.insert(f"{domain}_place", {"id": i, "name": rng.choice(names.PLACES)})
         for i in range(links_per_table):
@@ -168,8 +168,11 @@ def build_freebase(
             )
 
     if not reused:  # try_reuse already built the index over the stored rows
-        db.build_indexes()
+        # Fingerprint first: build_indexes() persists index postings keyed
+        # on the content fingerprint, which must already see the dataset
+        # identity.
         _store.mark_built(db, fp)
+        db.build_indexes()
     # Domain groups (a balanced partition of ~sqrt(n) buckets) form the
     # intermediate ontology layer that keeps concept drill-down logarithmic.
     group_size = max(2, int(math.sqrt(len(domains))))

@@ -178,6 +178,8 @@ def build_imdb(
         )
         link_id += 1
 
-    db.build_indexes()
+    # Fingerprint first: build_indexes() persists index postings keyed on
+    # the content fingerprint, which must already see the dataset identity.
     _store.mark_built(db, fp)
+    db.build_indexes()
     return db

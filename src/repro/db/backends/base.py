@@ -25,6 +25,9 @@ so adding e.g. a Postgres backend is a one-file job (see
 from __future__ import annotations
 
 import abc
+import hashlib
+import json
+import uuid
 from typing import Any, ClassVar, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.db.errors import UnknownTableError
@@ -39,6 +42,19 @@ Selection = tuple[str, tuple[str, ...]]
 
 #: Per-position selections of a join path.
 SelectionsByPosition = dict[int, Sequence[Selection]]
+
+
+def normalize_value(value: Any) -> Any:
+    """Coerce a cell value to its storage-normal form, identically everywhere.
+
+    SQLite has no bool affinity and hands back ints on read; normalizing in
+    the *shared* insert path keeps every backend's stored values — and hence
+    index terms, selection results, mutation digests and cached rows —
+    identical for the same logical insert.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    return value
 
 
 @runtime_checkable
@@ -86,6 +102,11 @@ class StorageBackend(abc.ABC):
         self.tokenizer = tokenizer
         self.index: InvertedIndex | None = None
         self._metadata: dict[str, str] = {}
+        self._content_fingerprint: str | None = None
+        #: Chained digest over every row this instance inserted (see
+        #: :meth:`content_fingerprint`).  Persistent backends save/restore it
+        #: so the chain continues across reopens.
+        self._content_digest: str = ""
 
     # -- storage contract (backend-specific) -------------------------------
 
@@ -131,7 +152,10 @@ class StorageBackend(abc.ABC):
         Shared here (over the storage primitives) so no backend can forget
         the index-maintenance hook and drift from a from-scratch rebuild.
         """
-        tup = self.relation(table_name).insert(row)
+        tup = self.relation(table_name).insert(
+            {name: normalize_value(value) for name, value in row.items()}
+        )
+        self._fold_mutation(f"row|{table_name}|{tup.key!r}|{tup.values!r}")
         if self.index is not None:
             self.index.add_tuple(self.schema.table(table_name), tup)
         return tup
@@ -145,6 +169,7 @@ class StorageBackend(abc.ABC):
         """
         self.schema.add_table(table)
         relation = self._create_storage(table)
+        self._fold_mutation(f"table|{table.name}")
         if self.index is not None:
             self.index.register_table(table, relation)
         return relation
@@ -171,11 +196,113 @@ class StorageBackend(abc.ABC):
 
         Persistent backends keep metadata alongside the rows so it survives
         reopens; the in-memory default lives and dies with the instance.
+        Keys starting with ``_`` are reserved for backend bookkeeping (the
+        mutation digest, the store nonce) — colliding with them would corrupt
+        the content-fingerprint chain, so they are rejected here.
         """
+        if key.startswith("_"):
+            raise ValueError(f"metadata key {key!r} is reserved (leading underscore)")
+        self._set_internal_metadata(key, value)
+
+    def _set_internal_metadata(self, key: str, value: str) -> None:
+        """The unguarded write path, shared with backend bookkeeping keys."""
         self._metadata[key] = value
+        self._content_fingerprint = None
 
     def get_metadata(self, key: str) -> str | None:
         return self._metadata.get(key)
+
+    def metadata_values(self, prefix: str) -> list[str]:
+        """Values of every metadata key starting with ``prefix``, key-sorted."""
+        return [
+            value
+            for key, value in sorted(self._metadata.items())
+            if key.startswith(prefix)
+        ]
+
+    # -- content identity ----------------------------------------------------
+
+    def _content_seed(self) -> str:
+        """Base identity the content fingerprint hashes over.
+
+        A dataset built by the generators carries its full generation
+        fingerprint in metadata (one key per dataset — several datasets may
+        coexist in one store); two stores holding the same datasets therefore
+        share cached work.  Hand-built stores get a store-scoped nonce
+        instead, so stores with coincidentally equal shapes never alias.
+        """
+        datasets = self.metadata_values("dataset_fingerprint")
+        if datasets:
+            return "|".join(datasets)
+        nonce = self.get_metadata("_content_nonce")
+        if nonce is None:
+            nonce = uuid.uuid4().hex
+            self._set_internal_metadata("_content_nonce", nonce)
+        return nonce
+
+    def _fold_mutation(self, event: str) -> None:
+        """Extend the content digest chain with one mutation event.
+
+        A chain hash (not a running hasher) so persistent backends can store
+        the current hex value and resume the chain after a reopen.  Two
+        stores that applied the same mutation sequence — e.g. two builds of
+        the same deterministic dataset — share the digest, so they also share
+        cache entries; stores that diverged, even with equal row counts, do
+        not.
+        """
+        self._content_digest = hashlib.sha256(
+            (self._content_digest + event).encode("utf-8")
+        ).hexdigest()
+        self._content_fingerprint = None
+
+    def content_fingerprint(self) -> str:
+        """Digest identifying the current stored content.
+
+        The key of everything derived from the rows — persisted index
+        postings, cached interpretation results.  Hashes the seed identity,
+        the mutation-digest chain and the per-table row counts: every
+        API-level mutation (insert, add_table) extends the chain, including
+        mutations that leave row counts unchanged between two stores; the
+        counts additionally catch out-of-band row insertions/removals in a
+        reopened persistent file.  (Out-of-band *equal-count* edits behind
+        the backend's back are outside the API contract and not detected.)
+        """
+        if self._content_fingerprint is None:
+            payload = json.dumps(
+                {
+                    "backend": self.name,
+                    "seed": self._content_seed(),
+                    "digest": self._content_digest,
+                    "counts": {
+                        name: len(self.relation(name))
+                        for name in sorted(self.schema.table_names)
+                    },
+                },
+                sort_keys=True,
+            )
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            self._content_fingerprint = digest[:32]
+        return self._content_fingerprint
+
+    # -- derived-result cache hooks ------------------------------------------
+
+    def cached_result_get(self, fingerprint: str, key: str) -> str | None:
+        """Fetch a persisted derived-result payload (None = no persistence)."""
+        return None
+
+    def cached_result_put(self, fingerprint: str, key: str, payload: str) -> None:
+        """Persist a derived-result payload; entries for other fingerprints
+        may be purged (the default in-memory engines persist nothing).
+
+        Puts may be buffered: durability is only required after
+        :meth:`cached_result_flush` (or a backend commit point)."""
+
+    def cached_result_flush(self) -> None:
+        """Make buffered :meth:`cached_result_put` payloads durable.
+
+        Called once per pipeline run rather than per put, so persistent
+        backends pay one commit per query instead of one per interpretation.
+        """
 
     def close(self) -> None:
         """Release backend resources (no-op for in-memory storage)."""

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.db.database import Database
+    from repro.db.backends.base import StorageBackend
 
 #: An attribute coordinate: ``(table name, attribute name)``.
 AttributeRef = tuple[str, str]
@@ -70,8 +70,13 @@ class InvertedIndex:
 
     # -- construction ------------------------------------------------------
 
-    def build(self, database: "Database") -> "InvertedIndex":
-        """Index every textual attribute of ``database`` plus schema terms."""
+    def build(self, database: "StorageBackend") -> "InvertedIndex":
+        """Index every textual attribute of a storage backend plus schema terms.
+
+        ``database`` is any :class:`~repro.db.backends.base.StorageBackend`
+        (the in-memory engine, SQLite, ...): construction only relies on the
+        backend contract — schema iteration and per-table relation scans.
+        """
         for table in database.schema:
             self._table_tuple_counts[table.name] = len(database.relation(table.name))
             for term in self.tokenizer.tokens(table.name):
@@ -250,6 +255,69 @@ class InvertedIndex:
                 if tables
             },
         }
+
+    # -- persistence -----------------------------------------------------------
+
+    def export_state(self) -> dict[str, list[tuple]]:
+        """Flat, storable view of the index (see :meth:`restore`).
+
+        Four row lists mirroring the internal maps; tuple keys are emitted as
+        sorted lists so the representation is deterministic.  Together with
+        :meth:`restore` this is what lets persistent backends save postings
+        into side tables and reload them on cold open instead of re-scanning
+        (and re-tokenizing) every stored row.
+        """
+        return {
+            "postings": [
+                (term, table, attribute, posting.occurrences,
+                 sorted(posting.tuple_keys, key=repr))
+                for term, refs in sorted(self._postings.items())
+                for (table, attribute), posting in sorted(refs.items())
+            ],
+            "attribute_stats": [
+                (table, attribute, stats.total_tokens, stats.cell_count)
+                for (table, attribute), stats in sorted(self._attribute_stats.items())
+                if stats.total_tokens or stats.cell_count
+            ],
+            "table_tuple_counts": [
+                (table, count)
+                for table, count in sorted(self._table_tuple_counts.items())
+            ],
+            "schema_terms": [
+                (term, table)
+                for term, tables in sorted(self._schema_terms.items())
+                for table in sorted(tables)
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict[str, Iterable[tuple]],
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+        alpha: float = 1e-6,
+    ) -> "InvertedIndex":
+        """Rebuild an index from :meth:`export_state` output.
+
+        The restored index is indistinguishable from a from-scratch build
+        over the same content (``stats_snapshot()`` equality), so incremental
+        maintenance (``add_tuple`` / ``register_table``) keeps working on it.
+        """
+        index = cls(tokenizer=tokenizer, alpha=alpha)
+        for term, table, attribute, occurrences, keys in state.get("postings", ()):
+            posting = Posting(occurrences=occurrences, tuple_keys=set(keys))
+            index._postings[term][(table, attribute)] = posting
+        for table, attribute, total_tokens, cell_count in state.get(
+            "attribute_stats", ()
+        ):
+            index._attribute_stats[(table, attribute)] = AttributeStatistics(
+                total_tokens=total_tokens, cell_count=cell_count
+            )
+        for table, count in state.get("table_tuple_counts", ()):
+            index._table_tuple_counts[table] = count
+        for term, table in state.get("schema_terms", ()):
+            index._schema_terms[term].add(table)
+        return index
 
     def candidate_tuple_keys(
         self, terms: Iterable[str], table: str, attribute: str

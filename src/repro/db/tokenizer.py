@@ -9,6 +9,7 @@ index lookups robust without dragging in an external NLP stack.
 
 from __future__ import annotations
 
+import json
 import re
 from dataclasses import dataclass, field
 
@@ -89,6 +90,20 @@ class Tokenizer:
     def terms(self, text: str) -> set[str]:
         """Return the distinct normalized terms of ``text``."""
         return set(self.tokens(text))
+
+    def signature(self) -> str:
+        """Deterministic identity of this configuration.
+
+        ``repr(frozenset)`` ordering is not stable across processes, so the
+        stop-word set serializes sorted.  Everything derived through a
+        tokenizer (persisted index postings, cached selection results) must
+        be keyed on this, since changing the tokenizer changes what
+        "contains" means.
+        """
+        return json.dumps(
+            {"stem": self.stem, "stopwords": sorted(self.stopwords)},
+            sort_keys=True,
+        )
 
 
 #: Engine-wide default: no stemming, no stopping.  Keyword queries over

@@ -9,12 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.generator import InterpretationGenerator
 from repro.core.interpretation import Interpretation
 from repro.core.keywords import KeywordQuery
-from repro.core.probability import DivQModel, TemplateCatalog, rank_interpretations
+from repro.core.probability import DivQModel
 from repro.db.database import Database
 from repro.divq.diversify import DiversificationResult, diversify
+from repro.engine import QueryEngine
 
 
 @dataclass
@@ -22,8 +22,7 @@ class DivQ:
     """Diversified keyword search over one database."""
 
     database: Database
-    generator: InterpretationGenerator = field(init=False)
-    model: DivQModel = field(init=False)
+    engine: QueryEngine = field(init=False)
     #: λ of Eq. 4.4 — 1.0 pure relevance, 0.0 pure novelty.
     tradeoff: float = 0.5
     #: Size of the relevance-ranked candidate pool handed to Alg. 4.1.
@@ -32,21 +31,30 @@ class DivQ:
     check_nonempty: bool = True
 
     def __post_init__(self) -> None:
-        self.generator = InterpretationGenerator(
-            self.database, max_template_joins=self.max_template_joins
+        self.engine = QueryEngine(
+            self.database,
+            max_template_joins=self.max_template_joins,
+            model_factory=lambda e: DivQModel(
+                e.index,
+                e.catalog,
+                database=self.database,
+                check_nonempty=self.check_nonempty,
+            ),
         )
-        self.model = DivQModel(
-            self.database.require_index(),
-            TemplateCatalog(self.generator.templates),
-            database=self.database,
-            check_nonempty=self.check_nonempty,
-        )
+
+    @property
+    def generator(self):
+        return self.engine.generator
+
+    @property
+    def model(self) -> DivQModel:
+        return self.engine.model
 
     def ranked_interpretations(
         self, query: KeywordQuery
     ) -> list[tuple[Interpretation, float]]:
         """The relevance ranking (non-empty interpretations, pooled)."""
-        ranked = rank_interpretations(self.generator.interpretations(query), self.model)
+        ranked = self.engine.rank(query)
         return [(i, p) for i, p in ranked if p > 0.0][: self.pool_size]
 
     def search(self, query: KeywordQuery, k: int = 10) -> DiversificationResult:

@@ -1,0 +1,198 @@
+"""Cross-session interpretation-result cache.
+
+Interpretation execution is deterministic per (store content, structured
+query, limit): the same candidate network over the same rows always returns
+the same joining tuple networks.  :class:`ResultCache` exploits that with two
+layers keyed on ``(StorageBackend.content_fingerprint(),
+StructuredQuery.cache_key(), limit)``:
+
+* a **process-level store** shared by every cache instance — repeated queries
+  within one process (a benchmark suite, an experiment sweep) skip
+  ``execute_path`` entirely, even across engine instances, and
+* a **persistent layer** delegated to the backend's
+  ``cached_result_get``/``cached_result_put`` hooks — the SQLite backend
+  keeps payloads in a ``_repro_result_cache`` side table, so a *new process*
+  (the next CLI run) starts warm.
+
+Invalidation is structural: every mutation of a store changes its content
+fingerprint, so stale entries are simply unreachable; the persistent layer
+additionally purges entries of superseded fingerprints on write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.db.table import Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.query import StructuredQuery
+    from repro.db.backends.base import StorageBackend
+
+#: One cached result: a list of joining networks of tuples.
+Rows = list[tuple[Tuple, ...]]
+
+#: Process-wide store shared by all ResultCache instances (LRU, bounded).
+_PROCESS_CACHE: "OrderedDict[tuple[str, str, str], Rows]" = OrderedDict()
+
+#: Upper bound on process-level entries; small queries dominate, so this is
+#: generous without risking unbounded growth in long sweeps.
+_PROCESS_CACHE_CAPACITY = 4096
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss accounting, surfaced through ``EngineContext`` / --explain."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Deterministic result reuse for one storage backend.
+
+    ``persist`` defaults to the backend's persistence: durable stores write
+    through to the backend's cached-result side storage, in-memory stores use
+    only the process-level layer.
+    """
+
+    backend: "StorageBackend"
+    persist: bool | None = None
+    statistics: CacheStatistics = field(default_factory=CacheStatistics)
+
+    def __post_init__(self) -> None:
+        if self.persist is None:
+            self.persist = self.backend.is_persistent
+        # The tokenizer is immutable for the backend's lifetime: digest it
+        # once, not per lookup.
+        self._tokenizer_digest = hashlib.sha256(
+            self.backend.tokenizer.signature().encode("utf-8")
+        ).hexdigest()[:8]
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, query: "StructuredQuery", limit: int | None) -> tuple[str, str, str]:
+        """(store identity, canonical query, limit) — the reuse precondition.
+
+        Store identity couples the content fingerprint with the tokenizer
+        signature: keyword selections resolve through the tokenizer, so the
+        same rows under a different tokenizer are a *different* result set
+        (the persisted-index layer guards on the same pair).
+        """
+        return (
+            f"{self.backend.content_fingerprint()}-{self._tokenizer_digest}",
+            query.cache_key(),
+            "none" if limit is None else str(limit),
+        )
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, query: "StructuredQuery", limit: int | None) -> Rows | None:
+        """Cached rows for (store content, query, limit), or None."""
+        key = self.key(query, limit)
+        rows = _PROCESS_CACHE.get(key)
+        if rows is not None:
+            _PROCESS_CACHE.move_to_end(key)
+            self.statistics.hits += 1
+            return list(rows)
+        if self.persist:
+            payload = self.backend.cached_result_get(key[0], f"{key[1]}#{key[2]}")
+            if payload is not None:
+                rows = _decode_rows(payload)
+                if rows is not None:
+                    _remember(key, rows)
+                    self.statistics.hits += 1
+                    return list(rows)
+        self.statistics.misses += 1
+        return None
+
+    def put(self, query: "StructuredQuery", limit: int | None, rows: Rows) -> None:
+        """Record freshly executed rows under the current fingerprint."""
+        key = self.key(query, limit)
+        _remember(key, list(rows))
+        self.statistics.stores += 1
+        if self.persist:
+            payload = _encode_rows(rows)
+            if payload is not None:
+                self.backend.cached_result_put(key[0], f"{key[1]}#{key[2]}", payload)
+
+    def fetch(self, query: "StructuredQuery", limit: int | None) -> Rows:
+        """Get-or-execute: the one-call form of :meth:`get` + :meth:`put`."""
+        rows = self.get(query, limit)
+        if rows is None:
+            rows = query.execute(self.backend, limit=limit)
+            self.put(query, limit, rows)
+            self.flush()
+        return rows
+
+    def flush(self) -> None:
+        """Make buffered persistent puts durable (one commit, many puts).
+
+        ``ExecuteStage`` calls this once per pipeline run; :meth:`fetch`
+        flushes its own put.  Callers batching bare :meth:`put` calls flush
+        when done.
+        """
+        if self.persist:
+            self.backend.cached_result_flush()
+
+    # -- maintenance --------------------------------------------------------
+
+    @staticmethod
+    def clear_process_cache() -> None:
+        """Drop the process-level layer (tests use this to simulate a fresh
+        process; persistent side tables are untouched)."""
+        _PROCESS_CACHE.clear()
+
+
+def _remember(key: tuple[str, str, str], rows: Rows) -> None:
+    _PROCESS_CACHE[key] = rows
+    _PROCESS_CACHE.move_to_end(key)
+    while len(_PROCESS_CACHE) > _PROCESS_CACHE_CAPACITY:
+        _PROCESS_CACHE.popitem(last=False)
+
+
+def _encode_rows(rows: Rows) -> str | None:
+    """JSON payload for the persistent layer (None when not serializable).
+
+    Values must survive a JSON round trip unchanged; anything beyond
+    int/str/float/None (or a bool, which JSON would preserve but SQLite
+    storage normalizes to int) skips persistence — the process layer still
+    works.
+    """
+
+    def safe(value: object) -> bool:
+        return value is None or (
+            isinstance(value, (int, str, float)) and not isinstance(value, bool)
+        )
+
+    for network in rows:
+        for tup in network:
+            if not safe(tup.key) or not all(safe(v) for _n, v in tup.values):
+                return None
+    return json.dumps(
+        [
+            [[tup.table, tup.key, [list(pair) for pair in tup.values]] for tup in network]
+            for network in rows
+        ]
+    )
+
+
+def _decode_rows(payload: str) -> Rows | None:
+    """Rows back from a persistent payload (None on corrupt data)."""
+    try:
+        decoded = json.loads(payload)
+        return [
+            tuple(
+                Tuple(table, key, tuple((name, value) for name, value in values))
+                for table, key, values in network
+            )
+            for network in decoded
+        ]
+    except (ValueError, TypeError):
+        return None

@@ -1,0 +1,90 @@
+"""Engine configuration and the per-query pipeline context.
+
+:class:`EngineContext` is the single object a query carries through the
+pipeline: each stage reads its inputs from the context and writes its outputs
+(plus its wall-clock timing) back, so observability — per-stage timings,
+cache hit/miss counters, rendered SQL — falls out of the data flow instead of
+being bolted onto each caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.interpretation import Interpretation
+from repro.core.keywords import KeywordQuery
+from repro.core.topk import TopKResult, TopKStatistics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.backends.base import StorageBackend
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs (generator/model knobs stay on their objects)."""
+
+    #: Default number of results ``run()``/``search()`` return.
+    k: int = 5
+    #: Per-interpretation execution cap handed to the top-k executor.
+    per_query_limit: int | None = 5_000
+    #: Use the cross-session result cache for interpretation execution.
+    cache_results: bool = True
+    #: How many top-ranked interpretations ``--explain`` renders as SQL.
+    explain_sql_limit: int = 5
+
+
+@dataclass
+class EngineContext:
+    """Everything one query accumulates while flowing through the stages."""
+
+    backend: "StorageBackend"
+    config: EngineConfig
+    query_text: str
+    k: int
+    explain: bool = False
+
+    # Stage outputs, in pipeline order.
+    query: KeywordQuery | None = None
+    interpretations: list[Interpretation] = field(default_factory=list)
+    ranked: list[tuple[Interpretation, float]] = field(default_factory=list)
+    results: list[TopKResult] = field(default_factory=list)
+
+    # Observability.
+    stage_timings: dict[str, float] = field(default_factory=dict)
+    executor_statistics: TopKStatistics = field(default_factory=TopKStatistics)
+    #: Rendered SQL of the top-ranked interpretations (``explain`` only).
+    sql: list[str] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.executor_statistics.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.executor_statistics.cache_misses
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_timings.values())
+
+    def explain_lines(self) -> list[str]:
+        """Human-readable explain block (the CLI's ``--explain`` body)."""
+        lines = ["-- stage timings --"]
+        for stage, seconds in self.stage_timings.items():
+            lines.append(f"  {stage:<10} {seconds * 1000.0:8.2f} ms")
+        lines.append(f"  {'total':<10} {self.total_seconds * 1000.0:8.2f} ms")
+        stats = self.executor_statistics
+        lines.append("-- execution --")
+        lines.append(
+            f"  interpretations: {len(self.ranked)} ranked, "
+            f"{stats.interpretations_executed} executed"
+            + (", stopped early" if stats.stopped_early else "")
+        )
+        lines.append(f"  rows materialized: {stats.rows_materialized}")
+        lines.append(f"  result cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es)")
+        if self.sql:
+            lines.append("-- sql (top interpretations) --")
+            for statement in self.sql:
+                lines.append("  " + statement.replace("\n", "\n  "))
+        return lines

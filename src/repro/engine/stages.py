@@ -1,0 +1,94 @@
+"""The pipeline stages of the query engine.
+
+The paper's keyword-query flow decomposes into four explicit steps —
+segmentation, interpretation generation, probabilistic ranking, top-k
+execution — each a :class:`Stage` here.  Stages are stateless objects
+operating on an :class:`~repro.engine.context.EngineContext`; the engine
+times every ``run`` call, so a custom stage (a query rewriter, a
+result post-processor, a different ranker) plugs in by implementing the same
+two-member surface and being handed to ``QueryEngine(stages=[...])``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import rank_interpretations
+from repro.core.topk import TopKExecutor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import EngineContext
+    from repro.engine.engine import QueryEngine
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step: reads/writes the context, never returns data."""
+
+    name: str
+
+    def run(self, engine: "QueryEngine", context: "EngineContext") -> None: ...
+
+
+class SegmentStage:
+    """Keyword segmentation: raw query text -> :class:`KeywordQuery`.
+
+    Respects a pre-parsed query already on the context, so callers holding a
+    :class:`KeywordQuery` (the construction session, the workloads) skip
+    re-parsing.
+    """
+
+    name = "segment"
+
+    def run(self, engine: "QueryEngine", context: "EngineContext") -> None:
+        if context.query is None:
+            context.query = KeywordQuery.parse(context.query_text)
+
+
+class GenerateStage:
+    """Interpretation-space enumeration (Def. 3.5.5) via the generator."""
+
+    name = "generate"
+
+    def run(self, engine: "QueryEngine", context: "EngineContext") -> None:
+        assert context.query is not None, "SegmentStage must run first"
+        context.interpretations = engine.generator.interpretations(context.query)
+
+
+class RankStage:
+    """Probabilistic ranking by the engine's model (Eq. 3.5)."""
+
+    name = "rank"
+
+    def run(self, engine: "QueryEngine", context: "EngineContext") -> None:
+        context.ranked = rank_interpretations(context.interpretations, engine.model)
+
+
+class ExecuteStage:
+    """TA-style top-k execution, optionally through the result cache."""
+
+    name = "execute"
+
+    def run(self, engine: "QueryEngine", context: "EngineContext") -> None:
+        executor = TopKExecutor(
+            context.backend,
+            per_query_limit=context.config.per_query_limit,
+            cache=engine.cache,
+        )
+        context.results = executor.execute(context.ranked, k=context.k)
+        context.executor_statistics = executor.statistics
+        if engine.cache is not None:
+            engine.cache.flush()  # one durability point per run, not per put
+        if context.explain:
+            head = context.ranked[: context.config.explain_sql_limit]
+            context.sql = [interp.to_structured_query().to_sql() for interp, _p in head]
+
+
+#: The paper's pipeline, in order.
+DEFAULT_STAGES: tuple[Stage, ...] = (
+    SegmentStage(),
+    GenerateStage(),
+    RankStage(),
+    ExecuteStage(),
+)

@@ -16,11 +16,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from repro.core.generator import InterpretationGenerator
-from repro.core.probability import ATFModel, ProbabilityModel, TemplateCatalog, UniformModel
+from repro.core.probability import ATFModel, ProbabilityModel, TemplateCatalog
+from repro.core.probability import UniformModel
 from repro.baselines.sqak import SqakRanker
-from repro.datasets.imdb import build_imdb
-from repro.datasets.lyrics import build_lyrics
 from repro.datasets.simulation import (
     generate_simulation,
     random_option_space,
@@ -32,7 +30,7 @@ from repro.datasets.workload import (
     lyrics_workload,
     train_catalog_from_workload,
 )
-from repro.db.database import Database
+from repro.engine import QueryEngine
 from repro.experiments.reporting import format_table, summary_stats
 from repro.iqp.brute_force import brute_force_plan
 from repro.iqp.greedy_plan import greedy_plan
@@ -44,39 +42,38 @@ from repro.user.study import StudyTimingModel
 
 @dataclass
 class Chapter3Setup:
-    """Shared fixtures: database, generator, workload and the three models."""
+    """Shared fixtures: the query engine, the workload and the three models."""
 
     dataset: str
-    database: Database
-    generator: InterpretationGenerator
+    engine: QueryEngine
     workload: list[WorkloadQuery]
     models: dict[str, ProbabilityModel] = field(default_factory=dict)
 
+    @property
+    def database(self):
+        return self.engine.backend
+
+    @property
+    def generator(self):
+        return self.engine.generator
+
 
 def build_setup(dataset: str = "imdb", n_queries: int = 30, seed: int = 7) -> Chapter3Setup:
-    if dataset == "imdb":
-        db = build_imdb(seed=seed)
-        workload_fn = imdb_workload
-    elif dataset == "lyrics":
-        db = build_lyrics(seed=seed)
-        workload_fn = lyrics_workload
-    else:
+    workload_fns = {"imdb": imdb_workload, "lyrics": lyrics_workload}
+    if dataset not in workload_fns:
         raise ValueError(f"unknown dataset {dataset!r}")
-    generator = InterpretationGenerator(db, max_template_joins=4)
-    workload = workload_fn(db, n_queries=n_queries)
-    index = db.require_index()
-    uniform_catalog = TemplateCatalog(generator.templates)
-    log_catalog = TemplateCatalog(generator.templates)
-    train_catalog_from_workload(log_catalog, generator.templates, workload)
+    engine = QueryEngine.for_dataset(dataset, dataset_seed=seed)
+    workload = workload_fns[dataset](engine.backend, n_queries=n_queries)
+    log_catalog = TemplateCatalog(engine.generator.templates)
+    train_catalog_from_workload(log_catalog, engine.generator.templates, workload)
     models: dict[str, ProbabilityModel] = {
         "baseline": UniformModel(),
-        "atf_tequal": ATFModel(index, uniform_catalog),
-        "atf_tlog": ATFModel(index, log_catalog),
+        "atf_tequal": engine.model,  # ATF + uniform priors, the engine default
+        "atf_tlog": ATFModel(engine.index, log_catalog),
     }
     return Chapter3Setup(
         dataset=dataset,
-        database=db,
-        generator=generator,
+        engine=engine,
         workload=workload,
         models=models,
     )
@@ -86,7 +83,7 @@ def _construction_cost(
     setup: Chapter3Setup, item: WorkloadQuery, model: ProbabilityModel
 ) -> int:
     user = SimulatedUser(item.intended)
-    session = ConstructionSession(item.query, setup.generator, model)
+    session = ConstructionSession(item.query, setup.engine, model)
     result = session.run(user)
     return result.options_evaluated
 
@@ -139,8 +136,8 @@ def fig_3_6(
     """
     setup = setup or build_setup(dataset, n_queries)
     model = setup.models["atf_tequal"]
-    iqp_ranker = Ranker(setup.generator, model)
-    sqak_ranker = SqakRanker(setup.generator, setup.database.require_index())
+    iqp_ranker = Ranker(setup.engine, model)
+    sqak_ranker = SqakRanker(setup.generator, setup.engine.index)
     out: dict[str, list[int]] = {"rank_sqak": [], "rank_iqp": [], "construction_iqp": []}
     for item in setup.workload:
         iqp_list = iqp_ranker.rank(item.query)
@@ -193,7 +190,7 @@ def study_tasks(
     """
     setup = setup or build_setup(dataset, n_queries)
     model = setup.models["atf_tequal"]
-    ranker = Ranker(setup.generator, model)
+    ranker = Ranker(setup.engine, model)
     tasks: list[StudyTask] = []
     for item in setup.workload:
         ranked = ranker.rank(item.query)

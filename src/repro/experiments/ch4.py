@@ -18,17 +18,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.generator import GeneratorConfig
 from repro.core.interpretation import Interpretation
-from repro.core.probability import DivQModel, TemplateCatalog, rank_interpretations
-from repro.datasets.imdb import build_imdb
-from repro.datasets.lyrics import build_lyrics
+from repro.core.probability import DivQModel
 from repro.datasets.workload import WorkloadQuery, imdb_workload, lyrics_workload
-from repro.db.database import Database
 from repro.divq.analysis import max_and_average_ratio_profile, query_ambiguity_entropy
 from repro.divq.assessors import AssessorPool, simulate_assessments
 from repro.divq.diversify import diversify
 from repro.divq.metrics import alpha_ndcg_w, subtopic_relevance, ws_recall
+from repro.engine import QueryEngine
 from repro.experiments.reporting import format_table
 
 
@@ -50,9 +48,16 @@ class JudgedQuery:
 @dataclass
 class Chapter4Setup:
     dataset: str
-    database: Database
-    generator: InterpretationGenerator
+    engine: QueryEngine
     judged: list[JudgedQuery] = field(default_factory=list)
+
+    @property
+    def database(self):
+        return self.engine.backend
+
+    @property
+    def generator(self):
+        return self.engine.generator
 
 
 def build_setup(
@@ -63,24 +68,23 @@ def build_setup(
     seed: int = 7,
 ) -> Chapter4Setup:
     """Prepare judged topics: the §4.6.1/§4.6.2 pipeline on synthetic data."""
-    if dataset == "imdb":
-        db = build_imdb(seed=seed)
-        workload = imdb_workload(db, n_queries=n_queries * 2)
-    elif dataset == "lyrics":
-        db = build_lyrics(seed=seed)
-        workload = lyrics_workload(db, n_queries=n_queries * 2)
-    else:
+    workload_fns = {"imdb": imdb_workload, "lyrics": lyrics_workload}
+    if dataset not in workload_fns:
         raise ValueError(f"unknown dataset {dataset!r}")
-    generator = InterpretationGenerator(
-        db, config=GeneratorConfig(), max_template_joins=4
+    engine = QueryEngine.for_dataset(
+        dataset,
+        dataset_seed=seed,
+        generator_config=GeneratorConfig(),
+        model_factory=lambda e: DivQModel(
+            e.index, e.catalog, database=e.backend, check_nonempty=True
+        ),
     )
-    catalog = TemplateCatalog(generator.templates)
-    model = DivQModel(db.require_index(), catalog, database=db, check_nonempty=True)
+    db = engine.backend
+    workload = workload_fns[dataset](db, n_queries=n_queries * 2)
     pool = AssessorPool()
     judged: list[JudgedQuery] = []
     for item in workload:
-        space = generator.interpretations(item.query)
-        ranked = rank_interpretations(space, model)
+        ranked = engine.rank(item.query)
         # Keep only interpretations with non-empty results, pool top-k.
         ranked = [(i, p) for i, p in ranked if p > 0.0][:top_k_pool]
         if len(ranked) < 3:
@@ -104,9 +108,7 @@ def build_setup(
         )
     # Ambiguity-driven selection (§4.6.1): keep the highest-entropy topics.
     judged.sort(key=lambda j: -j.entropy)
-    return Chapter4Setup(
-        dataset=dataset, database=db, generator=generator, judged=judged[:n_queries]
-    )
+    return Chapter4Setup(dataset=dataset, engine=engine, judged=judged[:n_queries])
 
 
 def _diversified_order(judged: JudgedQuery, tradeoff: float, k: int) -> list[int]:

@@ -19,11 +19,11 @@ import statistics
 import time
 from dataclasses import dataclass, field
 
-from repro.core.generator import GeneratorConfig, InterpretationGenerator
+from repro.core.generator import GeneratorConfig
 from repro.core.hierarchy import QueryHierarchy
-from repro.core.probability import ATFModel, ProbabilityModel, TemplateCatalog
 from repro.datasets.freebase import FreebaseInstance, build_freebase, freebase_workload
 from repro.datasets.workload import WorkloadQuery
+from repro.engine import QueryEngine
 from repro.experiments.reporting import format_table
 from repro.freeq.qco import OntologyQCOProvider, provider_efficiency
 from repro.freeq.system import FreeQ
@@ -38,13 +38,20 @@ LARGE_SCHEMA_CONFIG = GeneratorConfig(max_atoms_per_keyword=96, max_interpretati
 
 @dataclass
 class Chapter5Setup:
-    """One schema-size point: database, ontology, generator, model, workload."""
+    """One schema-size point: database+ontology instance, engine, workload."""
 
     n_domains: int
     instance: FreebaseInstance
-    generator: InterpretationGenerator
-    model: ProbabilityModel
+    engine: QueryEngine
     workload: list[WorkloadQuery] = field(default_factory=list)
+
+    @property
+    def generator(self):
+        return self.engine.generator
+
+    @property
+    def model(self):
+        return self.engine.model
 
 
 def build_setup(
@@ -57,26 +64,21 @@ def build_setup(
     instance = build_freebase(
         seed=seed, n_domains=n_domains, rows_per_entity_table=rows_per_entity_table
     )
-    generator = InterpretationGenerator(
-        instance.database, config=LARGE_SCHEMA_CONFIG, max_template_joins=4
+    engine = QueryEngine(
+        instance.database, generator_config=LARGE_SCHEMA_CONFIG, max_template_joins=4
     )
-    catalog = TemplateCatalog(generator.templates)
-    model = ATFModel(instance.database.require_index(), catalog)
     workload = freebase_workload(instance, n_queries=n_queries, n_keywords=n_keywords)
     return Chapter5Setup(
         n_domains=n_domains,
         instance=instance,
-        generator=generator,
-        model=model,
+        engine=engine,
         workload=workload,
     )
 
 
 def _run_plain(setup: Chapter5Setup, item: WorkloadQuery, stop_size: int = 1):
     user = SimulatedUser(item.intended)
-    session = ConstructionSession(
-        item.query, setup.generator, setup.model, stop_size=stop_size
-    )
+    session = ConstructionSession(item.query, setup.engine, stop_size=stop_size)
     return session.run(user)
 
 
@@ -84,9 +86,8 @@ def _run_ontology(
     setup: Chapter5Setup, item: WorkloadQuery, stop_size: int = 1, level: int = 1
 ):
     user = SimulatedUser(item.intended)
-    freeq = FreeQ(
-        setup.generator,
-        setup.model,
+    freeq = FreeQ.from_engine(
+        setup.engine,
         setup.instance.ontology,
         qco_level=level,
         stop_size=stop_size,

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.generator import InterpretationGenerator
-from repro.core.probability import ATFModel, TemplateCatalog, UniformModel
+from repro.core.probability import UniformModel
 from repro.datasets.freebase import build_freebase, freebase_workload
-from repro.datasets.imdb import build_imdb
 from repro.datasets.workload import imdb_workload
+from repro.engine import QueryEngine
 from repro.experiments.reporting import format_table
 from repro.freeq.system import FreeQ
 from repro.iqp.ranking import Ranker
@@ -41,31 +40,29 @@ class ShapeCheck:
 
 
 def _imdb_stack(seed: int, n_queries: int):
-    db = build_imdb(seed=seed)
-    generator = InterpretationGenerator(db, max_template_joins=4)
-    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
-    workload = imdb_workload(db, n_queries=n_queries, seed=seed + 100)
-    return db, generator, model, workload
+    engine = QueryEngine.for_dataset("imdb", dataset_seed=seed)
+    workload = imdb_workload(engine.backend, n_queries=n_queries, seed=seed + 100)
+    return engine, workload
 
 
 def check_atf_beats_baseline(seed: int, n_queries: int = 12) -> bool:
     """Fig. 3.5's claim, one seed: total ATF cost <= total baseline cost."""
-    _db, generator, model, workload = _imdb_stack(seed, n_queries)
+    engine, workload = _imdb_stack(seed, n_queries)
     uniform = UniformModel()
     atf_total = base_total = 0
     for item in workload:
         u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
-        atf_total += ConstructionSession(item.query, generator, model).run(u1).options_evaluated
+        atf_total += ConstructionSession(item.query, engine).run(u1).options_evaluated
         base_total += (
-            ConstructionSession(item.query, generator, uniform).run(u2).options_evaluated
+            ConstructionSession(item.query, engine, uniform).run(u2).options_evaluated
         )
     return atf_total <= base_total
 
 
 def check_construction_bounded_by_ranking(seed: int, n_queries: int = 12) -> bool:
     """Fig. 3.6's claim, one seed: max construction cost <= max rank."""
-    _db, generator, model, workload = _imdb_stack(seed, n_queries)
-    ranker = Ranker(generator, model)
+    engine, workload = _imdb_stack(seed, n_queries)
+    ranker = Ranker(engine)
     max_rank = 0
     max_cost = 0
     for item in workload:
@@ -74,7 +71,7 @@ def check_construction_bounded_by_ranking(seed: int, n_queries: int = 12) -> boo
             continue
         max_rank = max(max_rank, rank)
         user = SimulatedUser(item.intended)
-        result = ConstructionSession(item.query, generator, model).run(user)
+        result = ConstructionSession(item.query, engine).run(user)
         max_cost = max(max_cost, result.options_evaluated)
     return max_rank > 0 and max_cost <= max_rank
 
@@ -93,16 +90,13 @@ def check_diversification_wins_high_alpha(seed: int, n_queries: int = 8) -> bool
 def check_ontology_qcos_no_worse(seed: int, n_queries: int = 6) -> bool:
     """Fig. 5.4's claim, one seed: ontology total cost <= plain total cost."""
     instance = build_freebase(seed=seed, n_domains=12, rows_per_entity_table=20)
-    generator = InterpretationGenerator(instance.database, max_template_joins=2)
-    model = ATFModel(
-        instance.database.require_index(), TemplateCatalog(generator.templates)
-    )
-    freeq = FreeQ(generator, model, instance.ontology, stop_size=1)
+    engine = QueryEngine(instance.database, max_template_joins=2)
+    freeq = FreeQ.from_engine(engine, instance.ontology, stop_size=1)
     workload = freebase_workload(instance, n_queries=n_queries, seed=seed + 7)
     plain_total = onto_total = 0
     for item in workload:
         u1, u2 = SimulatedUser(item.intended), SimulatedUser(item.intended)
-        plain = ConstructionSession(item.query, generator, model, stop_size=1).run(u1)
+        plain = ConstructionSession(item.query, engine, stop_size=1).run(u1)
         onto = freeq.construct(item.query, u2)
         plain_total += plain.options_evaluated
         onto_total += onto.options_evaluated

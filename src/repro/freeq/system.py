@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.core.generator import InterpretationGenerator
 from repro.core.keywords import KeywordQuery
 from repro.core.probability import ProbabilityModel
+from repro.engine import QueryEngine
 from repro.freeq.ontology import SchemaOntology
 from repro.freeq.qco import OntologyQCOProvider
 from repro.freeq.traversal import BestFirstExplorer
@@ -31,6 +32,13 @@ class FreeQ:
     threshold: int = 20
     stop_size: int = 5
     max_frontier: int = 10_000
+
+    @classmethod
+    def from_engine(
+        cls, engine: QueryEngine, ontology: SchemaOntology, **kwargs
+    ) -> "FreeQ":
+        """A FreeQ stack on a query engine's generate/rank machinery."""
+        return cls(engine.generator, engine.model, ontology, **kwargs)
 
     def session(self, query: KeywordQuery) -> ConstructionSession:
         provider = OntologyQCOProvider(self.ontology, level=self.qco_level)

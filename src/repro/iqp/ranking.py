@@ -14,6 +14,7 @@ from repro.core.generator import InterpretationGenerator
 from repro.core.interpretation import Interpretation
 from repro.core.keywords import KeywordQuery
 from repro.core.probability import ProbabilityModel, rank_interpretations
+from repro.engine import QueryEngine, resolve_generator_and_model
 from repro.user.oracle import IntendedInterpretation
 
 
@@ -27,9 +28,12 @@ class RankedInterpretation:
 class Ranker:
     """Ranks interpretation spaces with a pluggable probabilistic model."""
 
-    def __init__(self, generator: InterpretationGenerator, model: ProbabilityModel):
-        self.generator = generator
-        self.model = model
+    def __init__(
+        self,
+        engine: QueryEngine | InterpretationGenerator,
+        model: ProbabilityModel | None = None,
+    ):
+        self.generator, self.model = resolve_generator_and_model(engine, model)
 
     def rank(self, query: KeywordQuery) -> list[RankedInterpretation]:
         space = self.generator.interpretations(query)

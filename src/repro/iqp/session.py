@@ -26,6 +26,7 @@ from repro.core.interpretation import Interpretation
 from repro.core.keywords import KeywordQuery
 from repro.core.options import Option
 from repro.core.probability import ProbabilityModel
+from repro.engine import QueryEngine, resolve_generator_and_model
 from repro.iqp.infogain import information_gain
 from repro.user.oracle import SimulatedUser
 
@@ -65,8 +66,8 @@ class ConstructionSession:
     def __init__(
         self,
         query: KeywordQuery,
-        generator: InterpretationGenerator,
-        model: ProbabilityModel,
+        engine: QueryEngine | InterpretationGenerator,
+        model: ProbabilityModel | None = None,
         threshold: int = 20,
         stop_size: int = 5,
         max_frontier: int = 10_000,
@@ -80,8 +81,7 @@ class ConstructionSession:
         if selection_policy not in ("infogain", "random"):
             raise ValueError("selection_policy must be 'infogain' or 'random'")
         self.query = query
-        self.generator = generator
-        self.model = model
+        self.generator, self.model = resolve_generator_and_model(engine, model)
         self.threshold = threshold
         self.stop_size = stop_size
         self.max_frontier = max_frontier

@@ -166,3 +166,24 @@ def test_imdb_search_pipeline_parity(backend):
         assert [(r.score, r.row_uids()) for r in results] == [
             (r.score, r.row_uids()) for r in mem_results
         ]
+
+
+def test_bool_values_normalize_identically(tmp_path):
+    """Bool cells store as ints on every backend (SQLite has no bool
+    affinity), so index terms, selections and digests never diverge."""
+    from repro.db.backends import available_backends, create_backend
+    from repro.db.schema import Attribute, Schema, Table
+
+    snapshots = {}
+    for backend_name in available_backends():
+        schema = Schema()
+        schema.add_table(Table("t", [Attribute("flag"), Attribute("id", textual=False)]))
+        db = create_backend(backend_name, schema)
+        tup = db.insert("t", {"id": 1, "flag": True})
+        assert tup.get("flag") == 1 and not isinstance(tup.get("flag"), bool)
+        db.build_indexes()
+        assert db.selection_keys("t", [("flag", ("1",))]) == {1}
+        assert db.selection_keys("t", [("flag", ("true",))]) == set()
+        snapshots[backend_name] = db.index.stats_snapshot()
+        db.close()
+    assert len(set(map(repr, snapshots.values()))) == 1

@@ -1,0 +1,135 @@
+"""Unit tests for the QueryEngine pipeline (repro.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import UniformModel
+from repro.engine import (
+    DEFAULT_STAGES,
+    EngineConfig,
+    EngineContext,
+    QueryEngine,
+    ResultCache,
+)
+
+
+class TestPipeline:
+    def test_run_produces_all_stage_outputs(self, mini_db):
+        engine = QueryEngine(mini_db)
+        context = engine.run("hanks 2001", k=3)
+        assert isinstance(context.query, KeywordQuery)
+        assert context.interpretations
+        assert context.ranked
+        assert context.results
+        assert [t.uid for r in [context.results[0].row] for t in r]
+
+    def test_stage_timings_cover_every_stage(self, mini_db):
+        context = QueryEngine(mini_db).run("hanks")
+        assert list(context.stage_timings) == ["segment", "generate", "rank", "execute"]
+        assert all(seconds >= 0.0 for seconds in context.stage_timings.values())
+        assert context.total_seconds == pytest.approx(sum(context.stage_timings.values()))
+
+    def test_accepts_preparsed_query(self, mini_db):
+        engine = QueryEngine(mini_db)
+        query = KeywordQuery.parse("hanks 2001")
+        by_text = engine.run("hanks 2001", k=3)
+        by_query = engine.run(query, k=3)
+        assert by_query.query is query
+        assert [r.row_uids() for r in by_query.results] == [
+            r.row_uids() for r in by_text.results
+        ]
+
+    def test_search_returns_results_only(self, mini_db):
+        engine = QueryEngine(mini_db)
+        assert [r.row_uids() for r in engine.search("hanks", k=2)] == [
+            r.row_uids() for r in engine.run("hanks", k=2).results
+        ]
+
+    def test_rank_matches_run(self, mini_db):
+        engine = QueryEngine(mini_db)
+        ranked = engine.rank("hanks 2001")
+        context = engine.run("hanks 2001")
+        assert [i.describe() for i, _p in ranked] == [
+            i.describe() for i, _p in context.ranked
+        ]
+
+    def test_k_defaults_to_config(self, mini_db):
+        engine = QueryEngine(mini_db, config=EngineConfig(k=1))
+        assert len(engine.run("hanks").results) <= 1
+
+    def test_explain_collects_sql(self, mini_db):
+        context = QueryEngine(mini_db).run("hanks 2001", explain=True)
+        assert context.sql
+        assert all(statement.startswith("SELECT") for statement in context.sql)
+        lines = "\n".join(context.explain_lines())
+        assert "stage timings" in lines and "result cache" in lines
+
+    def test_no_explain_no_sql(self, mini_db):
+        assert QueryEngine(mini_db).run("hanks 2001").sql == []
+
+
+class TestConfiguration:
+    def test_cache_disabled(self, mini_db):
+        engine = QueryEngine(mini_db, config=EngineConfig(cache_results=False))
+        assert engine.cache is None
+        context = engine.run("hanks")
+        assert context.cache_hits == 0 and context.cache_misses == 0
+
+    def test_cache_enabled_by_default(self, mini_db):
+        engine = QueryEngine(mini_db)
+        assert isinstance(engine.cache, ResultCache)
+        engine.run("hanks")
+        warm = engine.run("hanks")
+        assert warm.executor_statistics.interpretations_executed == 0
+        assert warm.cache_hits > 0
+
+    def test_with_model_shares_generator_and_cache(self, mini_db):
+        engine = QueryEngine(mini_db)
+        sibling = engine.with_model(UniformModel())
+        assert sibling.generator is engine.generator
+        assert sibling.cache is engine.cache
+        assert isinstance(sibling.model, UniformModel)
+
+    def test_with_model_accepts_factory(self, mini_db):
+        engine = QueryEngine(mini_db)
+        sibling = engine.with_model(lambda e: UniformModel())
+        assert isinstance(sibling.model, UniformModel)
+
+    def test_model_and_factory_exclusive(self, mini_db):
+        with pytest.raises(ValueError):
+            QueryEngine(
+                mini_db, model=UniformModel(), model_factory=lambda e: UniformModel()
+            )
+
+    def test_custom_stage_plugs_in(self, mini_db):
+        class AnnotateStage:
+            name = "annotate"
+
+            def run(self, engine, context):
+                context.results = [r for r in context.results if r.score > 0.0]
+                context.stage_note = "ran"  # type: ignore[attr-defined]
+
+        engine = QueryEngine(mini_db, stages=[*DEFAULT_STAGES, AnnotateStage()])
+        context = engine.run("hanks 2001")
+        assert context.stage_note == "ran"
+        assert "annotate" in context.stage_timings
+
+    def test_for_dataset_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            QueryEngine.for_dataset("nope")
+
+    def test_for_dataset_routes_kwargs(self, imdb_db):
+        engine = QueryEngine.for_dataset("imdb", config=EngineConfig(k=2))
+        assert engine.config.k == 2
+        assert engine.backend.schema.table_names == imdb_db.schema.table_names
+
+
+class TestContext:
+    def test_context_construction(self, mini_db):
+        context = EngineContext(
+            backend=mini_db, config=EngineConfig(), query_text="x", k=3
+        )
+        assert context.results == [] and context.ranked == []
+        assert context.cache_hits == 0

@@ -1,0 +1,81 @@
+"""Engine-vs-legacy parity: the QueryEngine pipeline must reproduce the
+hand-wired generator → ranker → executor flow exactly.
+
+The engine is a refactoring seam, not a semantics change: for every query the
+ranked interpretation list and the top-k result rows must be identical to
+what the pre-engine wiring (the code the CLI, experiments and benchmarks used
+to carry inline) produces — with the result cache cold, warm, and disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import InterpretationGenerator
+from repro.core.keywords import KeywordQuery
+from repro.core.probability import ATFModel, TemplateCatalog, rank_interpretations
+from repro.core.topk import TopKExecutor
+from repro.engine import EngineConfig, QueryEngine
+from tests.conftest import build_mini_db
+
+IMDB_QUERIES = ["hanks 2001", "london", "stone hill", "summer", "number hanks"]
+LYRICS_QUERIES = ["london", "river blues", "summer night"]
+
+
+def _legacy_stack(db):
+    """The wiring cli.py/ch3/benchmarks carried before the engine existed."""
+    generator = InterpretationGenerator(db, max_template_joins=4)
+    model = ATFModel(db.require_index(), TemplateCatalog(generator.templates))
+    return generator, model
+
+
+def _legacy_search(db, generator, model, query_text: str, k: int):
+    query = KeywordQuery.parse(query_text)
+    ranked = rank_interpretations(generator.interpretations(query), model)
+    executor = TopKExecutor(db)
+    results = executor.execute(ranked, k=k)
+    return ranked, results
+
+
+@pytest.mark.parametrize(
+    "db_fixture, queries",
+    [("imdb_db", IMDB_QUERIES), ("lyrics_db", LYRICS_QUERIES)],
+)
+def test_engine_matches_legacy_wiring(request, db_fixture, queries):
+    db = request.getfixturevalue(db_fixture)
+    generator, model = _legacy_stack(db)
+    engine = QueryEngine(db)
+    uncached = QueryEngine(db, config=EngineConfig(cache_results=False))
+    for query_text in queries:
+        legacy_ranked, legacy_results = _legacy_search(db, generator, model, query_text, 5)
+        for candidate in (
+            uncached.run(query_text, k=5),
+            engine.run(query_text, k=5),  # cold cache
+            engine.run(query_text, k=5),  # warm cache
+        ):
+            assert [
+                (i.to_structured_query().algebra(), pytest.approx(p))
+                for i, p in legacy_ranked
+            ] == [(i.to_structured_query().algebra(), p) for i, p in candidate.ranked]
+            assert [(r.score, r.row_uids()) for r in legacy_results] == [
+                (r.score, r.row_uids()) for r in candidate.results
+            ]
+
+
+def test_warm_engine_skips_execution_but_not_results(imdb_db):
+    engine = QueryEngine(imdb_db)
+    cold = engine.run("london", k=5)
+    warm = engine.run("london", k=5)
+    assert warm.executor_statistics.interpretations_executed == 0
+    assert warm.cache_hits > 0 and warm.cache_misses == 0
+    assert [r.row_uids() for r in warm.results] == [r.row_uids() for r in cold.results]
+
+
+def test_engine_rows_equal_across_backends(tmp_path):
+    mem_engine = QueryEngine(build_mini_db())
+    sq_engine = QueryEngine(build_mini_db("sqlite", db_path=tmp_path / "mini.sqlite"))
+    for query_text in ("hanks 2001", "london", "terminal"):
+        mem = mem_engine.run(query_text, k=5)
+        sq = sq_engine.run(query_text, k=5)
+        assert [r.row_uids() for r in mem.results] == [r.row_uids() for r in sq.results]
+    sq_engine.backend.close()
