@@ -1,16 +1,23 @@
-"""QueryEngine perf guards: persisted-postings cold opens, warm result cache.
+"""QueryEngine perf guards: cold opens, warm result cache, batched execution.
 
-Not a thesis figure — this benchmark measures the two storage optimizations
-the engine seam hosts:
+Not a thesis figure — this benchmark *asserts* the storage/execution
+optimizations the engine seam hosts, so a regression fails the bench-smoke CI
+lane loudly instead of shipping as a slower table:
 
 * **Cold open.** Opening a populated SQLite store with persisted index
   postings must beat the rebuild path (re-scanning + re-tokenizing every
   stored table), while producing an identical index.
 * **Warm cache.** A second engine session over an unchanged store must serve
-  identical top-k rows while executing zero interpretations (all rows come
-  from the cross-session result cache).
+  identical top-k rows while executing zero interpretations, and the whole
+  warm pass must beat the cold pass (the asserted speedup ratio).
+* **Batched execution.** The batched strategy must collapse every
+  multi-statement query to one ``UNION ALL`` statement (the asserted
+  statement-reduction ratio — the round-trip currency that matters on a
+  networked RDB) with identical rows, and must stay within a small constant
+  factor of sequential wall-clock on in-process SQLite, where per-statement
+  overhead is negligible by construction.
 
-Run with ``-s`` to see the table:
+Run with ``-s`` to see the tables:
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -s
 """
@@ -22,7 +29,7 @@ import time
 
 from repro.datasets.imdb import build_imdb, imdb_schema
 from repro.db.backends.sqlite import SQLiteBackend
-from repro.engine import QueryEngine, ResultCache
+from repro.engine import EngineConfig, QueryEngine, ResultCache
 from repro.experiments.reporting import format_table
 
 QUERIES = ["hanks 2001", "london", "stone hill", "summer"]
@@ -95,6 +102,12 @@ def test_bench_engine_cold_open_and_warm_cache(benchmark, tmp_path):
         assert context.cache_hits > 0
         assert [r.row_uids() for r in context.results] == cold_rows
     warm_db.close()
+    # The asserted warm-cache speedup ratio: serving from the cache must beat
+    # executing (same slack policy as the cold-open assertion above).
+    assert warm_seconds < cold_seconds * slack, (
+        f"warm result cache ({warm_seconds * 1000:.1f} ms) must beat cold "
+        f"execution ({cold_seconds * 1000:.1f} ms)"
+    )
 
     print()
     print(
@@ -107,4 +120,84 @@ def test_bench_engine_cold_open_and_warm_cache(benchmark, tmp_path):
                 ["4 queries, warm result cache", f"{warm_seconds * 1000:.1f}"],
             ],
         )
+    )
+
+
+def test_bench_engine_batched_vs_sequential(tmp_path):
+    """Batched UNION execution: assert the statement reduction + parity.
+
+    On in-process SQLite the *wall-clock* win of batching is bounded by the
+    tiny per-statement overhead, so the asserted speedup is the statement
+    ratio (deterministic, and exactly what batching optimizes); wall clock
+    only guards against a pathological compile-time regression.
+    """
+    path = tmp_path / "imdb.sqlite"
+    build_imdb(**BUILD_KWARGS, backend="sqlite", db_path=path).close()
+    db, _ = _timed_open(path, persist_index=True)
+    sequential = QueryEngine(
+        db, config=EngineConfig(cache_results=False, batch_execution=False)
+    )
+    batched = QueryEngine(
+        db, config=EngineConfig(cache_results=False, batch_execution=True)
+    )
+
+    rows_of = lambda context: [r.row_uids() for r in context.results]  # noqa: E731
+    sequential_statements = batched_statements = 0
+    sequential_seconds = batched_seconds = 0.0
+    per_query: list[list[str]] = []
+    for query_text in QUERIES:
+        best_sequential = best_batched = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            sequential_context = sequential.run(query_text, k=5)
+            best_sequential = min(best_sequential, time.perf_counter() - start)
+            start = time.perf_counter()
+            batched_context = batched.run(query_text, k=5)
+            best_batched = min(best_batched, time.perf_counter() - start)
+        assert rows_of(batched_context) == rows_of(sequential_context)
+        seq_stats = sequential_context.executor_statistics
+        bat_stats = batched_context.executor_statistics
+        if seq_stats.sql_statements > 1:
+            # The headline win: k interpretations, one statement.
+            assert bat_stats.sql_statements == 1, (
+                f"{query_text!r}: expected one batched statement, got "
+                f"{bat_stats.sql_statements}"
+            )
+        sequential_statements += seq_stats.sql_statements
+        batched_statements += bat_stats.sql_statements
+        sequential_seconds += best_sequential
+        batched_seconds += best_batched
+        per_query.append(
+            [
+                query_text,
+                f"{seq_stats.sql_statements}",
+                f"{best_sequential * 1000:.2f}",
+                f"{bat_stats.sql_statements}",
+                f"{best_batched * 1000:.2f}",
+            ]
+        )
+    db.close()
+
+    assert batched_statements < sequential_statements, (
+        f"batched execution must issue fewer statements "
+        f"({batched_statements} vs {sequential_statements})"
+    )
+    # Loose wall-clock guard: batching may execute a few extra
+    # interpretations past the TA bound (they warm the cache), but must never
+    # cost a multiple of sequential execution.
+    assert batched_seconds < sequential_seconds * 3, (
+        f"batched execution ({batched_seconds * 1000:.1f} ms) regressed far "
+        f"past sequential ({sequential_seconds * 1000:.1f} ms)"
+    )
+
+    print()
+    print(
+        format_table(
+            ["query", "seq stmts", "seq ms", "batch stmts", "batch ms"],
+            per_query,
+        )
+    )
+    print(
+        f"statement reduction: {sequential_statements} -> {batched_statements} "
+        f"({sequential_statements / batched_statements:.1f}x)"
     )

@@ -7,6 +7,8 @@ Exposes the library's main flows on the bundled synthetic datasets:
     python -m repro.cli search    --dataset imdb --backend sqlite --db-path imdb.sqlite "hanks 2001"
     python -m repro.cli construct --dataset imdb "hanks 2001" --answers y n y
     python -m repro.cli diversify --dataset lyrics "london" --k 5
+    python -m repro.cli serve     --dataset imdb --workers 8
+    python -m repro.cli bench-serve --dataset imdb --clients 8 --queries 25
     python -m repro.cli report    --chapter 3
 
 Every query flow routes through one :class:`repro.engine.QueryEngine`
@@ -148,6 +150,119 @@ def cmd_diversify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve keyword queries read from stdin, one per line, concurrently.
+
+    Lines are submitted to the server pool as they arrive; a drainer thread
+    prints each answer in input order the moment it completes, so an
+    interactive client gets its reply without closing stdin — a minimal line
+    protocol that makes the concurrent serving path scriptable
+    (`echo "hanks 2001" | repro serve ...`) and usable as a coprocess.
+    """
+    import queue
+    import threading
+
+    from repro.server import QueryServer
+
+    def print_response(text, response):
+        statistics = response.context.executor_statistics
+        print(
+            f"[{text}] {len(response.results)} result(s) in "
+            f"{response.seconds * 1000:.1f} ms "
+            f"({statistics.sql_statements} statement(s), "
+            f"{statistics.cache_hits} cache hit(s))",
+            flush=True,
+        )
+        for result in response.results:
+            snippet = make_snippet(response.context.query, result.row)
+            print(f"  [{result.score:.3f}] {snippet.text}", flush=True)
+
+    pending: "queue.SimpleQueue" = queue.SimpleQueue()
+    failures = 0
+    # Set when stdout goes away (e.g. piped into head): the reader stops
+    # submitting — executing queries nobody will see is pure waste.
+    muted = threading.Event()
+
+    def drain() -> None:
+        nonlocal failures
+        while True:
+            item = pending.get()
+            if item is None:
+                return
+            text, future = item
+            try:
+                response = future.result()
+            except Exception as exc:  # noqa: BLE001 - keep serving other lines
+                failures += 1
+                response = None
+                error = exc
+            if muted.is_set():
+                continue
+            try:
+                if response is not None:
+                    print_response(text, response)
+                else:
+                    print(f"[{text}] error: {error}", flush=True)
+            except (BrokenPipeError, ValueError):
+                muted.set()
+
+    with QueryServer(max_workers=args.workers) as server:
+        try:
+            server.engine_for(args.dataset, backend=args.backend, db_path=args.db_path)
+        except (ValueError, DatabaseError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(
+            f"serving dataset={args.dataset} backend={args.backend} "
+            f"workers={args.workers} (one query per line)",
+            flush=True,
+        )
+        drainer = threading.Thread(target=drain, name="repro-serve-print")
+        drainer.start()
+        try:
+            for line in sys.stdin:
+                if muted.is_set():
+                    break  # output is gone; don't execute unread queries
+                text = line.strip()
+                if not text:
+                    continue
+                pending.put(
+                    (
+                        text,
+                        server.submit(
+                            args.dataset,
+                            text,
+                            k=args.k,
+                            backend=args.backend,
+                            db_path=args.db_path,
+                        ),
+                    )
+                )
+        finally:
+            pending.put(None)
+            drainer.join()
+    return 0 if not failures else 1
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Synthetic concurrent workload: throughput + latency percentiles."""
+    from repro.server import benchmark_serve
+
+    try:
+        report = benchmark_serve(
+            args.dataset,
+            backend=args.backend,
+            db_path=args.db_path,
+            clients=args.clients,
+            queries_per_client=args.queries,
+            k=args.k,
+            seed=args.seed,
+        )
+    except (ValueError, DatabaseError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print("\n".join(report.lines()))
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ch3, ch4, ch5, ch6
 
@@ -210,6 +325,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_div.add_argument("--tradeoff", type=float, default=0.5)
     _add_storage_options(p_div)
     p_div.set_defaults(func=cmd_diversify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve keyword queries from stdin over a concurrent engine pool",
+    )
+    p_serve.add_argument("--dataset", default="imdb")
+    p_serve.add_argument("--k", type=int, default=5)
+    p_serve.add_argument(
+        "--workers", type=int, default=8, help="worker threads in the serving pool"
+    )
+    _add_storage_options(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bench_serve = sub.add_parser(
+        "bench-serve",
+        help="drive a synthetic concurrent workload; report throughput and "
+        "p50/p95 latency, verifying every result against sequential execution",
+    )
+    p_bench_serve.add_argument("--dataset", default="imdb")
+    p_bench_serve.add_argument("--k", type=int, default=5)
+    p_bench_serve.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads"
+    )
+    p_bench_serve.add_argument(
+        "--queries", type=int, default=25, help="queries each client issues"
+    )
+    p_bench_serve.add_argument(
+        "--seed", type=int, default=13, help="workload sampling seed"
+    )
+    _add_storage_options(p_bench_serve)
+    p_bench_serve.set_defaults(func=cmd_bench_serve)
 
     p_report = sub.add_parser("report", help="print a chapter's reproduced tables/figures")
     p_report.add_argument("--chapter", type=int, required=True)

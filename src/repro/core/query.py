@@ -63,12 +63,15 @@ class StructuredQuery:
         self, database: "StorageBackend", limit: int | None = None
     ) -> list[tuple["Tuple", ...]]:
         """Run the query; rows are joining networks of tuples (JTTs)."""
-        return database.execute_path(
-            self.template.path,
-            self.template.edges,
-            self._db_selections(),
-            limit=limit,
-        )
+        return database.execute_path(*self.path_spec(), limit=limit)
+
+    def path_spec(self):
+        """``(path, edges, selections)`` — the ``execute_path`` arguments.
+
+        The unit ``StorageBackend.execute_paths_batched`` accepts, so several
+        structured queries can execute as one batched statement.
+        """
+        return (self.template.path, self.template.edges, self._db_selections())
 
     def has_results(self, database: "StorageBackend") -> bool:
         return database.has_results(

@@ -23,6 +23,7 @@ from repro.core.interpretation import Interpretation
 from repro.db.backends.base import StorageBackend
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> engine import cycle
+    from repro.core.query import StructuredQuery
     from repro.engine.cache import ResultCache
 
 
@@ -40,11 +41,15 @@ class TopKResult:
 
 @dataclass
 class TopKStatistics:
-    """Work accounting for the early-stopping comparison.
+    """Work accounting for the early-stopping and batching comparisons.
 
-    ``interpretations_executed`` counts *actual* ``execute_path`` runs: an
+    ``interpretations_executed`` counts *actual* interpretation executions: an
     interpretation whose rows come out of the result cache costs no execution
-    and shows up in ``cache_hits`` instead.
+    and shows up in ``cache_hits`` instead.  ``sql_statements`` counts the
+    physical statements those executions needed, as reported by the backend
+    (a provably-empty selection costs none) — at most one per interpretation
+    sequentially, (much) smaller when the backend batches several
+    interpretations per ``UNION ALL`` statement.
     """
 
     interpretations_executed: int = 0
@@ -52,11 +57,28 @@ class TopKStatistics:
     stopped_early: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Physical query statements issued against the backend.
+    sql_statements: int = 0
+    #: Number of batched execution rounds (0 = sequential execution).
+    batches: int = 0
+    #: Rows contributed per 1-based interpretation rank (execution only —
+    #: cache hits do not appear here), for ``--explain`` attribution.
+    attribution: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
 class TopKExecutor:
-    """Executes a ranked interpretation list with TA-style early stopping."""
+    """Executes a ranked interpretation list with TA-style early stopping.
+
+    With ``batch_size`` set (> 1), :meth:`execute` works through the ranked
+    list in batches instead of one interpretation per round-trip: each batch's
+    cache misses travel together through the backend's
+    ``execute_paths_batched`` — one ``UNION ALL`` statement on backends with
+    native batching, a transparent per-path fallback elsewhere — and the
+    early-stopping bound is checked at batch boundaries.  The returned top-k
+    rows are identical to sequential execution either way (a batch can only
+    add rows that sort *after* the already-confirmed top-k).
+    """
 
     database: StorageBackend
     #: Per-interpretation execution cap (guards pathological fan-out).
@@ -64,22 +86,30 @@ class TopKExecutor:
     #: Optional cross-session result cache (see ``repro.engine.cache``):
     #: interpretations whose rows are cached are never re-executed.
     cache: "ResultCache | None" = None
+    #: Interpretations per execution batch; ``None``/``1`` = sequential.
+    batch_size: int | None = None
     statistics: TopKStatistics = field(default_factory=TopKStatistics)
 
     def _rows_for(self, interpretation: Interpretation) -> list[tuple]:
         """Result rows of one interpretation, through the cache when present."""
-        if self.cache is None:
-            self.statistics.interpretations_executed += 1
-            return interpretation.execute(self.database, limit=self.per_query_limit)
         query = interpretation.to_structured_query()
-        rows = self.cache.get(query, self.per_query_limit)
-        if rows is not None:
-            self.statistics.cache_hits += 1
-            return rows
-        self.statistics.cache_misses += 1
+        if self.cache is not None:
+            rows = self.cache.get(query, self.per_query_limit)
+            if rows is not None:
+                self.statistics.cache_hits += 1
+                return rows
+            self.statistics.cache_misses += 1
         self.statistics.interpretations_executed += 1
-        rows = query.execute(self.database, limit=self.per_query_limit)
-        self.cache.put(query, self.per_query_limit, rows)
+        # A single-spec batch, so ``statements`` stays physically accurate on
+        # every backend (e.g. a provably-empty selection costs SQLite no
+        # statement) — the same currency the batched strategy reports.
+        executed = self.database.execute_paths_batched(
+            [query.path_spec()], limit=self.per_query_limit
+        )
+        self.statistics.sql_statements += executed.statements
+        rows = executed.rows[0]
+        if self.cache is not None:
+            self.cache.put(query, self.per_query_limit, rows)
         return rows
 
     def execute(
@@ -98,6 +128,8 @@ class TopKExecutor:
         self.statistics = TopKStatistics()
         if k == 0:
             return []
+        if self.batch_size is not None and self.batch_size > 1:
+            return self._execute_batched(ranked, k)
         results: list[TopKResult] = []
         seen_rows: set[tuple] = set()
         for position, (interpretation, score) in enumerate(ranked):
@@ -117,6 +149,78 @@ class TopKExecutor:
                     TopKResult(score=score, interpretation_rank=position + 1, row=row)
                 )
             results.sort(key=lambda r: (-r.score, r.interpretation_rank, r.row_uids()))
+        return results[:k]
+
+    def _execute_batched(
+        self,
+        ranked: list[tuple[Interpretation, float]],
+        k: int,
+    ) -> list[TopKResult]:
+        """Batched execution: same top-k as :meth:`execute`, fewer statements.
+
+        The threshold check moves to batch boundaries, so up to
+        ``batch_size - 1`` extra interpretations may execute per query — but
+        any row they produce scores at or below the confirmed ``k``-th result
+        (and ties break on interpretation rank), so the returned top-k cannot
+        change.  Cache hits are resolved first; only misses reach the backend.
+        """
+        assert self.batch_size is not None
+        results: list[TopKResult] = []
+        seen_rows: set[tuple] = set()
+        position = 0
+        # The first batch covers the k interpretations a worst-case top-k
+        # needs; later batches (rare — most queries stop after one) use the
+        # full configured size.  Keeps over-execution past the TA stopping
+        # point small without giving up the one-statement common case.
+        batch_size = max(2, min(self.batch_size, k))
+        while position < len(ranked):
+            if len(results) >= k and results[k - 1].score >= ranked[position][1]:
+                self.statistics.stopped_early = True
+                break
+            batch = ranked[position : position + batch_size]
+            batch_size = self.batch_size
+            rows_by_offset: dict[int, list[tuple]] = {}
+            pending: list[tuple[int, "StructuredQuery"]] = []
+            for offset, (interpretation, _score) in enumerate(batch):
+                query = interpretation.to_structured_query()
+                if self.cache is not None:
+                    rows = self.cache.get(query, self.per_query_limit)
+                    if rows is not None:
+                        self.statistics.cache_hits += 1
+                        rows_by_offset[offset] = rows
+                        continue
+                    self.statistics.cache_misses += 1
+                pending.append((offset, query))
+            if pending:
+                executed = self.database.execute_paths_batched(
+                    [query.path_spec() for _offset, query in pending],
+                    limit=self.per_query_limit,
+                )
+                self.statistics.batches += 1
+                self.statistics.sql_statements += executed.statements
+                self.statistics.interpretations_executed += len(pending)
+                for (offset, query), rows in zip(pending, executed.rows):
+                    rows_by_offset[offset] = rows
+                    self.statistics.attribution[position + offset + 1] = len(rows)
+                    if self.cache is not None:
+                        self.cache.put(query, self.per_query_limit, rows)
+            for offset, (_interpretation, score) in enumerate(batch):
+                rows = rows_by_offset[offset]
+                self.statistics.rows_materialized += len(rows)
+                for row in rows:
+                    uids = tuple(t.uid for t in row)
+                    if uids in seen_rows:
+                        continue  # union semantics across interpretations
+                    seen_rows.add(uids)
+                    results.append(
+                        TopKResult(
+                            score=score,
+                            interpretation_rank=position + offset + 1,
+                            row=row,
+                        )
+                    )
+            results.sort(key=lambda r: (-r.score, r.interpretation_rank, r.row_uids()))
+            position += len(batch)
         return results[:k]
 
     def execute_naive(

@@ -13,6 +13,8 @@ from pathlib import Path
 from typing import Type
 
 from repro.db.backends.base import (
+    BatchedExecution,
+    PathSpec,
     RelationView,
     Selection,
     SelectionsByPosition,
@@ -79,7 +81,9 @@ def create_backend(
 
 
 __all__ = [
+    "BatchedExecution",
     "MemoryBackend",
+    "PathSpec",
     "RelationView",
     "SQLiteBackend",
     "SQLiteRelation",

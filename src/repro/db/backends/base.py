@@ -28,6 +28,7 @@ import abc
 import hashlib
 import json
 import uuid
+from dataclasses import dataclass, field
 from typing import Any, ClassVar, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.db.errors import UnknownTableError
@@ -42,6 +43,33 @@ Selection = tuple[str, tuple[str, ...]]
 
 #: Per-position selections of a join path.
 SelectionsByPosition = dict[int, Sequence[Selection]]
+
+#: One :meth:`StorageBackend.execute_path` call, reified so several of them
+#: can travel together through :meth:`StorageBackend.execute_paths_batched`:
+#: ``(path, edges, selections)``.
+PathSpec = tuple[
+    Sequence[str], Sequence["ForeignKey"], "SelectionsByPosition | None"
+]
+
+
+@dataclass
+class BatchedExecution:
+    """The outcome of one :meth:`StorageBackend.execute_paths_batched` call.
+
+    ``rows[i]`` are the result networks of ``specs[i]`` — identical to what a
+    plain ``execute_path(*specs[i], limit=limit)`` call returns, so callers
+    (and caches) can treat batched and sequential execution interchangeably.
+    ``statements`` counts the physical query statements the backend issued to
+    serve the whole batch: a backend with real batching support serves many
+    specs per statement, the generic fallback issues one per spec.
+    ``batched_indexes`` names the spec positions that shared one statement —
+    introspection for tests and tooling into how the backend split the batch
+    (empty when no statement was shared).
+    """
+
+    rows: list[list[tuple[Tuple, ...]]]
+    statements: int
+    batched_indexes: list[int] = field(default_factory=list)
 
 
 def normalize_value(value: Any) -> Any:
@@ -408,6 +436,30 @@ class StorageBackend(abc.ABC):
         raise ValueError(
             f"foreign key {edge} does not connect {current_table!r} and {next_table!r}"
         )
+
+    #: True when :meth:`execute_paths_batched` can serve several join paths
+    #: with fewer statements than one per path (e.g. a SQL ``UNION ALL``).
+    #: The generic fallback below keeps the contract on every backend.
+    supports_batched_execution: ClassVar[bool] = False
+
+    def execute_paths_batched(
+        self,
+        specs: Sequence[PathSpec],
+        limit: int | None = None,
+    ) -> BatchedExecution:
+        """Execute several join paths, preferably in fewer statements.
+
+        ``limit`` applies *per spec* (each path's top-k cap), exactly as in
+        :meth:`execute_path`.  Results are attributed back to their spec by
+        position, and must be identical — rows, order, truncation — to
+        executing each spec sequentially; backends without a native batch
+        strategy inherit this per-path fallback.
+        """
+        rows = [
+            self.execute_path(path, edges, selections, limit=limit)
+            for path, edges, selections in specs
+        ]
+        return BatchedExecution(rows=rows, statements=len(specs))
 
     def count_path(
         self,

@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.db.backends.base import (
+    BatchedExecution,
+    PathSpec,
     SelectionsByPosition,
     StorageBackend,
     normalize_value,
@@ -84,6 +88,84 @@ _RESULT_CACHE_DDL = (
 def _quote(identifier: str) -> str:
     """Quote an identifier for SQLite (tables/attributes are data here)."""
     return '"' + identifier.replace('"', '""') + '"'
+
+
+#: One serialization lock per database *file*, shared by every backend
+#: instance (and hence every engine) opened on that file in this process.
+#: Python's ``sqlite3`` permits cross-thread connection sharing only when the
+#: caller serializes use, and two connections on one file can deadlock each
+#: other mid-commit (both holding read locks, both upgrading) — the classic
+#: flush-on-close race between two engines sharing a store.  A per-path
+#: re-entrant lock removes both hazards inside the process; ``PRAGMA
+#: busy_timeout`` covers contention from other processes.  Entries are
+#: refcounted and dropped when the last backend on a path closes, so
+#: long-lived processes opening many distinct files don't accumulate locks.
+_FILE_LOCKS: dict[str, tuple[threading.RLock, int]] = {}
+_FILE_LOCKS_GUARD = threading.Lock()
+
+
+def _acquire_lock_for(path: str) -> threading.RLock:
+    """The process-wide lock of one database file (private for ``:memory:``)."""
+    if path == ":memory:":
+        return threading.RLock()  # every :memory: connection is its own db
+    resolved = os.path.abspath(path)
+    with _FILE_LOCKS_GUARD:
+        lock, refs = _FILE_LOCKS.get(resolved, (None, 0))
+        if lock is None:
+            lock = threading.RLock()
+        _FILE_LOCKS[resolved] = (lock, refs + 1)
+        return lock
+
+
+def _release_lock_for(path: str) -> None:
+    """Drop one reference; the registry entry dies with the last backend."""
+    if path == ":memory:":
+        return
+    resolved = os.path.abspath(path)
+    with _FILE_LOCKS_GUARD:
+        entry = _FILE_LOCKS.get(resolved)
+        if entry is None:
+            return
+        lock, refs = entry
+        if refs <= 1:
+            del _FILE_LOCKS[resolved]
+        else:
+            _FILE_LOCKS[resolved] = (lock, refs - 1)
+
+
+class _LockedConnection:
+    """A ``sqlite3.Connection`` facade serializing statement execution.
+
+    Every statement, commit and close acquires the file's lock, so one
+    connection is safe to share across the server's worker threads and two
+    connections on one file cannot interleave write transactions.  Callers
+    needing multi-statement atomicity (batch compile + fetch, the side-table
+    rewrites) hold the same re-entrant lock around the whole sequence.
+    """
+
+    def __init__(self, conn: sqlite3.Connection, lock: threading.RLock):
+        self._conn = conn
+        self.lock = lock
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
+        with self.lock:
+            return self._conn.execute(sql, parameters)
+
+    def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> sqlite3.Cursor:
+        with self.lock:
+            return self._conn.executemany(sql, rows)
+
+    def commit(self) -> None:
+        with self.lock:
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self.lock:
+            self._conn.close()
+
+    def create_function(self, *args: Any, **kwargs: Any) -> None:
+        with self.lock:
+            self._conn.create_function(*args, **kwargs)
 
 
 #: Relation-level normalization for direct ``RelationView.insert`` calls
@@ -245,13 +327,25 @@ class SQLiteBackend(StorageBackend):
         self._index_dirty = False
         self._result_cache_ready = False
         self._result_cache_purged_for: str | None = None
+        #: Result-cache puts buffered until the next flush/commit/close (see
+        #: :meth:`cached_result_put`).
+        self._pending_results: dict[tuple[str, str], str] = {}
         self._relations: dict[str, SQLiteRelation] = {}
+        self._closed = False
+        self._lock = _acquire_lock_for(self.path)
         try:
-            self._conn = sqlite3.connect(self.path)
+            # ``check_same_thread=False`` + the per-file lock: the server
+            # shares one backend across its worker threads, with every
+            # statement serialized by ``_LockedConnection``.
+            self._conn = _LockedConnection(
+                sqlite3.connect(self.path, check_same_thread=False), self._lock
+            )
         except sqlite3.Error as exc:
+            _release_lock_for(self.path)
             raise DatabaseError(f"cannot open {self.path!r}: {exc}") from None
         try:
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=10000")
             # Exposes Python's repr() for ORDER BY, so join results sort
             # exactly like the in-memory engine's repr()-keyed lookups — for
             # every key type, not just the int/str common case.
@@ -264,10 +358,12 @@ class SQLiteBackend(StorageBackend):
                 self._content_digest = stored_digest
         except sqlite3.DatabaseError as exc:
             self._conn.close()
+            _release_lock_for(self.path)
             raise DatabaseError(f"cannot open {self.path!r}: {exc}") from None
         except DatabaseError:
             # e.g. a schema/file mismatch: don't leak the open connection.
             self._conn.close()
+            _release_lock_for(self.path)
             raise
 
     @property
@@ -304,14 +400,15 @@ class SQLiteBackend(StorageBackend):
         The write path under the public :meth:`set_metadata` (which adds the
         reserved-key guard in the base class).
         """
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS _repro_meta (key TEXT PRIMARY KEY, value TEXT)"
-        )
-        self._conn.execute(
-            "INSERT OR REPLACE INTO _repro_meta (key, value) VALUES (?, ?)",
-            (key, value),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS _repro_meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO _repro_meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+            self._conn.commit()
         # Metadata feeds the content fingerprint (dataset fingerprint /
         # nonce); like the base class, drop the cached digest.
         self._content_fingerprint = None
@@ -354,20 +451,26 @@ class SQLiteBackend(StorageBackend):
         return [value for key, value in cursor.fetchall() if key.startswith(prefix)]
 
     def commit(self) -> None:
-        """Flush pending writes to the underlying file."""
-        self._persist_content_digest()
-        self._conn.commit()
+        """Flush pending writes (rows, digest, buffered puts) to the file."""
+        with self._lock:
+            self._persist_content_digest()
+            self.cached_result_flush()  # drains buffered puts, then commits
 
     def close(self) -> None:
-        self._persist_content_digest()
-        if self._index_dirty and self.index is not None and self.persist_index:
-            # Post-build mutations left the stored postings stale; re-save so
-            # the next cold open stays on the fast path.  (Even without this,
-            # correctness holds: the stale save carries the pre-mutation
-            # fingerprint and would be rejected on load.)
-            self._save_persisted_index(self.index)
-        self._conn.commit()
-        self._conn.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._persist_content_digest()
+            if self._index_dirty and self.index is not None and self.persist_index:
+                # Post-build mutations left the stored postings stale; re-save
+                # so the next cold open stays on the fast path.  (Even without
+                # this, correctness holds: the stale save carries the
+                # pre-mutation fingerprint and would be rejected on load.)
+                self._save_persisted_index(self.index)
+            self.cached_result_flush()  # drains buffered puts, then commits
+            self._conn.close()
+        _release_lock_for(self.path)
 
     # -- data loading -----------------------------------------------------
 
@@ -378,15 +481,16 @@ class SQLiteBackend(StorageBackend):
             raise UnknownTableError(table_name) from None
 
     def insert(self, table_name: str, row: dict[str, Any]) -> Tuple:
-        tup = super().insert(table_name, row)
-        if self.index is not None:
-            self._index_dirty = True
-            # Post-build inserts are rare and interactive: make each one
-            # (and the advanced mutation digest) durable immediately.  Bulk
-            # loading (before build_indexes()) stays in one transaction and
-            # is committed by build_indexes().
-            self._persist_content_digest()
-            self._conn.commit()
+        with self._lock:
+            tup = super().insert(table_name, row)
+            if self.index is not None:
+                self._index_dirty = True
+                # Post-build inserts are rare and interactive: make each one
+                # (and the advanced mutation digest) durable immediately.
+                # Bulk loading (before build_indexes()) stays in one
+                # transaction and is committed by build_indexes().
+                self._persist_content_digest()
+                self._conn.commit()
         return tup
 
     def add_table(self, table: Table):
@@ -512,23 +616,25 @@ class SQLiteBackend(StorageBackend):
         ):
             return  # a JSON round trip would change the key type
         meta = dict(self._index_signature(), alpha=repr(index.alpha))
-        try:
-            self._write_index_state(schema_key, posting_rows, state, meta)
-        except sqlite3.Error:
-            # Pre-existing side tables with a foreign column set (older code,
-            # outside tools): CREATE IF NOT EXISTS kept the old shape.  Drop
-            # and rebuild them; if that fails too, skip persistence — it is
-            # an optimization and must never make the store unusable.  (No
-            # rollback: build_indexes may hold uncommitted bulk-loaded rows.)
+        with self._lock:  # delete+insert must not interleave with a sibling's
             try:
-                for name in (
-                    "postings", "attr_stats", "table_counts", "schema_terms", "meta",
-                ):
-                    self._conn.execute(f"DROP TABLE IF EXISTS _repro_index_{name}")
                 self._write_index_state(schema_key, posting_rows, state, meta)
             except sqlite3.Error:
-                return
-        self._conn.commit()
+                # Pre-existing side tables with a foreign column set (older
+                # code, outside tools): CREATE IF NOT EXISTS kept the old
+                # shape.  Drop and rebuild them; if that fails too, skip
+                # persistence — it is an optimization and must never make the
+                # store unusable.  (No rollback: build_indexes may hold
+                # uncommitted bulk-loaded rows.)
+                try:
+                    for name in (
+                        "postings", "attr_stats", "table_counts", "schema_terms", "meta",
+                    ):
+                        self._conn.execute(f"DROP TABLE IF EXISTS _repro_index_{name}")
+                    self._write_index_state(schema_key, posting_rows, state, meta)
+                except sqlite3.Error:
+                    return
+            self._conn.commit()
         self._index_dirty = False
 
     def _write_index_state(
@@ -573,31 +679,28 @@ class SQLiteBackend(StorageBackend):
     # -- derived-result cache ----------------------------------------------
 
     def cached_result_get(self, fingerprint: str, key: str) -> str | None:
-        try:
-            cursor = self._conn.execute(
-                "SELECT payload FROM _repro_result_cache "
-                "WHERE fingerprint = ? AND cache_key = ?",
-                (fingerprint, key),
-            )
-            row = cursor.fetchone()
-        except sqlite3.Error:  # table never created, or a foreign shape
-            return None
-        return row[0] if row is not None else None
+        with self._lock:
+            pending = self._pending_results.get((fingerprint, key))
+            if pending is not None:
+                return pending
+            try:
+                cursor = self._conn.execute(
+                    "SELECT payload FROM _repro_result_cache "
+                    "WHERE fingerprint = ? AND cache_key = ?",
+                    (fingerprint, key),
+                )
+                row = cursor.fetchone()
+            except sqlite3.Error:  # table never created, or a foreign shape
+                return None
+            return row[0] if row is not None else None
 
     def cached_result_put(self, fingerprint: str, key: str, payload: str) -> None:
-        try:
-            self._write_cached_result(fingerprint, key, payload)
-        except sqlite3.Error:
-            # A pre-existing _repro_result_cache with a foreign column set:
-            # drop and rebuild it; give up on a second failure (the cache is
-            # best-effort and must never make the store unusable).
-            try:
-                self._conn.execute("DROP TABLE IF EXISTS _repro_result_cache")
-                self._result_cache_ready = False
-                self._result_cache_purged_for = None
-                self._write_cached_result(fingerprint, key, payload)
-            except sqlite3.Error:
-                return
+        # Buffered in Python, not SQL: an open write transaction per put
+        # would span the whole pipeline run and starve every other
+        # connection on the file (the flush-on-close race).  The side table
+        # is written in one short lock-guarded transaction at flush time.
+        with self._lock:
+            self._pending_results[(fingerprint, key)] = payload
 
     def _write_cached_result(self, fingerprint: str, key: str, payload: str) -> None:
         if not self._result_cache_ready:
@@ -621,12 +724,31 @@ class SQLiteBackend(StorageBackend):
             "(schema_key, fingerprint, cache_key, payload) VALUES (?, ?, ?, ?)",
             (schema_key, fingerprint, key, payload),
         )
-        # No commit here: one fsync per interpretation would land on the hot
-        # path this cache exists to optimize.  cached_result_flush() (once
-        # per pipeline run) or any backend commit point makes puts durable.
 
     def cached_result_flush(self) -> None:
-        self._conn.commit()
+        """Write + commit every buffered put in one guarded transaction.
+
+        Holding the file's lock across the whole write-set keeps the
+        transaction short and un-interleaved: two engines flushing the same
+        file serialize here instead of deadlocking mid-commit.  Best-effort
+        like every cache write — a foreign-shaped pre-existing table is
+        dropped and rebuilt once, then the batch is abandoned.
+        """
+        with self._lock:
+            pending, self._pending_results = self._pending_results, {}
+            try:
+                for (fingerprint, key), payload in pending.items():
+                    self._write_cached_result(fingerprint, key, payload)
+            except sqlite3.Error:
+                try:
+                    self._conn.execute("DROP TABLE IF EXISTS _repro_result_cache")
+                    self._result_cache_ready = False
+                    self._result_cache_purged_for = None
+                    for (fingerprint, key), payload in pending.items():
+                        self._write_cached_result(fingerprint, key, payload)
+                except sqlite3.Error:
+                    pass
+            self._conn.commit()
 
     # -- join-path execution ---------------------------------------------------
 
@@ -648,6 +770,133 @@ class SQLiteBackend(StorageBackend):
         if limit == 0:
             return []
 
+        key_filters = self._resolve_key_filters(path, selections)
+        if key_filters is None:
+            return []
+        return self._execute_resolved(path, edges, key_filters, limit)
+
+    def _execute_resolved(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        key_filters: dict[int, set[Any]],
+        limit: int | None,
+    ) -> list[tuple[Tuple, ...]]:
+        """:meth:`execute_path` after validation + selection resolution.
+
+        Split out so the batched executor can fall back to sequential
+        execution of a spec without resolving its selections a second time.
+        """
+        relations = [self.relation(name) for name in path]
+        select_list: list[str] = []
+        for i, relation in enumerate(relations):
+            select_list.extend(
+                f"t{i}.{_quote(column)}" for column in relation._columns
+            )
+        lines = ["SELECT " + ", ".join(select_list)]
+        lines.extend(self._join_lines(path, edges))
+
+        # Key sets beyond the statement's parameter budget are applied in
+        # Python after the fetch instead of inline.
+        inline_filters: dict[int, set[Any]] = {}
+        post_filters: dict[int, set[Any]] = {}
+        inline_budget = _MAX_TOTAL_INLINE_KEYS
+        for position, keys in key_filters.items():
+            if len(keys) > min(_MAX_INLINE_KEYS, inline_budget):
+                post_filters[position] = keys
+                continue
+            inline_budget -= len(keys)
+            inline_filters[position] = keys
+        predicates, params = self._inline_predicates(path, inline_filters)
+        if predicates:
+            lines.append("WHERE " + " AND ".join(predicates))
+        lines.append("ORDER BY " + ", ".join(self._order_terms(path, key_filters)))
+        if limit is not None and not post_filters:
+            lines.append("LIMIT ?")
+            params.append(limit)
+
+        results: list[tuple[Tuple, ...]] = []
+        with self._lock:  # statement + fetch: one serialized read cycle
+            cursor = self._conn.execute("\n".join(lines), params)
+            for row in cursor:
+                network = self._decode_network(relations, row)
+                if any(
+                    network[position].key not in keys
+                    for position, keys in post_filters.items()
+                ):
+                    continue
+                results.append(network)
+                if limit is not None and len(results) >= limit:
+                    break
+        return results
+
+    # -- statement compilation (shared by sequential and batched paths) -----
+
+    def _join_lines(
+        self, path: Sequence[str], edges: Sequence[ForeignKey]
+    ) -> list[str]:
+        """``FROM``/``JOIN`` clauses of one join path (aliases ``t0..tN``)."""
+        lines = [f"FROM {_quote(path[0])} AS t0"]
+        for i in range(1, len(path)):
+            bound_attr, probe_attr = self._edge_attrs(edges[i - 1], path[i - 1], path[i])
+            lines.append(
+                f"JOIN {_quote(path[i])} AS t{i} "
+                f"ON t{i - 1}.{_quote(bound_attr)} = t{i}.{_quote(probe_attr)}"
+            )
+        return lines
+
+    def _inline_predicates(
+        self, path: Sequence[str], key_filters: dict[int, set[Any]]
+    ) -> tuple[list[str], list[Any]]:
+        """``pk IN (...)`` predicates + bound parameters per filtered slot."""
+        predicates: list[str] = []
+        params: list[Any] = []
+        for position, keys in key_filters.items():
+            pk = self.schema.table(path[position]).primary_key
+            placeholders = ", ".join("?" for _ in keys)
+            predicates.append(f"t{position}.{_quote(pk)} IN ({placeholders})")
+            params.extend(sorted(keys, key=repr))
+        return predicates, params
+
+    def _order_terms(
+        self, path: Sequence[str], key_filters: dict[int, set[Any]]
+    ) -> list[str]:
+        """Per-slot ORDER BY terms reproducing the in-memory nested-loop order.
+
+        The base table scans in insertion order (rowid) unless selected (then
+        keys are sorted by repr()), and every join probe returns matches
+        sorted by repr() — so ``limit`` truncates to the same rows on every
+        backend.  The batched compiler reuses these terms verbatim, which is
+        what keeps batched and sequential row order in lockstep.
+        """
+        order_terms = []
+        for i in range(len(path)):
+            if i == 0 and 0 not in key_filters:
+                order_terms.append("t0.rowid")
+            else:
+                pk = self.schema.table(path[i]).primary_key
+                order_terms.append(f"repro_repr(t{i}.{_quote(pk)})")
+        return order_terms
+
+    def _decode_network(
+        self, relations: Sequence[SQLiteRelation], row: Sequence[Any], offset: int = 0
+    ) -> tuple[Tuple, ...]:
+        """One result row back into a joining network of tuples."""
+        network: list[Tuple] = []
+        for relation in relations:
+            width = len(relation._columns)
+            network.append(relation._to_tuple(row[offset : offset + width]))
+            offset += width
+        return tuple(network)
+
+    def _resolve_key_filters(
+        self, path: Sequence[str], selections: SelectionsByPosition
+    ) -> dict[int, set[Any]] | None:
+        """Per-position primary-key sets of the selections, via the index.
+
+        ``None`` means some position matched nothing — the whole path result
+        is provably empty and no SQL needs to run.
+        """
         key_filters: dict[int, set[Any]] = {}
         for position in sorted(selections):
             if not 0 <= position < len(path):
@@ -657,72 +906,140 @@ class SQLiteBackend(StorageBackend):
                 continue
             keys = self.selection_keys(path[position], position_selections)
             if not keys:
-                return []
+                return None
             key_filters[position] = keys
+        return key_filters
 
-        relations = [self.relation(name) for name in path]
-        select_list: list[str] = []
-        for i, relation in enumerate(relations):
-            select_list.extend(
-                f"t{i}.{_quote(column)}" for column in relation._columns
-            )
-        lines = [
-            "SELECT " + ", ".join(select_list),
-            f"FROM {_quote(path[0])} AS t0",
-        ]
-        for i in range(1, len(path)):
-            bound_attr, probe_attr = self._edge_attrs(edges[i - 1], path[i - 1], path[i])
-            lines.append(
-                f"JOIN {_quote(path[i])} AS t{i} "
-                f"ON t{i - 1}.{_quote(bound_attr)} = t{i}.{_quote(probe_attr)}"
-            )
+    # -- batched join-path execution ---------------------------------------
 
-        params: list[Any] = []
-        predicates: list[str] = []
-        post_filters: dict[int, set[Any]] = {}
+    supports_batched_execution = True
+
+    def execute_paths_batched(
+        self,
+        specs: Sequence[PathSpec],
+        limit: int | None = None,
+    ) -> BatchedExecution:
+        """Execute many join paths in one tagged ``UNION ALL`` statement.
+
+        Each batchable spec becomes one compound-select member ``SELECT
+        <spec index>, <order keys>, <columns> FROM ... [ORDER BY ... LIMIT
+        ?]``, NULL-padded to a common width; the leading discriminator column
+        attributes every result row back to its spec, and the member-local
+        ORDER BY/LIMIT (plus a global ORDER BY over discriminator + order
+        keys) reproduces exactly the rows, order and truncation of a
+        sequential :meth:`execute_path` per spec.  Specs whose selections are
+        provably empty never reach SQL; specs whose inline-key footprint
+        exceeds the statement's parameter budget fall back to sequential
+        execution — ``statements`` reports the physical statement count
+        either way.
+        """
+        specs = list(specs)
+        rows_per_spec: list[list[tuple[Tuple, ...]] | None] = [None] * len(specs)
+        statements = 0
+        members: list[tuple[int, list[str], list[ForeignKey], dict[int, set[Any]]]] = []
         inline_budget = _MAX_TOTAL_INLINE_KEYS
-        for position, keys in key_filters.items():
-            if len(keys) > min(_MAX_INLINE_KEYS, inline_budget):
-                post_filters[position] = keys
+        for index, (path, edges, selections) in enumerate(specs):
+            selections = selections or {}
+            self._validate_path(path, edges, selections, limit)
+            if limit == 0:
+                rows_per_spec[index] = []
                 continue
-            inline_budget -= len(keys)
-            pk = self.schema.table(path[position]).primary_key
-            placeholders = ", ".join("?" for _ in keys)
-            predicates.append(f"t{position}.{_quote(pk)} IN ({placeholders})")
-            params.extend(sorted(keys, key=repr))
-        if predicates:
-            lines.append("WHERE " + " AND ".join(predicates))
-        # Reproduce the in-memory nested-loop order so ``limit`` truncates to
-        # the same rows on every backend: the base table scans in insertion
-        # order (rowid) unless selected (then keys are sorted by repr()),
-        # and every join probe returns matches sorted by repr().
-        order_terms = []
-        for i in range(len(path)):
-            if i == 0 and 0 not in key_filters:
-                order_terms.append("t0.rowid")
-            else:
-                pk = self.schema.table(path[i]).primary_key
-                order_terms.append(f"repro_repr(t{i}.{_quote(pk)})")
-        lines.append("ORDER BY " + ", ".join(order_terms))
-        if limit is not None and not post_filters:
-            lines.append("LIMIT ?")
-            params.append(limit)
-
-        cursor = self._conn.execute("\n".join(lines), params)
-        results: list[tuple[Tuple, ...]] = []
-        for row in cursor:
-            network: list[Tuple] = []
-            offset = 0
-            for relation in relations:
-                width = len(relation._columns)
-                network.append(relation._to_tuple(row[offset : offset + width]))
-                offset += width
-            if any(
-                network[position].key not in keys
-                for position, keys in post_filters.items()
+            key_filters = self._resolve_key_filters(path, selections)
+            if key_filters is None:
+                rows_per_spec[index] = []  # provably empty, no SQL at all
+                continue
+            inline_keys = sum(len(keys) for keys in key_filters.values())
+            if (
+                any(len(keys) > _MAX_INLINE_KEYS for keys in key_filters.values())
+                or inline_keys > inline_budget
             ):
+                # Too selective to inline here (_execute_resolved has the
+                # Python-side post-filter machinery for that).
+                rows_per_spec[index] = self._execute_resolved(
+                    path, edges, key_filters, limit
+                )
+                statements += 1
                 continue
-            results.append(tuple(network))
-            if limit is not None and len(results) >= limit:
-                break
-        return results
+            inline_budget -= inline_keys
+            members.append((index, list(path), list(edges), key_filters))
+        if len(members) == 1:
+            # A UNION of one brings tagging overhead and no statement saving.
+            index, path, edges, key_filters = members.pop()
+            rows_per_spec[index] = self._execute_resolved(
+                path, edges, key_filters, limit
+            )
+            statements += 1
+        if members:
+            for index, rows in self._execute_union(members, limit).items():
+                rows_per_spec[index] = rows
+            statements += 1
+        return BatchedExecution(
+            rows=[rows if rows is not None else [] for rows in rows_per_spec],
+            statements=statements,
+            batched_indexes=[index for index, _p, _e, _f in members],
+        )
+
+    def _execute_union(
+        self,
+        members: list[tuple[int, list[str], list[ForeignKey], dict[int, set[Any]]]],
+        limit: int | None,
+    ) -> dict[int, list[tuple[Tuple, ...]]]:
+        """Compile + run the UNION ALL statement; rows keyed by spec index."""
+        ord_width = max(len(path) for _i, path, _e, _f in members)
+        data_width = max(
+            sum(len(self.relation(name)._columns) for name in path)
+            for _i, path, _e, _f in members
+        )
+        params: list[Any] = []
+        selects: list[str] = []
+        member_relations: dict[int, list[SQLiteRelation]] = {}
+        for index, path, edges, key_filters in members:
+            relations = [self.relation(name) for name in path]
+            member_relations[index] = relations
+            order_terms = self._order_terms(path, key_filters)
+            select_list = [f"{index} AS __b"]
+            select_list.extend(
+                f"{term} AS __o{i}" for i, term in enumerate(order_terms)
+            )
+            select_list.extend(
+                f"NULL AS __o{i}" for i in range(len(order_terms), ord_width)
+            )
+            columns = 0
+            for i, relation in enumerate(relations):
+                select_list.extend(
+                    f"t{i}.{_quote(column)}" for column in relation._columns
+                )
+                columns += len(relation._columns)
+            select_list.extend("NULL" for _ in range(columns, data_width))
+            lines = ["SELECT " + ", ".join(select_list)]
+            lines.extend(self._join_lines(path, edges))
+            predicates, member_params = self._inline_predicates(path, key_filters)
+            params.extend(member_params)
+            if predicates:
+                lines.append("WHERE " + " AND ".join(predicates))
+            if limit is not None:
+                # The per-spec top-k cap must truncate in this member's own
+                # order, inside the member (a compound LIMIT would be global).
+                lines.append("ORDER BY " + ", ".join(order_terms))
+                lines.append("LIMIT ?")
+                params.append(limit)
+                selects.append("SELECT * FROM (\n" + "\n".join(lines) + "\n)")
+            else:
+                selects.append("\n".join(lines))
+        # Global order: discriminator first, then each member's own order
+        # keys (ordinals 2..ord_width+1); members never compare against each
+        # other, so the mixed rowid/repr types across members are harmless.
+        statement = "\nUNION ALL\n".join(selects) + "\nORDER BY " + ", ".join(
+            str(ordinal) for ordinal in range(1, ord_width + 2)
+        )
+        grouped: dict[int, list[tuple[Tuple, ...]]] = {
+            index: [] for index, _p, _e, _f in members
+        }
+        with self._lock:  # statement + fetch: one serialized read cycle
+            for row in self._conn.execute(statement, params):
+                grouped[row[0]].append(
+                    self._decode_network(
+                        member_relations[row[0]], row, offset=1 + ord_width
+                    )
+                )
+        return grouped

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -38,6 +39,11 @@ Rows = list[tuple[Tuple, ...]]
 
 #: Process-wide store shared by all ResultCache instances (LRU, bounded).
 _PROCESS_CACHE: "OrderedDict[tuple[str, str, str], Rows]" = OrderedDict()
+
+#: Guards the process-wide store: the query server fans concurrent queries
+#: over one shared cache, and an unguarded ``move_to_end`` can race an LRU
+#: eviction (KeyError) or corrupt the recency order.
+_PROCESS_CACHE_LOCK = threading.RLock()
 
 #: Upper bound on process-level entries; small queries dominate, so this is
 #: generous without risking unbounded growth in long sweeps.
@@ -96,9 +102,11 @@ class ResultCache:
     def get(self, query: "StructuredQuery", limit: int | None) -> Rows | None:
         """Cached rows for (store content, query, limit), or None."""
         key = self.key(query, limit)
-        rows = _PROCESS_CACHE.get(key)
+        with _PROCESS_CACHE_LOCK:
+            rows = _PROCESS_CACHE.get(key)
+            if rows is not None:
+                _PROCESS_CACHE.move_to_end(key)
         if rows is not None:
-            _PROCESS_CACHE.move_to_end(key)
             self.statistics.hits += 1
             return list(rows)
         if self.persist:
@@ -147,14 +155,16 @@ class ResultCache:
     def clear_process_cache() -> None:
         """Drop the process-level layer (tests use this to simulate a fresh
         process; persistent side tables are untouched)."""
-        _PROCESS_CACHE.clear()
+        with _PROCESS_CACHE_LOCK:
+            _PROCESS_CACHE.clear()
 
 
 def _remember(key: tuple[str, str, str], rows: Rows) -> None:
-    _PROCESS_CACHE[key] = rows
-    _PROCESS_CACHE.move_to_end(key)
-    while len(_PROCESS_CACHE) > _PROCESS_CACHE_CAPACITY:
-        _PROCESS_CACHE.popitem(last=False)
+    with _PROCESS_CACHE_LOCK:
+        _PROCESS_CACHE[key] = rows
+        _PROCESS_CACHE.move_to_end(key)
+        while len(_PROCESS_CACHE) > _PROCESS_CACHE_CAPACITY:
+            _PROCESS_CACHE.popitem(last=False)
 
 
 def _encode_rows(rows: Rows) -> str | None:

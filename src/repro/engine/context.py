@@ -32,6 +32,12 @@ class EngineConfig:
     cache_results: bool = True
     #: How many top-ranked interpretations ``--explain`` renders as SQL.
     explain_sql_limit: int = 5
+    #: Batch interpretation execution on backends that support it (one
+    #: ``UNION ALL`` statement per batch instead of one statement per
+    #: interpretation).  Results are identical either way.
+    batch_execution: bool = True
+    #: Interpretations per execution batch when batching is on.
+    execution_batch_size: int = 16
 
 
 @dataclass
@@ -81,6 +87,20 @@ class EngineContext:
             f"{stats.interpretations_executed} executed"
             + (", stopped early" if stats.stopped_early else "")
         )
+        lines.append(
+            f"  sql statements: {stats.sql_statements}"
+            + (
+                f" ({stats.batches} batch(es), batch size "
+                f"{self.config.execution_batch_size})"
+                if stats.batches
+                else ""
+            )
+        )
+        if stats.attribution:
+            contributions = ", ".join(
+                f"#{rank}:{rows}" for rank, rows in sorted(stats.attribution.items())
+            )
+            lines.append(f"  rows per executed interpretation: {contributions}")
         lines.append(f"  rows materialized: {stats.rows_materialized}")
         lines.append(f"  result cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es)")
         if self.sql:

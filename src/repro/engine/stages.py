@@ -66,15 +66,26 @@ class RankStage:
 
 
 class ExecuteStage:
-    """TA-style top-k execution, optionally through the result cache."""
+    """TA-style top-k execution, optionally through the result cache.
+
+    On backends with native batching support (SQLite), cache-missing
+    interpretations execute in ``UNION ALL`` batches — typically one SQL
+    statement for the whole query — invisibly to every caller; other backends
+    keep the sequential one-statement-per-interpretation path.
+    """
 
     name = "execute"
 
     def run(self, engine: "QueryEngine", context: "EngineContext") -> None:
+        batchable = (
+            context.config.batch_execution
+            and context.backend.supports_batched_execution
+        )
         executor = TopKExecutor(
             context.backend,
             per_query_limit=context.config.per_query_limit,
             cache=engine.cache,
+            batch_size=context.config.execution_batch_size if batchable else None,
         )
         context.results = executor.execute(context.ranked, k=context.k)
         context.executor_statistics = executor.statistics

@@ -1,0 +1,372 @@
+"""Concurrent query serving: an engine pool behind a thread pool.
+
+:class:`QueryServer` is the serving layer the engine seam was built for: it
+pools one :class:`~repro.engine.QueryEngine` per ``(dataset, backend,
+db_path)`` triple and fans concurrent keyword queries across a worker thread
+pool.  Isolation falls out of the engine design — every query gets its own
+:class:`~repro.engine.EngineContext`, stages are stateless, and the shared
+layers (the SQLite connection, the cross-session result cache) serialize
+internally — so concurrent queries return exactly what sequential queries
+would, while batched ``UNION ALL`` execution keeps each one at a single SQL
+statement on backends that support it.
+
+Typical use::
+
+    with QueryServer(max_workers=8) as server:
+        response = server.query("imdb", "hanks 2001", k=5)     # synchronous
+        futures = [server.submit("imdb", text) for text in texts]
+        for future in futures: future.result()                 # concurrent
+
+``benchmark_serve`` is the synthetic workload driver behind ``repro
+bench-serve``: N client threads replay store-derived keyword queries against
+one server, every response is verified against sequentially computed expected
+rows, and the report carries throughput plus p50/p95 latency.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.engine import EngineConfig, EngineContext, QueryEngine
+
+#: One pooled engine: ``(dataset, backend name, resolved db path or None)``.
+EngineKey = tuple[str, str, str | None]
+
+#: Builds the engine of one pool slot: ``(dataset, backend, db_path,
+#: engine_config) -> QueryEngine``.  The default goes through
+#: ``QueryEngine.for_dataset``; tests and embedders swap in pre-built or
+#: pre-warmed engines.
+EngineFactory = Callable[
+    [str, str, "str | Path | None", EngineConfig | None], QueryEngine
+]
+
+
+def _default_engine_factory(
+    dataset: str,
+    backend: str,
+    db_path: "str | Path | None",
+    config: EngineConfig | None,
+) -> QueryEngine:
+    kwargs = {} if config is None else {"config": config}
+    return QueryEngine.for_dataset(
+        dataset, backend=backend, db_path=db_path, **kwargs
+    )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One served query: its isolated context plus serving bookkeeping."""
+
+    dataset: str
+    query: str
+    context: EngineContext
+    #: Wall-clock seconds inside the engine (excludes queue wait).
+    seconds: float
+    #: Name of the worker thread that served the query.
+    worker: str
+
+    @property
+    def results(self):
+        return self.context.results
+
+    def result_uids(self) -> list[tuple]:
+        """Row identities, the comparable essence of the result list."""
+        return [result.row_uids() for result in self.context.results]
+
+
+class QueryServer:
+    """Shared engines, per-query contexts, a bounded worker pool.
+
+    Engines are created lazily on first use of a ``(dataset, backend,
+    db_path)`` combination and reused for every later query on it; the
+    result cache inside each engine is therefore shared across all
+    concurrent queries of that dataset — by design (that *is* the cache) and
+    safely (the cache's process layer and the SQLite connection are
+    lock-guarded; contexts never are shared).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 8,
+        *,
+        engine_config: EngineConfig | None = None,
+        engine_factory: EngineFactory | None = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.engine_config = engine_config
+        self._engine_factory = engine_factory or _default_engine_factory
+        self._engines: dict[EngineKey, QueryEngine] = {}
+        self._engines_lock = threading.Lock()
+        #: Per-key construction locks: building a dataset takes seconds and
+        #: must not stall queries on already-pooled engines.
+        self._building: dict[EngineKey, threading.Lock] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    # -- engine pool --------------------------------------------------------
+
+    def engine_for(
+        self,
+        dataset: str,
+        backend: str = "memory",
+        db_path: "str | Path | None" = None,
+    ) -> QueryEngine:
+        """The pooled engine of one (dataset, backend, db_path), built lazily.
+
+        Construction happens outside the pool lock, serialized per key: two
+        first queries on one key build once, while queries on other (already
+        built) keys are never blocked by a slow dataset build.
+        """
+        key: EngineKey = (dataset, backend, str(db_path) if db_path else None)
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+            key_lock = self._building.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._engines_lock:
+                engine = self._engines.get(key)
+                if engine is not None:
+                    return engine
+            engine = self._engine_factory(dataset, backend, db_path, self.engine_config)
+            with self._engines_lock:
+                self._engines[key] = engine
+                self._building.pop(key, None)
+            return engine
+
+    @property
+    def pooled_engines(self) -> int:
+        with self._engines_lock:
+            return len(self._engines)
+
+    # -- serving ------------------------------------------------------------
+
+    def submit(
+        self,
+        dataset: str,
+        query: str,
+        k: int | None = None,
+        *,
+        backend: str = "memory",
+        db_path: "str | Path | None" = None,
+    ) -> "Future[QueryResponse]":
+        """Enqueue one keyword query; resolves to a :class:`QueryResponse`."""
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        engine = self.engine_for(dataset, backend=backend, db_path=db_path)
+        return self._pool.submit(self._serve, engine, dataset, query, k)
+
+    def query(
+        self,
+        dataset: str,
+        query: str,
+        k: int | None = None,
+        *,
+        backend: str = "memory",
+        db_path: "str | Path | None" = None,
+    ) -> QueryResponse:
+        """Synchronous convenience over :meth:`submit`."""
+        return self.submit(
+            dataset, query, k, backend=backend, db_path=db_path
+        ).result()
+
+    @staticmethod
+    def _serve(
+        engine: QueryEngine, dataset: str, query: str, k: int | None
+    ) -> QueryResponse:
+        started = time.perf_counter()
+        context = engine.run(query, k=k)
+        return QueryResponse(
+            dataset=dataset,
+            query=str(query),
+            context=context,
+            seconds=time.perf_counter() - started,
+            worker=threading.current_thread().name,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain the worker pool, then close every pooled engine's backend."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        with self._engines_lock:
+            engines, self._engines = list(self._engines.values()), {}
+        for engine in engines:
+            engine.backend.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- synthetic workload driver (repro bench-serve) ---------------------------
+
+
+@dataclass
+class BenchServeReport:
+    """Outcome of one ``benchmark_serve`` run."""
+
+    dataset: str
+    backend: str
+    clients: int
+    queries_per_client: int
+    distinct_queries: int
+    seconds: float
+    #: Per-request engine latencies, sorted ascending.
+    latencies: list[float] = field(default_factory=list)
+    #: Requests whose rows differed from the sequential expectation.
+    mismatches: int = 0
+
+    @property
+    def total_queries(self) -> int:
+        return self.clients * self.queries_per_client
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.total_queries / self.seconds if self.seconds else 0.0
+
+    def latency_at(self, fraction: float) -> float:
+        """Latency percentile (nearest-rank) over the run, in seconds."""
+        if not self.latencies:
+            return 0.0
+        rank = min(len(self.latencies) - 1, int(fraction * len(self.latencies)))
+        return self.latencies[rank]
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatches == 0
+
+    def lines(self) -> list[str]:
+        """The human-readable summary ``repro bench-serve`` prints."""
+        return [
+            f"dataset={self.dataset} backend={self.backend} "
+            f"clients={self.clients} queries/client={self.queries_per_client} "
+            f"distinct={self.distinct_queries}",
+            f"elapsed: {self.seconds:.3f} s   "
+            f"throughput: {self.throughput_qps:.1f} q/s",
+            f"latency: p50 {self.latency_at(0.50) * 1000:.2f} ms   "
+            f"p95 {self.latency_at(0.95) * 1000:.2f} ms   "
+            f"max {self.latency_at(1.0) * 1000:.2f} ms",
+            "results: "
+            + ("all verified against sequential execution"
+               if self.ok
+               else f"{self.mismatches} MISMATCH(ES) vs sequential execution"),
+        ]
+
+
+def workload_texts(engine: QueryEngine, dataset: str, seed: int = 13) -> list[str]:
+    """Store-derived keyword queries for one dataset (every one answerable)."""
+    from repro.datasets.workload import imdb_workload, lyrics_workload
+
+    samplers = {"imdb": imdb_workload, "lyrics": lyrics_workload}
+    try:
+        sampler = samplers[dataset]
+    except KeyError:
+        raise ValueError(
+            f"no workload for dataset {dataset!r} (use {' or '.join(sorted(samplers))})"
+        ) from None
+    sampled = sampler(engine.backend, n_queries=20, seed=seed)
+    return [str(item.query) for item in sampled]
+
+
+def benchmark_serve(
+    dataset: str = "imdb",
+    *,
+    backend: str = "memory",
+    db_path: "str | Path | None" = None,
+    clients: int = 8,
+    queries_per_client: int = 25,
+    k: int = 5,
+    seed: int = 13,
+    engine_config: EngineConfig | None = None,
+    engine_factory: EngineFactory | None = None,
+    texts: Sequence[str] | None = None,
+) -> BenchServeReport:
+    """Drive one :class:`QueryServer` with ``clients`` concurrent clients.
+
+    Each client thread replays ``queries_per_client`` queries sampled (with a
+    per-client seed) from the store-derived workload.  Expected rows per
+    distinct query are computed sequentially up front on the same engine, so
+    the run verifies that concurrency changes neither rows nor order;
+    ``mismatches`` stays 0 on a correct server.
+    """
+    from dataclasses import replace
+
+    from repro.engine import ResultCache
+
+    with QueryServer(
+        max_workers=clients,
+        engine_config=engine_config,
+        engine_factory=engine_factory,
+    ) as server:
+        engine = server.engine_for(dataset, backend=backend, db_path=db_path)
+        distinct = list(texts) if texts is not None else workload_texts(
+            engine, dataset, seed=seed
+        )
+        # Expected rows come from a cache-free sibling engine and the process
+        # cache starts the concurrent phase cold: the clients must *execute*
+        # (concurrent batched SQL, cache fills under contention), not replay
+        # answers the warm-up already parked in the shared cache — otherwise
+        # the verification would only exercise the cache dictionary.
+        reference = QueryEngine(
+            engine.backend,
+            generator=engine.generator,
+            config=replace(engine.config, cache_results=False),
+        )
+        expected = {
+            text: [result.row_uids() for result in reference.run(text, k=k).results]
+            for text in distinct
+        }
+        ResultCache.clear_process_cache()
+
+        def client(client_index: int) -> list[tuple[str, float, bool]]:
+            rng = random.Random(f"{seed}/{client_index}")
+            outcomes = []
+            for _ in range(queries_per_client):
+                text = rng.choice(distinct)
+                response = server.query(
+                    dataset, text, k=k, backend=backend, db_path=db_path
+                )
+                outcomes.append(
+                    (text, response.seconds, response.result_uids() == expected[text])
+                )
+            return outcomes
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=clients, thread_name_prefix="repro-client"
+        ) as clients_pool:
+            per_client = list(clients_pool.map(client, range(clients)))
+        elapsed = time.perf_counter() - started
+
+    latencies = sorted(
+        seconds for outcomes in per_client for _t, seconds, _ok in outcomes
+    )
+    mismatches = sum(
+        not ok for outcomes in per_client for _t, _s, ok in outcomes
+    )
+    return BenchServeReport(
+        dataset=dataset,
+        backend=backend,
+        clients=clients,
+        queries_per_client=queries_per_client,
+        distinct_queries=len(distinct),
+        seconds=elapsed,
+        latencies=latencies,
+        mismatches=mismatches,
+    )

@@ -1,0 +1,240 @@
+"""Batched (UNION ALL) execution parity with sequential execution.
+
+The contract under test: for any ranked interpretation list,
+``execute_paths_batched`` / the executor's batched strategy return *exactly*
+the rows, scores and order of sequential per-interpretation execution — on
+the SQLite backend (native tagged-UNION pushdown) and on backends inheriting
+the generic per-path fallback — while the SQLite path issues a single SQL
+statement per batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topk import TopKExecutor
+from repro.db.backends.base import BatchedExecution
+from repro.db.backends.memory import MemoryBackend
+from repro.db.backends.sqlite import SQLiteBackend
+from repro.engine import EngineConfig, QueryEngine, ResultCache
+from tests.conftest import build_mini_db, mini_schema
+
+QUERIES = ["hanks 2001", "london", "hanks", "2001", "stone hill", "summer"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_cache():
+    ResultCache.clear_process_cache()
+    yield
+    ResultCache.clear_process_cache()
+
+
+def _result_rows(context):
+    return [(r.score, r.interpretation_rank, r.row_uids()) for r in context.results]
+
+
+def _specs(db, query_text, n=None):
+    """Path specs of the ranked interpretations of ``query_text`` on ``db``."""
+    engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+    ranked = engine.rank(query_text)
+    queries = [interp.to_structured_query() for interp, _p in ranked[:n]]
+    return [query.path_spec() for query in queries], queries
+
+
+class TestBackendBatchedContract:
+    """execute_paths_batched parity at the storage layer."""
+
+    @pytest.mark.parametrize("limit", [None, 1, 3, 0])
+    def test_sqlite_union_matches_sequential(self, limit):
+        db = build_mini_db("sqlite")
+        specs, queries = _specs(db, "hanks 2001")
+        assert len(specs) >= 2
+        batched = db.execute_paths_batched(specs, limit=limit)
+        assert isinstance(batched, BatchedExecution)
+        for rows, query in zip(batched.rows, queries):
+            assert rows == query.execute(db, limit=limit)
+
+    def test_sqlite_issues_one_statement(self):
+        db = build_mini_db("sqlite")
+        specs, _queries = _specs(db, "hanks 2001")
+        batched = db.execute_paths_batched(specs, limit=10)
+        assert batched.statements == 1
+        assert batched.batched_indexes == list(range(len(specs)))
+
+    def test_provably_empty_spec_costs_no_statement(self):
+        db = build_mini_db("sqlite")
+        specs, _queries = _specs(db, "hanks")
+        # A selection no tuple satisfies: empty key set, no SQL needed.
+        path, edges, _selections = specs[0]
+        empty_spec = (path, edges, {0: [("name", ("notaterm",))]})
+        batched = db.execute_paths_batched([empty_spec], limit=10)
+        assert batched.rows == [[]]
+        assert batched.statements == 0
+        assert batched.batched_indexes == []
+
+    def test_single_member_skips_union_overhead(self):
+        db = build_mini_db("sqlite")
+        specs, queries = _specs(db, "london", n=1)
+        batched = db.execute_paths_batched(specs, limit=10)
+        assert batched.statements == 1
+        assert batched.batched_indexes == []  # plain execute_path, no tagging
+        assert batched.rows[0] == queries[0].execute(db, limit=10)
+
+    def test_oversized_key_set_falls_back_per_path(self, monkeypatch):
+        """Members beyond the inline-parameter budget run sequentially."""
+        from repro.db.backends import sqlite as sqlite_module
+
+        monkeypatch.setattr(sqlite_module, "_MAX_INLINE_KEYS", 1)
+        db = build_mini_db("sqlite")
+        specs, queries = _specs(db, "hanks 2001")
+        batched = db.execute_paths_batched(specs, limit=10)
+        # "hanks" matches 3 tuples somewhere, so every member overflows the
+        # patched budget — but results must still be exactly sequential.
+        for rows, query in zip(batched.rows, queries):
+            assert rows == query.execute(db, limit=10)
+        assert batched.statements == len(specs)
+        assert batched.batched_indexes == []
+
+    def test_memory_backend_inherits_per_path_fallback(self):
+        db = build_mini_db("memory")
+        assert not MemoryBackend.supports_batched_execution
+        specs, queries = _specs(db, "hanks 2001")
+        batched = db.execute_paths_batched(specs, limit=10)
+        assert batched.statements == len(specs)
+        for rows, query in zip(batched.rows, queries):
+            assert rows == query.execute(db, limit=10)
+
+    def test_duplicate_specs_attribute_independently(self):
+        db = build_mini_db("sqlite")
+        specs, queries = _specs(db, "london", n=2)
+        doubled = [specs[0], specs[0], *specs[1:]]
+        batched = db.execute_paths_batched(doubled, limit=10)
+        expected = queries[0].execute(db, limit=10)
+        assert batched.rows[0] == expected
+        assert batched.rows[1] == expected
+
+
+class TestExecutorBatchedStrategy:
+    """TopKExecutor.execute with batch_size set: same rows, fewer statements."""
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_batched_equals_sequential(self, backend, k):
+        db = build_mini_db(backend)
+        engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+        for query_text in QUERIES:
+            ranked = engine.rank(query_text)
+            sequential = TopKExecutor(db, per_query_limit=100)
+            batched = TopKExecutor(db, per_query_limit=100, batch_size=4)
+            expected = sequential.execute(ranked, k=k)
+            actual = batched.execute(ranked, k=k)
+            assert [
+                (r.score, r.interpretation_rank, r.row_uids()) for r in actual
+            ] == [(r.score, r.interpretation_rank, r.row_uids()) for r in expected]
+
+    def test_sqlite_batch_is_one_statement(self):
+        db = build_mini_db("sqlite")
+        engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+        ranked = engine.rank("hanks 2001")
+        assert len(ranked) >= 2
+        executor = TopKExecutor(db, per_query_limit=100, batch_size=16)
+        executor.execute(ranked, k=5)
+        stats = executor.statistics
+        assert stats.interpretations_executed >= 2
+        assert stats.sql_statements == 1
+        assert stats.batches == 1
+        assert set(stats.attribution) == set(
+            range(1, stats.interpretations_executed + 1)
+        )
+
+    def test_cache_hits_leave_the_batch(self):
+        db = build_mini_db("sqlite")
+        cache = ResultCache(db)
+        engine = QueryEngine(db, cache=cache)
+        ranked = engine.rank("hanks 2001")
+        warm = ranked[0][0].to_structured_query()
+        cache.put(warm, 100, warm.execute(db, limit=100))
+        executor = TopKExecutor(db, per_query_limit=100, cache=cache, batch_size=16)
+        executor.execute(ranked, k=5)
+        stats = executor.statistics
+        assert stats.cache_hits == 1
+        assert stats.interpretations_executed >= 1
+        assert stats.sql_statements == stats.batches == 1
+        assert 1 not in stats.attribution  # the warm rank executed nothing
+
+    def test_batched_populates_the_cache(self):
+        db = build_mini_db("sqlite")
+        cache = ResultCache(db)
+        engine = QueryEngine(db, cache=cache)
+        ranked = engine.rank("hanks 2001")
+        first = TopKExecutor(db, per_query_limit=100, cache=cache, batch_size=16)
+        expected = first.execute(ranked, k=5)
+        second = TopKExecutor(db, per_query_limit=100, cache=cache, batch_size=16)
+        actual = second.execute(ranked, k=5)
+        assert second.statistics.interpretations_executed == 0
+        assert second.statistics.sql_statements == 0
+        assert second.statistics.cache_hits > 0
+        assert [r.row_uids() for r in actual] == [r.row_uids() for r in expected]
+
+
+class TestEnginePipelineParity:
+    """End-to-end: batched engines answer exactly like sequential engines."""
+
+    @pytest.mark.parametrize("dataset", ["imdb", "lyrics"])
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_batched_engine_matches_sequential_engine(self, dataset, backend):
+        sequential = QueryEngine.for_dataset(
+            dataset,
+            backend=backend,
+            config=EngineConfig(cache_results=False, batch_execution=False),
+        )
+        batched = QueryEngine.for_dataset(
+            dataset,
+            backend=backend,
+            config=EngineConfig(cache_results=False, batch_execution=True),
+        )
+        for query_text in QUERIES:
+            expected = sequential.run(query_text, k=5)
+            actual = batched.run(query_text, k=5)
+            assert _result_rows(actual) == _result_rows(expected), (
+                dataset,
+                backend,
+                query_text,
+            )
+
+    def test_acceptance_one_statement_for_k_interpretations(self):
+        """The headline criterion: k interpretations, 1 SQL statement."""
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        context = engine.run("hanks 2001", k=5)
+        stats = context.executor_statistics
+        assert stats.interpretations_executed >= 2
+        assert stats.sql_statements == 1
+        assert stats.batches == 1
+        assert sum(stats.attribution.values()) == stats.rows_materialized
+
+    def test_memory_engine_stays_sequential(self):
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="memory", config=EngineConfig(cache_results=False)
+        )
+        context = engine.run("hanks 2001", k=5)
+        stats = context.executor_statistics
+        assert stats.batches == 0
+        assert stats.sql_statements == stats.interpretations_executed
+
+    def test_explain_shows_batching(self):
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        context = engine.run("hanks 2001", k=5, explain=True)
+        text = "\n".join(context.explain_lines())
+        assert "sql statements: 1 (1 batch(es)" in text
+        assert "rows per executed interpretation" in text
+
+
+def test_schema_and_backend_flags():
+    """The capability flag matches the implementations."""
+    assert SQLiteBackend.supports_batched_execution
+    assert not MemoryBackend.supports_batched_execution
+    assert mini_schema().table_names  # conftest helper stays importable
