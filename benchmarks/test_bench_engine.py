@@ -201,3 +201,81 @@ def test_bench_engine_batched_vs_sequential(tmp_path):
         f"statement reduction: {sequential_statements} -> {batched_statements} "
         f"({sequential_statements / batched_statements:.1f}x)"
     )
+
+
+def test_bench_engine_sharded_statement_ratio(tmp_path):
+    """Sharded scatter-gather: row parity + the statement ratio under shards.
+
+    The batched statement reduction must survive sharding: a batch costs one
+    scatter statement *per shard* instead of one per interpretation, so with
+    S shards the asserted bound is ``statements == S * batches`` — still
+    strictly below one-per-interpretation whenever a batch covers more
+    interpretations than there are shards (the k-interpretation common case).
+    """
+    shards = 2
+    path = tmp_path / "imdb.sqlite"
+    build_imdb(
+        **BUILD_KWARGS, backend="sqlite-sharded", db_path=path, shards=shards
+    ).close()
+    from repro.db.backends.sharded import ShardedSQLiteBackend
+
+    db = ShardedSQLiteBackend(imdb_schema(), path=path, shards=shards)
+    db.build_indexes()
+    reference = QueryEngine(
+        build_imdb(**BUILD_KWARGS),
+        config=EngineConfig(cache_results=False, batch_execution=False),
+    )
+    sharded = QueryEngine(
+        db, config=EngineConfig(cache_results=False, batch_execution=True)
+    )
+
+    rows_of = lambda context: [r.row_uids() for r in context.results]  # noqa: E731
+    executed_total = sharded_statements = 0
+    per_query: list[list[str]] = []
+    for query_text in QUERIES:
+        reference_context = reference.run(query_text, k=5)
+        sharded_context = sharded.run(query_text, k=5)
+        assert rows_of(sharded_context) == rows_of(reference_context)
+        stats = sharded_context.executor_statistics
+        assert stats.sql_statements == shards * stats.batches, (
+            f"{query_text!r}: expected {shards} statements per batch, got "
+            f"{stats.sql_statements} over {stats.batches} batch(es)"
+        )
+        assert sum(stats.shard_rows.values()) == stats.rows_materialized
+        if stats.interpretations_executed > shards:
+            # The reduction claim: fewer statements than interpretations
+            # whenever the batch is wider than the shard fan-out.
+            assert stats.sql_statements < stats.interpretations_executed, (
+                f"{query_text!r}: sharded batching lost the statement reduction"
+            )
+        executed_total += stats.interpretations_executed
+        sharded_statements += stats.sql_statements
+        per_query.append(
+            [
+                query_text,
+                f"{stats.interpretations_executed}",
+                f"{stats.sql_statements}",
+                ", ".join(
+                    f"s{shard}:{rows}"
+                    for shard, rows in sorted(stats.shard_rows.items())
+                ),
+            ]
+        )
+    db.close()
+
+    assert sharded_statements < executed_total, (
+        f"sharded batching must beat one-statement-per-interpretation "
+        f"({sharded_statements} statements for {executed_total} executions)"
+    )
+    print()
+    print(
+        format_table(
+            ["query", "interps executed", f"stmts ({shards} shards)", "rows/shard"],
+            per_query,
+        )
+    )
+    print(
+        f"statement reduction under sharding: {executed_total} executions -> "
+        f"{sharded_statements} statements "
+        f"({executed_total / sharded_statements:.1f}x)"
+    )

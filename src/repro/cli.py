@@ -17,10 +17,13 @@ Every query flow routes through one :class:`repro.engine.QueryEngine`
 timings and the result-cache hit/miss counters from the engine context.
 ``construct`` runs the IQP dialogue: with ``--answers`` the given y/n
 sequence answers the options (cycling); without it the session is driven
-interactively from stdin.  ``--backend``/``--db-path`` select the storage
-engine (see ``docs/cli.md``); a persistent SQLite file is reused on
-subsequent runs — including its persisted index postings and cached
+interactively from stdin.  ``--backend``/``--db-path``/``--shards`` select
+the storage engine (see ``docs/cli.md``); a persistent SQLite file is reused
+on subsequent runs — including its persisted index postings and cached
 interpretation results — instead of re-generating the dataset.
+``--backend sqlite-sharded`` hash-partitions the store across ``--shards``
+attached database files and executes scatter-gather; ``--cache-size`` bounds
+the process-level result-cache LRU.
 """
 
 from __future__ import annotations
@@ -35,17 +38,29 @@ from repro.core.snippets import make_snippet
 from repro.db.backends import available_backends
 from repro.db.errors import DatabaseError
 from repro.divq.diversify import diversify
-from repro.engine import QueryEngine
+from repro.engine import EngineConfig, QueryEngine
 from repro.iqp.infogain import information_gain
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig | None:
+    """Engine knobs from the shared storage/engine flags (None = defaults)."""
+    if getattr(args, "cache_size", None) is None:
+        return None
+    return EngineConfig(result_cache_size=args.cache_size)
 
 
 def _engine(args: argparse.Namespace) -> QueryEngine:
     """The one pipeline entry point every query subcommand uses."""
+    config = _engine_config(args)
     try:
         return QueryEngine.for_dataset(
-            args.dataset, backend=args.backend, db_path=args.db_path
+            args.dataset,
+            backend=args.backend,
+            db_path=args.db_path,
+            shards=args.shards,
+            **({} if config is None else {"config": config}),
         )
-    except ValueError as exc:  # unknown dataset / --db-path misuse
+    except ValueError as exc:  # unknown dataset / --db-path / --shards misuse
         raise SystemExit(f"error: {exc}") from None
     except DatabaseError as exc:  # unreadable/mismatched --db-path file
         raise SystemExit(f"error: {exc}") from None
@@ -206,9 +221,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except (BrokenPipeError, ValueError):
                 muted.set()
 
-    with QueryServer(max_workers=args.workers) as server:
+    with QueryServer(
+        max_workers=args.workers, engine_config=_engine_config(args)
+    ) as server:
         try:
-            server.engine_for(args.dataset, backend=args.backend, db_path=args.db_path)
+            server.engine_for(
+                args.dataset,
+                backend=args.backend,
+                db_path=args.db_path,
+                shards=args.shards,
+            )
         except (ValueError, DatabaseError) as exc:
             raise SystemExit(f"error: {exc}") from None
         print(
@@ -234,6 +256,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             k=args.k,
                             backend=args.backend,
                             db_path=args.db_path,
+                            shards=args.shards,
                         ),
                     )
                 )
@@ -252,10 +275,12 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             args.dataset,
             backend=args.backend,
             db_path=args.db_path,
+            shards=args.shards,
             clients=args.clients,
             queries_per_client=args.queries,
             k=args.k,
             seed=args.seed,
+            engine_config=_engine_config(args),
         )
     except (ValueError, DatabaseError) as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -286,6 +311,21 @@ def _add_storage_options(parser: argparse.ArgumentParser) -> None:
         dest="db_path",
         help="file path for persistent backends; reused (no re-generation) "
         "when it already holds the dataset",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition count for sharding backends (sqlite-sharded); a "
+        "reopened store must be given its original shard count",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        dest="cache_size",
+        help="capacity (entries) of the process-level result-cache LRU "
+        "(default: 4096)",
     )
 
 

@@ -64,6 +64,27 @@ class TopKStatistics:
     #: Rows contributed per 1-based interpretation rank (execution only —
     #: cache hits do not appear here), for ``--explain`` attribution.
     attribution: dict[int, int] = field(default_factory=dict)
+    #: Why an interpretation could not share its batch's ``UNION ALL``
+    #: statement (1-based rank -> backend-reported reason, e.g. the
+    #: parameter budget overflowed), for ``--explain``.
+    fallback_reasons: dict[int, str] = field(default_factory=dict)
+    #: Rows contributed per storage shard (sharded backends only).
+    shard_rows: dict[int, int] = field(default_factory=dict)
+
+    def _merge_execution(
+        self, executed, rank_of: "dict[int, int] | None" = None
+    ) -> None:
+        """Fold one ``BatchedExecution``'s bookkeeping into the statistics.
+
+        ``rank_of`` maps the execution's spec positions to 1-based
+        interpretation ranks (identity-on-rank-1 for single-spec calls).
+        """
+        self.sql_statements += executed.statements
+        for index, reason in executed.fallbacks.items():
+            rank = rank_of[index] if rank_of is not None else index + 1
+            self.fallback_reasons[rank] = reason
+        for shard, rows in executed.shard_rows.items():
+            self.shard_rows[shard] = self.shard_rows.get(shard, 0) + rows
 
 
 @dataclass
@@ -90,7 +111,7 @@ class TopKExecutor:
     batch_size: int | None = None
     statistics: TopKStatistics = field(default_factory=TopKStatistics)
 
-    def _rows_for(self, interpretation: Interpretation) -> list[tuple]:
+    def _rows_for(self, interpretation: Interpretation, rank: int = 1) -> list[tuple]:
         """Result rows of one interpretation, through the cache when present."""
         query = interpretation.to_structured_query()
         if self.cache is not None:
@@ -106,7 +127,7 @@ class TopKExecutor:
         executed = self.database.execute_paths_batched(
             [query.path_spec()], limit=self.per_query_limit
         )
-        self.statistics.sql_statements += executed.statements
+        self.statistics._merge_execution(executed, rank_of={0: rank})
         rows = executed.rows[0]
         if self.cache is not None:
             self.cache.put(query, self.per_query_limit, rows)
@@ -138,7 +159,7 @@ class TopKExecutor:
             if len(results) >= k and results[k - 1].score >= score:
                 self.statistics.stopped_early = True
                 break
-            rows = self._rows_for(interpretation)
+            rows = self._rows_for(interpretation, rank=position + 1)
             self.statistics.rows_materialized += len(rows)
             for row in rows:
                 uids = tuple(t.uid for t in row)
@@ -197,7 +218,13 @@ class TopKExecutor:
                     limit=self.per_query_limit,
                 )
                 self.statistics.batches += 1
-                self.statistics.sql_statements += executed.statements
+                self.statistics._merge_execution(
+                    executed,
+                    rank_of={
+                        i: position + offset + 1
+                        for i, (offset, _query) in enumerate(pending)
+                    },
+                )
                 self.statistics.interpretations_executed += len(pending)
                 for (offset, query), rows in zip(pending, executed.rows):
                     rows_by_offset[offset] = rows
@@ -233,7 +260,7 @@ class TopKExecutor:
         results: list[TopKResult] = []
         seen_rows: set[tuple] = set()
         for position, (interpretation, score) in enumerate(ranked):
-            rows = self._rows_for(interpretation)
+            rows = self._rows_for(interpretation, rank=position + 1)
             self.statistics.rows_materialized += len(rows)
             for row in rows:
                 uids = tuple(t.uid for t in row)

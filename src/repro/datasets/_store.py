@@ -19,8 +19,26 @@ from typing import Mapping
 from repro.db.backends import StorageBackend
 
 
+#: Storage-layout knobs that must never enter a dataset fingerprint: the
+#: *logical* instance is identical however its rows are stored, so folding
+#: e.g. the shard count in would make a 2-shard and a 4-shard build of the
+#: same dataset look like different instances (refusing valid reuse and
+#: splitting the derived-result caches for no reason).
+_LAYOUT_PARAMS = frozenset({"backend", "db_path", "shards"})
+
+
 def fingerprint(dataset: str, **params) -> str:
-    """Canonical string identifying one exact generated instance."""
+    """Canonical string identifying one exact generated instance.
+
+    ``params`` are *generation* parameters only — passing a storage-layout
+    knob (``backend``/``db_path``/``shards``) is a builder bug and raises.
+    """
+    leaked = sorted(_LAYOUT_PARAMS.intersection(params))
+    if leaked:
+        raise ValueError(
+            f"storage-layout parameter(s) {', '.join(leaked)} do not belong "
+            f"in a dataset fingerprint"
+        )
     return json.dumps({"dataset": dataset, **params}, sort_keys=True)
 
 
@@ -57,12 +75,15 @@ def try_reuse(
         if len(db.relation(name)) != count
     )
     if mismatched or (stored is not None and stored != requested_fingerprint):
+        shards = getattr(db, "shards", None)
         db.close()
         detail = (
             f"row counts differ for {', '.join(mismatched)}"
             if mismatched
             else "generation parameters differ"
         )
+        if shards is not None:
+            detail += f"; store layout: {shards} shard(s)"
         raise ValueError(
             f"store at {db_path!r} holds a different {label} instance ({detail})"
         )

@@ -71,6 +71,7 @@ def build_freebase(
     links_per_table: int = 16,
     backend: str | StorageBackend = "memory",
     db_path: str | Path | None = None,
+    shards: int | None = None,
 ) -> FreebaseInstance:
     """Build a domain-structured schema of ``7 * n_domains`` tables.
 
@@ -112,7 +113,7 @@ def build_freebase(
             ]
         )
 
-    db = create_backend(backend, schema, path=db_path)
+    db = create_backend(backend, schema, path=db_path, shards=shards)
     fp = _store.fingerprint(
         "freebase",
         seed=seed,

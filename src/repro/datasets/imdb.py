@@ -93,18 +93,22 @@ def build_imdb(
     acts_per_movie: int = 3,
     backend: str | StorageBackend = "memory",
     db_path: str | Path | None = None,
+    shards: int | None = None,
 ) -> StorageBackend:
     """Build and index a deterministic synthetic IMDB instance.
 
     ``backend``/``db_path`` select the storage engine (see
-    :mod:`repro.db.backends`).  When a persistent backend already holds data
-    at ``db_path`` the generator is skipped entirely: the inverted index is
-    rebuilt from the stored tables, not by re-ingesting rows.  The stored
-    instance must match the requested size parameters; a mismatch raises
-    ``ValueError`` instead of silently returning a different dataset.
+    :mod:`repro.db.backends`); ``shards`` is the partition count of sharding
+    backends — a storage-layout knob, deliberately *not* part of the dataset
+    fingerprint (the logical instance is identical at any shard count).
+    When a persistent backend already holds data at ``db_path`` the
+    generator is skipped entirely: the inverted index is rebuilt from the
+    stored tables, not by re-ingesting rows.  The stored instance must match
+    the requested size parameters; a mismatch raises ``ValueError`` instead
+    of silently returning a different dataset.
     """
     rng = random.Random(seed)
-    db = create_backend(backend, imdb_schema(), path=db_path)
+    db = create_backend(backend, imdb_schema(), path=db_path, shards=shards)
     fp = _store.fingerprint(
         "imdb",
         seed=seed,

@@ -50,16 +50,19 @@ def build_lyrics(
     songs_per_album: int = 5,
     backend: str | StorageBackend = "memory",
     db_path: str | Path | None = None,
+    shards: int | None = None,
 ) -> StorageBackend:
     """Build and index a deterministic synthetic Lyrics instance.
 
-    ``backend``/``db_path`` select the storage engine; a persistent backend
-    with existing rows at ``db_path`` short-circuits generation and rebuilds
-    the index from the stored tables.  The stored instance must match the
-    requested size parameters; a mismatch raises ``ValueError``.
+    ``backend``/``db_path``/``shards`` select the storage engine (``shards``
+    is a storage-layout knob for sharding backends, never part of the
+    dataset fingerprint); a persistent backend with existing rows at
+    ``db_path`` short-circuits generation and rebuilds the index from the
+    stored tables.  The stored instance must match the requested size
+    parameters; a mismatch raises ``ValueError``.
     """
     rng = random.Random(seed)
-    db = create_backend(backend, lyrics_schema(), path=db_path)
+    db = create_backend(backend, lyrics_schema(), path=db_path, shards=shards)
     fp = _store.fingerprint(
         "lyrics",
         seed=seed,

@@ -4,7 +4,9 @@ The registry maps backend names (as used by ``--backend`` on the CLI and the
 ``backend=`` parameter of the dataset builders) to :class:`StorageBackend`
 subclasses.  Third-party engines register themselves with
 :func:`register_backend`; see ``docs/architecture.md`` for the contract a new
-backend must satisfy.
+backend must satisfy.  SQL-speaking backends share the planner/compiler
+layer in :mod:`repro.db.backends.sql` instead of building statement text
+themselves.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.db.backends.base import (
     StorageBackend,
 )
 from repro.db.backends.memory import MemoryBackend
+from repro.db.backends.sharded import ShardedSQLiteBackend
 from repro.db.backends.sqlite import SQLiteBackend, SQLiteRelation
 from repro.db.schema import Schema
 from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
@@ -38,11 +41,34 @@ def register_backend(cls: Type[StorageBackend]) -> Type[StorageBackend]:
 
 register_backend(MemoryBackend)
 register_backend(SQLiteBackend)
+register_backend(ShardedSQLiteBackend)
 
 
 def available_backends() -> list[str]:
     """Names accepted by :func:`create_backend` (and the CLI's ``--backend``)."""
     return sorted(_REGISTRY)
+
+
+def resolve_shard_layout(
+    backend: str | StorageBackend, shards: int | None = None
+) -> int | None:
+    """The concrete shard count a backend/shards request resolves to.
+
+    ``None`` for backends without sharding support; sharding backends
+    resolve an unspecified count to their class default.  Pool keys (the
+    query server's) normalize through this, so "sharded with the default
+    layout" and "sharded with ``shards=<default>``" share one engine instead
+    of building the same physical store twice.
+    """
+    if isinstance(backend, StorageBackend):
+        return getattr(backend, "shards", None)
+    cls = _REGISTRY.get(backend)
+    if cls is None or not cls.supports_sharding:
+        return None  # create_backend raises on an explicit-shards misuse
+    if shards is not None:
+        return shards
+    default = getattr(cls, "DEFAULT_SHARDS", None)
+    return default
 
 
 def create_backend(
@@ -51,6 +77,7 @@ def create_backend(
     *,
     path: str | Path | None = None,
     tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+    shards: int | None = None,
 ) -> StorageBackend:
     """Instantiate a backend by registry name.
 
@@ -59,12 +86,17 @@ def create_backend(
     preconfigured engine.  ``path`` is only meaningful for persistent
     backends; combining it with ``"memory"`` or with an already-constructed
     instance (whose storage location is fixed) raises to catch silent data
-    loss.
+    loss.  ``shards`` is only meaningful for backends with
+    ``supports_sharding`` (the partition count of ``"sqlite-sharded"``).
     """
     if isinstance(backend, StorageBackend):
         if path is not None:
             raise ValueError(
                 "cannot combine an existing backend instance with a storage path"
+            )
+        if shards is not None:
+            raise ValueError(
+                "cannot combine an existing backend instance with a shard count"
             )
         return backend
     try:
@@ -73,11 +105,16 @@ def create_backend(
         raise ValueError(
             f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
         ) from None
+    kwargs: dict = {"tokenizer": tokenizer}
     if path is not None:
         if not cls.persistent:
             raise ValueError(f"backend {backend!r} does not support a storage path")
-        return cls(schema, tokenizer=tokenizer, path=path)
-    return cls(schema, tokenizer=tokenizer)
+        kwargs["path"] = path
+    if shards is not None:
+        if not cls.supports_sharding:
+            raise ValueError(f"backend {backend!r} does not support sharding")
+        kwargs["shards"] = shards
+    return cls(schema, **kwargs)
 
 
 __all__ = [
@@ -89,8 +126,10 @@ __all__ = [
     "SQLiteRelation",
     "Selection",
     "SelectionsByPosition",
+    "ShardedSQLiteBackend",
     "StorageBackend",
     "available_backends",
     "create_backend",
     "register_backend",
+    "resolve_shard_layout",
 ]

@@ -64,12 +64,18 @@ class BatchedExecution:
     specs per statement, the generic fallback issues one per spec.
     ``batched_indexes`` names the spec positions that shared one statement —
     introspection for tests and tooling into how the backend split the batch
-    (empty when no statement was shared).
+    (empty when no statement was shared).  ``fallbacks`` maps the spec
+    positions that *could not* share the statement to a human-readable
+    reason (e.g. the UNION ALL parameter budget overflowed) — surfaced by
+    the engine's ``--explain``.  ``shard_rows`` attributes returned rows to
+    the storage shard that produced them (empty on unsharded backends).
     """
 
     rows: list[list[tuple[Tuple, ...]]]
     statements: int
     batched_indexes: list[int] = field(default_factory=list)
+    fallbacks: dict[int, str] = field(default_factory=dict)
+    shard_rows: dict[int, int] = field(default_factory=dict)
 
 
 def normalize_value(value: Any) -> Any:
@@ -124,6 +130,9 @@ class StorageBackend(abc.ABC):
     #: True when rows survive process restarts (used by dataset builders to
     #: skip regeneration when a populated store already exists).
     persistent: ClassVar[bool] = False
+    #: True when the backend accepts a ``shards`` partition count (the
+    #: ``create_backend``/CLI ``--shards`` gate).
+    supports_sharding: ClassVar[bool] = False
 
     def __init__(self, schema: Schema, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
         self.schema = schema

@@ -1,0 +1,465 @@
+"""Hash-partitioned SQLite storage across attached database files.
+
+:class:`ShardedSQLiteBackend` (registry name ``sqlite-sharded``) splits
+every relation's rows across *N* shard databases attached to one catalog
+file (``ATTACH``): row ``r`` of table ``t`` lives in the partition
+``shard{hash(pk) % N}."t"``, where the hash is a deterministic digest of the
+primary key's ``repr()`` so a reopened store routes every key to the same
+partition.  The catalog (main) database holds no rows — only the shared
+side tables (metadata, persisted index postings, the result cache) and the
+shard-layout record that makes mismatched reopens fail fast.
+
+Execution is **scatter-gather** over the shared planner/compiler layer
+(:mod:`repro.db.backends.sql`): every :class:`~repro.db.backends.sql.
+PathPlan` compiles once per shard under a :class:`~repro.db.backends.sql.
+ShardedSQLiteDialect` — the scatter slot (position 0) reads that shard's
+partition, every other slot joins an all-shards ``UNION ALL`` subselect, so
+the per-shard result streams are disjoint and their union is complete.  Each
+statement projects its ORDER BY keys, the gather step merges the streams
+under exactly those keys and truncates at the plan's limit, which keeps the
+rows, order and truncation byte-identical to the unsharded backend (pinned
+by ``tests/test_sharded_backend.py``).  On file-backed stores the scatter
+fans out over per-shard reader connections on a small thread pool; a
+``":memory:"`` store (whose attached shards exist only inside the one
+connection) degrades to serial scatter transparently.
+
+Insertion order — what the in-memory engine's scans and the unsharded
+backend's ``rowid`` provide — is preserved by an explicit ``_rowseq``
+column every partition carries: a store-global monotone sequence assigned at
+insert time, used for scans and as the base order term of unselected scatter
+slots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.db.backends import sql as sqlc
+from repro.db.backends.base import normalize_value
+from repro.db.backends.sql import (
+    CompiledStatement,
+    PathPlan,
+    PlanCompiler,
+    ShardedSQLiteDialect,
+)
+from repro.db.backends.sqlite import (
+    SQLiteBackend,
+    SQLiteRelation,
+    _LockedConnection,
+)
+from repro.db.errors import DatabaseError
+from repro.db.schema import Schema, Table
+from repro.db.table import Tuple
+from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
+
+#: The hidden per-partition column carrying the store-global insertion order.
+ROWSEQ_COLUMN = "_rowseq"
+
+
+def shard_of_key(key: Any, shards: int) -> int:
+    """The partition of one primary key — deterministic across processes.
+
+    Python's ``hash()`` is salted per process for strings, so the routing
+    digest comes from ``repr()`` + SHA-256 instead.  Keys that compare equal
+    under SQLite's storage semantics must hash equal, so the key is first
+    pushed through the shared storage normalization (bools are ints) and
+    integral floats collapse to their int (``3.0 IS 3`` inside SQLite, but
+    ``repr`` would split them across shards).
+    """
+    key = normalize_value(key)
+    if isinstance(key, float) and key.is_integer():
+        key = int(key)
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:8]
+    return int(digest, 16) % shards
+
+
+class ShardedSQLiteRelation(SQLiteRelation):
+    """One logical table over its hash partitions.
+
+    Point reads route by key hash; scans and attribute lookups read the
+    all-shards union (ordered by ``_rowseq``, i.e. insertion order) — the
+    same observable surface as an unsharded :class:`SQLiteRelation`.
+    """
+
+    def __init__(self, backend: "ShardedSQLiteBackend", table: Table):
+        self._shards = backend.shards
+        self._shard_dialect: ShardedSQLiteDialect = backend.dialect
+        super().__init__(backend, table)
+        #: Next global insertion-sequence value (lazy: resumes the stored
+        #: maximum on a reopened store).
+        self._next_rowseq: int | None = None
+
+    def _prepare_point_statements(self) -> None:
+        """Per-partition INSERT/point-get statements (routed by key hash)."""
+        dialect = self._shard_dialect
+        self._partition_inserts = [
+            sqlc.insert_sql(
+                dialect,
+                self.table,
+                source=dialect.partition_source(self.table.name, shard),
+                extra_columns=(ROWSEQ_COLUMN,),
+            )
+            for shard in range(self._shards)
+        ]
+        self._partition_gets = [
+            sqlc.select_where_sql(
+                dialect,
+                self.table,
+                self._pk,
+                source=dialect.partition_source(self.table.name, shard),
+            )
+            for shard in range(self._shards)
+        ]
+
+    def _take_rowseq(self) -> int:
+        if self._next_rowseq is None:
+            highest = -1
+            for shard in range(self._shards):
+                source = self._shard_dialect.partition_source(self.table.name, shard)
+                row = self._conn.execute(
+                    sqlc.max_column_sql(ROWSEQ_COLUMN, source)
+                ).fetchone()
+                if row[0] is not None:
+                    highest = max(highest, row[0])
+            self._next_rowseq = highest + 1
+        value = self._next_rowseq
+        self._next_rowseq += 1
+        return value
+
+    def _store_row(self, key: Any, cells: list[Any]) -> None:
+        shard = shard_of_key(key, self._shards)
+        self._conn.execute(self._partition_inserts[shard], [*cells, self._take_rowseq()])
+
+    def get(self, key: Any) -> Tuple | None:
+        cursor = self._conn.execute(
+            self._partition_gets[shard_of_key(key, self._shards)], (key,)
+        )
+        row = cursor.fetchone()
+        return self._to_tuple(row) if row is not None else None
+
+    def _index_ddl(self, attribute: str) -> list[str]:
+        dialect: ShardedSQLiteDialect = self._backend.dialect
+        return [
+            sqlc.create_index_ddl(
+                dialect,
+                self.table,
+                attribute,
+                source=dialect.quote(self.table.name),
+                schema_prefix=dialect.shard_schema(shard),
+            )
+            for shard in range(self._shards)
+        ]
+
+
+class ShardedSQLiteBackend(SQLiteBackend):
+    """SQLite storage hash-partitioned across attached shard databases.
+
+    ``path`` names the catalog database; the partitions live next to it as
+    ``<path>.shard0 .. <path>.shard{N-1}`` (for ``":memory:"`` each shard is
+    an attached in-memory database, private to the connection).  The shard
+    count is recorded in the catalog's metadata on first open, and a reopen
+    with a different ``shards`` value — or pointing ``--backend sqlite`` at
+    a sharded file, or this backend at a plain file — fails fast with
+    :class:`DatabaseError` instead of silently reading half a store.
+    """
+
+    name = "sqlite-sharded"
+    persistent = True
+    supports_sharding = True
+
+    #: Default partition count when none is requested.
+    DEFAULT_SHARDS = 2
+
+    def __init__(
+        self,
+        schema: Schema,
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+        path: str | Path | None = None,
+        persist_index: bool = True,
+        shards: int | None = None,
+    ):
+        shards = self.DEFAULT_SHARDS if shards is None else shards
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self.shards = shards
+        self._shard_compilers_cache: list[PlanCompiler] | None = None
+        self._readers: list[_LockedConnection] | None = None
+        self._scatter_pool_instance: ThreadPoolExecutor | None = None
+        super().__init__(schema, tokenizer, path=path, persist_index=persist_index)
+
+    def _make_dialect(self) -> ShardedSQLiteDialect:
+        return ShardedSQLiteDialect(self.shards)
+
+    # -- shard layout --------------------------------------------------------
+
+    def shard_paths(self) -> list[str]:
+        """The database file of every partition, in shard order."""
+        if self.path == ":memory:":
+            return [":memory:"] * self.shards
+        return [f"{self.path}.shard{shard}" for shard in range(self.shards)]
+
+    def _prepare_storage(self) -> None:
+        """Validate the stored shard layout, then ATTACH the partitions.
+
+        Validation runs entirely against the catalog *before* the first
+        ATTACH (which would create missing shard files as empty databases):
+        a rejected open leaves no debris on disk, and an established store
+        whose partition file vanished — e.g. only the catalog was copied as
+        a backup — fails fast instead of silently serving a partial dataset.
+        """
+        stored = self.get_metadata("_shard_count")
+        if stored is None:
+            if self._catalog_holds_rows():
+                raise DatabaseError(
+                    f"store at {self.path!r} is a plain (unsharded) SQLite "
+                    f"store; open it with the 'sqlite' backend"
+                )
+        elif int(stored) != self.shards:
+            raise DatabaseError(
+                f"store at {self.path!r} was built with {stored} shard(s); "
+                f"reopen it with shards={stored}, not {self.shards}"
+            )
+        elif self.is_persistent:
+            missing = [
+                shard_path
+                for shard_path in self.shard_paths()
+                if not Path(shard_path).exists()
+            ]
+            if missing:
+                raise DatabaseError(
+                    f"store at {self.path!r} is missing partition file(s) "
+                    f"{', '.join(repr(p) for p in missing)}; restore them "
+                    f"(a sharded store is the catalog plus every shard file)"
+                )
+        for shard, shard_path in enumerate(self.shard_paths()):
+            self._conn.execute(
+                sqlc.attach_sql(self.dialect.shard_schema(shard)), (shard_path,)
+            )
+        if stored is None:
+            self._conn.execute(sqlc.SideTableSQL.META_DDL)
+            self._conn.execute(
+                sqlc.SideTableSQL.META_UPSERT, ("_shard_count", str(self.shards))
+            )
+            self._conn.commit()
+
+    def _catalog_holds_rows(self) -> bool:
+        """True when the main database stores schema tables itself."""
+        for table in self.schema:
+            row = self._conn.execute(
+                sqlc.TABLE_EXISTS_SQL, (table.name,)
+            ).fetchone()
+            if row is not None:
+                return True
+        return False
+
+    # -- storage management --------------------------------------------------
+
+    def _storage_ddl(self, table: Table) -> list[str]:
+        rowseq = f"{self.dialect.quote(ROWSEQ_COLUMN)} INTEGER"
+        return [
+            sqlc.create_table_ddl(
+                self.dialect,
+                table,
+                source=self.dialect.partition_source(table.name, shard),
+                extra_columns=(rowseq,),
+            )
+            for shard in range(self.shards)
+        ]
+
+    def _physical_columns(self, table: Table) -> list[tuple[str, list[str]]]:
+        expected = [*table.attribute_names, ROWSEQ_COLUMN]
+        return [
+            (self.dialect.shard_schema(shard), expected)
+            for shard in range(self.shards)
+        ]
+
+    def _make_relation(self, table: Table) -> ShardedSQLiteRelation:
+        return ShardedSQLiteRelation(self, table)
+
+    # -- scatter-gather execution --------------------------------------------
+
+    def _statements_per_plan(self) -> int:
+        return self.shards
+
+    def _shard_compilers(self) -> list[PlanCompiler]:
+        """One compiler per scatter member, each under its shard's dialect."""
+        if self._shard_compilers_cache is None:
+            self._shard_compilers_cache = [
+                PlanCompiler(
+                    self.schema, ShardedSQLiteDialect(self.shards, scatter_shard=shard)
+                )
+                for shard in range(self.shards)
+            ]
+        return self._shard_compilers_cache
+
+    def _scatter(self, statements: list[CompiledStatement]) -> list[list[tuple]]:
+        """Run one statement per shard; returns raw rows in shard order.
+
+        File-backed stores fan out over dedicated reader connections on the
+        scatter pool (readers only ever SELECT, so they need no cross-
+        connection serialization — SQLite's file locking plus the commit
+        below give them a consistent view).  ``":memory:"`` stores own their
+        attached shards inside the single main connection, so they execute
+        serially there.
+        """
+        if not self.is_persistent or self.shards == 1:
+            with self._lock:
+                return [
+                    list(self._conn.execute(s.sql, s.params)) for s in statements
+                ]
+        # Everything inserted so far must be visible to the readers.
+        self._conn.commit()
+        readers = self._shard_readers()
+        pool = self._scatter_pool()
+        futures = [
+            pool.submit(self._fetch_all, readers[shard], statement)
+            for shard, statement in enumerate(statements)
+        ]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _fetch_all(
+        reader: _LockedConnection, statement: CompiledStatement
+    ) -> list[tuple]:
+        with reader.lock:  # one in-flight statement per reader connection
+            return list(reader.execute(statement.sql, statement.params))
+
+    def _shard_readers(self) -> list[_LockedConnection]:
+        """One read-only connection per shard, lazily opened and cached."""
+        with self._lock:
+            if self._readers is None:
+                readers: list[_LockedConnection] = []
+                try:
+                    for _shard in range(self.shards):
+                        conn = sqlite3.connect(self.path, check_same_thread=False)
+                        reader = _LockedConnection(conn, threading.RLock())
+                        readers.append(reader)
+                        reader.execute("PRAGMA busy_timeout=10000")
+                        reader.create_function(
+                            "repro_repr", 1, repr, deterministic=True
+                        )
+                        for shard, shard_path in enumerate(self.shard_paths()):
+                            reader.execute(
+                                sqlc.attach_sql(self.dialect.shard_schema(shard)),
+                                (shard_path,),
+                            )
+                except sqlite3.Error as exc:
+                    for reader in readers:
+                        reader.close()
+                    raise DatabaseError(
+                        f"cannot open shard readers for {self.path!r}: {exc}"
+                    ) from None
+                self._readers = readers
+            return self._readers
+
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        """The backend-owned shard fan-out pool.
+
+        Deliberately *not* the :class:`~repro.server.QueryServer` worker
+        pool: a query worker blocking on shard subtasks queued behind other
+        queries on the same pool would deadlock under load.  The server's
+        engine pool keys on the shard count instead, so every sharded engine
+        brings its own fan-out lanes.
+        """
+        with self._lock:
+            if self._scatter_pool_instance is None:
+                self._scatter_pool_instance = ThreadPoolExecutor(
+                    max_workers=self.shards, thread_name_prefix="repro-shard"
+                )
+            return self._scatter_pool_instance
+
+    def _run_plan(
+        self, plan: PathPlan, shard_rows: dict[int, int] | None = None
+    ) -> list[tuple[Tuple, ...]]:
+        """Scatter one path plan across the shards and gather in plan order.
+
+        Every member statement projects its ORDER BY keys (``__o0..``), so
+        the merge is a plain sort over exactly the keys SQLite ordered by —
+        types agree per column across shards, and the key tuple is a total
+        order (each slot contributes its tuple's identity), so merged rows
+        reproduce the unsharded statement's order bit-for-bit.
+        """
+        compilers = self._shard_compilers()
+        statements = [
+            compilers[shard].compile_path(plan, project_order_keys=True)
+            for shard in range(self.shards)
+        ]
+        per_shard = self._scatter(statements)
+        relations = [self.relation(name) for name in plan.path]
+        width = len(plan.path)
+        merged: list[tuple[tuple, int, tuple[Tuple, ...]]] = []
+        for shard, rows in enumerate(per_shard):
+            for row in rows:
+                network = self._decode_network(relations, row, offset=width)
+                if not plan.keeps(network):
+                    continue
+                merged.append((tuple(row[:width]), shard, network))
+        merged.sort(key=lambda item: item[0])
+        if plan.limit is not None:
+            merged = merged[: plan.limit]
+        if shard_rows is not None:
+            for _key, shard, _network in merged:
+                shard_rows[shard] = shard_rows.get(shard, 0) + 1
+        return [network for _key, _shard, network in merged]
+
+    def _run_union(
+        self,
+        members: list[tuple[int, PathPlan]],
+        shard_rows: dict[int, int] | None = None,
+    ) -> dict[int, list[tuple[Tuple, ...]]]:
+        """Scatter the tagged UNION ALL and gather per spec.
+
+        Each shard runs the same tagged statement over its partition of the
+        scatter slot; the gather step groups rows by discriminator, merges
+        each spec's streams under its projected order keys and re-applies
+        the per-spec limit (a per-shard LIMIT is only an upper bound on the
+        merged stream).
+        """
+        compilers = self._shard_compilers()
+        statements = [
+            compilers[shard].compile_union(members) for shard in range(self.shards)
+        ]
+        ord_width, _data_width = self.compiler.union_widths(members)
+        per_shard = self._scatter(statements)
+        member_relations = {
+            index: [self.relation(name) for name in plan.path]
+            for index, plan in members
+        }
+        limits = {index: plan.limit for index, plan in members}
+        staged: dict[int, list[tuple[tuple, int, tuple[Tuple, ...]]]] = {
+            index: [] for index, _plan in members
+        }
+        for shard, rows in enumerate(per_shard):
+            for row in rows:
+                index = row[0]
+                network = self._decode_network(
+                    member_relations[index], row, offset=1 + ord_width
+                )
+                staged[index].append((tuple(row[1 : 1 + ord_width]), shard, network))
+        grouped: dict[int, list[tuple[Tuple, ...]]] = {}
+        for index, items in staged.items():
+            items.sort(key=lambda item: item[0])
+            if limits[index] is not None:
+                items = items[: limits[index]]
+            if shard_rows is not None:
+                for _key, shard, _network in items:
+                    shard_rows[shard] = shard_rows.get(shard, 0) + 1
+            grouped[index] = [network for _key, _shard, network in items]
+        return grouped
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _close_connections(self) -> None:
+        if self._scatter_pool_instance is not None:
+            self._scatter_pool_instance.shutdown(wait=True)
+            self._scatter_pool_instance = None
+        if self._readers is not None:
+            for reader in self._readers:
+                reader.close()
+            self._readers = None
+        super()._close_connections()

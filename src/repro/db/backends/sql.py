@@ -1,0 +1,716 @@
+"""The SQL planner/compiler layer shared by the SQL-speaking backends.
+
+Join-path execution compiles in three explicit steps instead of hand-wired
+string building inside each backend:
+
+1. **Planning** (:func:`plan_path` / :func:`plan_batch`): resolved
+   per-position primary-key filters are split into *inline* predicates
+   (bound ``pk IN (...)`` parameters) and *post* filters (applied in Python
+   after the fetch), honoring the statement's parameter budget.  Batch
+   planning additionally decides which specs can share one tagged ``UNION
+   ALL`` statement and records a human-readable *fallback reason* for every
+   spec that cannot (surfaced by ``--explain``).
+2. **Compilation** (:class:`PlanCompiler`): a :class:`PathPlan` — the
+   backend-neutral IR of one join path — becomes a
+   :class:`CompiledStatement` (SQL text + bound parameters).  All physical
+   naming goes through a :class:`SQLiteDialect`, so the same compiler emits
+   plain single-file statements and per-shard member statements
+   (:class:`ShardedSQLiteDialect` rewrites table sources and insertion-order
+   terms) without the plans changing.
+3. **Execution** stays in the backend: it owns connections, decodes result
+   rows and applies the plan's post filters.
+
+The relation-level CRUD statements and the ``_repro_*`` side-table
+statements (persisted index postings, result cache, metadata) live here too,
+so a backend contains **no inline SQL text building** — the compiler layer
+is the single place SQL comes from, which is what makes sharding (and a
+future Postgres dialect) a dialect/executor concern instead of a rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.db.schema import ForeignKey, Schema, Table
+
+#: Above this many candidate keys per position the ``pk IN (...)`` predicate
+#: is applied in Python instead of SQL (SQLite caps bound parameters per
+#: statement; historically SQLITE_MAX_VARIABLE_NUMBER = 999).
+MAX_INLINE_KEYS = 500
+
+#: Budget for *all* inline keys of one statement, across positions (and, for
+#: a batched statement, across all of its members).
+MAX_TOTAL_INLINE_KEYS = 900
+
+
+def quote_identifier(identifier: str) -> str:
+    """Quote an identifier for SQLite (tables/attributes are data here)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+# -- the IR -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledStatement:
+    """One executable statement: SQL text plus its bound parameters."""
+
+    sql: str
+    params: tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class PathPlan:
+    """The plan of one join path with resolved keyword selections.
+
+    ``inline_filters`` hold the per-position key sets small enough to bind as
+    SQL parameters (already repr-sorted, so compiled statements are
+    deterministic); ``post_filters`` hold the oversized sets the executor
+    applies in Python after the fetch.  ``limit`` is the per-path top-k cap —
+    the compiler only pushes it down to SQL when no post filter exists
+    (otherwise SQL could truncate rows the post filter would have kept).
+    """
+
+    path: tuple[str, ...]
+    edges: tuple[ForeignKey, ...]
+    inline_filters: tuple[tuple[int, tuple[Any, ...]], ...]
+    post_filters: tuple[tuple[int, frozenset], ...]
+    limit: int | None
+
+    @property
+    def filtered_positions(self) -> frozenset[int]:
+        """Positions with *any* selection filter — they sort by key repr."""
+        return frozenset(
+            position for position, _keys in self.inline_filters
+        ) | frozenset(position for position, _keys in self.post_filters)
+
+    @property
+    def sql_limit(self) -> int | None:
+        """The LIMIT the statement may carry (None when post-filtering)."""
+        return self.limit if not self.post_filters else None
+
+    def keeps(self, network: Sequence) -> bool:
+        """Apply the post filters to one decoded result network."""
+        return all(
+            network[position].key in keys for position, keys in self.post_filters
+        )
+
+
+#: One member of a tagged UNION ALL batch: ``(spec index, plan)``.
+UnionMember = tuple[int, PathPlan]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """How one ``execute_paths_batched`` call splits across statements.
+
+    ``members`` share a single tagged ``UNION ALL`` statement; every spec in
+    ``fallbacks`` executes through its own :class:`PathPlan` (with a fresh
+    parameter budget, which is what lets it inline what the shared statement
+    could not), annotated with the human-readable reason it left the batch.
+    """
+
+    members: tuple[UnionMember, ...]
+    fallbacks: tuple[tuple[int, PathPlan, str], ...]
+
+
+# -- planning -----------------------------------------------------------------
+
+
+def _split_key_filters(
+    key_filters: Mapping[int, set],
+    max_inline_keys: int,
+    inline_budget: int,
+) -> tuple[tuple[tuple[int, tuple], ...], tuple[tuple[int, frozenset], ...], int]:
+    """Split resolved filters into inline/post sets under the budget.
+
+    Returns ``(inline, post, budget_left)``.  Positions are visited in
+    ascending order so parameter order (and hence the compiled SQL) is
+    deterministic for equal plans.
+    """
+    inline: list[tuple[int, tuple]] = []
+    post: list[tuple[int, frozenset]] = []
+    for position in sorted(key_filters):
+        keys = key_filters[position]
+        if len(keys) > min(max_inline_keys, inline_budget):
+            post.append((position, frozenset(keys)))
+            continue
+        inline_budget -= len(keys)
+        inline.append((position, tuple(sorted(keys, key=repr))))
+    return tuple(inline), tuple(post), inline_budget
+
+
+def plan_path(
+    path: Sequence[str],
+    edges: Sequence[ForeignKey],
+    key_filters: Mapping[int, set],
+    limit: int | None,
+    *,
+    max_inline_keys: int | None = None,
+    inline_budget: int | None = None,
+) -> PathPlan:
+    """Plan one join path (validated, with selections already resolved)."""
+    if max_inline_keys is None:
+        max_inline_keys = MAX_INLINE_KEYS
+    if inline_budget is None:
+        inline_budget = MAX_TOTAL_INLINE_KEYS
+    inline, post, _left = _split_key_filters(key_filters, max_inline_keys, inline_budget)
+    return PathPlan(
+        path=tuple(path),
+        edges=tuple(edges),
+        inline_filters=inline,
+        post_filters=post,
+        limit=limit,
+    )
+
+
+def plan_batch(
+    resolved: Sequence[tuple[int, Sequence[str], Sequence[ForeignKey], Mapping[int, set]]],
+    limit: int | None,
+    *,
+    max_inline_keys: int | None = None,
+    inline_budget: int | None = None,
+) -> BatchPlan:
+    """Split resolved specs between one shared UNION ALL and solo fallbacks.
+
+    ``resolved`` holds ``(spec index, path, edges, key_filters)`` for every
+    spec that survived validation and is not provably empty.  A spec leaves
+    the shared statement when one of its key sets exceeds the per-predicate
+    inline cap, or when its total key count would blow the statement-wide
+    parameter budget; either way it gets its own :class:`PathPlan` (fresh
+    budget — solo statements can post-filter, shared ones cannot) and a
+    reason string for ``--explain``.
+    """
+    if max_inline_keys is None:
+        max_inline_keys = MAX_INLINE_KEYS
+    if inline_budget is None:
+        inline_budget = MAX_TOTAL_INLINE_KEYS
+    members: list[UnionMember] = []
+    fallbacks: list[tuple[int, PathPlan, str]] = []
+    budget = inline_budget
+    for index, path, edges, key_filters in resolved:
+        inline_keys = sum(len(keys) for keys in key_filters.values())
+        oversized = any(len(keys) > max_inline_keys for keys in key_filters.values())
+        if oversized or inline_keys > budget:
+            reason = (
+                f"selection key set exceeds the {max_inline_keys}-key inline cap"
+                if oversized
+                else (
+                    f"UNION ALL parameter budget exhausted "
+                    f"({inline_keys} keys > {budget} left of {inline_budget})"
+                )
+            )
+            solo = plan_path(
+                path,
+                edges,
+                key_filters,
+                limit,
+                max_inline_keys=max_inline_keys,
+                inline_budget=inline_budget,
+            )
+            fallbacks.append((index, solo, reason))
+            continue
+        budget -= inline_keys
+        members.append(
+            (
+                index,
+                plan_path(
+                    path,
+                    edges,
+                    key_filters,
+                    limit,
+                    max_inline_keys=max_inline_keys,
+                    inline_budget=inline_keys or 1,  # already fits: inline all
+                ),
+            )
+        )
+    return BatchPlan(members=tuple(members), fallbacks=tuple(fallbacks))
+
+
+# -- dialects -----------------------------------------------------------------
+
+
+class SQLiteDialect:
+    """Physical naming + ordering hooks for a single-file SQLite store."""
+
+    name = "sqlite"
+
+    def quote(self, identifier: str) -> str:
+        return quote_identifier(identifier)
+
+    def table_source(self, table_name: str, position: int | None = None) -> str:
+        """The FROM/JOIN source of a logical table.
+
+        ``position`` is the join slot (``None`` for relation-level CRUD);
+        the sharded dialect resolves the scatter slot to one partition and
+        every other slot to an all-shards union.
+        """
+        return self.quote(table_name)
+
+    def insertion_order_term(self, alias: str, table_name: str) -> str:
+        """The expression reproducing insertion order for one alias."""
+        return f"{alias}.rowid"
+
+    def sort_key_term(self, expression: str) -> str:
+        """Python ``repr()`` ordering of one key expression (see backend)."""
+        return f"repro_repr({expression})"
+
+
+class ShardedSQLiteDialect(SQLiteDialect):
+    """One shard's view of a hash-partitioned store.
+
+    Every logical table is partitioned across ``shards`` attached databases
+    (``shard0.. shardN-1``).  A statement compiled under this dialect is the
+    *scatter member* of shard ``scatter_shard``: the scatter slot (position
+    0 — every result network has its base tuple in exactly one partition, so
+    the per-shard results are disjoint and complete) reads that shard's
+    partition directly, while every other slot joins against an all-shards
+    ``UNION ALL`` subselect.  Insertion order comes from the explicit
+    ``_rowseq`` column partitions carry (a view over attached files has no
+    usable ``rowid``), which preserves the unsharded backend's global
+    insertion order exactly.
+    """
+
+    name = "sqlite-sharded"
+
+    #: The join slot that scatters across partitions.
+    scatter_position = 0
+
+    def __init__(self, shards: int, scatter_shard: int | None = None):
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self.shards = shards
+        self.scatter_shard = scatter_shard
+
+    def shard_schema(self, shard: int) -> str:
+        """The ATTACH alias of one shard database."""
+        return f"shard{shard}"
+
+    def partition_source(self, table_name: str, shard: int) -> str:
+        """One shard's partition of a logical table."""
+        return f"{self.quote(self.shard_schema(shard))}.{self.quote(table_name)}"
+
+    def union_source(self, table_name: str) -> str:
+        """All partitions of a logical table as one FROM-able subselect."""
+        arms = " UNION ALL ".join(
+            f"SELECT * FROM {self.partition_source(table_name, shard)}"
+            for shard in range(self.shards)
+        )
+        return f"({arms})"
+
+    def table_source(self, table_name: str, position: int | None = None) -> str:
+        if position == self.scatter_position and self.scatter_shard is not None:
+            return self.partition_source(table_name, self.scatter_shard)
+        return self.union_source(table_name)
+
+    def insertion_order_term(self, alias: str, table_name: str) -> str:
+        return f'{alias}.{self.quote("_rowseq")}'
+
+
+# -- compilation --------------------------------------------------------------
+
+
+class PlanCompiler:
+    """Compiles :class:`PathPlan` IR into SQL under one dialect."""
+
+    def __init__(self, schema: Schema, dialect: SQLiteDialect):
+        self.schema = schema
+        self.dialect = dialect
+
+    # -- schema lookups ------------------------------------------------------
+
+    def columns(self, table_name: str) -> list[str]:
+        return list(self.schema.table(table_name).attribute_names)
+
+    def primary_key(self, table_name: str) -> str:
+        return self.schema.table(table_name).primary_key
+
+    # -- join-path pieces ----------------------------------------------------
+
+    def join_lines(self, plan: PathPlan) -> list[str]:
+        """``FROM``/``JOIN`` clauses of one join path (aliases ``t0..tN``)."""
+        dialect = self.dialect
+        lines = [f"FROM {dialect.table_source(plan.path[0], 0)} AS t0"]
+        for i in range(1, len(plan.path)):
+            bound_attr, probe_attr = _edge_attrs(
+                plan.edges[i - 1], plan.path[i - 1], plan.path[i]
+            )
+            lines.append(
+                f"JOIN {dialect.table_source(plan.path[i], i)} AS t{i} "
+                f"ON t{i - 1}.{dialect.quote(bound_attr)} "
+                f"= t{i}.{dialect.quote(probe_attr)}"
+            )
+        return lines
+
+    def inline_predicates(self, plan: PathPlan) -> tuple[list[str], list[Any]]:
+        """``pk IN (...)`` predicates + bound parameters per filtered slot."""
+        predicates: list[str] = []
+        params: list[Any] = []
+        for position, keys in plan.inline_filters:
+            pk = self.primary_key(plan.path[position])
+            placeholders = ", ".join("?" for _ in keys)
+            predicates.append(
+                f"t{position}.{self.dialect.quote(pk)} IN ({placeholders})"
+            )
+            params.extend(keys)
+        return predicates, params
+
+    def order_terms(self, plan: PathPlan) -> list[str]:
+        """Per-slot ORDER BY terms reproducing the in-memory nested-loop order.
+
+        The base table scans in insertion order unless selected (then keys
+        are sorted by ``repr()``), and every join probe returns matches
+        sorted by ``repr()`` — so ``limit`` truncates to the same rows on
+        every backend and every dialect.  The batched compiler (and the
+        sharded gather step) reuse these terms verbatim, which is what keeps
+        batched, sharded and sequential row order in lockstep.
+        """
+        filtered = plan.filtered_positions
+        terms = []
+        for i, table_name in enumerate(plan.path):
+            if i == 0 and 0 not in filtered:
+                terms.append(self.dialect.insertion_order_term("t0", table_name))
+            else:
+                pk = self.dialect.quote(self.primary_key(table_name))
+                terms.append(self.dialect.sort_key_term(f"t{i}.{pk}"))
+        return terms
+
+    # -- whole statements ----------------------------------------------------
+
+    def compile_path(
+        self, plan: PathPlan, *, project_order_keys: bool = False
+    ) -> CompiledStatement:
+        """One join path as a single SELECT.
+
+        With ``project_order_keys`` the statement's leading columns are the
+        plan's order terms (``__o0..``) — the sharded executor projects them
+        so per-shard result streams can merge in Python under exactly the
+        statement's ORDER BY.
+        """
+        order_terms = self.order_terms(plan)
+        select_list: list[str] = []
+        if project_order_keys:
+            select_list.extend(
+                f"{term} AS __o{i}" for i, term in enumerate(order_terms)
+            )
+        for i, table_name in enumerate(plan.path):
+            select_list.extend(
+                f"t{i}.{self.dialect.quote(column)}"
+                for column in self.columns(table_name)
+            )
+        lines = ["SELECT " + ", ".join(select_list)]
+        lines.extend(self.join_lines(plan))
+        predicates, params = self.inline_predicates(plan)
+        if predicates:
+            lines.append("WHERE " + " AND ".join(predicates))
+        lines.append("ORDER BY " + ", ".join(order_terms))
+        if plan.sql_limit is not None:
+            lines.append("LIMIT ?")
+            params.append(plan.sql_limit)
+        return CompiledStatement("\n".join(lines), tuple(params))
+
+    def union_widths(self, members: Sequence[UnionMember]) -> tuple[int, int]:
+        """``(order-key width, data width)`` all members NULL-pad to."""
+        ord_width = max(len(plan.path) for _i, plan in members)
+        data_width = max(
+            sum(len(self.columns(name)) for name in plan.path)
+            for _i, plan in members
+        )
+        return ord_width, data_width
+
+    def compile_union(self, members: Sequence[UnionMember]) -> CompiledStatement:
+        """Many join paths as one tagged ``UNION ALL`` statement.
+
+        Each member becomes one compound-select arm ``SELECT <spec index>,
+        <order keys>, <columns> FROM ... [ORDER BY ... LIMIT ?]``,
+        NULL-padded to a common width; the leading discriminator column
+        attributes every result row back to its spec, and the member-local
+        ORDER BY/LIMIT (plus a global ORDER BY over discriminator + order
+        keys) reproduces exactly the rows, order and truncation of a
+        sequential per-path statement.
+        """
+        ord_width, data_width = self.union_widths(members)
+        params: list[Any] = []
+        selects: list[str] = []
+        for index, plan in members:
+            order_terms = self.order_terms(plan)
+            select_list = [f"{index} AS __b"]
+            select_list.extend(
+                f"{term} AS __o{i}" for i, term in enumerate(order_terms)
+            )
+            select_list.extend(
+                f"NULL AS __o{i}" for i in range(len(order_terms), ord_width)
+            )
+            columns = 0
+            for i, table_name in enumerate(plan.path):
+                names = self.columns(table_name)
+                select_list.extend(
+                    f"t{i}.{self.dialect.quote(column)}" for column in names
+                )
+                columns += len(names)
+            select_list.extend("NULL" for _ in range(columns, data_width))
+            lines = ["SELECT " + ", ".join(select_list)]
+            lines.extend(self.join_lines(plan))
+            predicates, member_params = self.inline_predicates(plan)
+            params.extend(member_params)
+            if predicates:
+                lines.append("WHERE " + " AND ".join(predicates))
+            if plan.sql_limit is not None:
+                # The per-spec top-k cap must truncate in this member's own
+                # order, inside the member (a compound LIMIT would be global).
+                lines.append("ORDER BY " + ", ".join(order_terms))
+                lines.append("LIMIT ?")
+                params.append(plan.sql_limit)
+                selects.append("SELECT * FROM (\n" + "\n".join(lines) + "\n)")
+            else:
+                selects.append("\n".join(lines))
+        # Global order: discriminator first, then each member's own order
+        # keys (ordinals 2..ord_width+1); members never compare against each
+        # other, so the mixed rowid/repr types across members are harmless.
+        statement = "\nUNION ALL\n".join(selects) + "\nORDER BY " + ", ".join(
+            str(ordinal) for ordinal in range(1, ord_width + 2)
+        )
+        return CompiledStatement(statement, tuple(params))
+
+
+def _edge_attrs(
+    edge: ForeignKey, current_table: str, next_table: str
+) -> tuple[str, str]:
+    """``(bound attr on current, probe attr on next)`` for one join hop."""
+    if edge.source == current_table and edge.target == next_table:
+        return edge.source_attr, edge.target_attr
+    if edge.source == next_table and edge.target == current_table:
+        return edge.target_attr, edge.source_attr
+    raise ValueError(
+        f"foreign key {edge} does not connect {current_table!r} and {next_table!r}"
+    )
+
+
+# -- relation-level statements ------------------------------------------------
+
+
+def create_table_ddl(
+    dialect: SQLiteDialect,
+    table: Table,
+    *,
+    source: str | None = None,
+    extra_columns: Sequence[str] = (),
+) -> str:
+    """``CREATE TABLE IF NOT EXISTS`` for one logical table (or partition).
+
+    ``extra_columns`` are raw column definitions appended after the schema
+    attributes (the sharded backend adds its ``_rowseq`` ordering column).
+    """
+    source = source or dialect.table_source(table.name)
+    columns = [dialect.quote(name) for name in table.attribute_names]
+    columns.extend(extra_columns)
+    return (
+        f"CREATE TABLE IF NOT EXISTS {source} "
+        f"({', '.join(columns)}, PRIMARY KEY ({dialect.quote(table.primary_key)}))"
+    )
+
+
+def create_index_ddl(
+    dialect: SQLiteDialect,
+    table: Table,
+    attribute: str,
+    *,
+    source: str | None = None,
+    schema_prefix: str = "",
+) -> str:
+    """``CREATE INDEX IF NOT EXISTS`` on one attribute.
+
+    ``schema_prefix`` places the index in an attached database (SQLite
+    indexes live in the schema of their table; the index *name* carries the
+    prefix, the table reference must be schema-less).
+    """
+    index_name = dialect.quote(f"ix_{table.name}_{attribute}")
+    if schema_prefix:
+        index_name = f"{dialect.quote(schema_prefix)}.{index_name}"
+    source = source or dialect.quote(table.name)
+    return (
+        f"CREATE INDEX IF NOT EXISTS {index_name} "
+        f"ON {source} ({dialect.quote(attribute)})"
+    )
+
+
+def insert_sql(
+    dialect: SQLiteDialect,
+    table: Table,
+    *,
+    source: str | None = None,
+    extra_columns: Sequence[str] = (),
+) -> str:
+    """Positional ``INSERT`` over the schema attributes (+ extras)."""
+    source = source or dialect.table_source(table.name)
+    columns = [dialect.quote(name) for name in table.attribute_names]
+    columns.extend(dialect.quote(name) for name in extra_columns)
+    placeholders = ", ".join("?" for _ in columns)
+    return f"INSERT INTO {source} ({', '.join(columns)}) VALUES ({placeholders})"
+
+
+def select_where_sql(
+    dialect: SQLiteDialect,
+    table: Table,
+    attribute: str,
+    *,
+    source: str | None = None,
+) -> str:
+    """All schema columns of rows with ``attribute IS ?`` (point query)."""
+    source = source or dialect.table_source(table.name)
+    select_list = ", ".join(dialect.quote(name) for name in table.attribute_names)
+    return (
+        f"SELECT {select_list} FROM {source} "
+        f"WHERE {dialect.quote(attribute)} IS ?"
+    )
+
+
+def scan_sql(
+    dialect: SQLiteDialect,
+    table: Table,
+    *,
+    source: str | None = None,
+    keys_only: bool = False,
+) -> str:
+    """Full scan (all columns or just the primary key) in insertion order."""
+    source = source or dialect.table_source(table.name)
+    names = [table.primary_key] if keys_only else list(table.attribute_names)
+    select_list = ", ".join(f"t0.{dialect.quote(name)}" for name in names)
+    order = dialect.insertion_order_term("t0", table.name)
+    return f"SELECT {select_list} FROM {source} AS t0 ORDER BY {order}"
+
+
+def count_sql(
+    dialect: SQLiteDialect, table: Table, *, source: str | None = None
+) -> str:
+    source = source or dialect.table_source(table.name)
+    return f"SELECT COUNT(*) FROM {source}"
+
+
+def table_info_sql(table_name: str, *, schema_prefix: str = "") -> str:
+    """``PRAGMA table_info`` of one physical table (schema verification).
+
+    ``schema_prefix`` targets a table inside an attached database (the
+    pragma itself is what gets qualified: ``PRAGMA "shard0".table_info``).
+    """
+    prefix = f"{quote_identifier(schema_prefix)}." if schema_prefix else ""
+    return f"PRAGMA {prefix}table_info({quote_identifier(table_name)})"
+
+
+def attach_sql(alias: str) -> str:
+    """``ATTACH DATABASE ? AS <alias>`` (the file path binds as a parameter)."""
+    return f"ATTACH DATABASE ? AS {quote_identifier(alias)}"
+
+
+def max_column_sql(column: str, source: str) -> str:
+    """``SELECT MAX(column)`` of one physical table (sequence resumption)."""
+    return f"SELECT MAX({quote_identifier(column)}) FROM {source}"
+
+
+#: Does a table of this name exist in the main database?  (Backend-mixup
+#: guard: a plain store opened through the sharded backend must fail fast.)
+TABLE_EXISTS_SQL = "SELECT name FROM sqlite_master WHERE type = 'table' AND name = ?"
+
+
+# -- side-table statements ----------------------------------------------------
+
+
+class SideTableSQL:
+    """Every ``_repro_*`` side-table statement, in one place.
+
+    The side tables persist derived state next to the rows: backend metadata
+    (``_repro_meta``), inverted-index postings (``_repro_index_*``) and the
+    cross-session result cache (``_repro_result_cache``).  Postings keys are
+    stored as JSON arrays; every index/cache row carries a ``schema_key`` so
+    several datasets coexisting in one file keep independent persisted state
+    instead of overwriting each other's on every alternation.
+    """
+
+    META_DDL = (
+        "CREATE TABLE IF NOT EXISTS _repro_meta (key TEXT PRIMARY KEY, value TEXT)"
+    )
+    META_UPSERT = "INSERT OR REPLACE INTO _repro_meta (key, value) VALUES (?, ?)"
+    META_SELECT = "SELECT value FROM _repro_meta WHERE key = ?"
+    META_SELECT_ALL = "SELECT key, value FROM _repro_meta ORDER BY key"
+
+    #: Suffixes of the index side tables (used by the drop/replace loops).
+    INDEX_TABLE_NAMES = ("postings", "attr_stats", "table_counts", "schema_terms", "meta")
+
+    INDEX_TABLES_DDL = (
+        "CREATE TABLE IF NOT EXISTS _repro_index_meta ("
+        "schema_key TEXT, key TEXT, value TEXT, PRIMARY KEY (schema_key, key))",
+        "CREATE TABLE IF NOT EXISTS _repro_index_postings ("
+        "schema_key TEXT, term TEXT, tbl TEXT, attr TEXT, occurrences INTEGER, keys TEXT)",
+        "CREATE TABLE IF NOT EXISTS _repro_index_attr_stats ("
+        "schema_key TEXT, tbl TEXT, attr TEXT, total_tokens INTEGER, cell_count INTEGER)",
+        "CREATE TABLE IF NOT EXISTS _repro_index_table_counts ("
+        "schema_key TEXT, tbl TEXT, tuples INTEGER, PRIMARY KEY (schema_key, tbl))",
+        "CREATE TABLE IF NOT EXISTS _repro_index_schema_terms ("
+        "schema_key TEXT, term TEXT, tbl TEXT)",
+    )
+
+    INDEX_META_SELECT = (
+        "SELECT key, value FROM _repro_index_meta WHERE schema_key = ?"
+    )
+    INDEX_POSTINGS_SELECT = (
+        "SELECT term, tbl, attr, occurrences, keys "
+        "FROM _repro_index_postings WHERE schema_key = ?"
+    )
+    INDEX_ATTR_STATS_SELECT = (
+        "SELECT tbl, attr, total_tokens, cell_count "
+        "FROM _repro_index_attr_stats WHERE schema_key = ?"
+    )
+    INDEX_TABLE_COUNTS_SELECT = (
+        "SELECT tbl, tuples FROM _repro_index_table_counts WHERE schema_key = ?"
+    )
+    INDEX_SCHEMA_TERMS_SELECT = (
+        "SELECT term, tbl FROM _repro_index_schema_terms WHERE schema_key = ?"
+    )
+
+    INDEX_POSTINGS_INSERT = (
+        "INSERT INTO _repro_index_postings "
+        "(schema_key, term, tbl, attr, occurrences, keys) VALUES (?, ?, ?, ?, ?, ?)"
+    )
+    INDEX_ATTR_STATS_INSERT = (
+        "INSERT INTO _repro_index_attr_stats "
+        "(schema_key, tbl, attr, total_tokens, cell_count) VALUES (?, ?, ?, ?, ?)"
+    )
+    INDEX_TABLE_COUNTS_INSERT = (
+        "INSERT INTO _repro_index_table_counts (schema_key, tbl, tuples) "
+        "VALUES (?, ?, ?)"
+    )
+    INDEX_SCHEMA_TERMS_INSERT = (
+        "INSERT INTO _repro_index_schema_terms (schema_key, term, tbl) "
+        "VALUES (?, ?, ?)"
+    )
+    INDEX_META_INSERT = (
+        "INSERT INTO _repro_index_meta (schema_key, key, value) VALUES (?, ?, ?)"
+    )
+
+    @staticmethod
+    def index_delete(name: str) -> str:
+        """Delete one schema's rows from one index side table."""
+        return f"DELETE FROM _repro_index_{name} WHERE schema_key = ?"
+
+    @staticmethod
+    def index_drop(name: str) -> str:
+        return f"DROP TABLE IF EXISTS _repro_index_{name}"
+
+    RESULT_CACHE_DDL = (
+        "CREATE TABLE IF NOT EXISTS _repro_result_cache ("
+        "schema_key TEXT, fingerprint TEXT, cache_key TEXT, payload TEXT, "
+        "PRIMARY KEY (fingerprint, cache_key))"
+    )
+    RESULT_CACHE_SELECT = (
+        "SELECT payload FROM _repro_result_cache "
+        "WHERE fingerprint = ? AND cache_key = ?"
+    )
+    RESULT_CACHE_PURGE = (
+        "DELETE FROM _repro_result_cache WHERE schema_key = ? AND fingerprint != ?"
+    )
+    RESULT_CACHE_UPSERT = (
+        "INSERT OR REPLACE INTO _repro_result_cache "
+        "(schema_key, fingerprint, cache_key, payload) VALUES (?, ?, ?, ?)"
+    )
+    RESULT_CACHE_DROP = "DROP TABLE IF EXISTS _repro_result_cache"

@@ -13,6 +13,13 @@ primary-key sets through the inverted index first so containment keeps the
 tokenizer's semantics (not SQL ``LIKE`` substring matching) and stays
 bit-identical to the in-memory engine.
 
+Every SQL statement this backend runs comes out of the shared
+planner/compiler layer (:mod:`repro.db.backends.sql`): this module owns
+connection management, row decoding and the execution seams
+(:meth:`SQLiteBackend._run_plan` / :meth:`SQLiteBackend._run_union`) that
+the sharded backend overrides with scatter-gather — it builds no SQL text of
+its own.
+
 Standard library only (``sqlite3``); no new dependencies.
 """
 
@@ -26,12 +33,20 @@ import threading
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.db.backends import sql as sqlc
 from repro.db.backends.base import (
     BatchedExecution,
     PathSpec,
     SelectionsByPosition,
     StorageBackend,
     normalize_value,
+)
+from repro.db.backends.sql import (
+    CompiledStatement,
+    PathPlan,
+    PlanCompiler,
+    SideTableSQL,
+    SQLiteDialect,
 )
 from repro.db.errors import (
     DatabaseError,
@@ -43,51 +58,6 @@ from repro.db.index import InvertedIndex
 from repro.db.schema import ForeignKey, Schema, Table
 from repro.db.table import Tuple
 from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
-
-#: Above this many candidate keys per position the ``pk IN (...)`` predicate
-#: is applied in Python instead of SQL (SQLite caps bound parameters per
-#: statement; historically SQLITE_MAX_VARIABLE_NUMBER = 999).
-_MAX_INLINE_KEYS = 500
-
-#: Budget for *all* inline keys of one statement, across positions.
-_MAX_TOTAL_INLINE_KEYS = 900
-
-#: Side tables persisting the inverted index next to the rows.  Postings keys
-#: are stored as JSON arrays; the meta table carries the content fingerprint
-#: and index configuration the stored postings were built under.  Every row
-#: carries a ``schema_key`` so several datasets coexisting in one file (each
-#: opened through its own schema) keep independent persisted indexes instead
-#: of overwriting each other's on every alternation.
-_INDEX_TABLES_DDL = (
-    "CREATE TABLE IF NOT EXISTS _repro_index_meta ("
-    "schema_key TEXT, key TEXT, value TEXT, PRIMARY KEY (schema_key, key))",
-    "CREATE TABLE IF NOT EXISTS _repro_index_postings ("
-    "schema_key TEXT, term TEXT, tbl TEXT, attr TEXT, occurrences INTEGER, keys TEXT)",
-    "CREATE TABLE IF NOT EXISTS _repro_index_attr_stats ("
-    "schema_key TEXT, tbl TEXT, attr TEXT, total_tokens INTEGER, cell_count INTEGER)",
-    "CREATE TABLE IF NOT EXISTS _repro_index_table_counts ("
-    "schema_key TEXT, tbl TEXT, tuples INTEGER, PRIMARY KEY (schema_key, tbl))",
-    "CREATE TABLE IF NOT EXISTS _repro_index_schema_terms ("
-    "schema_key TEXT, term TEXT, tbl TEXT)",
-)
-
-#: Side table persisting cached interpretation results (see
-#: ``repro.engine.cache.ResultCache``); one payload per (content
-#: fingerprint, canonical query + limit) pair.  ``schema_key`` scopes the
-#: stale-fingerprint purge so one dataset's new entries never evict a
-#: coexisting dataset's still-valid ones.
-_RESULT_CACHE_DDL = (
-    "CREATE TABLE IF NOT EXISTS _repro_result_cache ("
-    "schema_key TEXT, fingerprint TEXT, cache_key TEXT, payload TEXT, "
-    "PRIMARY KEY (fingerprint, cache_key))"
-)
-
-
-
-
-def _quote(identifier: str) -> str:
-    """Quote an identifier for SQLite (tables/attributes are data here)."""
-    return '"' + identifier.replace('"', '""') + '"'
 
 
 #: One serialization lock per database *file*, shared by every backend
@@ -178,21 +148,39 @@ class SQLiteRelation:
 
     Mirrors :class:`repro.db.table.Relation` semantics — auto-assigned
     primary keys, ``None`` for missing attributes, insertion-order scans —
-    on top of a SQLite table.
+    on top of a SQLite table.  All statements come pre-compiled from the
+    backend's dialect, so the sharded subclass only swaps physical sources.
     """
 
     def __init__(self, backend: "SQLiteBackend", table: Table):
         self.table = table
         self._backend = backend
         self._conn = backend._conn
-        self._quoted_name = _quote(table.name)
+        self._dialect = backend.dialect
         self._columns = list(table.attribute_names)
-        self._select_list = ", ".join(_quote(c) for c in self._columns)
         self._pk = table.primary_key
         self._pk_index = self._columns.index(self._pk)
+        # Set-oriented reads (scan/keys/count/lookup) compile against the
+        # dialect's logical table source, which is valid on every dialect
+        # (the sharded one resolves it to an all-partitions union).
+        self._scan_sql = sqlc.scan_sql(self._dialect, table)
+        self._keys_sql = sqlc.scan_sql(self._dialect, table, keys_only=True)
+        self._count_sql = sqlc.count_sql(self._dialect, table)
+        self._prepare_point_statements()
         # Cached row count for O(1) auto-key assignment (lazy; kept in sync
         # by insert).  ``None`` until the first auto-keyed insert.
         self._row_count: int | None = None
+
+    def _prepare_point_statements(self) -> None:
+        """Precompile the single-row INSERT/point-get statements.
+
+        Split out because these target one *physical* table: relations that
+        route rows (the sharded partition relation) override this together
+        with :meth:`_store_row`/:meth:`get`, so no dialect ever holds a
+        statement it cannot execute.
+        """
+        self._insert_sql = sqlc.insert_sql(self._dialect, self.table)
+        self._get_sql = sqlc.select_where_sql(self._dialect, self.table, self._pk)
 
     # -- mutation --------------------------------------------------------
 
@@ -208,13 +196,8 @@ class SQLiteRelation:
             (name, _normalize(row.get(name)) if name != self._pk else key)
             for name in self._columns
         )
-        placeholders = ", ".join("?" for _ in self._columns)
         try:
-            self._conn.execute(
-                f"INSERT INTO {self._quoted_name} ({self._select_list}) "
-                f"VALUES ({placeholders})",
-                [value for _name, value in values],
-            )
+            self._store_row(key, [value for _name, value in values])
         except sqlite3.IntegrityError:
             raise IntegrityError(
                 f"duplicate primary key {key!r} in table {self.table.name!r}"
@@ -229,6 +212,11 @@ class SQLiteRelation:
             self._row_count += 1
         return Tuple(self.table.name, key, values)
 
+    def _store_row(self, key: Any, cells: list[Any]) -> None:
+        """Physically insert one normalized row (the sharded override routes
+        it to the key's partition)."""
+        self._conn.execute(self._insert_sql, cells)
+
     def _next_key(self) -> int:
         """Auto-assign a key the way the in-memory Relation does."""
         if self._row_count is None:
@@ -242,11 +230,11 @@ class SQLiteRelation:
         """Build an exact-match index on ``attribute`` (CREATE INDEX)."""
         if not self.table.has_attribute(attribute):
             raise UnknownAttributeError(self.table.name, attribute)
-        index_name = _quote(f"ix_{self.table.name}_{attribute}")
-        self._conn.execute(
-            f"CREATE INDEX IF NOT EXISTS {index_name} "
-            f"ON {self._quoted_name} ({_quote(attribute)})"
-        )
+        for statement in self._index_ddl(attribute):
+            self._conn.execute(statement)
+
+    def _index_ddl(self, attribute: str) -> list[str]:
+        return [sqlc.create_index_ddl(self._dialect, self.table, attribute)]
 
     # -- access ----------------------------------------------------------
 
@@ -255,11 +243,7 @@ class SQLiteRelation:
         return Tuple(self.table.name, row[self._pk_index], values)
 
     def get(self, key: Any) -> Tuple | None:
-        cursor = self._conn.execute(
-            f"SELECT {self._select_list} FROM {self._quoted_name} "
-            f"WHERE {_quote(self._pk)} IS ?",
-            (key,),
-        )
+        cursor = self._conn.execute(self._get_sql, (key,))
         row = cursor.fetchone()
         return self._to_tuple(row) if row is not None else None
 
@@ -268,36 +252,30 @@ class SQLiteRelation:
         if not self.table.has_attribute(attribute):
             return []
         cursor = self._conn.execute(
-            f"SELECT {self._select_list} FROM {self._quoted_name} "
-            f"WHERE {_quote(attribute)} IS ?",
-            (value,),
+            sqlc.select_where_sql(self._dialect, self.table, attribute), (value,)
         )
         matches = [self._to_tuple(row) for row in cursor.fetchall()]
         matches.sort(key=lambda t: repr(t.key))
         return matches
 
     def scan(self) -> Iterator[Tuple]:
-        cursor = self._conn.execute(
-            f"SELECT {self._select_list} FROM {self._quoted_name} ORDER BY rowid"
-        )
+        cursor = self._conn.execute(self._scan_sql)
         for row in cursor.fetchall():
             yield self._to_tuple(row)
 
     def keys(self) -> Iterable[Any]:
-        cursor = self._conn.execute(
-            f"SELECT {_quote(self._pk)} FROM {self._quoted_name} ORDER BY rowid"
-        )
+        cursor = self._conn.execute(self._keys_sql)
         return [row[0] for row in cursor.fetchall()]
 
     def __len__(self) -> int:
-        cursor = self._conn.execute(f"SELECT COUNT(*) FROM {self._quoted_name}")
+        cursor = self._conn.execute(self._count_sql)
         return cursor.fetchone()[0]
 
     def __iter__(self) -> Iterator[Tuple]:
         return self.scan()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SQLiteRelation({self.table.name}, {len(self)} rows)"
+        return f"{type(self).__name__}({self.table.name}, {len(self)} rows)"
 
 
 class SQLiteBackend(StorageBackend):
@@ -324,6 +302,8 @@ class SQLiteBackend(StorageBackend):
         #: load instead of re-scanning (False forces the rebuild path — the
         #: engine benchmark uses it to measure the difference).
         self.persist_index = persist_index
+        self.dialect = self._make_dialect()
+        self.compiler = PlanCompiler(schema, self.dialect)
         self._index_dirty = False
         self._result_cache_ready = False
         self._result_cache_purged_for: str | None = None
@@ -350,6 +330,7 @@ class SQLiteBackend(StorageBackend):
             # exactly like the in-memory engine's repr()-keyed lookups — for
             # every key type, not just the int/str common case.
             self._conn.create_function("repro_repr", 1, repr, deterministic=True)
+            self._prepare_storage()  # hook: sharded backends ATTACH here
             for table in schema:
                 self._create_storage(table)
             # Resume the mutation-digest chain of a reopened store.
@@ -366,6 +347,23 @@ class SQLiteBackend(StorageBackend):
             _release_lock_for(self.path)
             raise
 
+    def _make_dialect(self) -> SQLiteDialect:
+        """The dialect all of this backend's statements compile under."""
+        return SQLiteDialect()
+
+    def _prepare_storage(self) -> None:
+        """Connection-level setup before table storage exists.
+
+        The sharded backend ATTACHes its partitions here; this plain backend
+        only refuses files those partitions belong to — half a sharded store
+        read through the unsharded engine would silently look empty.
+        """
+        if self.get_metadata("_shard_count") is not None:
+            raise DatabaseError(
+                f"store at {self.path!r} is hash-partitioned (built by the "
+                f"'sqlite-sharded' backend); open it with that backend"
+            )
+
     @property
     def is_persistent(self) -> bool:
         """True when rows are stored in a file that outlives the process."""
@@ -374,25 +372,36 @@ class SQLiteBackend(StorageBackend):
     # -- storage management ------------------------------------------------
 
     def _create_storage(self, table: Table) -> SQLiteRelation:
-        columns = ", ".join(_quote(name) for name in table.attribute_names)
-        self._conn.execute(
-            f"CREATE TABLE IF NOT EXISTS {_quote(table.name)} "
-            f"({columns}, PRIMARY KEY ({_quote(table.primary_key)}))"
-        )
+        for statement in self._storage_ddl(table):
+            self._conn.execute(statement)
         self._verify_columns(table)
-        relation = SQLiteRelation(self, table)
+        relation = self._make_relation(table)
         self._relations[table.name] = relation
         return relation
 
+    def _storage_ddl(self, table: Table) -> list[str]:
+        return [sqlc.create_table_ddl(self.dialect, table)]
+
+    def _make_relation(self, table: Table) -> SQLiteRelation:
+        return SQLiteRelation(self, table)
+
     def _verify_columns(self, table: Table) -> None:
         """Fail fast when a pre-existing file disagrees with the schema."""
-        cursor = self._conn.execute(f"PRAGMA table_info({_quote(table.name)})")
-        stored = [row[1] for row in cursor.fetchall()]
-        if stored != table.attribute_names:
-            raise DatabaseError(
-                f"stored table {table.name!r} has columns {stored}, "
-                f"schema expects {table.attribute_names}"
+        for schema_prefix, expected in self._physical_columns(table):
+            cursor = self._conn.execute(
+                sqlc.table_info_sql(table.name, schema_prefix=schema_prefix)
             )
+            stored = [row[1] for row in cursor.fetchall()]
+            if stored != expected:
+                where = f" in {schema_prefix!r}" if schema_prefix else ""
+                raise DatabaseError(
+                    f"stored table {table.name!r}{where} has columns "
+                    f"{stored}, schema expects {expected}"
+                )
+
+    def _physical_columns(self, table: Table) -> list[tuple[str, list[str]]]:
+        """``(schema prefix, expected column list)`` per physical table."""
+        return [("", table.attribute_names)]
 
     def _set_internal_metadata(self, key: str, value: str) -> None:
         """Persist a key/value pair in a side table next to the rows.
@@ -401,13 +410,8 @@ class SQLiteBackend(StorageBackend):
         reserved-key guard in the base class).
         """
         with self._lock:
-            self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS _repro_meta (key TEXT PRIMARY KEY, value TEXT)"
-            )
-            self._conn.execute(
-                "INSERT OR REPLACE INTO _repro_meta (key, value) VALUES (?, ?)",
-                (key, value),
-            )
+            self._conn.execute(SideTableSQL.META_DDL)
+            self._conn.execute(SideTableSQL.META_UPSERT, (key, value))
             self._conn.commit()
         # Metadata feeds the content fingerprint (dataset fingerprint /
         # nonce); like the base class, drop the cached digest.
@@ -422,20 +426,14 @@ class SQLiteBackend(StorageBackend):
         """
         if not self._content_digest:
             return
+        self._conn.execute(SideTableSQL.META_DDL)
         self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS _repro_meta (key TEXT PRIMARY KEY, value TEXT)"
-        )
-        self._conn.execute(
-            "INSERT OR REPLACE INTO _repro_meta (key, value) "
-            "VALUES ('_content_digest', ?)",
-            (self._content_digest,),
+            SideTableSQL.META_UPSERT, ("_content_digest", self._content_digest)
         )
 
     def get_metadata(self, key: str) -> str | None:
         try:
-            cursor = self._conn.execute(
-                "SELECT value FROM _repro_meta WHERE key = ?", (key,)
-            )
+            cursor = self._conn.execute(SideTableSQL.META_SELECT, (key,))
         except sqlite3.OperationalError:  # metadata table never created
             return None
         row = cursor.fetchone()
@@ -443,9 +441,7 @@ class SQLiteBackend(StorageBackend):
 
     def metadata_values(self, prefix: str) -> list[str]:
         try:
-            cursor = self._conn.execute(
-                "SELECT key, value FROM _repro_meta ORDER BY key"
-            )
+            cursor = self._conn.execute(SideTableSQL.META_SELECT_ALL)
         except sqlite3.OperationalError:  # metadata table never created
             return []
         return [value for key, value in cursor.fetchall() if key.startswith(prefix)]
@@ -469,8 +465,12 @@ class SQLiteBackend(StorageBackend):
                 # pre-mutation fingerprint and would be rejected on load.)
                 self._save_persisted_index(self.index)
             self.cached_result_flush()  # drains buffered puts, then commits
-            self._conn.close()
+            self._close_connections()
         _release_lock_for(self.path)
+
+    def _close_connections(self) -> None:
+        """Close every connection this backend opened (sharded adds readers)."""
+        self._conn.close()
 
     # -- data loading -----------------------------------------------------
 
@@ -546,10 +546,7 @@ class SQLiteBackend(StorageBackend):
         schema_key = self._schema_key()
         try:
             meta = dict(
-                self._conn.execute(
-                    "SELECT key, value FROM _repro_index_meta WHERE schema_key = ?",
-                    (schema_key,),
-                )
+                self._conn.execute(SideTableSQL.INDEX_META_SELECT, (schema_key,))
             )
         except sqlite3.OperationalError:  # side tables never created
             return None
@@ -562,30 +559,22 @@ class SQLiteBackend(StorageBackend):
                 "postings": [
                     (term, tbl, attr, occurrences, json.loads(keys))
                     for term, tbl, attr, occurrences, keys in self._conn.execute(
-                        "SELECT term, tbl, attr, occurrences, keys "
-                        "FROM _repro_index_postings WHERE schema_key = ?",
-                        (schema_key,),
+                        SideTableSQL.INDEX_POSTINGS_SELECT, (schema_key,)
                     )
                 ],
                 "attribute_stats": list(
                     self._conn.execute(
-                        "SELECT tbl, attr, total_tokens, cell_count "
-                        "FROM _repro_index_attr_stats WHERE schema_key = ?",
-                        (schema_key,),
+                        SideTableSQL.INDEX_ATTR_STATS_SELECT, (schema_key,)
                     )
                 ),
                 "table_tuple_counts": list(
                     self._conn.execute(
-                        "SELECT tbl, tuples FROM _repro_index_table_counts "
-                        "WHERE schema_key = ?",
-                        (schema_key,),
+                        SideTableSQL.INDEX_TABLE_COUNTS_SELECT, (schema_key,)
                     )
                 ),
                 "schema_terms": list(
                     self._conn.execute(
-                        "SELECT term, tbl FROM _repro_index_schema_terms "
-                        "WHERE schema_key = ?",
-                        (schema_key,),
+                        SideTableSQL.INDEX_SCHEMA_TERMS_SELECT, (schema_key,)
                     )
                 ),
             }
@@ -627,10 +616,8 @@ class SQLiteBackend(StorageBackend):
                 # store unusable.  (No rollback: build_indexes may hold
                 # uncommitted bulk-loaded rows.)
                 try:
-                    for name in (
-                        "postings", "attr_stats", "table_counts", "schema_terms", "meta",
-                    ):
-                        self._conn.execute(f"DROP TABLE IF EXISTS _repro_index_{name}")
+                    for name in SideTableSQL.INDEX_TABLE_NAMES:
+                        self._conn.execute(SideTableSQL.index_drop(name))
                     self._write_index_state(schema_key, posting_rows, state, meta)
                 except sqlite3.Error:
                     return
@@ -645,34 +632,25 @@ class SQLiteBackend(StorageBackend):
         meta: dict[str, str],
     ) -> None:
         """Replace this schema's rows in the index side tables (no commit)."""
-        for statement in _INDEX_TABLES_DDL:
+        for statement in SideTableSQL.INDEX_TABLES_DDL:
             self._conn.execute(statement)
-        for name in ("postings", "attr_stats", "table_counts", "schema_terms", "meta"):
-            self._conn.execute(
-                f"DELETE FROM _repro_index_{name} WHERE schema_key = ?", (schema_key,)
-            )
+        for name in SideTableSQL.INDEX_TABLE_NAMES:
+            self._conn.execute(SideTableSQL.index_delete(name), (schema_key,))
+        self._conn.executemany(SideTableSQL.INDEX_POSTINGS_INSERT, posting_rows)
         self._conn.executemany(
-            "INSERT INTO _repro_index_postings "
-            "(schema_key, term, tbl, attr, occurrences, keys) VALUES (?, ?, ?, ?, ?, ?)",
-            posting_rows,
-        )
-        self._conn.executemany(
-            "INSERT INTO _repro_index_attr_stats "
-            "(schema_key, tbl, attr, total_tokens, cell_count) VALUES (?, ?, ?, ?, ?)",
+            SideTableSQL.INDEX_ATTR_STATS_INSERT,
             [(schema_key, *row) for row in state["attribute_stats"]],
         )
         self._conn.executemany(
-            "INSERT INTO _repro_index_table_counts (schema_key, tbl, tuples) "
-            "VALUES (?, ?, ?)",
+            SideTableSQL.INDEX_TABLE_COUNTS_INSERT,
             [(schema_key, *row) for row in state["table_tuple_counts"]],
         )
         self._conn.executemany(
-            "INSERT INTO _repro_index_schema_terms (schema_key, term, tbl) "
-            "VALUES (?, ?, ?)",
+            SideTableSQL.INDEX_SCHEMA_TERMS_INSERT,
             [(schema_key, *row) for row in state["schema_terms"]],
         )
         self._conn.executemany(
-            "INSERT INTO _repro_index_meta (schema_key, key, value) VALUES (?, ?, ?)",
+            SideTableSQL.INDEX_META_INSERT,
             [(schema_key, key, value) for key, value in sorted(meta.items())],
         )
 
@@ -685,9 +663,7 @@ class SQLiteBackend(StorageBackend):
                 return pending
             try:
                 cursor = self._conn.execute(
-                    "SELECT payload FROM _repro_result_cache "
-                    "WHERE fingerprint = ? AND cache_key = ?",
-                    (fingerprint, key),
+                    SideTableSQL.RESULT_CACHE_SELECT, (fingerprint, key)
                 )
                 row = cursor.fetchone()
             except sqlite3.Error:  # table never created, or a foreign shape
@@ -704,7 +680,7 @@ class SQLiteBackend(StorageBackend):
 
     def _write_cached_result(self, fingerprint: str, key: str, payload: str) -> None:
         if not self._result_cache_ready:
-            self._conn.execute(_RESULT_CACHE_DDL)
+            self._conn.execute(SideTableSQL.RESULT_CACHE_DDL)
             self._result_cache_ready = True
         schema_key = self._schema_key()
         if self._result_cache_purged_for != fingerprint:
@@ -714,14 +690,11 @@ class SQLiteBackend(StorageBackend):
             # coexisting datasets keep their still-valid entries; once per
             # fingerprint per connection, not per put.
             self._conn.execute(
-                "DELETE FROM _repro_result_cache "
-                "WHERE schema_key = ? AND fingerprint != ?",
-                (schema_key, fingerprint),
+                SideTableSQL.RESULT_CACHE_PURGE, (schema_key, fingerprint)
             )
             self._result_cache_purged_for = fingerprint
         self._conn.execute(
-            "INSERT OR REPLACE INTO _repro_result_cache "
-            "(schema_key, fingerprint, cache_key, payload) VALUES (?, ?, ?, ?)",
+            SideTableSQL.RESULT_CACHE_UPSERT,
             (schema_key, fingerprint, key, payload),
         )
 
@@ -741,7 +714,7 @@ class SQLiteBackend(StorageBackend):
                     self._write_cached_result(fingerprint, key, payload)
             except sqlite3.Error:
                 try:
-                    self._conn.execute("DROP TABLE IF EXISTS _repro_result_cache")
+                    self._conn.execute(SideTableSQL.RESULT_CACHE_DROP)
                     self._result_cache_ready = False
                     self._result_cache_purged_for = None
                     for (fingerprint, key), payload in pending.items():
@@ -773,110 +746,30 @@ class SQLiteBackend(StorageBackend):
         key_filters = self._resolve_key_filters(path, selections)
         if key_filters is None:
             return []
-        return self._execute_resolved(path, edges, key_filters, limit)
+        return self._run_plan(sqlc.plan_path(path, edges, key_filters, limit))
 
-    def _execute_resolved(
-        self,
-        path: Sequence[str],
-        edges: Sequence[ForeignKey],
-        key_filters: dict[int, set[Any]],
-        limit: int | None,
+    def _run_plan(
+        self, plan: PathPlan, shard_rows: dict[int, int] | None = None
     ) -> list[tuple[Tuple, ...]]:
-        """:meth:`execute_path` after validation + selection resolution.
+        """Execute one compiled path plan: fetch, decode, post-filter.
 
-        Split out so the batched executor can fall back to sequential
-        execution of a spec without resolving its selections a second time.
+        ``shard_rows``, when given, accumulates per-shard row attribution —
+        a no-op here (one unsharded statement), filled in by the sharded
+        scatter-gather override.
         """
-        relations = [self.relation(name) for name in path]
-        select_list: list[str] = []
-        for i, relation in enumerate(relations):
-            select_list.extend(
-                f"t{i}.{_quote(column)}" for column in relation._columns
-            )
-        lines = ["SELECT " + ", ".join(select_list)]
-        lines.extend(self._join_lines(path, edges))
-
-        # Key sets beyond the statement's parameter budget are applied in
-        # Python after the fetch instead of inline.
-        inline_filters: dict[int, set[Any]] = {}
-        post_filters: dict[int, set[Any]] = {}
-        inline_budget = _MAX_TOTAL_INLINE_KEYS
-        for position, keys in key_filters.items():
-            if len(keys) > min(_MAX_INLINE_KEYS, inline_budget):
-                post_filters[position] = keys
-                continue
-            inline_budget -= len(keys)
-            inline_filters[position] = keys
-        predicates, params = self._inline_predicates(path, inline_filters)
-        if predicates:
-            lines.append("WHERE " + " AND ".join(predicates))
-        lines.append("ORDER BY " + ", ".join(self._order_terms(path, key_filters)))
-        if limit is not None and not post_filters:
-            lines.append("LIMIT ?")
-            params.append(limit)
-
+        statement = self.compiler.compile_path(plan)
+        relations = [self.relation(name) for name in plan.path]
         results: list[tuple[Tuple, ...]] = []
         with self._lock:  # statement + fetch: one serialized read cycle
-            cursor = self._conn.execute("\n".join(lines), params)
+            cursor = self._conn.execute(statement.sql, statement.params)
             for row in cursor:
                 network = self._decode_network(relations, row)
-                if any(
-                    network[position].key not in keys
-                    for position, keys in post_filters.items()
-                ):
+                if not plan.keeps(network):
                     continue
                 results.append(network)
-                if limit is not None and len(results) >= limit:
+                if plan.limit is not None and len(results) >= plan.limit:
                     break
         return results
-
-    # -- statement compilation (shared by sequential and batched paths) -----
-
-    def _join_lines(
-        self, path: Sequence[str], edges: Sequence[ForeignKey]
-    ) -> list[str]:
-        """``FROM``/``JOIN`` clauses of one join path (aliases ``t0..tN``)."""
-        lines = [f"FROM {_quote(path[0])} AS t0"]
-        for i in range(1, len(path)):
-            bound_attr, probe_attr = self._edge_attrs(edges[i - 1], path[i - 1], path[i])
-            lines.append(
-                f"JOIN {_quote(path[i])} AS t{i} "
-                f"ON t{i - 1}.{_quote(bound_attr)} = t{i}.{_quote(probe_attr)}"
-            )
-        return lines
-
-    def _inline_predicates(
-        self, path: Sequence[str], key_filters: dict[int, set[Any]]
-    ) -> tuple[list[str], list[Any]]:
-        """``pk IN (...)`` predicates + bound parameters per filtered slot."""
-        predicates: list[str] = []
-        params: list[Any] = []
-        for position, keys in key_filters.items():
-            pk = self.schema.table(path[position]).primary_key
-            placeholders = ", ".join("?" for _ in keys)
-            predicates.append(f"t{position}.{_quote(pk)} IN ({placeholders})")
-            params.extend(sorted(keys, key=repr))
-        return predicates, params
-
-    def _order_terms(
-        self, path: Sequence[str], key_filters: dict[int, set[Any]]
-    ) -> list[str]:
-        """Per-slot ORDER BY terms reproducing the in-memory nested-loop order.
-
-        The base table scans in insertion order (rowid) unless selected (then
-        keys are sorted by repr()), and every join probe returns matches
-        sorted by repr() — so ``limit`` truncates to the same rows on every
-        backend.  The batched compiler reuses these terms verbatim, which is
-        what keeps batched and sequential row order in lockstep.
-        """
-        order_terms = []
-        for i in range(len(path)):
-            if i == 0 and 0 not in key_filters:
-                order_terms.append("t0.rowid")
-            else:
-                pk = self.schema.table(path[i]).primary_key
-                order_terms.append(f"repro_repr(t{i}.{_quote(pk)})")
-        return order_terms
 
     def _decode_network(
         self, relations: Sequence[SQLiteRelation], row: Sequence[Any], offset: int = 0
@@ -914,6 +807,10 @@ class SQLiteBackend(StorageBackend):
 
     supports_batched_execution = True
 
+    def _statements_per_plan(self) -> int:
+        """Physical statements one plan (or shared union) costs to run."""
+        return 1
+
     def execute_paths_batched(
         self,
         specs: Sequence[PathSpec],
@@ -921,23 +818,20 @@ class SQLiteBackend(StorageBackend):
     ) -> BatchedExecution:
         """Execute many join paths in one tagged ``UNION ALL`` statement.
 
-        Each batchable spec becomes one compound-select member ``SELECT
-        <spec index>, <order keys>, <columns> FROM ... [ORDER BY ... LIMIT
-        ?]``, NULL-padded to a common width; the leading discriminator column
-        attributes every result row back to its spec, and the member-local
-        ORDER BY/LIMIT (plus a global ORDER BY over discriminator + order
-        keys) reproduces exactly the rows, order and truncation of a
-        sequential :meth:`execute_path` per spec.  Specs whose selections are
-        provably empty never reach SQL; specs whose inline-key footprint
-        exceeds the statement's parameter budget fall back to sequential
-        execution — ``statements`` reports the physical statement count
-        either way.
+        Planning (:func:`repro.db.backends.sql.plan_batch`) decides which
+        specs share the statement: specs whose selections are provably empty
+        never reach SQL, and specs whose inline-key footprint exceeds the
+        statement's parameter budget fall back to their own plan — the
+        reason travels back on ``BatchedExecution.fallbacks`` so ``--explain``
+        can show it.  ``statements`` reports the physical statement count
+        either way (the sharded backend multiplies it by its shard fan-out).
         """
         specs = list(specs)
         rows_per_spec: list[list[tuple[Tuple, ...]] | None] = [None] * len(specs)
         statements = 0
-        members: list[tuple[int, list[str], list[ForeignKey], dict[int, set[Any]]]] = []
-        inline_budget = _MAX_TOTAL_INLINE_KEYS
+        fallbacks: dict[int, str] = {}
+        shard_rows: dict[int, int] = {}
+        resolved: list[tuple[int, Sequence[str], Sequence[ForeignKey], dict]] = []
         for index, (path, edges, selections) in enumerate(specs):
             selections = selections or {}
             self._validate_path(path, edges, selections, limit)
@@ -948,95 +842,49 @@ class SQLiteBackend(StorageBackend):
             if key_filters is None:
                 rows_per_spec[index] = []  # provably empty, no SQL at all
                 continue
-            inline_keys = sum(len(keys) for keys in key_filters.values())
-            if (
-                any(len(keys) > _MAX_INLINE_KEYS for keys in key_filters.values())
-                or inline_keys > inline_budget
-            ):
-                # Too selective to inline here (_execute_resolved has the
-                # Python-side post-filter machinery for that).
-                rows_per_spec[index] = self._execute_resolved(
-                    path, edges, key_filters, limit
-                )
-                statements += 1
-                continue
-            inline_budget -= inline_keys
-            members.append((index, list(path), list(edges), key_filters))
+            resolved.append((index, path, edges, key_filters))
+        batch = sqlc.plan_batch(resolved, limit)
+        for index, solo_plan, reason in batch.fallbacks:
+            # Too selective to inline in the shared statement (_run_plan has
+            # the Python-side post-filter machinery for that).
+            rows_per_spec[index] = self._run_plan(solo_plan, shard_rows)
+            statements += self._statements_per_plan()
+            fallbacks[index] = reason
+        members = list(batch.members)
         if len(members) == 1:
             # A UNION of one brings tagging overhead and no statement saving.
-            index, path, edges, key_filters = members.pop()
-            rows_per_spec[index] = self._execute_resolved(
-                path, edges, key_filters, limit
-            )
-            statements += 1
+            index, solo_plan = members.pop()
+            rows_per_spec[index] = self._run_plan(solo_plan, shard_rows)
+            statements += self._statements_per_plan()
         if members:
-            for index, rows in self._execute_union(members, limit).items():
+            for index, rows in self._run_union(members, shard_rows).items():
                 rows_per_spec[index] = rows
-            statements += 1
+            statements += self._statements_per_plan()
         return BatchedExecution(
             rows=[rows if rows is not None else [] for rows in rows_per_spec],
             statements=statements,
-            batched_indexes=[index for index, _p, _e, _f in members],
+            batched_indexes=[index for index, _plan in members],
+            fallbacks=fallbacks,
+            shard_rows=shard_rows,
         )
 
-    def _execute_union(
+    def _run_union(
         self,
-        members: list[tuple[int, list[str], list[ForeignKey], dict[int, set[Any]]]],
-        limit: int | None,
+        members: list[tuple[int, PathPlan]],
+        shard_rows: dict[int, int] | None = None,
     ) -> dict[int, list[tuple[Tuple, ...]]]:
         """Compile + run the UNION ALL statement; rows keyed by spec index."""
-        ord_width = max(len(path) for _i, path, _e, _f in members)
-        data_width = max(
-            sum(len(self.relation(name)._columns) for name in path)
-            for _i, path, _e, _f in members
-        )
-        params: list[Any] = []
-        selects: list[str] = []
-        member_relations: dict[int, list[SQLiteRelation]] = {}
-        for index, path, edges, key_filters in members:
-            relations = [self.relation(name) for name in path]
-            member_relations[index] = relations
-            order_terms = self._order_terms(path, key_filters)
-            select_list = [f"{index} AS __b"]
-            select_list.extend(
-                f"{term} AS __o{i}" for i, term in enumerate(order_terms)
-            )
-            select_list.extend(
-                f"NULL AS __o{i}" for i in range(len(order_terms), ord_width)
-            )
-            columns = 0
-            for i, relation in enumerate(relations):
-                select_list.extend(
-                    f"t{i}.{_quote(column)}" for column in relation._columns
-                )
-                columns += len(relation._columns)
-            select_list.extend("NULL" for _ in range(columns, data_width))
-            lines = ["SELECT " + ", ".join(select_list)]
-            lines.extend(self._join_lines(path, edges))
-            predicates, member_params = self._inline_predicates(path, key_filters)
-            params.extend(member_params)
-            if predicates:
-                lines.append("WHERE " + " AND ".join(predicates))
-            if limit is not None:
-                # The per-spec top-k cap must truncate in this member's own
-                # order, inside the member (a compound LIMIT would be global).
-                lines.append("ORDER BY " + ", ".join(order_terms))
-                lines.append("LIMIT ?")
-                params.append(limit)
-                selects.append("SELECT * FROM (\n" + "\n".join(lines) + "\n)")
-            else:
-                selects.append("\n".join(lines))
-        # Global order: discriminator first, then each member's own order
-        # keys (ordinals 2..ord_width+1); members never compare against each
-        # other, so the mixed rowid/repr types across members are harmless.
-        statement = "\nUNION ALL\n".join(selects) + "\nORDER BY " + ", ".join(
-            str(ordinal) for ordinal in range(1, ord_width + 2)
-        )
+        statement = self.compiler.compile_union(members)
+        ord_width, _data_width = self.compiler.union_widths(members)
+        member_relations = {
+            index: [self.relation(name) for name in plan.path]
+            for index, plan in members
+        }
         grouped: dict[int, list[tuple[Tuple, ...]]] = {
-            index: [] for index, _p, _e, _f in members
+            index: [] for index, _plan in members
         }
         with self._lock:  # statement + fetch: one serialized read cycle
-            for row in self._conn.execute(statement, params):
+            for row in self._conn.execute(statement.sql, statement.params):
                 grouped[row[0]].append(
                     self._decode_network(
                         member_relations[row[0]], row, offset=1 + ord_width

@@ -4,12 +4,28 @@ Every candidate network / query interpretation corresponds to a single SQL
 statement (Section 2.2.6).  The engine executes the plans natively; this
 module produces the equivalent ``SELECT * FROM ... JOIN ... WHERE ...`` text
 so examples, logs and the IQP query window can show users real SQL.
+
+The *executable* SQL the storage backends actually run comes from the
+planner/compiler layer in :mod:`repro.db.backends.sql`; its public surface
+(:class:`PathPlan`, :class:`CompiledStatement`, :class:`PlanCompiler`, the
+dialects and the planners) is re-exported here so ``repro.db.sql`` is the
+one import for everything SQL.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.db.backends.sql import (  # noqa: F401  (re-exported surface)
+    BatchPlan,
+    CompiledStatement,
+    PathPlan,
+    PlanCompiler,
+    ShardedSQLiteDialect,
+    SQLiteDialect,
+    plan_batch,
+    plan_path,
+)
 from repro.db.database import Selection
 from repro.db.schema import ForeignKey
 

@@ -45,8 +45,11 @@ _PROCESS_CACHE: "OrderedDict[tuple[str, str, str], Rows]" = OrderedDict()
 #: eviction (KeyError) or corrupt the recency order.
 _PROCESS_CACHE_LOCK = threading.RLock()
 
-#: Upper bound on process-level entries; small queries dominate, so this is
-#: generous without risking unbounded growth in long sweeps.
+#: Default upper bound on process-level entries; small queries dominate, so
+#: this is generous without risking unbounded growth in long sweeps.
+#: Per-instance overrides (``ResultCache(capacity=...)``, fed by
+#: ``EngineConfig.result_cache_size`` / the CLI's ``--cache-size``) bound the
+#: shared store at write time instead.
 _PROCESS_CACHE_CAPACITY = 4096
 
 
@@ -65,16 +68,23 @@ class ResultCache:
 
     ``persist`` defaults to the backend's persistence: durable stores write
     through to the backend's cached-result side storage, in-memory stores use
-    only the process-level layer.
+    only the process-level layer.  ``capacity`` bounds the process-level LRU
+    (``None`` keeps the module default): the store itself is process-wide,
+    so the bound is enforced on every write this instance makes — the
+    smallest active capacity wins, which keeps memory predictable when
+    several engines configure different sizes.
     """
 
     backend: "StorageBackend"
     persist: bool | None = None
+    capacity: int | None = None
     statistics: CacheStatistics = field(default_factory=CacheStatistics)
 
     def __post_init__(self) -> None:
         if self.persist is None:
             self.persist = self.backend.is_persistent
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("result-cache capacity must be positive")
         # The tokenizer is immutable for the backend's lifetime: digest it
         # once, not per lookup.
         self._tokenizer_digest = hashlib.sha256(
@@ -114,7 +124,7 @@ class ResultCache:
             if payload is not None:
                 rows = _decode_rows(payload)
                 if rows is not None:
-                    _remember(key, rows)
+                    _remember(key, rows, self.capacity)
                     self.statistics.hits += 1
                     return list(rows)
         self.statistics.misses += 1
@@ -123,7 +133,7 @@ class ResultCache:
     def put(self, query: "StructuredQuery", limit: int | None, rows: Rows) -> None:
         """Record freshly executed rows under the current fingerprint."""
         key = self.key(query, limit)
-        _remember(key, list(rows))
+        _remember(key, list(rows), self.capacity)
         self.statistics.stores += 1
         if self.persist:
             payload = _encode_rows(rows)
@@ -159,11 +169,15 @@ class ResultCache:
             _PROCESS_CACHE.clear()
 
 
-def _remember(key: tuple[str, str, str], rows: Rows) -> None:
+def _remember(
+    key: tuple[str, str, str], rows: Rows, capacity: int | None = None
+) -> None:
+    if capacity is None:
+        capacity = _PROCESS_CACHE_CAPACITY
     with _PROCESS_CACHE_LOCK:
         _PROCESS_CACHE[key] = rows
         _PROCESS_CACHE.move_to_end(key)
-        while len(_PROCESS_CACHE) > _PROCESS_CACHE_CAPACITY:
+        while len(_PROCESS_CACHE) > capacity:
             _PROCESS_CACHE.popitem(last=False)
 
 

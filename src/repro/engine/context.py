@@ -30,6 +30,10 @@ class EngineConfig:
     per_query_limit: int | None = 5_000
     #: Use the cross-session result cache for interpretation execution.
     cache_results: bool = True
+    #: Capacity of the process-level result-cache LRU (entries).  The store
+    #: is process-wide and shared across engines; each engine enforces its
+    #: own configured bound when it writes (CLI: ``--cache-size``).
+    result_cache_size: int = 4096
     #: How many top-ranked interpretations ``--explain`` renders as SQL.
     explain_sql_limit: int = 5
     #: Batch interpretation execution on backends that support it (one
@@ -101,6 +105,14 @@ class EngineContext:
                 f"#{rank}:{rows}" for rank, rows in sorted(stats.attribution.items())
             )
             lines.append(f"  rows per executed interpretation: {contributions}")
+        for rank, reason in sorted(stats.fallback_reasons.items()):
+            lines.append(f"  batch fallback #{rank}: {reason}")
+        if stats.shard_rows:
+            per_shard = ", ".join(
+                f"shard{shard}:{rows}"
+                for shard, rows in sorted(stats.shard_rows.items())
+            )
+            lines.append(f"  rows per shard: {per_shard}")
         lines.append(f"  rows materialized: {stats.rows_materialized}")
         lines.append(f"  result cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es)")
         if self.sql:

@@ -77,8 +77,10 @@ class QueryEngine:
             self.model = model or ATFModel(self.index, self.catalog)
         if cache is not None:
             self.cache: ResultCache | None = cache
+        elif self.config.cache_results:
+            self.cache = ResultCache(backend, capacity=self.config.result_cache_size)
         else:
-            self.cache = ResultCache(backend) if self.config.cache_results else None
+            self.cache = None
         self.stages: list[Stage] = list(stages or DEFAULT_STAGES)
 
     # -- construction helpers ----------------------------------------------
@@ -90,12 +92,14 @@ class QueryEngine:
         *,
         backend: str | StorageBackend = "memory",
         db_path: "str | Path | None" = None,
+        shards: int | None = None,
         **kwargs,
     ) -> "QueryEngine":
         """Engine over one bundled synthetic dataset (``imdb`` / ``lyrics``).
 
-        ``backend``/``db_path`` select the storage engine exactly like the
-        dataset builders; remaining keyword arguments starting with
+        ``backend``/``db_path``/``shards`` select the storage engine exactly
+        like the dataset builders (``shards`` is the partition count of
+        sharding backends); remaining keyword arguments starting with
         ``dataset_`` are forwarded to the builder (e.g. ``dataset_seed=19``),
         the rest go to :class:`QueryEngine`.
         """
@@ -114,7 +118,7 @@ class QueryEngine:
             for key in list(kwargs)
             if key.startswith("dataset_")
         }
-        db = builder(backend=backend, db_path=db_path, **dataset_kwargs)
+        db = builder(backend=backend, db_path=db_path, shards=shards, **dataset_kwargs)
         return cls(db, **kwargs)
 
     def with_model(

@@ -35,15 +35,18 @@ from typing import Callable, Sequence
 
 from repro.engine import EngineConfig, EngineContext, QueryEngine
 
-#: One pooled engine: ``(dataset, backend name, resolved db path or None)``.
-EngineKey = tuple[str, str, str | None]
+#: One pooled engine: ``(dataset, backend name, resolved db path or None,
+#: shard count or None)``.  The shard count is part of the key because two
+#: sharded layouts of one dataset are two distinct physical stores (each
+#: with its own partitions, scatter connections and fan-out pool).
+EngineKey = tuple[str, str, str | None, int | None]
 
-#: Builds the engine of one pool slot: ``(dataset, backend, db_path,
+#: Builds the engine of one pool slot: ``(dataset, backend, db_path, shards,
 #: engine_config) -> QueryEngine``.  The default goes through
 #: ``QueryEngine.for_dataset``; tests and embedders swap in pre-built or
 #: pre-warmed engines.
 EngineFactory = Callable[
-    [str, str, "str | Path | None", EngineConfig | None], QueryEngine
+    [str, str, "str | Path | None", int | None, EngineConfig | None], QueryEngine
 ]
 
 
@@ -51,11 +54,12 @@ def _default_engine_factory(
     dataset: str,
     backend: str,
     db_path: "str | Path | None",
+    shards: int | None,
     config: EngineConfig | None,
 ) -> QueryEngine:
     kwargs = {} if config is None else {"config": config}
     return QueryEngine.for_dataset(
-        dataset, backend=backend, db_path=db_path, **kwargs
+        dataset, backend=backend, db_path=db_path, shards=shards, **kwargs
     )
 
 
@@ -120,14 +124,25 @@ class QueryServer:
         dataset: str,
         backend: str = "memory",
         db_path: "str | Path | None" = None,
+        shards: int | None = None,
     ) -> QueryEngine:
-        """The pooled engine of one (dataset, backend, db_path), built lazily.
+        """The pooled engine of one (dataset, backend, db_path, shards).
 
         Construction happens outside the pool lock, serialized per key: two
         first queries on one key build once, while queries on other (already
-        built) keys are never blocked by a slow dataset build.
+        built) keys are never blocked by a slow dataset build.  The shard
+        count normalizes through the backend registry, so an unspecified
+        count and an explicit default-count request share one engine.
         """
-        key: EngineKey = (dataset, backend, str(db_path) if db_path else None)
+        from repro.db.backends import resolve_shard_layout
+
+        shards = resolve_shard_layout(backend, shards)
+        key: EngineKey = (
+            dataset,
+            backend,
+            str(db_path) if db_path else None,
+            shards,
+        )
         with self._engines_lock:
             engine = self._engines.get(key)
             if engine is not None:
@@ -138,7 +153,9 @@ class QueryServer:
                 engine = self._engines.get(key)
                 if engine is not None:
                     return engine
-            engine = self._engine_factory(dataset, backend, db_path, self.engine_config)
+            engine = self._engine_factory(
+                dataset, backend, db_path, shards, self.engine_config
+            )
             with self._engines_lock:
                 self._engines[key] = engine
                 self._building.pop(key, None)
@@ -159,11 +176,14 @@ class QueryServer:
         *,
         backend: str = "memory",
         db_path: "str | Path | None" = None,
+        shards: int | None = None,
     ) -> "Future[QueryResponse]":
         """Enqueue one keyword query; resolves to a :class:`QueryResponse`."""
         if self._closed:
             raise RuntimeError("QueryServer is closed")
-        engine = self.engine_for(dataset, backend=backend, db_path=db_path)
+        engine = self.engine_for(
+            dataset, backend=backend, db_path=db_path, shards=shards
+        )
         return self._pool.submit(self._serve, engine, dataset, query, k)
 
     def query(
@@ -174,10 +194,11 @@ class QueryServer:
         *,
         backend: str = "memory",
         db_path: "str | Path | None" = None,
+        shards: int | None = None,
     ) -> QueryResponse:
         """Synchronous convenience over :meth:`submit`."""
         return self.submit(
-            dataset, query, k, backend=backend, db_path=db_path
+            dataset, query, k, backend=backend, db_path=db_path, shards=shards
         ).result()
 
     @staticmethod
@@ -289,6 +310,7 @@ def benchmark_serve(
     *,
     backend: str = "memory",
     db_path: "str | Path | None" = None,
+    shards: int | None = None,
     clients: int = 8,
     queries_per_client: int = 25,
     k: int = 5,
@@ -314,7 +336,9 @@ def benchmark_serve(
         engine_config=engine_config,
         engine_factory=engine_factory,
     ) as server:
-        engine = server.engine_for(dataset, backend=backend, db_path=db_path)
+        engine = server.engine_for(
+            dataset, backend=backend, db_path=db_path, shards=shards
+        )
         distinct = list(texts) if texts is not None else workload_texts(
             engine, dataset, seed=seed
         )
@@ -340,7 +364,8 @@ def benchmark_serve(
             for _ in range(queries_per_client):
                 text = rng.choice(distinct)
                 response = server.query(
-                    dataset, text, k=k, backend=backend, db_path=db_path
+                    dataset, text, k=k, backend=backend, db_path=db_path,
+                    shards=shards,
                 )
                 outcomes.append(
                     (text, response.seconds, response.result_uids() == expected[text])

@@ -12,7 +12,7 @@ from repro.db.backends import (
     create_backend,
     register_backend,
 )
-from repro.db.backends import sqlite as sqlite_module
+from repro.db.backends import sql as sql_module
 from repro.db.errors import (
     DatabaseError,
     IntegrityError,
@@ -25,7 +25,7 @@ from tests.conftest import build_mini_db, mini_schema
 
 class TestRegistry:
     def test_available_backends(self):
-        assert available_backends() == ["memory", "sqlite"]
+        assert available_backends() == ["memory", "sqlite", "sqlite-sharded"]
 
     def test_create_by_name(self):
         assert isinstance(create_backend("memory", mini_schema()), MemoryBackend)
@@ -215,7 +215,7 @@ class TestSQLiteExecution:
 
     def test_large_key_sets_post_filtered(self, monkeypatch):
         """Key sets above the SQL parameter budget fall back to Python filtering."""
-        monkeypatch.setattr(sqlite_module, "_MAX_INLINE_KEYS", 1)
+        monkeypatch.setattr(sql_module, "MAX_INLINE_KEYS", 1)
         db = build_mini_db("sqlite")
         path, edges = self._actor_movie(db)
         sel = {0: [("name", ("hanks",))], 2: [("year", ("2001",))]}

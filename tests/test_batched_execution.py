@@ -82,9 +82,9 @@ class TestBackendBatchedContract:
 
     def test_oversized_key_set_falls_back_per_path(self, monkeypatch):
         """Members beyond the inline-parameter budget run sequentially."""
-        from repro.db.backends import sqlite as sqlite_module
+        from repro.db.backends import sql as sql_module
 
-        monkeypatch.setattr(sqlite_module, "_MAX_INLINE_KEYS", 1)
+        monkeypatch.setattr(sql_module, "MAX_INLINE_KEYS", 1)
         db = build_mini_db("sqlite")
         specs, queries = _specs(db, "hanks 2001")
         batched = db.execute_paths_batched(specs, limit=10)
@@ -94,6 +94,34 @@ class TestBackendBatchedContract:
             assert rows == query.execute(db, limit=10)
         assert batched.statements == len(specs)
         assert batched.batched_indexes == []
+        # Every excluded spec reports why it left the shared statement (the
+        # spec whose only key set fits the patched cap runs solo instead —
+        # a single-member batch, not a fallback).
+        assert batched.fallbacks
+        assert all("inline cap" in reason for reason in batched.fallbacks.values())
+
+    def test_parameter_budget_overflow_reports_reason(self, monkeypatch):
+        """A spec whose total key footprint blows the statement-wide budget
+        (each set individually inlinable) falls back with the budget cause."""
+        from repro.db.backends import sql as sql_module
+
+        monkeypatch.setattr(sql_module, "MAX_TOTAL_INLINE_KEYS", 3)
+        db = build_mini_db("sqlite")
+        specs, queries = _specs(db, "hanks 2001")
+        assert len(specs) >= 2
+        batched = db.execute_paths_batched(specs, limit=10)
+        for rows, query in zip(batched.rows, queries):
+            assert rows == query.execute(db, limit=10)
+        assert batched.fallbacks  # at least one spec left the batch
+        assert all(
+            "parameter budget exhausted" in reason
+            for reason in batched.fallbacks.values()
+        )
+        # Specs that stayed inside the budget still shared one statement.
+        surviving = [i for i in range(len(specs)) if i not in batched.fallbacks]
+        assert batched.batched_indexes == (
+            surviving if len(surviving) > 1 else []
+        )
 
     def test_memory_backend_inherits_per_path_fallback(self):
         db = build_mini_db("memory")
@@ -231,6 +259,28 @@ class TestEnginePipelineParity:
         text = "\n".join(context.explain_lines())
         assert "sql statements: 1 (1 batch(es)" in text
         assert "rows per executed interpretation" in text
+        assert "batch fallback" not in text  # nothing overflowed
+
+    def test_explain_shows_fallback_causes(self, monkeypatch):
+        """When the parameter budget overflows, --explain names the ranks
+        that fell back and why (the former silent-fallback blind spot)."""
+        from repro.db.backends import sql as sql_module
+
+        monkeypatch.setattr(sql_module, "MAX_INLINE_KEYS", 1)
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        context = engine.run("london", k=5, explain=True)
+        stats = context.executor_statistics
+        assert stats.fallback_reasons
+        # Reasons key on the 1-based interpretation rank used everywhere
+        # else in the explain block.
+        assert set(stats.fallback_reasons) <= set(
+            range(1, len(context.ranked) + 1)
+        )
+        text = "\n".join(context.explain_lines())
+        for rank, reason in stats.fallback_reasons.items():
+            assert f"batch fallback #{rank}: {reason}" in text
 
 
 def test_schema_and_backend_flags():

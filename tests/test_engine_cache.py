@@ -100,6 +100,38 @@ class TestResultCacheBasics:
         assert title_of(ResultCache(b).fetch(query, None)) == {"paris days"}
 
 
+class TestConfigurableCapacity:
+    """EngineConfig.result_cache_size bounds the process-level LRU."""
+
+    def test_engine_config_reaches_the_cache(self, mini_db):
+        engine = QueryEngine(mini_db, config=EngineConfig(result_cache_size=7))
+        assert engine.cache is not None
+        assert engine.cache.capacity == 7
+
+    def test_capacity_bounds_the_lru(self, mini_db):
+        from repro.engine.cache import _PROCESS_CACHE
+
+        cache = ResultCache(mini_db, capacity=2)
+        engine = QueryEngine(mini_db, cache=cache)
+        query = engine.rank("hanks 2001")[0][0].to_structured_query()
+        for limit in (1, 2, 3):  # the limit is part of the key: 3 entries
+            cache.put(query, limit, query.execute(mini_db, limit=limit))
+        assert len(_PROCESS_CACHE) == 2
+        # LRU: the two most recent puts survive, the oldest was evicted.
+        assert cache.get(query, 3) is not None
+        assert cache.get(query, 1) is None
+
+    def test_capacity_must_be_positive(self, mini_db):
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            ResultCache(mini_db, capacity=0)
+
+    def test_default_capacity_unchanged(self, mini_db):
+        from repro.engine import cache as cache_module
+
+        assert ResultCache(mini_db).capacity is None
+        assert cache_module._PROCESS_CACHE_CAPACITY == 4096
+
+
 class TestInvalidation:
     def test_api_mutation_busts_memory_store(self, mini_db):
         engine = QueryEngine(mini_db)

@@ -31,8 +31,9 @@ def fresh_process_cache():
 def imdb_factory(imdb_db):
     """An engine factory over the session-scoped imdb store (no rebuilds)."""
 
-    def factory(dataset, backend, db_path, config):
+    def factory(dataset, backend, db_path, shards, config):
         assert dataset == "imdb" and backend == "memory" and db_path is None
+        assert shards is None
         kwargs = {} if config is None else {"config": config}
         return QueryEngine(imdb_db, **kwargs)
 
@@ -54,6 +55,31 @@ class TestEnginePool:
             assert first is second
             assert first is not other
             assert server.pooled_engines == 2
+
+    def test_pool_keys_are_shard_aware(self, imdb_db):
+        """Two shard layouts of one dataset are two pooled engines — but an
+        unspecified count and the explicit default share one."""
+        from repro.db.backends import ShardedSQLiteBackend
+
+        built_keys = []
+
+        def factory(dataset, backend, db_path, shards, config):
+            built_keys.append((dataset, backend, db_path, shards))
+            return QueryEngine(imdb_db)
+
+        default_count = ShardedSQLiteBackend.DEFAULT_SHARDS
+        with QueryServer(max_workers=1, engine_factory=factory) as server:
+            default = server.engine_for("imdb", backend="sqlite-sharded")
+            explicit_default = server.engine_for(
+                "imdb", backend="sqlite-sharded", shards=default_count
+            )
+            sharded = server.engine_for("imdb", backend="sqlite-sharded", shards=4)
+            again = server.engine_for("imdb", backend="sqlite-sharded", shards=4)
+            assert default is explicit_default  # normalized pool key
+            assert sharded is again
+            assert default is not sharded
+            assert server.pooled_engines == 2
+        assert [key[3] for key in built_keys] == [default_count, 4]
 
     def test_engine_config_reaches_the_pool(self):
         config = EngineConfig(k=3, batch_execution=False)

@@ -1,0 +1,305 @@
+"""The sqlite-sharded backend: parity, scatter-gather, store lifecycle.
+
+The contract under test: ``sqlite-sharded`` returns **byte-identical rows**
+to ``sqlite`` for every query — relation reads, single paths, batched
+execution, whole engine pipelines on both bundled datasets — while
+physically splitting every table across N attached partition files,
+executing one scatter statement per shard and attributing returned rows to
+the shard that produced them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.imdb import build_imdb
+from repro.db.backends import ShardedSQLiteBackend, create_backend
+from repro.db.backends.sharded import shard_of_key
+from repro.db.errors import DatabaseError, IntegrityError
+from repro.engine import EngineConfig, QueryEngine, ResultCache
+from tests.conftest import build_mini_db, mini_schema
+
+QUERIES = ["hanks 2001", "london", "hanks", "2001", "stone hill", "summer"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_cache():
+    ResultCache.clear_process_cache()
+    yield
+    ResultCache.clear_process_cache()
+
+
+def _result_rows(context):
+    return [(r.score, r.interpretation_rank, r.row_uids()) for r in context.results]
+
+
+def _mini_specs(db, query_text):
+    engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+    ranked = engine.rank(query_text)
+    return [interp.to_structured_query().path_spec() for interp, _p in ranked]
+
+
+class TestShardedRelations:
+    """Relation-level reads over partitions match the unsharded backend."""
+
+    def test_scan_lookup_get_len_parity(self):
+        db = build_mini_db("sqlite-sharded")
+        ref = build_mini_db("sqlite")
+        for table in ("actor", "movie", "acts"):
+            relation, reference = db.relation(table), ref.relation(table)
+            assert len(relation) == len(reference)
+            assert [t.uid for t in relation] == [t.uid for t in reference]
+            assert list(relation.keys()) == list(reference.keys())
+        assert [t.key for t in db.relation("acts").lookup("actor_id", 1)] == [
+            t.key for t in ref.relation("acts").lookup("actor_id", 1)
+        ]
+        assert db.relation("actor").get(2).get("name") == "colin hanks"
+        assert db.relation("actor").get(99) is None
+
+    def test_rows_actually_partition(self):
+        """Rows land in the partition their key hashes to — and only there."""
+        db = build_mini_db("sqlite-sharded")
+        dialect = db.dialect
+        for key in (1, 2, 3):
+            shard = shard_of_key(key, db.shards)
+            for candidate in range(db.shards):
+                source = dialect.partition_source("actor", candidate)
+                stored = db._conn.execute(
+                    f"SELECT COUNT(*) FROM {source} WHERE id = ?", (key,)
+                ).fetchone()[0]
+                assert stored == (1 if candidate == shard else 0)
+
+    def test_shard_routing_is_deterministic(self):
+        assert shard_of_key("actor-key", 4) == shard_of_key("actor-key", 4)
+        assert shard_of_key(True, 4) == shard_of_key(1, 4)  # normalized bools
+        # SQLite compares numerics across int/real (3.0 IS 3), so routing
+        # must collapse them too or get(3.0) would probe the wrong shard.
+        assert shard_of_key(3.0, 4) == shard_of_key(3, 4)
+
+    def test_get_with_numeric_key_aliases(self):
+        """get() agrees with the other backends for ==-equal key spellings."""
+        db = build_mini_db("sqlite-sharded")
+        ref = build_mini_db("sqlite")
+        for key in (3.0, True):
+            assert (db.relation("actor").get(key) is None) == (
+                ref.relation("actor").get(key) is None
+            )
+        assert db.relation("actor").get(3.0) == ref.relation("actor").get(3.0)
+
+    def test_duplicate_key_raises(self):
+        db = build_mini_db("sqlite-sharded")
+        with pytest.raises(IntegrityError):
+            db.insert("actor", {"id": 1, "name": "again"})
+
+    def test_insert_after_build_stays_consistent(self):
+        db = build_mini_db("sqlite-sharded")
+        ref = build_mini_db("sqlite")
+        for target in (db, ref):
+            target.insert("actor", {"id": 9, "name": "hanks the third"})
+        assert [t.uid for t in db.relation("actor")] == [
+            t.uid for t in ref.relation("actor")
+        ]
+        assert db.index.stats_snapshot() == ref.index.stats_snapshot()
+        assert db.selection_keys("actor", [("name", ("hanks",))]) == {1, 2, 9}
+
+
+class TestShardedExecution:
+    """Scatter-gather execution: same rows, per-shard statements."""
+
+    @pytest.mark.parametrize("limit", [None, 1, 3, 0])
+    def test_execute_path_matches_unsharded(self, limit):
+        db = build_mini_db("sqlite-sharded")
+        ref = build_mini_db("sqlite")
+        for query_text in ("hanks 2001", "london", "hanks"):
+            for spec in _mini_specs(ref, query_text):
+                assert db.execute_path(*spec, limit=limit) == ref.execute_path(
+                    *spec, limit=limit
+                )
+
+    def test_batched_matches_unsharded_with_shard_statements(self):
+        db = build_mini_db("sqlite-sharded")
+        ref = build_mini_db("sqlite")
+        specs = _mini_specs(ref, "hanks 2001")
+        assert len(specs) >= 2
+        batched = db.execute_paths_batched(specs, limit=10)
+        reference = ref.execute_paths_batched(specs, limit=10)
+        assert batched.rows == reference.rows
+        # One scatter statement per shard serves the whole batch.
+        assert batched.statements == db.shards
+        assert batched.batched_indexes == list(range(len(specs)))
+        total = sum(len(rows) for rows in batched.rows)
+        assert sum(batched.shard_rows.values()) == total
+
+    def test_post_filter_fallback_matches_unsharded(self, monkeypatch):
+        from repro.db.backends import sql as sql_module
+
+        monkeypatch.setattr(sql_module, "MAX_INLINE_KEYS", 1)
+        db = build_mini_db("sqlite-sharded")
+        ref = build_mini_db("sqlite")
+        specs = _mini_specs(ref, "hanks 2001")
+        batched = db.execute_paths_batched(specs, limit=10)
+        reference = ref.execute_paths_batched(specs, limit=10)
+        assert batched.rows == reference.rows
+        assert batched.fallbacks.keys() == reference.fallbacks.keys()
+        # Every fallback spec scatters too: shards statements per spec.
+        assert batched.statements == reference.statements * db.shards
+
+    def test_provably_empty_spec_costs_no_statement(self):
+        db = build_mini_db("sqlite-sharded")
+        specs = _mini_specs(db, "hanks")
+        path, edges, _selections = specs[0]
+        empty_spec = (path, edges, {0: [("name", ("notaterm",))]})
+        batched = db.execute_paths_batched([empty_spec], limit=10)
+        assert batched.rows == [[]]
+        assert batched.statements == 0
+
+
+class TestShardedEngineParity:
+    """Whole-pipeline row parity on both bundled datasets (acceptance)."""
+
+    @pytest.mark.parametrize("dataset", ["imdb", "lyrics"])
+    def test_sharded_engine_matches_sqlite_engine(self, dataset):
+        unsharded = QueryEngine.for_dataset(
+            dataset, backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        sharded = QueryEngine.for_dataset(
+            dataset,
+            backend="sqlite-sharded",
+            shards=3,
+            config=EngineConfig(cache_results=False),
+        )
+        for query_text in QUERIES:
+            expected = unsharded.run(query_text, k=5)
+            actual = sharded.run(query_text, k=5)
+            assert _result_rows(actual) == _result_rows(expected), (
+                dataset,
+                query_text,
+            )
+
+    def test_shard_attribution_reaches_explain(self):
+        engine = QueryEngine.for_dataset(
+            "imdb",
+            backend="sqlite-sharded",
+            shards=3,
+            config=EngineConfig(cache_results=False),
+        )
+        context = engine.run("london", k=5, explain=True)
+        stats = context.executor_statistics
+        assert stats.rows_materialized > 0
+        assert sum(stats.shard_rows.values()) == stats.rows_materialized
+        text = "\n".join(context.explain_lines())
+        assert "rows per shard: " in text
+        assert "shard2:" in text  # all three shards contributed on "london"
+
+    def test_statement_reduction_holds_under_sharding(self):
+        """One scatter statement per shard per batch — still far below one
+        statement per interpretation."""
+        engine = QueryEngine.for_dataset(
+            "imdb",
+            backend="sqlite-sharded",
+            shards=2,
+            config=EngineConfig(cache_results=False),
+        )
+        context = engine.run("london", k=5)
+        stats = context.executor_statistics
+        assert stats.interpretations_executed >= 3
+        assert stats.batches == 1
+        assert stats.sql_statements == 2  # == shards
+        assert stats.sql_statements < stats.interpretations_executed
+
+
+class TestShardedStoreLifecycle:
+    def test_partition_files_and_reuse(self, tmp_path):
+        path = tmp_path / "imdb.sqlite"
+        kwargs = dict(seed=7, n_movies=30, n_actors=18, n_directors=6, n_companies=5)
+        built = build_imdb(backend="sqlite-sharded", db_path=path, shards=2, **kwargs)
+        snapshot = built.require_index().stats_snapshot()
+        reference_rows = build_imdb(**kwargs)
+        query = (["movie"], [], {0: [("title", ("stone",))]})
+        expected = reference_rows.execute_path(*query)
+        assert built.execute_path(*query) == expected
+        built.close()
+        for shard in range(2):
+            assert (tmp_path / f"imdb.sqlite.shard{shard}").exists()
+
+        reopened = build_imdb(
+            backend="sqlite-sharded", db_path=path, shards=2, **kwargs
+        )
+        assert reopened.require_index().stats_snapshot() == snapshot
+        assert reopened.execute_path(*query) == expected
+        reopened.close()
+
+    def test_reuse_with_different_generation_params_refuses(self, tmp_path):
+        path = tmp_path / "imdb.sqlite"
+        kwargs = dict(seed=7, n_movies=30, n_actors=18, n_directors=6, n_companies=5)
+        build_imdb(backend="sqlite-sharded", db_path=path, shards=2, **kwargs).close()
+        with pytest.raises(ValueError, match="different IMDB instance"):
+            build_imdb(
+                backend="sqlite-sharded", db_path=path, shards=2,
+                **{**kwargs, "n_movies": 31},
+            )
+
+    def test_shard_count_mismatch_fails_fast(self, tmp_path):
+        path = tmp_path / "mini.sqlite"
+        build_mini_db("sqlite-sharded", db_path=path).close()
+        with pytest.raises(DatabaseError, match="built with 2 shard"):
+            create_backend("sqlite-sharded", mini_schema(), path=path, shards=5)
+        # The rejected open must not leave stray shard files behind.
+        assert not (tmp_path / "mini.sqlite.shard4").exists()
+
+    def test_missing_partition_file_fails_fast(self, tmp_path):
+        """Only the catalog survived (e.g. a partial backup): refuse to open
+        rather than silently serve the remaining half of the store."""
+        path = tmp_path / "mini.sqlite"
+        build_mini_db("sqlite-sharded", db_path=path).close()
+        (tmp_path / "mini.sqlite.shard0").unlink()
+        with pytest.raises(DatabaseError, match="missing partition file"):
+            create_backend("sqlite-sharded", mini_schema(), path=path)
+        # ...and the failed open must not have recreated it as an empty db.
+        assert not (tmp_path / "mini.sqlite.shard0").exists()
+
+    def test_backend_mixups_fail_fast(self, tmp_path):
+        sharded_path = tmp_path / "sharded.sqlite"
+        plain_path = tmp_path / "plain.sqlite"
+        build_mini_db("sqlite-sharded", db_path=sharded_path).close()
+        build_mini_db("sqlite", db_path=plain_path).close()
+        with pytest.raises(DatabaseError, match="hash-partitioned"):
+            create_backend("sqlite", mini_schema(), path=sharded_path)
+        with pytest.raises(DatabaseError, match="plain .unsharded."):
+            create_backend("sqlite-sharded", mini_schema(), path=plain_path)
+
+    def test_shards_rejected_for_unsupporting_backends(self):
+        with pytest.raises(ValueError, match="does not support sharding"):
+            create_backend("memory", mini_schema(), shards=2)
+        with pytest.raises(ValueError, match="does not support sharding"):
+            create_backend("sqlite", mini_schema(), shards=2)
+        instance = build_mini_db("memory")
+        with pytest.raises(ValueError, match="existing backend instance"):
+            create_backend(instance, mini_schema(), shards=2)
+
+    def test_invalid_shard_counts(self):
+        with pytest.raises(ValueError, match="shards must be positive"):
+            ShardedSQLiteBackend(mini_schema(), shards=0)
+
+    def test_single_shard_degenerates_gracefully(self):
+        ref = build_mini_db("sqlite")
+        one = _populated_sharded(shards=1)
+        specs = _mini_specs(ref, "hanks 2001")
+        batched = one.execute_paths_batched(specs, limit=10)
+        assert batched.rows == ref.execute_paths_batched(specs, limit=10).rows
+        assert batched.statements == 1
+
+    def test_fingerprint_refuses_layout_params(self):
+        from repro.datasets import _store
+
+        with pytest.raises(ValueError, match="storage-layout"):
+            _store.fingerprint("imdb", seed=7, shards=2)
+
+
+def _populated_sharded(shards: int) -> ShardedSQLiteBackend:
+    """The mini dataset on a sharded store with an explicit shard count."""
+    db = ShardedSQLiteBackend(mini_schema(), shards=shards)
+    reference = build_mini_db("memory")
+    reference.copy_into(db)
+    db.build_indexes()
+    return db
