@@ -137,8 +137,13 @@ def test_bench_engine_batched_vs_sequential(tmp_path):
     sequential = QueryEngine(
         db, config=EngineConfig(cache_results=False, batch_execution=False)
     )
+    # The materializing batched strategy is what this benchmark measures;
+    # the streaming strategy has its own row-consumption guard below.
     batched = QueryEngine(
-        db, config=EngineConfig(cache_results=False, batch_execution=True)
+        db,
+        config=EngineConfig(
+            cache_results=False, batch_execution=True, streaming_execution=False
+        ),
     )
 
     rows_of = lambda context: [r.row_uids() for r in context.results]  # noqa: E731
@@ -203,6 +208,71 @@ def test_bench_engine_batched_vs_sequential(tmp_path):
     )
 
 
+def test_bench_engine_streaming_row_consumption(tmp_path):
+    """Streaming execution: the TA bound stops *consuming* the backend.
+
+    The acceptance guard of the streaming refactor: on a single-answer
+    (k=1) query, the streaming strategy must pull strictly fewer rows out of
+    the backend than the materializing strategy materializes — the rows of
+    interpretations past the stopping point are simply never fetched — while
+    returning byte-identical results.  Also asserts the adaptive first batch
+    shrinks once selectivity has been observed.
+    """
+    path = tmp_path / "imdb.sqlite"
+    build_imdb(**BUILD_KWARGS, backend="sqlite", db_path=path).close()
+    db, _ = _timed_open(path, persist_index=True)
+    materializing = QueryEngine(
+        db,
+        config=EngineConfig(
+            cache_results=False, batch_execution=True, streaming_execution=False
+        ),
+    )
+    streaming = QueryEngine(
+        db, config=EngineConfig(cache_results=False, batch_execution=True)
+    )
+
+    rows_of = lambda context: [r.row_uids() for r in context.results]  # noqa: E731
+    per_query: list[list[str]] = []
+    wins = 0
+    for query_text in QUERIES:
+        materialized_context = materializing.run(query_text, k=1)
+        streamed_context = streaming.run(query_text, k=1)
+        assert rows_of(streamed_context) == rows_of(materialized_context)
+        mat = materialized_context.executor_statistics
+        stream = streamed_context.executor_statistics
+        assert stream.rows_streamed <= mat.rows_materialized
+        if mat.rows_materialized > 0:
+            # The headline claim: k=1 consumes strictly fewer backend rows.
+            assert stream.rows_streamed < mat.rows_materialized, (
+                f"{query_text!r}: streaming consumed {stream.rows_streamed} "
+                f"rows, materializing produced {mat.rows_materialized}"
+            )
+            wins += 1
+        per_query.append(
+            [
+                query_text,
+                f"{mat.rows_materialized}",
+                f"{stream.rows_streamed}",
+                f"{stream.first_batch_size}",
+            ]
+        )
+    assert wins > 0, "no query produced rows; the guard asserted nothing"
+    # With selectivity observed, a later k=1 query's first batch must shrink
+    # below the legacy max(2, min(batch, k)) == 2 floor.
+    final = streaming.run(QUERIES[0], k=1)
+    assert final.executor_statistics.first_batch_size == 1
+    assert streaming.observed_selectivity is not None
+    db.close()
+
+    print()
+    print(
+        format_table(
+            ["query (k=1)", "materialized rows", "streamed rows", "first batch"],
+            per_query,
+        )
+    )
+
+
 def test_bench_engine_sharded_statement_ratio(tmp_path):
     """Sharded scatter-gather: row parity + the statement ratio under shards.
 
@@ -226,7 +296,10 @@ def test_bench_engine_sharded_statement_ratio(tmp_path):
         config=EngineConfig(cache_results=False, batch_execution=False),
     )
     sharded = QueryEngine(
-        db, config=EngineConfig(cache_results=False, batch_execution=True)
+        db,
+        config=EngineConfig(
+            cache_results=False, batch_execution=True, streaming_execution=False
+        ),
     )
 
     rows_of = lambda context: [r.row_uids() for r in context.results]  # noqa: E731

@@ -165,6 +165,21 @@ def cmd_diversify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_served_response(text, response) -> None:
+    """One served line-protocol answer (shared by threaded and async serve)."""
+    statistics = response.context.executor_statistics
+    print(
+        f"[{text}] {len(response.results)} result(s) in "
+        f"{response.seconds * 1000:.1f} ms "
+        f"({statistics.sql_statements} statement(s), "
+        f"{statistics.cache_hits} cache hit(s))",
+        flush=True,
+    )
+    for result in response.results:
+        snippet = make_snippet(response.context.query, result.row)
+        print(f"  [{result.score:.3f}] {snippet.text}", flush=True)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve keyword queries read from stdin, one per line, concurrently.
 
@@ -173,24 +188,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     interactive client gets its reply without closing stdin — a minimal line
     protocol that makes the concurrent serving path scriptable
     (`echo "hanks 2001" | repro serve ...`) and usable as a coprocess.
+    With ``--async`` the same protocol runs on an asyncio event loop (see
+    :func:`_cmd_serve_async`).
     """
     import queue
     import threading
 
     from repro.server import QueryServer
 
-    def print_response(text, response):
-        statistics = response.context.executor_statistics
-        print(
-            f"[{text}] {len(response.results)} result(s) in "
-            f"{response.seconds * 1000:.1f} ms "
-            f"({statistics.sql_statements} statement(s), "
-            f"{statistics.cache_hits} cache hit(s))",
-            flush=True,
-        )
-        for result in response.results:
-            snippet = make_snippet(response.context.query, result.row)
-            print(f"  [{result.score:.3f}] {snippet.text}", flush=True)
+    if args.use_async:
+        return _cmd_serve_async(args)
+
+    print_response = _print_served_response
 
     pending: "queue.SimpleQueue" = queue.SimpleQueue()
     failures = 0
@@ -266,6 +275,94 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_serve_async(args: argparse.Namespace) -> int:
+    """The ``serve --async`` front end: one event loop, zero pinned workers.
+
+    Same line protocol and the same (threaded) engine pool underneath, but
+    the front end — reading stdin, awaiting responses, printing answers in
+    input order — is a single asyncio event loop.  A client that drips its
+    queries or reads its answers slowly keeps exactly zero worker threads
+    waiting on it; workers only ever run engine pipelines.
+    """
+    import asyncio
+
+    from repro.server import QueryServer
+
+    async def run() -> int:
+        failures = 0
+        loop = asyncio.get_running_loop()
+        pending: "asyncio.Queue" = asyncio.Queue()
+        # Set when stdout goes away (e.g. piped into head): the reader stops
+        # submitting, exactly like the threaded front end.
+        muted = False
+
+        async def drain() -> None:
+            nonlocal failures, muted
+            while True:
+                item = await pending.get()
+                if item is None:
+                    return
+                text, response_future = item
+                try:
+                    response = await response_future
+                except Exception as exc:  # noqa: BLE001 - keep serving
+                    failures += 1
+                    response, error = None, exc
+                if muted:
+                    continue
+                try:
+                    if response is not None:
+                        _print_served_response(text, response)
+                    else:
+                        print(f"[{text}] error: {error}", flush=True)
+                except (BrokenPipeError, ValueError):
+                    muted = True
+
+        with QueryServer(
+            max_workers=args.workers, engine_config=_engine_config(args)
+        ) as server:
+            try:
+                server.engine_for(
+                    args.dataset,
+                    backend=args.backend,
+                    db_path=args.db_path,
+                    shards=args.shards,
+                )
+            except (ValueError, DatabaseError) as exc:
+                raise SystemExit(f"error: {exc}") from None
+            print(
+                f"serving dataset={args.dataset} backend={args.backend} "
+                f"workers={args.workers} frontend=asyncio (one query per line)",
+                flush=True,
+            )
+            drainer = asyncio.ensure_future(drain())
+            try:
+                while True:
+                    # stdin has no portable async reader; one executor thread
+                    # feeds the loop line by line.
+                    line = await loop.run_in_executor(None, sys.stdin.readline)
+                    if not line or muted:
+                        break  # input done, or output gone: stop submitting
+                    text = line.strip()
+                    if not text:
+                        continue
+                    future = server.submit(
+                        args.dataset,
+                        text,
+                        k=args.k,
+                        backend=args.backend,
+                        db_path=args.db_path,
+                        shards=args.shards,
+                    )
+                    await pending.put((text, asyncio.wrap_future(future)))
+            finally:
+                await pending.put(None)
+                await drainer
+        return 0 if not failures else 1
+
+    return asyncio.run(run())
+
+
 def cmd_bench_serve(args: argparse.Namespace) -> int:
     """Synthetic concurrent workload: throughput + latency percentiles."""
     from repro.server import benchmark_serve
@@ -281,6 +378,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             k=args.k,
             seed=args.seed,
             engine_config=_engine_config(args),
+            use_async=args.use_async,
         )
     except (ValueError, DatabaseError) as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -375,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=8, help="worker threads in the serving pool"
     )
+    p_serve.add_argument(
+        "--async",
+        action="store_true",
+        dest="use_async",
+        help="run the line-protocol front end on an asyncio event loop "
+        "(same engine pool; slow clients pin no worker threads)",
+    )
     _add_storage_options(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -393,6 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench_serve.add_argument(
         "--seed", type=int, default=13, help="workload sampling seed"
+    )
+    p_bench_serve.add_argument(
+        "--async",
+        action="store_true",
+        dest="use_async",
+        help="drive the workload with asyncio client tasks instead of "
+        "client threads (same seeds, same queries, same verification)",
     )
     _add_storage_options(p_bench_serve)
     p_bench_serve.set_defaults(func=cmd_bench_serve)

@@ -16,11 +16,16 @@ compares against the naive execute-everything strategy.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.interpretation import Interpretation
 from repro.db.backends.base import StorageBackend
+
+#: "No lookahead row pulled yet" marker of the streamed consumer (``None``
+#: means the stream is exhausted, so it cannot double as the marker).
+_PENDING = object()
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> engine import cycle
     from repro.core.query import StructuredQuery
@@ -61,6 +66,18 @@ class TopKStatistics:
     sql_statements: int = 0
     #: Number of batched execution rounds (0 = sequential execution).
     batches: int = 0
+    #: Rows consumed from backend cursor streams (streaming execution only;
+    #: the materializing strategies leave it 0).
+    rows_streamed: int = 0
+    #: Rows the backend had already produced (materialized by a fallback,
+    #: prefetched into a cursor chunk) that the TA bound never consumed — a
+    #: lower bound of the work streaming avoided, since rows a closed cursor
+    #: never computed cannot be counted at all.
+    rows_short_circuited: int = 0
+    #: Size of the streaming strategy's first execution batch (None outside
+    #: streaming execution) — shrunk below min(batch, k) when observed
+    #: selectivity says fewer interpretations will satisfy the TA bound.
+    first_batch_size: int | None = None
     #: Rows contributed per 1-based interpretation rank (execution only —
     #: cache hits do not appear here), for ``--explain`` attribution.
     attribution: dict[int, int] = field(default_factory=dict)
@@ -70,19 +87,38 @@ class TopKStatistics:
     fallback_reasons: dict[int, str] = field(default_factory=dict)
     #: Rows contributed per storage shard (sharded backends only).
     shard_rows: dict[int, int] = field(default_factory=dict)
+    #: The scatter slot each executed interpretation partitioned on (1-based
+    #: rank -> backend-reported label; sharded backends only).
+    scatter_slots: dict[int, str] = field(default_factory=dict)
+
+    def rows_per_interpretation(self) -> float | None:
+        """Observed execution selectivity: rows per executed interpretation.
+
+        ``None`` when nothing executed (fully cache-served queries carry no
+        signal).  The engine folds this observation into the estimate that
+        sizes the next query's first streaming batch.
+        """
+        if not self.interpretations_executed:
+            return None
+        return sum(self.attribution.values()) / self.interpretations_executed
 
     def _merge_execution(
         self, executed, rank_of: "dict[int, int] | None" = None
     ) -> None:
-        """Fold one ``BatchedExecution``'s bookkeeping into the statistics.
+        """Fold one ``BatchedExecution``/``StreamedExecution``'s bookkeeping
+        into the statistics.
 
         ``rank_of`` maps the execution's spec positions to 1-based
         interpretation ranks (identity-on-rank-1 for single-spec calls).
         """
         self.sql_statements += executed.statements
+        self.rows_short_circuited += getattr(executed, "rows_short_circuited", 0)
         for index, reason in executed.fallbacks.items():
             rank = rank_of[index] if rank_of is not None else index + 1
             self.fallback_reasons[rank] = reason
+        for index, label in executed.scatter_slots.items():
+            rank = rank_of[index] if rank_of is not None else index + 1
+            self.scatter_slots[rank] = label
         for shard, rows in executed.shard_rows.items():
             self.shard_rows[shard] = self.shard_rows.get(shard, 0) + rows
 
@@ -109,6 +145,14 @@ class TopKExecutor:
     cache: "ResultCache | None" = None
     #: Interpretations per execution batch; ``None``/``1`` = sequential.
     batch_size: int | None = None
+    #: Consume batches through ``execute_paths_streamed`` cursors instead of
+    #: materialized lists: the TA bound then *stops consuming* — rows of
+    #: interpretations past the stopping point are never fetched or decoded.
+    #: Results are identical to the materializing strategies by construction.
+    streaming: bool = False
+    #: Observed rows-per-interpretation selectivity from earlier queries on
+    #: this store (fed by the engine); sizes the first streaming batch.
+    expected_rows_per_interpretation: float | None = None
     statistics: TopKStatistics = field(default_factory=TopKStatistics)
 
     def _rows_for(self, interpretation: Interpretation, rank: int = 1) -> list[tuple]:
@@ -150,6 +194,8 @@ class TopKExecutor:
         if k == 0:
             return []
         if self.batch_size is not None and self.batch_size > 1:
+            if self.streaming:
+                return self._execute_streamed(ranked, k)
             return self._execute_batched(ranked, k)
         results: list[TopKResult] = []
         seen_rows: set[tuple] = set()
@@ -160,17 +206,34 @@ class TopKExecutor:
                 self.statistics.stopped_early = True
                 break
             rows = self._rows_for(interpretation, rank=position + 1)
-            self.statistics.rows_materialized += len(rows)
-            for row in rows:
-                uids = tuple(t.uid for t in row)
-                if uids in seen_rows:
-                    continue  # union semantics across interpretations
-                seen_rows.add(uids)
-                results.append(
-                    TopKResult(score=score, interpretation_rank=position + 1, row=row)
-                )
-            results.sort(key=lambda r: (-r.score, r.interpretation_rank, r.row_uids()))
+            self._merge_rows(results, seen_rows, rows, score, rank=position + 1)
         return results[:k]
+
+    def _merge_rows(
+        self,
+        results: list[TopKResult],
+        seen_rows: set[tuple],
+        rows: list[tuple],
+        score: float,
+        rank: int,
+    ) -> None:
+        """Union-merge one interpretation's rows into the result pool.
+
+        The single definition of the result order — dedup on row identity
+        across interpretations, then the ``(-score, rank, row identity)``
+        total order — shared by every execution strategy, so the byte-parity
+        the streaming/batching tests pin cannot drift between them.
+        """
+        self.statistics.rows_materialized += len(rows)
+        for row in rows:
+            uids = tuple(t.uid for t in row)
+            if uids in seen_rows:
+                continue  # union semantics across interpretations
+            seen_rows.add(uids)
+            results.append(
+                TopKResult(score=score, interpretation_rank=rank, row=row)
+            )
+        results.sort(key=lambda r: (-r.score, r.interpretation_rank, r.row_uids()))
 
     def _execute_batched(
         self,
@@ -193,7 +256,7 @@ class TopKExecutor:
         # needs; later batches (rare — most queries stop after one) use the
         # full configured size.  Keeps over-execution past the TA stopping
         # point small without giving up the one-statement common case.
-        batch_size = max(2, min(self.batch_size, k))
+        batch_size = self._first_batch_size(k)
         while position < len(ranked):
             if len(results) >= k and results[k - 1].score >= ranked[position][1]:
                 self.statistics.stopped_early = True
@@ -232,21 +295,151 @@ class TopKExecutor:
                     if self.cache is not None:
                         self.cache.put(query, self.per_query_limit, rows)
             for offset, (_interpretation, score) in enumerate(batch):
-                rows = rows_by_offset[offset]
-                self.statistics.rows_materialized += len(rows)
-                for row in rows:
-                    uids = tuple(t.uid for t in row)
-                    if uids in seen_rows:
-                        continue  # union semantics across interpretations
-                    seen_rows.add(uids)
-                    results.append(
-                        TopKResult(
-                            score=score,
-                            interpretation_rank=position + offset + 1,
-                            row=row,
-                        )
-                    )
-            results.sort(key=lambda r: (-r.score, r.interpretation_rank, r.row_uids()))
+                self._merge_rows(
+                    results,
+                    seen_rows,
+                    rows_by_offset[offset],
+                    score,
+                    rank=position + offset + 1,
+                )
+            position += len(batch)
+        return results[:k]
+
+    def _first_batch_size(self, k: int) -> int:
+        """Interpretations the first execution batch covers.
+
+        The legacy bound — min(batch, k) interpretations, enough for a
+        worst-case top-k where every interpretation yields one row — shrinks
+        further under streaming when observed selectivity says fewer will do:
+        with ~r rows per executed interpretation, ceil(k / r) of them are
+        expected to satisfy the TA bound, and under-shooting costs only one
+        more (smaller) statement because a streamed batch's unconsumed rows
+        were never fetched anyway.  The materializing strategy keeps the
+        legacy bound: there an extra batch means an extra fully materialized
+        statement, which the shrink could easily cost more than it saves.
+        """
+        assert self.batch_size is not None
+        base = max(2, min(self.batch_size, k))
+        estimate = self.expected_rows_per_interpretation
+        if not self.streaming or not estimate or estimate <= 0:
+            return base
+        return max(1, min(base, math.ceil(k / estimate)))
+
+    def _execute_streamed(
+        self,
+        ranked: list[tuple[Interpretation, float]],
+        k: int,
+    ) -> list[TopKResult]:
+        """Streaming execution: the TA bound stops *consuming* the cursor.
+
+        Batches plan exactly like :meth:`_execute_batched`, but rows arrive
+        through one backend cursor stream in rank order and the threshold is
+        re-checked between interpretations *inside* the batch: once k results
+        beat the next interpretation's upper bound, the stream closes and the
+        remaining interpretations' rows are never fetched, decoded or
+        deduplicated — they count as neither executed nor missed.  Returned
+        rows are identical to sequential execution: an interpretation, once
+        started, is always drained completely (its own rows tie-break among
+        themselves by row identity, so a partial drain could change the
+        top-k), and interpretations past the stopping point can only
+        contribute rows sorting after the confirmed top-k.
+        """
+        assert self.batch_size is not None
+        self.statistics.first_batch_size = batch_size = self._first_batch_size(k)
+        results: list[TopKResult] = []
+        seen_rows: set[tuple] = set()
+        position = 0
+        stopped = False
+        while position < len(ranked) and not stopped:
+            if len(results) >= k and results[k - 1].score >= ranked[position][1]:
+                self.statistics.stopped_early = True
+                break
+            batch = ranked[position : position + batch_size]
+            batch_size = self.batch_size
+            # Cache peek: hits resolve without touching the backend; the
+            # rest stay pending and are only booked as misses if the TA
+            # bound actually reaches them — an interpretation whose rows
+            # were never consumed was not executed, so on the next run it
+            # must look exactly as cold as it is now.
+            cached: dict[int, list[tuple]] = {}
+            pending: list[tuple[int, "StructuredQuery"]] = []
+            for offset, (interpretation, _score) in enumerate(batch):
+                query = interpretation.to_structured_query()
+                if self.cache is not None:
+                    rows = self.cache.get(query, self.per_query_limit)
+                    if rows is not None:
+                        cached[offset] = rows
+                        continue
+                pending.append((offset, query))
+            spec_of_offset = {offset: i for i, (offset, _q) in enumerate(pending)}
+            rank_of_spec = {
+                i: position + offset + 1 for i, (offset, _q) in enumerate(pending)
+            }
+            execution = None
+            lookahead: Any = _PENDING
+            last_spec_consumed = -1
+            try:
+                for offset, (_interpretation, score) in enumerate(batch):
+                    rank = position + offset + 1
+                    if len(results) >= k and results[k - 1].score >= score:
+                        self.statistics.stopped_early = True
+                        stopped = True
+                        break
+                    if offset in cached:
+                        rows = cached[offset]
+                        self.statistics.cache_hits += 1
+                    else:
+                        if execution is None:
+                            # The stream opens at the first pending
+                            # interpretation the bound lets through (never,
+                            # on a fully cache-served batch) and covers the
+                            # batch's misses; statements execute lazily as
+                            # the stream reaches them.
+                            execution = self.database.execute_paths_streamed(
+                                [query.path_spec() for _o, query in pending],
+                                limit=self.per_query_limit,
+                            )
+                            self.statistics.batches += 1
+                        spec = spec_of_offset[offset]
+                        last_spec_consumed = spec
+                        rows = []
+                        while True:
+                            if lookahead is _PENDING:
+                                lookahead = next(execution.stream, None)
+                            if lookahead is None or lookahead[0] != spec:
+                                break  # this interpretation is drained
+                            rows.append(lookahead[1])
+                            lookahead = _PENDING
+                        self.statistics.cache_misses += 1
+                        self.statistics.interpretations_executed += 1
+                        self.statistics.rows_streamed += len(rows)
+                        self.statistics.attribution[rank] = len(rows)
+                        if self.cache is not None:
+                            self.cache.put(
+                                pending[spec][1], self.per_query_limit, rows
+                            )
+                    self._merge_rows(results, seen_rows, rows, score, rank=rank)
+            finally:
+                if execution is not None:
+                    execution.stream.close()
+                    # Specs past the stopping point were planned but never
+                    # consumed: like executed/missed counters, their
+                    # per-spec explain entries must not report work that
+                    # never happened (statements are already counted lazily).
+                    for annotations in (execution.fallbacks, execution.scatter_slots):
+                        for spec in [
+                            s for s in annotations if s > last_spec_consumed
+                        ]:
+                            del annotations[spec]
+                    # Statements, shard attribution and short-circuit counts
+                    # settle only once the stream is closed.
+                    self.statistics._merge_execution(execution, rank_of=rank_of_spec)
+                    if lookahead is not _PENDING and lookahead is not None:
+                        # The row pulled to detect the previous
+                        # interpretation's boundary belongs to one the bound
+                        # then stopped: delivered by the backend (it appears
+                        # in shard_rows), never merged into results.
+                        self.statistics.rows_short_circuited += 1
             position += len(batch)
         return results[:k]
 

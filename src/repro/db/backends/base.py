@@ -29,7 +29,15 @@ import hashlib
 import json
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Iterable, Protocol, Sequence, runtime_checkable
+from typing import (
+    Any,
+    ClassVar,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.db.errors import UnknownTableError
 from repro.db.index import InvertedIndex
@@ -69,6 +77,8 @@ class BatchedExecution:
     reason (e.g. the UNION ALL parameter budget overflowed) — surfaced by
     the engine's ``--explain``.  ``shard_rows`` attributes returned rows to
     the storage shard that produced them (empty on unsharded backends).
+    ``scatter_slots`` names the partitioned join slot each spec scattered on
+    (sharding backends with a scatter-position chooser; empty elsewhere).
     """
 
     rows: list[list[tuple[Tuple, ...]]]
@@ -76,6 +86,74 @@ class BatchedExecution:
     batched_indexes: list[int] = field(default_factory=list)
     fallbacks: dict[int, str] = field(default_factory=dict)
     shard_rows: dict[int, int] = field(default_factory=dict)
+    scatter_slots: dict[int, str] = field(default_factory=dict)
+
+
+class RowStream:
+    """A closable cursor over ``(spec index, network)`` pairs.
+
+    The streaming counterpart of :class:`BatchedExecution.rows`: pairs come
+    out in ascending spec order, and within one spec in exactly the rows and
+    order the list-returning API would produce — so draining a stream and
+    grouping by index is byte-identical to ``execute_paths_batched``.  The
+    point of the cursor shape is that a consumer may *stop*: ``close()``
+    (or the context manager) releases every underlying backend cursor
+    without fetching the remaining rows — the top-k executor's TA bound uses
+    this to stop consuming instead of post-filtering a materialized batch.
+    """
+
+    def __init__(self, iterator: "Iterator[tuple[int, tuple[Tuple, ...]]]"):
+        self._iterator = iterator
+        self._closed = False
+        #: Pairs handed to the consumer so far.
+        self.rows_delivered = 0
+
+    def __iter__(self) -> "RowStream":
+        return self
+
+    def __next__(self) -> "tuple[int, tuple[Tuple, ...]]":
+        item = next(self._iterator)
+        self.rows_delivered += 1
+        return item
+
+    def close(self) -> None:
+        """Release the underlying cursors; idempotent, safe mid-iteration."""
+        if self._closed:
+            return
+        self._closed = True
+        close = getattr(self._iterator, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "RowStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class StreamedExecution:
+    """The outcome of one :meth:`StorageBackend.execute_paths_streamed` call.
+
+    Mirrors :class:`BatchedExecution` with the rows behind a :class:`RowStream`
+    cursor instead of materialized lists.  The bookkeeping fields fill in
+    *lazily* as the stream executes and is consumed — ``statements`` counts
+    only statements whose cursors were actually opened (an unconsumed stream
+    costs none), ``shard_rows`` attributes only delivered rows, and
+    ``rows_short_circuited`` counts rows the backend had already produced
+    (materialized by a fallback, or prefetched into a cursor chunk) when the
+    consumer closed the stream — so read them after the stream is exhausted
+    or closed, not before.
+    """
+
+    stream: RowStream
+    statements: int = 0
+    batched_indexes: list[int] = field(default_factory=list)
+    fallbacks: dict[int, str] = field(default_factory=dict)
+    shard_rows: dict[int, int] = field(default_factory=dict)
+    scatter_slots: dict[int, str] = field(default_factory=dict)
+    rows_short_circuited: int = 0
 
 
 def normalize_value(value: Any) -> Any:
@@ -469,6 +547,50 @@ class StorageBackend(abc.ABC):
             for path, edges, selections in specs
         ]
         return BatchedExecution(rows=rows, statements=len(specs))
+
+    def execute_paths_streamed(
+        self,
+        specs: Sequence[PathSpec],
+        limit: int | None = None,
+    ) -> StreamedExecution:
+        """Execute several join paths as one :class:`RowStream` cursor.
+
+        The streaming face of :meth:`execute_paths_batched`: pairs stream in
+        ascending spec order, rows within a spec identical (content, order,
+        truncation) to the list-returning call, so a fully drained stream is
+        byte-for-byte the batched result.  This generic fallback materializes
+        through ``execute_paths_batched`` *lazily* — nothing executes until
+        the first row is pulled, so a consumer that never starts (e.g. a
+        fully cache-served query) costs zero statements — and reports rows
+        left unconsumed at close time as ``rows_short_circuited``.  Backends
+        with real cursors (SQLite) override this to never materialize at all.
+        """
+        specs = list(specs)
+        execution = StreamedExecution(stream=RowStream(iter(())))
+
+        def generate() -> Iterator[tuple[int, tuple[Tuple, ...]]]:
+            executed = self.execute_paths_batched(specs, limit=limit)
+            execution.statements = executed.statements
+            execution.batched_indexes = list(executed.batched_indexes)
+            execution.fallbacks.update(executed.fallbacks)
+            execution.shard_rows.update(executed.shard_rows)
+            execution.scatter_slots.update(executed.scatter_slots)
+            produced = sum(len(rows) for rows in executed.rows)
+            delivered = 0
+            try:
+                for index, rows in enumerate(executed.rows):
+                    for network in rows:
+                        # Count *before* yielding: a consumer that takes this
+                        # row and then closes leaves the generator suspended
+                        # at the yield, so a post-yield increment would book
+                        # the last delivered row as short-circuited.
+                        delivered += 1
+                        yield index, network
+            finally:
+                execution.rows_short_circuited += produced - delivered
+
+        execution.stream = RowStream(generate())
+        return execution
 
     def count_path(
         self,

@@ -33,14 +33,16 @@ slots.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import sqlite3
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.db.backends import sql as sqlc
-from repro.db.backends.base import normalize_value
+from repro.db.backends.base import StreamedExecution, normalize_value
 from repro.db.backends.sql import (
     CompiledStatement,
     PathPlan,
@@ -59,6 +61,33 @@ from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
 
 #: The hidden per-partition column carrying the store-global insertion order.
 ROWSEQ_COLUMN = "_rowseq"
+
+
+def merge_shard_streams(
+    streams: "Iterable[Iterable[tuple]]", key_width: int
+) -> Iterator[tuple[tuple, int, tuple]]:
+    """K-way merge of per-shard row streams under their projected order keys.
+
+    Every stream must already be sorted by its leading ``key_width`` columns
+    (the ORDER BY keys each scatter member projects as ``__o0..``); the merge
+    yields ``(key, shard index, raw row)`` in global ``(key, shard)`` order.
+    Ties on the full key resolve to the lower shard index — exactly what the
+    former stable materialize-then-sort gather produced — and since the heap
+    holds at most one row per stream, raw rows are never compared.  Works for
+    lists (the parallel scatter) and lazy cursors (the streamed gather)
+    alike; callers owning lazy sources must close them on early exit —
+    ``heapq.merge`` does not.
+    """
+    def decorate(shard: int, rows: "Iterable[tuple]") -> Iterator[tuple]:
+        # A real function, not a genexp inside the comprehension: a genexp
+        # would close over the loop variable and stamp every row with the
+        # *last* shard index once evaluated lazily.
+        for row in rows:
+            yield tuple(row[:key_width]), shard, row
+
+    return heapq.merge(
+        *(decorate(shard, rows) for shard, rows in enumerate(streams))
+    )
 
 
 def shard_of_key(key: Any, shards: int) -> int:
@@ -190,6 +219,9 @@ class ShardedSQLiteBackend(SQLiteBackend):
         self._shard_compilers_cache: list[PlanCompiler] | None = None
         self._readers: list[_LockedConnection] | None = None
         self._scatter_pool_instance: ThreadPoolExecutor | None = None
+        #: Cached per-table row counts feeding the scatter-position chooser
+        #: (a COUNT(*) over all partitions per miss; invalidated on insert).
+        self._table_counts: dict[str, int] = {}
         super().__init__(schema, tokenizer, path=path, persist_index=persist_index)
 
     def _make_dialect(self) -> ShardedSQLiteDialect:
@@ -373,16 +405,56 @@ class ShardedSQLiteBackend(SQLiteBackend):
                 )
             return self._scatter_pool_instance
 
+    def _prepare_plan(self, plan: PathPlan) -> PathPlan:
+        """Pick the most selective partitioned slot as the scatter position.
+
+        The scatter slot reads one partition per member (probes can use the
+        per-partition indexes directly); every other slot joins an all-shards
+        union subselect SQLite cannot always push probes into.  Any slot is
+        *correct* — each result network has exactly one tuple per slot, so
+        per-shard streams stay disjoint and complete under any choice, and
+        the ORDER BY terms never change — so the chooser is free to pick the
+        slot with the fewest stored rows (ties keep the lowest position,
+        i.e. the historical slot-0 default).
+        """
+        if len(plan.path) < 2:
+            return plan
+        counts = [self._table_count(name) for name in plan.path]
+        best = min(range(len(plan.path)), key=lambda slot: (counts[slot], slot))
+        if best == plan.scatter_position:
+            return plan
+        return replace(plan, scatter_position=best)
+
+    def _scatter_slot_label(self, plan: PathPlan) -> str:
+        """The ``--explain`` name of the plan's chosen scatter slot."""
+        table = plan.path[plan.scatter_position]
+        return (
+            f"t{plan.scatter_position} ({table}, {self._table_count(table)} rows)"
+        )
+
+    def _table_count(self, table_name: str) -> int:
+        count = self._table_counts.get(table_name)
+        if count is None:
+            count = len(self.relation(table_name))
+            self._table_counts[table_name] = count
+        return count
+
+    def insert(self, table_name: str, row: dict[str, Any]) -> Tuple:
+        self._table_counts.pop(table_name, None)
+        return super().insert(table_name, row)
+
     def _run_plan(
         self, plan: PathPlan, shard_rows: dict[int, int] | None = None
     ) -> list[tuple[Tuple, ...]]:
         """Scatter one path plan across the shards and gather in plan order.
 
         Every member statement projects its ORDER BY keys (``__o0..``), so
-        the merge is a plain sort over exactly the keys SQLite ordered by —
-        types agree per column across shards, and the key tuple is a total
-        order (each slot contributes its tuple's identity), so merged rows
-        reproduce the unsharded statement's order bit-for-bit.
+        the gather is a k-way :func:`merge_shard_streams` over exactly the
+        keys SQLite ordered by — types agree per column across shards, and
+        the key tuple is a total order (each slot contributes its tuple's
+        identity), so merged rows reproduce the unsharded statement's order
+        bit-for-bit and the merge can truncate at the plan's limit instead
+        of sorting everything first.
         """
         compilers = self._shard_compilers()
         statements = [
@@ -392,20 +464,17 @@ class ShardedSQLiteBackend(SQLiteBackend):
         per_shard = self._scatter(statements)
         relations = [self.relation(name) for name in plan.path]
         width = len(plan.path)
-        merged: list[tuple[tuple, int, tuple[Tuple, ...]]] = []
-        for shard, rows in enumerate(per_shard):
-            for row in rows:
-                network = self._decode_network(relations, row, offset=width)
-                if not plan.keeps(network):
-                    continue
-                merged.append((tuple(row[:width]), shard, network))
-        merged.sort(key=lambda item: item[0])
-        if plan.limit is not None:
-            merged = merged[: plan.limit]
-        if shard_rows is not None:
-            for _key, shard, _network in merged:
+        results: list[tuple[Tuple, ...]] = []
+        for _key, shard, row in merge_shard_streams(per_shard, width):
+            network = self._decode_network(relations, row, offset=width)
+            if not plan.keeps(network):
+                continue
+            if shard_rows is not None:
                 shard_rows[shard] = shard_rows.get(shard, 0) + 1
-        return [network for _key, _shard, network in merged]
+            results.append(network)
+            if plan.limit is not None and len(results) >= plan.limit:
+                break
+        return results
 
     def _run_union(
         self,
@@ -415,10 +484,10 @@ class ShardedSQLiteBackend(SQLiteBackend):
         """Scatter the tagged UNION ALL and gather per spec.
 
         Each shard runs the same tagged statement over its partition of the
-        scatter slot; the gather step groups rows by discriminator, merges
-        each spec's streams under its projected order keys and re-applies
-        the per-spec limit (a per-shard LIMIT is only an upper bound on the
-        merged stream).
+        scatter slot; the gather k-way-merges the streams under
+        ``(discriminator, projected order keys)`` — the statements' global
+        ORDER BY — and re-applies each spec's limit (a per-shard LIMIT is
+        only an upper bound on the merged stream).
         """
         compilers = self._shard_compilers()
         statements = [
@@ -431,26 +500,110 @@ class ShardedSQLiteBackend(SQLiteBackend):
             for index, plan in members
         }
         limits = {index: plan.limit for index, plan in members}
-        staged: dict[int, list[tuple[tuple, int, tuple[Tuple, ...]]]] = {
+        grouped: dict[int, list[tuple[Tuple, ...]]] = {
             index: [] for index, _plan in members
         }
-        for shard, rows in enumerate(per_shard):
-            for row in rows:
+        for _key, shard, row in merge_shard_streams(per_shard, 1 + ord_width):
+            index = row[0]
+            if limits[index] is not None and len(grouped[index]) >= limits[index]:
+                continue
+            grouped[index].append(
+                self._decode_network(
+                    member_relations[index], row, offset=1 + ord_width
+                )
+            )
+            if shard_rows is not None:
+                shard_rows[shard] = shard_rows.get(shard, 0) + 1
+        return grouped
+
+    # -- streamed scatter-gather ---------------------------------------------
+
+    def _stream_connections(self) -> list[_LockedConnection]:
+        """One connection per shard cursor of a streamed scatter.
+
+        File-backed stores stream over the dedicated reader connections (one
+        in-flight cursor each, after a commit makes pending rows visible);
+        a ``":memory:"`` store owns its attached shards inside the main
+        connection, so its per-shard cursors interleave there.
+        """
+        if not self.is_persistent or self.shards == 1:
+            return [self._conn] * self.shards
+        self._conn.commit()  # everything inserted so far must be visible
+        return self._shard_readers()
+
+    def _stream_plan(
+        self, plan: PathPlan, execution: StreamedExecution
+    ) -> "Iterator[tuple[Tuple, ...]]":
+        """One plan as a lazy k-way merge over per-shard cursor streams."""
+        compilers = self._shard_compilers()
+        statements = [
+            compilers[shard].compile_path(plan, project_order_keys=True)
+            for shard in range(self.shards)
+        ]
+        connections = self._stream_connections()
+        execution.statements += self.shards
+        relations = [self.relation(name) for name in plan.path]
+        width = len(plan.path)
+        sources = [
+            self._iter_cursor(connections[shard], statements[shard], execution)
+            for shard in range(self.shards)
+        ]
+        produced = 0
+        try:
+            for _key, shard, row in merge_shard_streams(sources, width):
+                network = self._decode_network(relations, row, offset=width)
+                if not plan.keeps(network):
+                    continue
+                execution.shard_rows[shard] = (
+                    execution.shard_rows.get(shard, 0) + 1
+                )
+                yield network
+                produced += 1
+                if plan.limit is not None and produced >= plan.limit:
+                    break
+        finally:
+            # heapq.merge never closes its sources; release every shard
+            # cursor explicitly, however early the consumer stopped.
+            for source in sources:
+                source.close()
+
+    def _stream_union(
+        self, members: list[tuple[int, PathPlan]], execution: StreamedExecution
+    ) -> "Iterator[tuple[int, tuple]]":
+        """The tagged UNION ALL as a lazy merge of per-shard cursor streams."""
+        compilers = self._shard_compilers()
+        statements = [
+            compilers[shard].compile_union(members) for shard in range(self.shards)
+        ]
+        ord_width, _data_width = self.compiler.union_widths(members)
+        connections = self._stream_connections()
+        execution.statements += self.shards
+        member_relations = {
+            index: [self.relation(name) for name in plan.path]
+            for index, plan in members
+        }
+        limits = {index: plan.limit for index, plan in members}
+        counts = {index: 0 for index, _plan in members}
+        sources = [
+            self._iter_cursor(connections[shard], statements[shard], execution)
+            for shard in range(self.shards)
+        ]
+        try:
+            for _key, shard, row in merge_shard_streams(sources, 1 + ord_width):
                 index = row[0]
+                if limits[index] is not None and counts[index] >= limits[index]:
+                    continue  # per-shard LIMIT overshoot beyond the true cap
                 network = self._decode_network(
                     member_relations[index], row, offset=1 + ord_width
                 )
-                staged[index].append((tuple(row[1 : 1 + ord_width]), shard, network))
-        grouped: dict[int, list[tuple[Tuple, ...]]] = {}
-        for index, items in staged.items():
-            items.sort(key=lambda item: item[0])
-            if limits[index] is not None:
-                items = items[: limits[index]]
-            if shard_rows is not None:
-                for _key, shard, _network in items:
-                    shard_rows[shard] = shard_rows.get(shard, 0) + 1
-            grouped[index] = [network for _key, _shard, network in items]
-        return grouped
+                counts[index] += 1
+                execution.shard_rows[shard] = (
+                    execution.shard_rows.get(shard, 0) + 1
+                )
+                yield index, network
+        finally:
+            for source in sources:
+                source.close()
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -70,6 +70,12 @@ class PathPlan:
     applies in Python after the fetch.  ``limit`` is the per-path top-k cap —
     the compiler only pushes it down to SQL when no post filter exists
     (otherwise SQL could truncate rows the post filter would have kept).
+    ``scatter_position`` is a physical hint for partitioned dialects: the
+    join slot whose table reads one partition per scatter member (any slot is
+    correct — every network has exactly one tuple there, so per-shard results
+    stay disjoint and complete; the sharded backend picks the most selective
+    one).  Unpartitioned dialects ignore it, and it never affects the
+    statement's ORDER BY, so the row order is identical for every choice.
     """
 
     path: tuple[str, ...]
@@ -77,6 +83,7 @@ class PathPlan:
     inline_filters: tuple[tuple[int, tuple[Any, ...]], ...]
     post_filters: tuple[tuple[int, frozenset], ...]
     limit: int | None
+    scatter_position: int = 0
 
     @property
     def filtered_positions(self) -> frozenset[int]:
@@ -239,12 +246,18 @@ class SQLiteDialect:
     def quote(self, identifier: str) -> str:
         return quote_identifier(identifier)
 
-    def table_source(self, table_name: str, position: int | None = None) -> str:
+    def table_source(
+        self,
+        table_name: str,
+        position: int | None = None,
+        scatter_position: int | None = None,
+    ) -> str:
         """The FROM/JOIN source of a logical table.
 
         ``position`` is the join slot (``None`` for relation-level CRUD);
-        the sharded dialect resolves the scatter slot to one partition and
-        every other slot to an all-shards union.
+        the sharded dialect resolves the scatter slot — ``scatter_position``
+        when the plan carries one, its own default otherwise — to one
+        partition and every other slot to an all-shards union.
         """
         return self.quote(table_name)
 
@@ -299,8 +312,14 @@ class ShardedSQLiteDialect(SQLiteDialect):
         )
         return f"({arms})"
 
-    def table_source(self, table_name: str, position: int | None = None) -> str:
-        if position == self.scatter_position and self.scatter_shard is not None:
+    def table_source(
+        self,
+        table_name: str,
+        position: int | None = None,
+        scatter_position: int | None = None,
+    ) -> str:
+        target = self.scatter_position if scatter_position is None else scatter_position
+        if position == target and self.scatter_shard is not None:
             return self.partition_source(table_name, self.scatter_shard)
         return self.union_source(table_name)
 
@@ -331,13 +350,14 @@ class PlanCompiler:
     def join_lines(self, plan: PathPlan) -> list[str]:
         """``FROM``/``JOIN`` clauses of one join path (aliases ``t0..tN``)."""
         dialect = self.dialect
-        lines = [f"FROM {dialect.table_source(plan.path[0], 0)} AS t0"]
+        scatter = plan.scatter_position
+        lines = [f"FROM {dialect.table_source(plan.path[0], 0, scatter)} AS t0"]
         for i in range(1, len(plan.path)):
             bound_attr, probe_attr = _edge_attrs(
                 plan.edges[i - 1], plan.path[i - 1], plan.path[i]
             )
             lines.append(
-                f"JOIN {dialect.table_source(plan.path[i], i)} AS t{i} "
+                f"JOIN {dialect.table_source(plan.path[i], i, scatter)} AS t{i} "
                 f"ON t{i - 1}.{dialect.quote(bound_attr)} "
                 f"= t{i}.{dialect.quote(probe_attr)}"
             )

@@ -37,8 +37,10 @@ from repro.db.backends import sql as sqlc
 from repro.db.backends.base import (
     BatchedExecution,
     PathSpec,
+    RowStream,
     SelectionsByPosition,
     StorageBackend,
+    StreamedExecution,
     normalize_value,
 )
 from repro.db.backends.sql import (
@@ -746,7 +748,21 @@ class SQLiteBackend(StorageBackend):
         key_filters = self._resolve_key_filters(path, selections)
         if key_filters is None:
             return []
-        return self._run_plan(sqlc.plan_path(path, edges, key_filters, limit))
+        return self._run_plan(
+            self._prepare_plan(sqlc.plan_path(path, edges, key_filters, limit))
+        )
+
+    def _prepare_plan(self, plan: PathPlan) -> PathPlan:
+        """Backend-physical plan adjustments before compilation.
+
+        The hook the sharded backend uses to pick the scatter position per
+        plan; a single-file store compiles plans as-is.
+        """
+        return plan
+
+    def _scatter_slot_label(self, plan: PathPlan) -> str | None:
+        """Human-readable name of the plan's scatter slot (sharded only)."""
+        return None
 
     def _run_plan(
         self, plan: PathPlan, shard_rows: dict[int, int] | None = None
@@ -831,6 +847,44 @@ class SQLiteBackend(StorageBackend):
         statements = 0
         fallbacks: dict[int, str] = {}
         shard_rows: dict[int, int] = {}
+        scatter_slots: dict[int, str] = {}
+        solo, members = self._plan_specs(
+            specs, rows_per_spec, fallbacks, scatter_slots, limit
+        )
+        for index, solo_plan in solo:
+            rows_per_spec[index] = self._run_plan(solo_plan, shard_rows)
+            statements += self._statements_per_plan()
+        if members:
+            for index, rows in self._run_union(members, shard_rows).items():
+                rows_per_spec[index] = rows
+            statements += self._statements_per_plan()
+        return BatchedExecution(
+            rows=[rows if rows is not None else [] for rows in rows_per_spec],
+            statements=statements,
+            batched_indexes=[index for index, _plan in members],
+            fallbacks=fallbacks,
+            shard_rows=shard_rows,
+            scatter_slots=scatter_slots,
+        )
+
+    def _plan_specs(
+        self,
+        specs: Sequence[PathSpec],
+        rows_per_spec: list,
+        fallbacks: dict[int, str],
+        scatter_slots: dict[int, str],
+        limit: int | None,
+    ) -> tuple[list[tuple[int, PathPlan]], list[tuple[int, PathPlan]]]:
+        """The shared planning front half of batched and streamed execution.
+
+        Validates every spec, marks the provably-empty ones directly in
+        ``rows_per_spec``, splits the rest between solo plans (budget
+        fallbacks — the reason lands in ``fallbacks`` — plus the union-of-one
+        case, which brings tagging overhead and no statement saving) and the
+        members of one shared ``UNION ALL`` statement.  Every returned plan
+        has been through :meth:`_prepare_plan`, with its chosen scatter slot
+        named in ``scatter_slots`` (sharding backends only).
+        """
         resolved: list[tuple[int, Sequence[str], Sequence[ForeignKey], dict]] = []
         for index, (path, edges, selections) in enumerate(specs):
             selections = selections or {}
@@ -844,29 +898,23 @@ class SQLiteBackend(StorageBackend):
                 continue
             resolved.append((index, path, edges, key_filters))
         batch = sqlc.plan_batch(resolved, limit)
+        solo: list[tuple[int, PathPlan]] = []
         for index, solo_plan, reason in batch.fallbacks:
             # Too selective to inline in the shared statement (_run_plan has
             # the Python-side post-filter machinery for that).
-            rows_per_spec[index] = self._run_plan(solo_plan, shard_rows)
-            statements += self._statements_per_plan()
+            solo.append((index, self._prepare_plan(solo_plan)))
             fallbacks[index] = reason
-        members = list(batch.members)
+        members = [
+            (index, self._prepare_plan(plan)) for index, plan in batch.members
+        ]
         if len(members) == 1:
-            # A UNION of one brings tagging overhead and no statement saving.
-            index, solo_plan = members.pop()
-            rows_per_spec[index] = self._run_plan(solo_plan, shard_rows)
-            statements += self._statements_per_plan()
-        if members:
-            for index, rows in self._run_union(members, shard_rows).items():
-                rows_per_spec[index] = rows
-            statements += self._statements_per_plan()
-        return BatchedExecution(
-            rows=[rows if rows is not None else [] for rows in rows_per_spec],
-            statements=statements,
-            batched_indexes=[index for index, _plan in members],
-            fallbacks=fallbacks,
-            shard_rows=shard_rows,
-        )
+            solo.append(members.pop())
+        solo.sort(key=lambda item: item[0])
+        for index, plan in [*solo, *members]:
+            label = self._scatter_slot_label(plan)
+            if label is not None:
+                scatter_slots[index] = label
+        return solo, members
 
     def _run_union(
         self,
@@ -891,3 +939,163 @@ class SQLiteBackend(StorageBackend):
                     )
                 )
         return grouped
+
+    # -- streamed join-path execution ---------------------------------------
+
+    #: Rows fetched per lock-guarded cursor step of a streamed statement:
+    #: small enough that an early-stopping consumer leaves little behind,
+    #: large enough that lock churn stays negligible against decode cost.
+    STREAM_CHUNK = 64
+
+    def execute_paths_streamed(
+        self,
+        specs: Sequence[PathSpec],
+        limit: int | None = None,
+    ) -> StreamedExecution:
+        """Stream many join paths through real SQLite cursors.
+
+        Planning is identical to :meth:`execute_paths_batched` — same
+        statements, same fallback decisions — but nothing executes until the
+        consumer pulls the first row: every statement's cursor opens lazily
+        when the stream reaches it (``statements`` counts only opened ones),
+        rows are fetched in :data:`STREAM_CHUNK` steps under the connection
+        lock and decoded one at a time, and closing the stream mid-iteration
+        releases the cursors without fetching the rest.  Spec order is the
+        stream order; a fully drained stream is byte-identical to the
+        batched rows.
+        """
+        specs = list(specs)
+        rows_per_spec: list[list | None] = [None] * len(specs)
+        execution = StreamedExecution(stream=RowStream(iter(())))
+        solo, members = self._plan_specs(
+            specs, rows_per_spec, execution.fallbacks, execution.scatter_slots, limit
+        )
+        execution.batched_indexes = [index for index, _plan in members]
+        solo_plans = dict(solo)
+        member_indexes = {index for index, _plan in members}
+
+        def generate() -> Iterator[tuple[int, tuple[Tuple, ...]]]:
+            union_stream: Iterator[tuple[int, tuple[Tuple, ...]]] | None = None
+            lookahead: tuple[int, tuple[Tuple, ...]] | None = None
+            exhausted = False
+            try:
+                for index in sorted([*solo_plans, *member_indexes]):
+                    if index in solo_plans:
+                        plan_stream = self._stream_plan(solo_plans[index], execution)
+                        try:
+                            for network in plan_stream:
+                                yield index, network
+                        finally:
+                            plan_stream.close()
+                        continue
+                    if union_stream is None:
+                        union_stream = self._stream_union(members, execution)
+                    # The union cursor yields its members in ascending spec
+                    # order; drain this member's rows, keep the first row of
+                    # the next member as lookahead.
+                    while True:
+                        if lookahead is None and not exhausted:
+                            lookahead = next(union_stream, None)
+                            exhausted = lookahead is None
+                        if lookahead is None or lookahead[0] != index:
+                            break
+                        item, lookahead = lookahead, None
+                        yield item
+            finally:
+                if lookahead is not None:
+                    # The next member's first row was pulled (and attributed,
+                    # e.g. to shard_rows) to detect the boundary but never
+                    # reached the consumer: account it like every other
+                    # produced-but-unconsumed row.
+                    execution.rows_short_circuited += 1
+                if union_stream is not None:
+                    union_stream.close()
+
+        execution.stream = RowStream(generate())
+        return execution
+
+    def _iter_cursor(
+        self, conn: _LockedConnection, statement: CompiledStatement,
+        execution: StreamedExecution,
+    ) -> Iterator[tuple]:
+        """Chunked iteration over one statement's cursor, lock held open→close.
+
+        The connection's (re-entrant, per-file) lock is held for the whole
+        life of the cursor: an open read cursor holds SQLite's shared lock
+        on the file, so releasing between chunks would let another
+        connection's commit interleave with it and stall into ``database is
+        locked`` (the two-engines-one-file flush race — the first streaming
+        cut did exactly that and deadlocked the regression test).  The cost
+        is a *longer* hold than the materializing fetch cycle: the lock
+        spans the consumer's processing of the streamed rows, not just the
+        fetches, so one file serves one cold streamed query at a time.
+        Serving absorbs this — cache-served queries never open a stream —
+        and rollback-journal SQLite offers no cheaper safe point; a WAL-mode
+        store (readers don't block writers) is the ROADMAP follow-on that
+        would let the lock drop between chunks.  Consumers must drain or
+        close the stream in the thread that opened it (the executor does;
+        ``RowStream`` is a context manager for everyone else).  Chunked
+        fetching keeps the prefetch overrun — booked as short-circuited on
+        close — small.
+        """
+        with conn.lock:
+            cursor = conn.execute(statement.sql, statement.params)
+            prefetched = delivered = 0
+            try:
+                while True:
+                    rows = cursor.fetchmany(self.STREAM_CHUNK)
+                    if not rows:
+                        break
+                    prefetched += len(rows)
+                    for row in rows:
+                        delivered += 1  # before the yield: a close lands there
+                        yield row
+            finally:
+                execution.rows_short_circuited += prefetched - delivered
+                cursor.close()
+
+    def _stream_plan(
+        self, plan: PathPlan, execution: StreamedExecution
+    ) -> "Iterator[tuple[Tuple, ...]]":
+        """One plan as a lazy cursor of decoded, post-filtered networks."""
+        statement = self.compiler.compile_path(plan)
+        relations = [self.relation(name) for name in plan.path]
+        execution.statements += self._statements_per_plan()
+        produced = 0
+        rows = self._iter_cursor(self._conn, statement, execution)
+        try:
+            for row in rows:
+                network = self._decode_network(relations, row)
+                if not plan.keeps(network):
+                    continue
+                yield network
+                produced += 1
+                if plan.limit is not None and produced >= plan.limit:
+                    break
+        finally:
+            rows.close()
+
+    def _stream_union(
+        self, members: list[tuple[int, PathPlan]], execution: StreamedExecution
+    ) -> Iterator[tuple[int, tuple[Tuple, ...]]]:
+        """The tagged UNION ALL as a lazy ``(spec index, network)`` cursor.
+
+        Members carry no post filters by construction (the planner falls
+        oversized key sets back to solo plans) and the member-local SQL LIMIT
+        is exact on a single file, so decoding is the only Python-side work.
+        """
+        statement = self.compiler.compile_union(members)
+        ord_width, _data_width = self.compiler.union_widths(members)
+        member_relations = {
+            index: [self.relation(name) for name in plan.path]
+            for index, plan in members
+        }
+        execution.statements += self._statements_per_plan()
+        rows = self._iter_cursor(self._conn, statement, execution)
+        try:
+            for row in rows:
+                yield row[0], self._decode_network(
+                    member_relations[row[0]], row, offset=1 + ord_width
+                )
+        finally:
+            rows.close()

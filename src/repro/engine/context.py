@@ -42,6 +42,11 @@ class EngineConfig:
     batch_execution: bool = True
     #: Interpretations per execution batch when batching is on.
     execution_batch_size: int = 16
+    #: Consume execution batches as backend cursor streams: the top-k bound
+    #: stops *fetching* rows instead of discarding materialized ones, and the
+    #: first batch shrinks with observed selectivity.  Requires (and only
+    #: applies on top of) ``batch_execution``; results are identical.
+    streaming_execution: bool = True
 
 
 @dataclass
@@ -100,6 +105,12 @@ class EngineContext:
                 else ""
             )
         )
+        if stats.first_batch_size is not None:
+            lines.append(
+                f"  streaming: first batch {stats.first_batch_size}, "
+                f"{stats.rows_streamed} row(s) streamed, "
+                f"{stats.rows_short_circuited} short-circuited"
+            )
         if stats.attribution:
             contributions = ", ".join(
                 f"#{rank}:{rows}" for rank, rows in sorted(stats.attribution.items())
@@ -107,6 +118,8 @@ class EngineContext:
             lines.append(f"  rows per executed interpretation: {contributions}")
         for rank, reason in sorted(stats.fallback_reasons.items()):
             lines.append(f"  batch fallback #{rank}: {reason}")
+        for rank, label in sorted(stats.scatter_slots.items()):
+            lines.append(f"  scatter slot #{rank}: {label}")
         if stats.shard_rows:
             per_shard = ", ".join(
                 f"shard{shard}:{rows}"

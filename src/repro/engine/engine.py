@@ -82,6 +82,26 @@ class QueryEngine:
         else:
             self.cache = None
         self.stages: list[Stage] = list(stages or DEFAULT_STAGES)
+        #: Exponentially weighted rows-per-executed-interpretation over this
+        #: engine's queries — the selectivity signal that sizes the first
+        #: streaming batch (None until the first query that executed).
+        self.observed_selectivity: float | None = None
+
+    def record_selectivity(self, sample: float | None) -> None:
+        """Fold one query's observed rows-per-interpretation into the EWMA.
+
+        Called by ``ExecuteStage`` after every run that executed something.
+        Recent queries dominate (alpha 0.5), so a workload shift re-adapts
+        within a few queries; concurrent server queries may interleave
+        updates, which at worst blurs the estimate — never correctness,
+        since the estimate only sizes the first streaming batch.
+        """
+        if sample is None:
+            return
+        if self.observed_selectivity is None:
+            self.observed_selectivity = sample
+        else:
+            self.observed_selectivity = 0.5 * self.observed_selectivity + 0.5 * sample
 
     # -- construction helpers ----------------------------------------------
 

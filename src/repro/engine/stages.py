@@ -71,7 +71,11 @@ class ExecuteStage:
     On backends with native batching support (SQLite), cache-missing
     interpretations execute in ``UNION ALL`` batches — typically one SQL
     statement for the whole query — invisibly to every caller; other backends
-    keep the sequential one-statement-per-interpretation path.
+    keep the sequential one-statement-per-interpretation path.  With
+    streaming on (the default), batches are consumed as backend cursor
+    streams: the TA bound stops fetching instead of discarding materialized
+    rows, and the engine's observed selectivity shrinks the first batch on
+    later queries.  Rows are identical under every strategy.
     """
 
     name = "execute"
@@ -81,14 +85,21 @@ class ExecuteStage:
             context.config.batch_execution
             and context.backend.supports_batched_execution
         )
+        streaming = batchable and context.config.streaming_execution
         executor = TopKExecutor(
             context.backend,
             per_query_limit=context.config.per_query_limit,
             cache=engine.cache,
             batch_size=context.config.execution_batch_size if batchable else None,
+            streaming=streaming,
+            expected_rows_per_interpretation=(
+                engine.observed_selectivity if streaming else None
+            ),
         )
         context.results = executor.execute(context.ranked, k=context.k)
         context.executor_statistics = executor.statistics
+        if streaming:
+            engine.record_selectivity(executor.statistics.rows_per_interpretation())
         if engine.cache is not None:
             engine.cache.flush()  # one durability point per run, not per put
         if context.explain:

@@ -235,12 +235,54 @@ class QueryServer:
         self.close()
 
 
+# -- asyncio front end --------------------------------------------------------
+
+
+class AsyncQueryFrontend:
+    """An asyncio face over a :class:`QueryServer`'s engine pool.
+
+    The engine pool and the worker threads underneath stay untouched —
+    queries still execute on the pool's workers — but callers *await*
+    responses instead of blocking on futures, so a single event loop can
+    multiplex any number of slow clients (stalled sockets, drip-fed stdin)
+    without pinning one worker thread per waiting client.  ``repro serve
+    --async`` and the async ``bench-serve`` transport are built on this.
+    """
+
+    def __init__(self, server: QueryServer):
+        self.server = server
+
+    async def query(
+        self,
+        dataset: str,
+        query: str,
+        k: int | None = None,
+        *,
+        backend: str = "memory",
+        db_path: "str | Path | None" = None,
+        shards: int | None = None,
+    ) -> QueryResponse:
+        """Awaitable :meth:`QueryServer.query` (same pool, same isolation)."""
+        import asyncio
+
+        future = self.server.submit(
+            dataset, query, k, backend=backend, db_path=db_path, shards=shards
+        )
+        return await asyncio.wrap_future(future)
+
+
 # -- synthetic workload driver (repro bench-serve) ---------------------------
 
 
 @dataclass
 class BenchServeReport:
-    """Outcome of one ``benchmark_serve`` run."""
+    """Outcome of one ``benchmark_serve`` run.
+
+    ``seconds`` times the serve phase alone — submission through last
+    response; result verification against the sequential expectation happens
+    *after* the clock stops and reports its own ``verify_seconds``, so the
+    throughput/latency numbers measure serving, not the bench harness.
+    """
 
     dataset: str
     backend: str
@@ -252,6 +294,10 @@ class BenchServeReport:
     latencies: list[float] = field(default_factory=list)
     #: Requests whose rows differed from the sequential expectation.
     mismatches: int = 0
+    #: How the clients drove the server: "threads" or "asyncio".
+    transport: str = "threads"
+    #: Wall-clock of the untimed post-run verification pass.
+    verify_seconds: float = 0.0
 
     @property
     def total_queries(self) -> int:
@@ -276,9 +322,10 @@ class BenchServeReport:
         """The human-readable summary ``repro bench-serve`` prints."""
         return [
             f"dataset={self.dataset} backend={self.backend} "
+            f"transport={self.transport} "
             f"clients={self.clients} queries/client={self.queries_per_client} "
             f"distinct={self.distinct_queries}",
-            f"elapsed: {self.seconds:.3f} s   "
+            f"serve phase: {self.seconds:.3f} s   "
             f"throughput: {self.throughput_qps:.1f} q/s",
             f"latency: p50 {self.latency_at(0.50) * 1000:.2f} ms   "
             f"p95 {self.latency_at(0.95) * 1000:.2f} ms   "
@@ -286,7 +333,8 @@ class BenchServeReport:
             "results: "
             + ("all verified against sequential execution"
                if self.ok
-               else f"{self.mismatches} MISMATCH(ES) vs sequential execution"),
+               else f"{self.mismatches} MISMATCH(ES) vs sequential execution")
+            + f" (verification {self.verify_seconds * 1000:.1f} ms, untimed)",
         ]
 
 
@@ -318,14 +366,18 @@ def benchmark_serve(
     engine_config: EngineConfig | None = None,
     engine_factory: EngineFactory | None = None,
     texts: Sequence[str] | None = None,
+    use_async: bool = False,
 ) -> BenchServeReport:
     """Drive one :class:`QueryServer` with ``clients`` concurrent clients.
 
-    Each client thread replays ``queries_per_client`` queries sampled (with a
-    per-client seed) from the store-derived workload.  Expected rows per
-    distinct query are computed sequentially up front on the same engine, so
-    the run verifies that concurrency changes neither rows nor order;
-    ``mismatches`` stays 0 on a correct server.
+    Each client replays ``queries_per_client`` queries sampled (with a
+    per-client seed) from the store-derived workload — as threads by
+    default, as asyncio tasks over :class:`AsyncQueryFrontend` with
+    ``use_async`` (same per-client seeds, so both transports replay the
+    identical workload).  Expected rows per distinct query are computed
+    sequentially up front on the same engine; every response is verified
+    against them *after* the timed serve phase, so ``mismatches`` stays 0 on
+    a correct server and the clock measures serving alone.
     """
     from dataclasses import replace
 
@@ -358,32 +410,62 @@ def benchmark_serve(
         }
         ResultCache.clear_process_cache()
 
-        def client(client_index: int) -> list[tuple[str, float, bool]]:
+        storage = dict(backend=backend, db_path=db_path, shards=shards)
+
+        def client(client_index: int) -> list[tuple[str, float, list[tuple]]]:
             rng = random.Random(f"{seed}/{client_index}")
             outcomes = []
             for _ in range(queries_per_client):
                 text = rng.choice(distinct)
-                response = server.query(
-                    dataset, text, k=k, backend=backend, db_path=db_path,
-                    shards=shards,
-                )
-                outcomes.append(
-                    (text, response.seconds, response.result_uids() == expected[text])
-                )
+                response = server.query(dataset, text, k=k, **storage)
+                outcomes.append((text, response.seconds, response.result_uids()))
             return outcomes
 
+        async def drive_async() -> list[list[tuple[str, float, list[tuple]]]]:
+            import asyncio
+
+            frontend = AsyncQueryFrontend(server)
+
+            async def async_client(client_index: int):
+                rng = random.Random(f"{seed}/{client_index}")
+                outcomes = []
+                for _ in range(queries_per_client):
+                    text = rng.choice(distinct)
+                    response = await frontend.query(dataset, text, k=k, **storage)
+                    outcomes.append(
+                        (text, response.seconds, response.result_uids())
+                    )
+                return outcomes
+
+            return list(
+                await asyncio.gather(
+                    *(async_client(index) for index in range(clients))
+                )
+            )
+
         started = time.perf_counter()
-        with ThreadPoolExecutor(
-            max_workers=clients, thread_name_prefix="repro-client"
-        ) as clients_pool:
-            per_client = list(clients_pool.map(client, range(clients)))
+        if use_async:
+            import asyncio
+
+            per_client = asyncio.run(drive_async())
+        else:
+            with ThreadPoolExecutor(
+                max_workers=clients, thread_name_prefix="repro-client"
+            ) as clients_pool:
+                per_client = list(clients_pool.map(client, range(clients)))
         elapsed = time.perf_counter() - started
 
-    latencies = sorted(
-        seconds for outcomes in per_client for _t, seconds, _ok in outcomes
-    )
+    # Verification runs after the clock stopped: comparing row identities is
+    # bench-harness work, not serving work, and must not skew the report.
+    verify_started = time.perf_counter()
     mismatches = sum(
-        not ok for outcomes in per_client for _t, _s, ok in outcomes
+        uids != expected[text]
+        for outcomes in per_client
+        for text, _seconds, uids in outcomes
+    )
+    verify_seconds = time.perf_counter() - verify_started
+    latencies = sorted(
+        seconds for outcomes in per_client for _t, seconds, _uids in outcomes
     )
     return BenchServeReport(
         dataset=dataset,
@@ -394,4 +476,6 @@ def benchmark_serve(
         seconds=elapsed,
         latencies=latencies,
         mismatches=mismatches,
+        transport="asyncio" if use_async else "threads",
+        verify_seconds=verify_seconds,
     )

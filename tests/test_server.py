@@ -15,7 +15,13 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.engine import EngineConfig, QueryEngine, ResultCache
-from repro.server import BenchServeReport, QueryServer, benchmark_serve, workload_texts
+from repro.server import (
+    AsyncQueryFrontend,
+    BenchServeReport,
+    QueryServer,
+    benchmark_serve,
+    workload_texts,
+)
 
 QUERIES = ["hanks 2001", "london", "summer", "stone hill", "hanks", "2001"]
 
@@ -231,6 +237,77 @@ class TestBenchDriver:
         assert not report.ok
         assert any("MISMATCH" in line for line in report.lines())
 
+    def test_verification_is_reported_outside_the_serve_phase(self, imdb_factory):
+        """The serve clock stops before verification runs (the former
+        wall-clock-includes-verification bug)."""
+        report = benchmark_serve(
+            "imdb",
+            clients=2,
+            queries_per_client=2,
+            k=5,
+            engine_factory=imdb_factory,
+        )
+        assert report.ok
+        assert report.verify_seconds >= 0.0
+        assert report.transport == "threads"
+        assert any("serve phase" in line for line in report.lines())
+        assert any("untimed" in line for line in report.lines())
+        assert any("transport=threads" in line for line in report.lines())
+
+
+class TestAsyncFrontend:
+    def test_async_query_matches_sync(self, imdb_server, imdb_db):
+        import asyncio
+
+        reference = QueryEngine(imdb_db)
+        expected = {
+            text: [r.row_uids() for r in reference.run(text, k=5).results]
+            for text in QUERIES
+        }
+        frontend = AsyncQueryFrontend(imdb_server)
+
+        async def drive():
+            responses = await asyncio.gather(
+                *(frontend.query("imdb", text, k=5) for text in QUERIES * 3)
+            )
+            return responses
+
+        responses = asyncio.run(drive())
+        assert len(responses) == len(QUERIES) * 3
+        for response in responses:
+            assert response.result_uids() == expected[response.query]
+
+    def test_benchmark_serve_async_transport(self, imdb_factory):
+        report = benchmark_serve(
+            "imdb",
+            clients=4,
+            queries_per_client=3,
+            k=5,
+            seed=3,
+            engine_factory=imdb_factory,
+            use_async=True,
+        )
+        assert report.ok
+        assert report.transport == "asyncio"
+        assert report.total_queries == 12
+        assert len(report.latencies) == 12
+        assert any("transport=asyncio" in line for line in report.lines())
+
+    def test_async_and_threaded_replay_the_same_workload(self, imdb_factory):
+        """Same seeds → same sampled queries on both transports."""
+        threaded = benchmark_serve(
+            "imdb", clients=2, queries_per_client=3, k=3, seed=7,
+            engine_factory=imdb_factory,
+        )
+        ResultCache.clear_process_cache()
+        asynchronous = benchmark_serve(
+            "imdb", clients=2, queries_per_client=3, k=3, seed=7,
+            engine_factory=imdb_factory, use_async=True,
+        )
+        assert threaded.ok and asynchronous.ok
+        assert threaded.total_queries == asynchronous.total_queries
+        assert threaded.distinct_queries == asynchronous.distinct_queries
+
 
 class TestServeCLI:
     def test_serve_reads_stdin(self, monkeypatch, capsys):
@@ -242,6 +319,20 @@ class TestServeCLI:
         assert main(["serve", "--dataset", "imdb", "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "serving dataset=imdb" in out
+        assert "[london]" in out
+        assert "[hanks 2001]" in out
+
+    def test_serve_async_reads_stdin(self, monkeypatch, capsys):
+        import io
+
+        from repro.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("london\n\nhanks 2001\n"))
+        assert (
+            main(["serve", "--dataset", "imdb", "--workers", "2", "--async"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "frontend=asyncio" in out
         assert "[london]" in out
         assert "[hanks 2001]" in out
 
@@ -264,4 +355,14 @@ class TestServeCLI:
         )
         out = capsys.readouterr().out
         assert "throughput" in out
+        assert "all verified against sequential execution" in out
+
+    def test_bench_serve_cli_async(self, capsys):
+        from repro.cli import main
+
+        argv = ["bench-serve", "--dataset", "imdb", "--clients", "4",
+                "--queries", "2", "--async"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "transport=asyncio" in out
         assert "all verified against sequential execution" in out

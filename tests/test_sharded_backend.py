@@ -181,24 +181,50 @@ class TestShardedEngineParity:
             "imdb",
             backend="sqlite-sharded",
             shards=3,
-            config=EngineConfig(cache_results=False),
+            config=EngineConfig(cache_results=False, streaming_execution=False),
         )
         context = engine.run("london", k=5, explain=True)
         stats = context.executor_statistics
         assert stats.rows_materialized > 0
+        # The materializing gather delivers exactly the consumed rows.
         assert sum(stats.shard_rows.values()) == stats.rows_materialized
         text = "\n".join(context.explain_lines())
         assert "rows per shard: " in text
         assert "shard2:" in text  # all three shards contributed on "london"
 
+    def test_shard_attribution_under_streaming(self):
+        """Streamed gather: shard_rows counts *delivered* rows — everything
+        the executor consumed plus at most two boundary-lookahead rows per
+        batch (the executor's and the union stream's, both booked as
+        short-circuited, never merged into results)."""
+        engine = QueryEngine.for_dataset(
+            "imdb",
+            backend="sqlite-sharded",
+            shards=3,
+            config=EngineConfig(cache_results=False),
+        )
+        context = engine.run("london", k=5, explain=True)
+        stats = context.executor_statistics
+        assert stats.rows_materialized > 0
+        delivered = sum(stats.shard_rows.values())
+        assert stats.rows_materialized <= delivered
+        assert delivered <= stats.rows_materialized + 2 * stats.batches
+        # Every delivered-but-unconsumed row is accounted as short-circuited.
+        assert delivered - stats.rows_materialized <= stats.rows_short_circuited
+        text = "\n".join(context.explain_lines())
+        assert "rows per shard: " in text
+        assert "scatter slot #" in text  # the chooser names every consumed slot
+
     def test_statement_reduction_holds_under_sharding(self):
         """One scatter statement per shard per batch — still far below one
-        statement per interpretation."""
+        statement per interpretation (pinned on the materializing batched
+        strategy; the streaming strategy executes even fewer
+        interpretations, asserted separately below)."""
         engine = QueryEngine.for_dataset(
             "imdb",
             backend="sqlite-sharded",
             shards=2,
-            config=EngineConfig(cache_results=False),
+            config=EngineConfig(cache_results=False, streaming_execution=False),
         )
         context = engine.run("london", k=5)
         stats = context.executor_statistics
@@ -206,6 +232,31 @@ class TestShardedEngineParity:
         assert stats.batches == 1
         assert stats.sql_statements == 2  # == shards
         assert stats.sql_statements < stats.interpretations_executed
+
+    def test_streaming_consumes_fewer_interpretations(self):
+        """The streamed gather stops consuming at the TA bound: never more
+        interpretations (or statements) than the materializing strategy,
+        identical rows."""
+        materializing = QueryEngine.for_dataset(
+            "imdb",
+            backend="sqlite-sharded",
+            shards=2,
+            config=EngineConfig(cache_results=False, streaming_execution=False),
+        )
+        streaming = QueryEngine.for_dataset(
+            "imdb",
+            backend="sqlite-sharded",
+            shards=2,
+            config=EngineConfig(cache_results=False),
+        )
+        for query_text in QUERIES:
+            expected = materializing.run(query_text, k=5)
+            actual = streaming.run(query_text, k=5)
+            assert _result_rows(actual) == _result_rows(expected), query_text
+            stats = actual.executor_statistics
+            reference = expected.executor_statistics
+            assert stats.interpretations_executed <= reference.interpretations_executed
+            assert stats.sql_statements <= reference.sql_statements
 
 
 class TestShardedStoreLifecycle:

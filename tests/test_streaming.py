@@ -1,0 +1,336 @@
+"""Streaming execution: cursor parity, TA consumption, k-way merge edges.
+
+The contract under test, layer by layer:
+
+* ``StorageBackend.execute_paths_streamed`` (native SQLite cursors, the
+  sharded k-way merge, and the generic materializing fallback) streams
+  **byte-identical** rows to the list-returning batched API, on the mini
+  store and on both bundled datasets (the acceptance pin).
+* Streams abandoned mid-iteration release their cursors: the backend stays
+  fully usable, sharded reader connections do not leak, and close() is
+  idempotent.
+* ``merge_shard_streams`` is a stable k-way merge: ORDER BY ties across
+  shards resolve to the lower shard, empty partitions are transparent.
+* The streaming ``TopKExecutor`` returns exactly the sequential strategy's
+  rows while *consuming* strictly less from the backend on early-stopping
+  queries, and counts only consumed interpretations as executed/missed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topk import TopKExecutor
+from repro.db.backends import sql as sqlc
+from repro.db.backends.base import RowStream, StreamedExecution
+from repro.db.backends.sharded import ShardedSQLiteBackend, merge_shard_streams
+from repro.engine import EngineConfig, QueryEngine, ResultCache
+from tests.conftest import build_mini_db, mini_schema
+
+QUERIES = ["hanks 2001", "london", "hanks", "2001", "stone hill", "summer"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_cache():
+    ResultCache.clear_process_cache()
+    yield
+    ResultCache.clear_process_cache()
+
+
+def _specs(db, query_text, n=None):
+    engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+    ranked = engine.rank(query_text)
+    return [interp.to_structured_query().path_spec() for interp, _p in ranked[:n]]
+
+
+def _drain(execution: StreamedExecution, n_specs: int):
+    grouped: list[list] = [[] for _ in range(n_specs)]
+    for index, network in execution.stream:
+        grouped[index].append(network)
+    return grouped
+
+
+def _result_rows(context):
+    return [(r.score, r.interpretation_rank, r.row_uids()) for r in context.results]
+
+
+class TestBackendStreamContract:
+    """execute_paths_streamed parity with execute_paths_batched."""
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite", "sqlite-sharded"])
+    @pytest.mark.parametrize("limit", [None, 1, 3, 0])
+    def test_drained_stream_equals_batched(self, backend, limit):
+        db = build_mini_db(backend)
+        for query_text in ("hanks 2001", "london", "hanks"):
+            specs = _specs(db, query_text)
+            expected = db.execute_paths_batched(specs, limit=limit)
+            execution = db.execute_paths_streamed(specs, limit=limit)
+            assert _drain(execution, len(specs)) == expected.rows, query_text
+            assert execution.statements == expected.statements
+            assert execution.batched_indexes == expected.batched_indexes
+            assert execution.fallbacks == expected.fallbacks
+
+    @pytest.mark.parametrize("dataset", ["imdb", "lyrics"])
+    @pytest.mark.parametrize("backend", ["sqlite", "sqlite-sharded"])
+    def test_acceptance_streamed_parity_on_datasets(self, dataset, backend):
+        """The acceptance pin: streamed == list-based rows, byte-identical,
+        on both SQL backends and both bundled datasets."""
+        engine = QueryEngine.for_dataset(
+            dataset, backend=backend, config=EngineConfig(cache_results=False)
+        )
+        db = engine.backend
+        for query_text in QUERIES:
+            ranked = engine.rank(query_text)
+            specs = [i.to_structured_query().path_spec() for i, _p in ranked]
+            if not specs:
+                continue
+            expected = db.execute_paths_batched(specs, limit=100)
+            execution = db.execute_paths_streamed(specs, limit=100)
+            assert _drain(execution, len(specs)) == expected.rows, (
+                dataset,
+                backend,
+                query_text,
+            )
+
+    def test_statements_open_lazily(self):
+        """An unconsumed stream costs zero statements (the warm-run path)."""
+        db = build_mini_db("sqlite")
+        specs = _specs(db, "hanks 2001")
+        execution = db.execute_paths_streamed(specs, limit=10)
+        execution.stream.close()
+        assert execution.statements == 0
+        # ...while the batched call on the same specs costs one.
+        assert db.execute_paths_batched(specs, limit=10).statements == 1
+
+    def test_fallback_counts_short_circuited_rows(self):
+        """The generic fallback reports exactly the unconsumed rows."""
+        db = build_mini_db("memory")
+        specs = _specs(db, "hanks 2001")
+        total = sum(
+            len(rows) for rows in db.execute_paths_batched(specs, limit=10).rows
+        )
+        assert total >= 2
+        execution = db.execute_paths_streamed(specs, limit=10)
+        next(execution.stream)
+        execution.stream.close()
+        assert execution.stream.rows_delivered == 1
+        assert execution.rows_short_circuited == total - 1
+
+    def test_post_filter_fallback_streams_identically(self, monkeypatch):
+        """Solo fallback plans (inline cap overflow) stream like they batch."""
+        monkeypatch.setattr(sqlc, "MAX_INLINE_KEYS", 1)
+        for backend in ("sqlite", "sqlite-sharded"):
+            db = build_mini_db(backend)
+            specs = _specs(db, "hanks 2001")
+            expected = db.execute_paths_batched(specs, limit=10)
+            execution = db.execute_paths_streamed(specs, limit=10)
+            assert _drain(execution, len(specs)) == expected.rows
+            assert execution.fallbacks == expected.fallbacks
+
+
+class TestStreamAbandonment:
+    """Closing a stream mid-iteration releases cursors, leaks nothing."""
+
+    @pytest.mark.parametrize("backend", ["sqlite", "sqlite-sharded"])
+    def test_abandoned_stream_leaves_backend_usable(self, backend, tmp_path):
+        db = build_mini_db(backend, db_path=tmp_path / "store.sqlite")
+        specs = _specs(db, "hanks 2001")
+        execution = db.execute_paths_streamed(specs, limit=10)
+        next(execution.stream)  # cursors are open now
+        execution.stream.close()
+        execution.stream.close()  # idempotent
+        # The store accepts reads and writes immediately after abandonment —
+        # a leaked read cursor would wedge the commit path instead.
+        assert db.execute_paths_batched(specs, limit=10).rows
+        db.insert("actor", {"id": 9, "name": "late arrival"})
+        db.close()
+
+    def test_sharded_readers_do_not_leak(self, tmp_path):
+        db = build_mini_db("sqlite-sharded", db_path=tmp_path / "store.sqlite")
+        specs = _specs(db, "hanks 2001")
+        for _ in range(5):
+            execution = db.execute_paths_streamed(specs, limit=10)
+            next(execution.stream)
+            execution.stream.close()
+        # One pooled reader connection per shard, no matter how many streams
+        # were opened and abandoned.
+        assert db._readers is not None and len(db._readers) == db.shards
+        db.close()
+        assert db._readers is None
+
+    def test_stream_is_a_context_manager(self):
+        db = build_mini_db("sqlite")
+        specs = _specs(db, "london", n=1)
+        execution = db.execute_paths_streamed(specs, limit=10)
+        with execution.stream as stream:
+            first = next(stream)
+        assert first[0] == 0
+        assert isinstance(execution.stream, RowStream)
+
+
+class TestKWayMerge:
+    """merge_shard_streams on synthetic sorted streams."""
+
+    def test_ties_resolve_to_the_lower_shard(self):
+        streams = [
+            [(1, "s0-a"), (2, "s0-b")],
+            [(1, "s1-a"), (2, "s1-b")],
+            [(2, "s2-a")],
+        ]
+        merged = list(merge_shard_streams(streams, key_width=1))
+        assert [(key, shard) for key, shard, _row in merged] == [
+            ((1,), 0),
+            ((1,), 1),
+            ((2,), 0),
+            ((2,), 1),
+            ((2,), 2),
+        ]
+
+    def test_empty_streams_are_transparent(self):
+        streams = [[], [(1, "a"), (3, "c")], [], [(2, "b")]]
+        merged = [row for _key, _shard, row in merge_shard_streams(streams, 1)]
+        assert merged == [(1, "a"), (2, "b"), (3, "c")]
+        assert list(merge_shard_streams([[], []], 1)) == []
+
+    def test_within_shard_order_is_preserved(self):
+        streams = [[(1, "x"), (1, "y"), (1, "z")], [(1, "p"), (1, "q")]]
+        merged = [row for _key, _shard, row in merge_shard_streams(streams, 1)]
+        assert merged == [(1, "x"), (1, "y"), (1, "z"), (1, "p"), (1, "q")]
+
+    def test_multi_column_keys_with_null_padding(self):
+        # Trailing None padding (the union statement's __o columns) only ever
+        # compares against None within one spec — never across types.
+        streams = [[((5, "a", None), "first")], [((5, "a", None), "second")]]
+        merged = list(merge_shard_streams(streams, key_width=1))
+        assert [row for _key, _shard, row in merged] == [
+            ((5, "a", None), "first"),
+            ((5, "a", None), "second"),
+        ]
+
+
+class TestEmptyPartitions:
+    """Stores whose partition files hold no rows of some table."""
+
+    def test_streamed_parity_with_empty_partitions(self):
+        from repro.db.backends.sharded import shard_of_key
+
+        shards = 4
+        db = ShardedSQLiteBackend(mini_schema(), shards=shards)
+        reference = build_mini_db("memory")
+        reference.copy_into(db)
+        db.build_indexes()
+        # The mini store's 3 actor keys cannot cover 4 partitions: at least
+        # one shard holds no actor rows, so the merge sees empty streams.
+        occupied = {shard_of_key(key, shards) for key in (1, 2, 3)}
+        assert len(occupied) < shards
+        for query_text in ("hanks 2001", "london", "hanks"):
+            specs = _specs(reference, query_text)
+            expected = reference.execute_paths_batched(specs, limit=10)
+            execution = db.execute_paths_streamed(specs, limit=10)
+            assert _drain(execution, len(specs)) == expected.rows, query_text
+        db.close()
+
+
+class TestStreamingExecutor:
+    """TopKExecutor(streaming=True): same rows, less consumption."""
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite", "sqlite-sharded"])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_streaming_equals_sequential(self, backend, k):
+        db = build_mini_db(backend)
+        engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+        for query_text in QUERIES:
+            ranked = engine.rank(query_text)
+            sequential = TopKExecutor(db, per_query_limit=100)
+            streamed = TopKExecutor(
+                db, per_query_limit=100, batch_size=4, streaming=True
+            )
+            expected = sequential.execute(ranked, k=k)
+            actual = streamed.execute(ranked, k=k)
+            assert [
+                (r.score, r.interpretation_rank, r.row_uids()) for r in actual
+            ] == [
+                (r.score, r.interpretation_rank, r.row_uids()) for r in expected
+            ], (backend, k, query_text)
+
+    def test_streaming_consumes_fewer_rows_on_k1(self):
+        """k=1: the second interpretation's rows are never fetched."""
+        db = build_mini_db("sqlite")
+        engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+        ranked = engine.rank("hanks 2001")
+        assert len(ranked) >= 2
+        materializing = TopKExecutor(db, per_query_limit=100, batch_size=16)
+        streamed = TopKExecutor(
+            db, per_query_limit=100, batch_size=16, streaming=True
+        )
+        expected = materializing.execute(ranked, k=1)
+        actual = streamed.execute(ranked, k=1)
+        assert [r.row_uids() for r in actual] == [r.row_uids() for r in expected]
+        stats = streamed.statistics
+        assert stats.rows_streamed < materializing.statistics.rows_materialized
+        assert stats.interpretations_executed == 1  # never reached rank 2
+        assert stats.cache_misses == 1  # unconsumed interps are not misses
+        assert stats.stopped_early
+
+    def test_warm_run_opens_no_statement(self, tmp_path):
+        """Fully cache-served queries never open the stream."""
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", db_path=tmp_path / "imdb.sqlite"
+        )
+        cold = engine.run("london", k=5)
+        assert cold.executor_statistics.interpretations_executed > 0
+        warm = engine.run("london", k=5)
+        stats = warm.executor_statistics
+        assert stats.interpretations_executed == 0
+        assert stats.sql_statements == 0
+        assert stats.cache_misses == 0
+        assert stats.cache_hits > 0
+        assert [r.row_uids() for r in warm.results] == [
+            r.row_uids() for r in cold.results
+        ]
+        engine.backend.close()
+
+    def test_adaptive_first_batch_shrinks_with_selectivity(self):
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        first = engine.run("london", k=5)
+        # No observations yet: the legacy max(2, min(batch, k)) bound.
+        assert first.executor_statistics.first_batch_size == 5
+        assert engine.observed_selectivity is not None
+        assert engine.observed_selectivity >= 1
+        second = engine.run("london", k=1)
+        # One row suffices and interpretations yield >= 1 row on average.
+        assert second.executor_statistics.first_batch_size == 1
+
+    def test_explain_surfaces_streaming_counters(self):
+        engine = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        context = engine.run("london", k=5, explain=True)
+        stats = context.executor_statistics
+        assert stats.rows_streamed == stats.rows_materialized > 0
+        text = "\n".join(context.explain_lines())
+        assert f"streaming: first batch {stats.first_batch_size}" in text
+        assert f"{stats.rows_streamed} row(s) streamed" in text
+        assert "short-circuited" in text
+
+    def test_streaming_fills_the_result_cache(self):
+        db = build_mini_db("sqlite")
+        from repro.engine import ResultCache as Cache
+
+        cache = Cache(db)
+        engine = QueryEngine(db, cache=cache)
+        ranked = engine.rank("hanks 2001")
+        first = TopKExecutor(
+            db, per_query_limit=100, cache=cache, batch_size=16, streaming=True
+        )
+        expected = first.execute(ranked, k=5)
+        second = TopKExecutor(
+            db, per_query_limit=100, cache=cache, batch_size=16, streaming=True
+        )
+        actual = second.execute(ranked, k=5)
+        assert second.statistics.interpretations_executed == 0
+        assert second.statistics.sql_statements == 0
+        assert second.statistics.cache_hits > 0
+        assert [r.row_uids() for r in actual] == [r.row_uids() for r in expected]
