@@ -8,7 +8,9 @@ Exposes the library's main flows on the bundled synthetic datasets:
     python -m repro.cli construct --dataset imdb "hanks 2001" --answers y n y
     python -m repro.cli diversify --dataset lyrics "london" --k 5
     python -m repro.cli serve     --dataset imdb --workers 8
+    python -m repro.cli serve     --dataset imdb --tcp --port 7341
     python -m repro.cli bench-serve --dataset imdb --clients 8 --queries 25
+    python -m repro.cli bench-load --spawn --mode closed --connections 8 --requests 200
     python -m repro.cli report    --chapter 3
 
 Every query flow routes through one :class:`repro.engine.QueryEngine`
@@ -17,7 +19,15 @@ Every query flow routes through one :class:`repro.engine.QueryEngine`
 timings and the result-cache hit/miss counters from the engine context.
 ``construct`` runs the IQP dialogue: with ``--answers`` the given y/n
 sequence answers the options (cycling); without it the session is driven
-interactively from stdin.  ``--backend``/``--db-path``/``--shards`` select
+interactively from stdin.  ``serve --tcp`` swaps the stdin line protocol
+for a real asyncio TCP listener speaking newline-delimited JSON (see
+:mod:`repro.net`), with connection limits, bounded-queue overload
+rejection, per-request timeouts and SIGTERM graceful drain;
+``--tcp-workers N`` forks N serving processes over one listening socket.
+``bench-load`` drives such a server with open- or closed-loop asyncio
+clients and persists latency percentiles plus server CPU/RSS samples as a
+schema-versioned ``BENCH_serve_*.json`` record.
+``--backend``/``--db-path``/``--shards`` select
 the storage engine (see ``docs/cli.md``); a persistent SQLite file is reused
 on subsequent runs — including its persisted index postings and cached
 interpretation results — instead of re-generating the dataset.
@@ -189,13 +199,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     protocol that makes the concurrent serving path scriptable
     (`echo "hanks 2001" | repro serve ...`) and usable as a coprocess.
     With ``--async`` the same protocol runs on an asyncio event loop (see
-    :func:`_cmd_serve_async`).
+    :func:`_cmd_serve_async`); with ``--tcp`` it becomes a network service
+    (see :func:`_cmd_serve_tcp`).
     """
     import queue
     import threading
 
     from repro.server import QueryServer
 
+    if args.tcp:
+        return _cmd_serve_tcp(args)
     if args.use_async:
         return _cmd_serve_async(args)
 
@@ -227,7 +240,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     print_response(text, response)
                 else:
                     print(f"[{text}] error: {error}", flush=True)
-            except (BrokenPipeError, ValueError):
+            except (BrokenPipeError, ConnectionResetError, ValueError):
                 muted.set()
 
     with QueryServer(
@@ -315,7 +328,7 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
                         _print_served_response(text, response)
                     else:
                         print(f"[{text}] error: {error}", flush=True)
-                except (BrokenPipeError, ValueError):
+                except (BrokenPipeError, ConnectionResetError, ValueError):
                     muted = True
 
         with QueryServer(
@@ -361,6 +374,90 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
         return 0 if not failures else 1
 
     return asyncio.run(run())
+
+
+def _cmd_serve_tcp(args: argparse.Namespace) -> int:
+    """The ``serve --tcp`` front end: a real asyncio TCP listener.
+
+    Newline-delimited JSON over TCP (:mod:`repro.net.protocol`), with the
+    admission control the stdin coprocess never needed — connection cap,
+    bounded in-flight queue with explicit ``overloaded`` rejections,
+    per-request timeouts — and a SIGTERM-driven graceful drain.  The
+    engine pool underneath is the same :class:`repro.server.QueryServer`;
+    ``--tcp-workers N`` binds the socket once and forks N serving
+    processes over it.
+    """
+    from repro.net.listener import TCPServerConfig, run_tcp_server
+
+    config = TCPServerConfig(
+        host=args.host,
+        port=args.port,
+        dataset=args.dataset,
+        backend=args.backend,
+        db_path=args.db_path,
+        shards=args.shards,
+        k=args.k,
+        engine_workers=args.workers,
+        max_connections=args.max_connections,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+    )
+    try:
+        return run_tcp_server(
+            config, workers=args.tcp_workers, engine_config=_engine_config(args)
+        )
+    except (ValueError, DatabaseError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def cmd_bench_load(args: argparse.Namespace) -> int:
+    """Drive a live TCP server and persist a ``BENCH_serve_*.json`` record."""
+    from repro.net import loadgen
+
+    spawned = None
+    host, port, server_pid = args.host, args.port, args.server_pid
+    try:
+        if args.spawn:
+            try:
+                spawned = loadgen.spawn_tcp_server(
+                    dataset=args.dataset,
+                    backend=args.backend,
+                    db_path=args.db_path,
+                    shards=args.shards,
+                    workers=args.tcp_workers,
+                )
+            except (RuntimeError, OSError) as exc:
+                raise SystemExit(f"error: {exc}") from None
+            host, port, server_pid = spawned.host, spawned.port, spawned.pid
+        elif port is None:
+            raise SystemExit(
+                "error: --port is required unless --spawn starts the server"
+            )
+        try:
+            record, path = loadgen.run_bench_load(
+                host,
+                port,
+                mode=args.mode,
+                connections=args.connections,
+                requests=args.requests,
+                rate=args.rate,
+                dataset=args.dataset,
+                backend=args.backend,
+                k=args.k,
+                timeout=args.timeout,
+                seed=args.seed,
+                label=args.label,
+                server_pid=server_pid,
+                output_dir=args.output_dir,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    finally:
+        if spawned is not None:
+            spawned.terminate()
+    print("\n".join(loadgen.summary_lines(record, path)))
+    answered = record["outcomes"]["ok"]
+    return 0 if answered else 1
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -480,8 +577,142 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the line-protocol front end on an asyncio event loop "
         "(same engine pool; slow clients pin no worker threads)",
     )
+    p_serve.add_argument(
+        "--tcp",
+        action="store_true",
+        help="listen on TCP (newline-delimited JSON requests) instead of "
+        "reading queries from stdin",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port, printed as "
+        "'listening on <host>:<port>' (default: 0)",
+    )
+    p_serve.add_argument(
+        "--tcp-workers",
+        type=int,
+        default=1,
+        dest="tcp_workers",
+        help="serving processes forked over one listening socket "
+        "(each with its own engine pool; default: 1)",
+    )
+    p_serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        dest="max_connections",
+        help="concurrent TCP connections before new ones are rejected "
+        "with 'too-many-connections' (default: 64)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        dest="queue_limit",
+        help="in-flight requests admitted per process before requests are "
+        "rejected with 'overloaded' (default: 32)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        dest="request_timeout",
+        help="seconds before an in-flight request answers a 'timeout' "
+        "error (default: 30)",
+    )
     _add_storage_options(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_bench_load = sub.add_parser(
+        "bench-load",
+        help="drive a live 'serve --tcp' server with open- or closed-loop "
+        "asyncio clients; persist latency percentiles and server CPU/RSS "
+        "as a schema-versioned BENCH_serve_*.json record",
+    )
+    p_bench_load.add_argument("--dataset", default="imdb")
+    p_bench_load.add_argument("--k", type=int, default=5)
+    p_bench_load.add_argument(
+        "--host", default="127.0.0.1", help="server address (default: 127.0.0.1)"
+    )
+    p_bench_load.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="server port (required unless --spawn starts one)",
+    )
+    p_bench_load.add_argument(
+        "--spawn",
+        action="store_true",
+        help="start a 'serve --tcp' subprocess on an ephemeral port for the "
+        "run (terminated with SIGTERM afterwards) instead of targeting a "
+        "running server",
+    )
+    p_bench_load.add_argument(
+        "--tcp-workers",
+        type=int,
+        default=1,
+        dest="tcp_workers",
+        help="serving processes of the spawned server (with --spawn; default: 1)",
+    )
+    p_bench_load.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: N connections issue requests back-to-back; open: "
+        "requests depart on a fixed schedule regardless of completions "
+        "(default: closed)",
+    )
+    p_bench_load.add_argument(
+        "--connections",
+        type=int,
+        default=8,
+        help="concurrent client connections in closed-loop mode (default: 8)",
+    )
+    p_bench_load.add_argument(
+        "--requests", type=int, default=200, help="total requests (default: 200)"
+    )
+    p_bench_load.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="request departures per second in open-loop mode (default: 50)",
+    )
+    p_bench_load.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="client-side per-request timeout in seconds (default: 30)",
+    )
+    p_bench_load.add_argument(
+        "--seed", type=int, default=13, help="query sampling seed (default: 13)"
+    )
+    p_bench_load.add_argument(
+        "--label",
+        default=None,
+        help="record label, slugged into BENCH_serve_<label>.json "
+        "(default: <mode>-<backend>-<dataset>)",
+    )
+    p_bench_load.add_argument(
+        "--output-dir",
+        default=".",
+        dest="output_dir",
+        help="directory the record file is written to (default: .)",
+    )
+    p_bench_load.add_argument(
+        "--server-pid",
+        type=int,
+        default=None,
+        dest="server_pid",
+        help="pid to sample CPU/RSS from when targeting an already-running "
+        "server (--spawn knows its own)",
+    )
+    _add_storage_options(p_bench_load)
+    p_bench_load.set_defaults(func=cmd_bench_load)
 
     p_bench_serve = sub.add_parser(
         "bench-serve",

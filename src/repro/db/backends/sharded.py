@@ -279,6 +279,23 @@ class ShardedSQLiteBackend(SQLiteBackend):
             )
             self._conn.commit()
 
+    def _configure_journal_mode(self) -> None:
+        """WAL for the catalog *and* every attached partition.
+
+        ``PRAGMA journal_mode`` is per database file, not per connection, so
+        the inherited catalog flip alone would leave the shard files — where
+        every row actually lives — on the rollback journal.  Runs after
+        :meth:`_prepare_storage` has validated the layout and ATTACHed the
+        shards (a rejected open leaves no ``-wal`` debris, as that method
+        promises).
+        """
+        super()._configure_journal_mode()
+        if self.is_persistent:
+            for shard in range(self.shards):
+                self._conn.execute(
+                    f"PRAGMA {self.dialect.shard_schema(shard)}.journal_mode=WAL"
+                )
+
     def _catalog_holds_rows(self) -> bool:
         """True when the main database stores schema tables itself."""
         for table in self.schema:

@@ -333,6 +333,10 @@ class SQLiteBackend(StorageBackend):
             # every key type, not just the int/str common case.
             self._conn.create_function("repro_repr", 1, repr, deterministic=True)
             self._prepare_storage()  # hook: sharded backends ATTACH here
+            # After validation on purpose: a rejected open (schema mismatch,
+            # sharded file through the plain backend) must not have flipped
+            # the journal mode or left ``-wal``/``-shm`` debris behind.
+            self._configure_journal_mode()
             for table in schema:
                 self._create_storage(table)
             # Resume the mutation-digest chain of a reopened store.
@@ -365,6 +369,21 @@ class SQLiteBackend(StorageBackend):
                 f"store at {self.path!r} is hash-partitioned (built by the "
                 f"'sqlite-sharded' backend); open it with that backend"
             )
+
+    def _configure_journal_mode(self) -> None:
+        """Flip file-backed storage to WAL (``:memory:`` has no journal).
+
+        Under the default rollback journal, an open read cursor holds the
+        file's shared lock, so a *second process* (or any sibling connection
+        outside this backend's per-file lock) serializes behind every cold
+        streamed query.  WAL lets readers proceed while a writer commits —
+        the property the TCP server's multi-worker mode depends on, where
+        several forked processes serve one store concurrently.  The mode is
+        persistent (stored in the database header), so reopened stores stay
+        WAL without re-running this.
+        """
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
 
     @property
     def is_persistent(self) -> bool:
@@ -1028,11 +1047,13 @@ class SQLiteBackend(StorageBackend):
         cut did exactly that and deadlocked the regression test).  The cost
         is a *longer* hold than the materializing fetch cycle: the lock
         spans the consumer's processing of the streamed rows, not just the
-        fetches, so one file serves one cold streamed query at a time.
-        Serving absorbs this — cache-served queries never open a stream —
-        and rollback-journal SQLite offers no cheaper safe point; a WAL-mode
-        store (readers don't block writers) is the ROADMAP follow-on that
-        would let the lock drop between chunks.  Consumers must drain or
+        fetches, so one *connection* serves one cold streamed query at a
+        time.  Serving absorbs this — cache-served queries never open a
+        stream — and file-backed stores now run in WAL mode
+        (:meth:`_configure_journal_mode`), so other processes' readers no
+        longer block behind this cursor; the in-process lock stays because
+        Python's ``sqlite3`` still requires serialized use of a shared
+        connection.  Consumers must drain or
         close the stream in the thread that opened it (the executor does;
         ``RowStream`` is a context manager for everyone else).  Chunked
         fetching keeps the prefetch overrun — booked as short-circuited on

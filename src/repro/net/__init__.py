@@ -1,0 +1,62 @@
+"""Network serving and load generation.
+
+The package that takes :class:`repro.server.QueryServer` onto a real
+socket and measures it:
+
+* :mod:`repro.net.protocol` — the newline-delimited JSON wire protocol
+  (request/response shapes, error codes, incremental line framing with an
+  oversize guard).
+* :mod:`repro.net.listener` — the asyncio TCP listener with admission
+  control: connection limits, a bounded in-flight queue with explicit
+  overload rejection, per-request timeouts, graceful drain on SIGTERM and
+  a fork-per-worker multi-process mode.
+* :mod:`repro.net.loadgen` — open- and closed-loop asyncio load clients
+  behind ``repro bench-load``.
+* :mod:`repro.net.monitor` — CPU/RSS sampling of the server process from
+  ``/proc`` (stdlib only).
+* :mod:`repro.net.results` — schema-versioned ``BENCH_serve_*.json``
+  records: build, persist, validate.
+"""
+
+from importlib import import_module
+
+#: Public name -> defining submodule.  Resolved lazily so ``python -m
+#: repro.net.results`` (the CI validation entry point) does not import the
+#: whole serving stack first — runpy would warn about the double import.
+_EXPORTS = {
+    "TCPQueryServer": "repro.net.listener",
+    "TCPServerConfig": "repro.net.listener",
+    "run_tcp_server": "repro.net.listener",
+    "run_bench_load": "repro.net.loadgen",
+    "ResourceMonitor": "repro.net.monitor",
+    "BENCH_SCHEMA_VERSION": "repro.net.results",
+    "build_bench_report": "repro.net.results",
+    "validate_bench_report": "repro.net.results",
+    "write_bench_report": "repro.net.results",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "ResourceMonitor",
+    "TCPQueryServer",
+    "TCPServerConfig",
+    "build_bench_report",
+    "run_bench_load",
+    "run_tcp_server",
+    "validate_bench_report",
+    "write_bench_report",
+]

@@ -1,0 +1,455 @@
+"""The asyncio TCP listener over the :class:`repro.server.QueryServer` pool.
+
+:class:`TCPQueryServer` speaks the newline-delimited JSON protocol of
+:mod:`repro.net.protocol` and adds the admission-control layer a network
+service needs that a stdin coprocess never did:
+
+* **Connection limit** — at most ``max_connections`` concurrent clients;
+  the one over the limit receives a ``too-many-connections`` error line and
+  is closed immediately (an explicit answer beats a silent accept-queue
+  stall).
+* **Bounded in-flight queue with overload rejection** — at most
+  ``queue_limit`` requests admitted at once (executing on the engine pool's
+  worker threads or queued behind them).  Request ``queue_limit + 1`` gets
+  an ``overloaded`` error *now*, instead of joining an unbounded queue and
+  timing out later; clients retry with backoff.
+* **Per-request timeout** — a request that outlives ``request_timeout``
+  answers a ``timeout`` error (its engine work finishes on the worker
+  thread and is discarded; thread work cannot be interrupted midway).
+* **Graceful drain** — SIGTERM (or :meth:`TCPQueryServer.drain`) closes the
+  listening socket so new connections are refused at the kernel, lets every
+  admitted request complete and answer, then closes the remaining client
+  connections.  Requests arriving on open connections during the drain get
+  a ``shutting-down`` error.
+
+Requests on one connection are served sequentially (pipelined lines queue
+in the read buffer); concurrency comes from concurrent connections, which
+fan out across the engine pool's worker threads via
+:class:`repro.server.AsyncQueryFrontend` — the event loop never blocks on
+engine work.
+
+:func:`run_tcp_server` is the process entry point behind ``repro serve
+--tcp``.  With ``workers > 1`` it binds the socket once, forks one child
+per worker (every child inherits the socket, so the kernel load-balances
+accepts across their event loops — the classic pre-fork alternative to
+``SO_REUSEPORT``, with the advantage that one ephemeral port is chosen
+before the fork), builds each child's engine pool *after* the fork (SQLite
+connections must not cross a fork) and forwards SIGTERM/SIGINT to the
+children so the whole group drains together.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import socket
+import sys
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.net import protocol
+from repro.server import AsyncQueryFrontend, QueryServer
+
+
+@dataclass(frozen=True)
+class TCPServerConfig:
+    """Everything one listener needs: address, storage, admission limits."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is printed/queryable
+    dataset: str = "imdb"
+    backend: str = "memory"
+    db_path: str | None = None
+    shards: int | None = None
+    k: int = 5
+    #: Worker threads in the underlying engine pool (per process).
+    engine_workers: int = 8
+    max_connections: int = 64
+    queue_limit: int = 32
+    request_timeout: float | None = 30.0
+    max_request_bytes: int = protocol.MAX_REQUEST_BYTES
+    #: How long a drain waits for in-flight requests before force-closing.
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class ListenerStats:
+    """Counters the listener keeps (inspectable by tests and ops)."""
+
+    connections_accepted: int = 0
+    connections_rejected: int = 0
+    requests_served: int = 0
+    requests_rejected_overload: int = 0
+    requests_timed_out: int = 0
+    protocol_errors: int = 0
+
+
+class TCPQueryServer:
+    """One asyncio TCP listener over one engine pool.
+
+    The pool (a :class:`~repro.server.QueryServer`) is passed in, not
+    owned: callers decide its worker count and lifetime (``repro serve
+    --tcp`` wraps both in one context; tests reuse session-scoped engines
+    through an ``engine_factory``).  Only datasets named in ``datasets``
+    (default: the config's one) are servable — a request for anything else
+    is answered ``unknown-dataset`` *before* it can reach the pool, so an
+    arbitrary client line can never trigger a dataset build or leak an
+    engine.
+    """
+
+    def __init__(
+        self,
+        server: QueryServer,
+        config: TCPServerConfig | None = None,
+        *,
+        datasets: Sequence[str] | None = None,
+    ):
+        self.server = server
+        self.config = config or TCPServerConfig()
+        self.frontend = AsyncQueryFrontend(server)
+        self.datasets = tuple(datasets) if datasets else (self.config.dataset,)
+        self.stats = ListenerStats()
+        self._storage = dict(
+            backend=self.config.backend,
+            db_path=self.config.db_path,
+            shards=self.config.shards,
+        )
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._connections = 0
+        #: Requests admitted past the queue limit (engine-occupying work).
+        self._inflight = 0
+        #: Requests anywhere between parse and the delivered response —
+        #: a superset of ``_inflight``; the drain waits on this one so the
+        #: force-close can never cut off a computed-but-unwritten answer.
+        self._responding = 0
+        self._draining = False
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, sock: socket.socket | None = None) -> None:
+        """Prewarm the servable engines, then start accepting.
+
+        Prewarming off the event loop keeps startup responsive to signals;
+        it also makes the first request as fast as every later one and
+        pins down ``pooled_engines`` for the engine-leak tests.
+        """
+        loop = asyncio.get_running_loop()
+        for dataset in self.datasets:
+            await loop.run_in_executor(
+                None,
+                lambda dataset=dataset: self.server.engine_for(
+                    dataset, **self._storage
+                ),
+            )
+        if sock is not None:
+            self._asyncio_server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._asyncio_server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves an ephemeral port request)."""
+        assert self._asyncio_server is not None, "server not started"
+        return self._asyncio_server.sockets[0].getsockname()[:2]
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting immediately (new connections are refused at the
+        kernel once the listening socket closes); in-flight work continues."""
+        self._draining = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+
+    async def drain(self) -> bool:
+        """Graceful shutdown: refuse new connections, finish in-flight
+        requests, then close the remaining client connections.
+
+        Returns True when every in-flight request completed inside
+        ``drain_timeout``, False when the timeout force-closed stragglers.
+        """
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while self._responding and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        completed = self._responding == 0
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        # Note: Server.wait_closed() is deliberately avoided — since 3.12 it
+        # waits for all client handlers too, which is exactly the ordering
+        # this method controls by hand.
+        return completed
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            with contextlib.suppress(ConnectionError):
+                writer.write(
+                    protocol.error_response(
+                        protocol.ERR_SHUTTING_DOWN, "server is draining"
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            return
+        if self._connections >= self.config.max_connections:
+            self.stats.connections_rejected += 1
+            with contextlib.suppress(ConnectionError):
+                writer.write(
+                    protocol.error_response(
+                        protocol.ERR_TOO_MANY_CONNECTIONS,
+                        f"connection limit ({self.config.max_connections}) reached",
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            return
+        self._connections += 1
+        self.stats.connections_accepted += 1
+        self._writers.add(writer)
+        splitter = protocol.LineSplitter(self.config.max_request_bytes)
+        try:
+            while True:
+                data = await reader.read(8192)
+                if not data:
+                    break
+                for item in splitter.feed(data):
+                    if item is not protocol.OVERSIZED and not item.strip():
+                        continue
+                    self._responding += 1
+                    try:
+                        if item is protocol.OVERSIZED:
+                            self.stats.protocol_errors += 1
+                            response = protocol.error_response(
+                                protocol.ERR_OVERSIZED,
+                                "request line exceeds "
+                                f"{self.config.max_request_bytes} bytes",
+                            )
+                        else:
+                            response = await self._serve_line(item)
+                        writer.write(response)
+                        await writer.drain()
+                    finally:
+                        self._responding -= 1
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # mid-request client disconnect: this connection only
+        finally:
+            self._connections -= 1
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes) -> bytes:
+        """One request line to one response line (never raises)."""
+        try:
+            request = protocol.parse_request(line)
+        except protocol.ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            return protocol.error_response(exc.code, exc.detail)
+        if self._draining:
+            return protocol.error_response(
+                protocol.ERR_SHUTTING_DOWN, "server is draining"
+            )
+        dataset = request.dataset or self.config.dataset
+        if dataset not in self.datasets:
+            return protocol.error_response(
+                protocol.ERR_UNKNOWN_DATASET,
+                f"dataset {dataset!r} is not served here "
+                f"(serving: {', '.join(self.datasets)})",
+            )
+        if self._inflight >= self.config.queue_limit:
+            self.stats.requests_rejected_overload += 1
+            return protocol.error_response(
+                protocol.ERR_OVERLOADED,
+                f"in-flight queue full ({self.config.queue_limit}); retry with backoff",
+            )
+        k = request.k or self.config.k
+        self._inflight += 1
+        try:
+            pending = self.frontend.query(dataset, request.query, k, **self._storage)
+            if self.config.request_timeout is not None:
+                response = await asyncio.wait_for(
+                    pending, self.config.request_timeout
+                )
+            else:
+                response = await pending
+        except asyncio.TimeoutError:
+            self.stats.requests_timed_out += 1
+            return protocol.error_response(
+                protocol.ERR_TIMEOUT,
+                f"request exceeded {self.config.request_timeout} s "
+                "(its engine work completes on the worker and is discarded)",
+            )
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
+            return protocol.error_response(protocol.ERR_INTERNAL, str(exc))
+        finally:
+            self._inflight -= 1
+        self.stats.requests_served += 1
+        return protocol.ok_response(dataset, request.query, k, response)
+
+
+# -- process entry point (repro serve --tcp) ----------------------------------
+
+
+def _bind(config: TCPServerConfig) -> socket.socket:
+    """The pre-bound listening socket every worker process will share."""
+    sock = socket.create_server(
+        (config.host, config.port), backlog=128, reuse_port=False
+    )
+    sock.setblocking(False)
+    return sock
+
+
+async def _serve_async(
+    sock: socket.socket,
+    config: TCPServerConfig,
+    *,
+    engine_config=None,
+    engine_factory=None,
+    announce: bool = True,
+) -> int:
+    """One worker's event loop: pool + listener + signal-driven drain."""
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread / platform without loop signal support
+    with QueryServer(
+        max_workers=config.engine_workers,
+        engine_config=engine_config,
+        engine_factory=engine_factory,
+    ) as pool:
+        tcp = TCPQueryServer(pool, config)
+        await tcp.start(sock=sock)
+        if announce:
+            host, port = tcp.address
+            print(
+                f"serving dataset={config.dataset} backend={config.backend} "
+                f"tcp={host}:{port} queue-limit={config.queue_limit} "
+                f"max-connections={config.max_connections}",
+                flush=True,
+            )
+        await stop.wait()
+        completed = await tcp.drain()
+    return 0 if completed else 1
+
+
+def _run_worker(
+    sock: socket.socket,
+    config: TCPServerConfig,
+    *,
+    engine_config=None,
+    engine_factory=None,
+    announce: bool = True,
+) -> int:
+    return asyncio.run(
+        _serve_async(
+            sock,
+            config,
+            engine_config=engine_config,
+            engine_factory=engine_factory,
+            announce=announce,
+        )
+    )
+
+
+def run_tcp_server(
+    config: TCPServerConfig,
+    *,
+    workers: int = 1,
+    engine_config=None,
+    engine_factory=None,
+) -> int:
+    """Bind, announce, serve until SIGTERM/SIGINT, drain, exit.
+
+    Prints ``listening on <host>:<port>`` first (port 0 resolves to the
+    kernel's pick), which is the readiness line ``repro bench-load
+    --spawn`` and the tests parse.  With ``workers > 1`` the socket is
+    bound once and one child per worker is forked to serve on it; engine
+    pools are built after the fork (each child prewarms its own), and the
+    parent forwards termination signals and reaps the group.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    sock = _bind(config)
+    host, port = sock.getsockname()[:2]
+    print(f"listening on {host}:{port}", flush=True)
+    if workers == 1 or not hasattr(os, "fork"):
+        if workers > 1:  # pragma: no cover - no-fork platforms only
+            print("fork unavailable; serving with 1 worker", flush=True)
+        try:
+            return _run_worker(
+                sock,
+                config,
+                engine_config=engine_config,
+                engine_factory=engine_factory,
+            )
+        finally:
+            sock.close()
+
+    pids: list[int] = []
+    for index in range(workers):
+        pid = os.fork()
+        if pid == 0:  # child: serve on the inherited socket, then hard-exit
+            status = 1
+            try:
+                status = _run_worker(
+                    sock,
+                    config,
+                    engine_config=engine_config,
+                    engine_factory=engine_factory,
+                    announce=(index == 0),
+                )
+            finally:
+                os._exit(status)
+        pids.append(pid)
+    sock.close()
+
+    def forward(signum: int, _frame) -> None:
+        for pid in pids:
+            with contextlib.suppress(ProcessLookupError):
+                os.kill(pid, signum)
+
+    previous = {
+        signum: signal.signal(signum, forward)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        status = 0
+        for pid in pids:
+            _pid, raw = os.waitpid(pid, 0)
+            if os.WIFEXITED(raw):
+                status = max(status, os.WEXITSTATUS(raw))
+            else:  # killed by an unforwarded signal
+                status = max(status, 1)
+        return status
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging aid
+    sys.exit(run_tcp_server(TCPServerConfig(port=7341)))

@@ -1,0 +1,436 @@
+"""Open- and closed-loop load generation against a live TCP server.
+
+``repro bench-load`` drives the protocol of :mod:`repro.net.protocol`
+with asyncio clients and persists every run as a schema-versioned
+``BENCH_serve_*.json`` record (:mod:`repro.net.results`):
+
+* **Closed loop** — N persistent connections, each issuing its next
+  request the moment the previous answer lands.  Measures the server's
+  sustainable throughput at a fixed concurrency (latency and throughput
+  are coupled: a slow server slows the clients down).
+* **Open loop** — requests depart on a fixed schedule (``rate`` per
+  second) regardless of completions, the way real traffic arrives.
+  In-flight requests pile up when the server falls behind, which is
+  exactly what makes open-loop numbers honest about saturation — and what
+  exercises the listener's overload rejection.
+
+Per-request outcomes are bucketed (``ok`` / ``overloaded`` / ``timeout`` /
+``error`` / ``transport_error``); only ``ok`` round trips feed the latency
+percentiles, so a fast overload rejection cannot flatter p50.  While the
+clients run, :class:`repro.net.monitor.ResourceMonitor` samples the server
+process's CPU/RSS (when a pid is known — ``--spawn`` always knows it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import datetime as _datetime
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.net import protocol
+from repro.net.monitor import ResourceMonitor
+from repro.net.results import build_bench_report, write_bench_report
+
+#: Deterministic per-dataset query mixes (same vocabulary the serve bench
+#: and the test-suite use) — the load client must not need to build the
+#: dataset just to know what to ask.
+DEFAULT_QUERIES: dict[str, list[str]] = {
+    "imdb": ["hanks 2001", "london", "summer", "stone hill", "hanks", "2001"],
+    "lyrics": ["london", "summer", "night", "love"],
+}
+
+
+@dataclass
+class LoadRun:
+    """Raw per-request data of one load run (pre-report)."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    outcomes: dict[str, int] = field(
+        default_factory=lambda: {
+            "ok": 0,
+            "overloaded": 0,
+            "timeout": 0,
+            "error": 0,
+            "transport_error": 0,
+        }
+    )
+    duration_seconds: float = 0.0
+
+    def book(self, outcome: str, latency_ms: float | None) -> None:
+        self.outcomes[outcome] += 1
+        if outcome == "ok" and latency_ms is not None:
+            self.latencies_ms.append(latency_ms)
+
+
+def _classify(payload: dict) -> str:
+    if payload.get("ok"):
+        return "ok"
+    error = payload.get("error")
+    if error == protocol.ERR_OVERLOADED:
+        return "overloaded"
+    if error == protocol.ERR_TIMEOUT:
+        return "timeout"
+    return "error"
+
+
+async def _roundtrip(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    request: bytes,
+    timeout: float,
+) -> tuple[str, float | None]:
+    """One request/response cycle on an open connection."""
+    import json
+
+    started = time.perf_counter()
+    try:
+        writer.write(request)
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+    except (ConnectionError, asyncio.TimeoutError, asyncio.IncompleteReadError, OSError):
+        return "transport_error", None
+    if not line:
+        return "transport_error", None
+    latency_ms = (time.perf_counter() - started) * 1000.0
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return "transport_error", None
+    return _classify(payload), latency_ms
+
+
+def _request_for(rng: random.Random, dataset: str, k: int) -> bytes:
+    texts = DEFAULT_QUERIES.get(dataset, DEFAULT_QUERIES["imdb"])
+    return protocol.encode_request(rng.choice(texts), dataset=dataset, k=k)
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    *,
+    connections: int = 8,
+    requests: int = 200,
+    dataset: str = "imdb",
+    k: int = 5,
+    timeout: float = 30.0,
+    seed: int = 13,
+) -> LoadRun:
+    """``connections`` persistent clients, back-to-back requests, ``requests`` total."""
+    run = LoadRun()
+    per_client = [requests // connections] * connections
+    for index in range(requests % connections):
+        per_client[index] += 1
+
+    async def client(index: int) -> None:
+        rng = random.Random(f"{seed}/closed/{index}")
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            for _ in range(per_client[index]):
+                run.book("transport_error", None)
+            return
+        try:
+            for _ in range(per_client[index]):
+                outcome, latency_ms = await _roundtrip(
+                    reader, writer, _request_for(rng, dataset, k), timeout
+                )
+                run.book(outcome, latency_ms)
+                if outcome == "transport_error":
+                    return  # the connection is gone; stop this client
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(index) for index in range(connections)))
+    run.duration_seconds = time.perf_counter() - started
+    return run
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    *,
+    rate: float = 50.0,
+    requests: int = 200,
+    dataset: str = "imdb",
+    k: int = 5,
+    timeout: float = 30.0,
+    seed: int = 13,
+) -> LoadRun:
+    """``requests`` departures at ``rate``/s, regardless of completions.
+
+    Each in-flight request rides its own pooled connection (requests on one
+    connection would serialize server-side and close the loop by accident);
+    connections are reused once their previous request answered.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    run = LoadRun()
+    rng = random.Random(f"{seed}/open")
+    idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+    opened: list[asyncio.StreamWriter] = []
+
+    async def fire(request: bytes) -> None:
+        if idle:
+            reader, writer = idle.pop()
+        else:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                run.book("transport_error", None)
+                return
+            opened.append(writer)
+        outcome, latency_ms = await _roundtrip(reader, writer, request, timeout)
+        run.book(outcome, latency_ms)
+        if outcome == "transport_error":
+            writer.close()
+        else:
+            idle.append((reader, writer))
+
+    started = time.perf_counter()
+    interval = 1.0 / rate
+    tasks = []
+    for index in range(requests):
+        due = started + index * interval
+        delay = due - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(_request_for(rng, dataset, k))))
+    await asyncio.gather(*tasks)
+    run.duration_seconds = time.perf_counter() - started
+    for writer in opened:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+    return run
+
+
+# -- orchestration (repro bench-load) -----------------------------------------
+
+
+@dataclass
+class SpawnedServer:
+    """A ``repro serve --tcp`` child process and its parsed address."""
+
+    process: subprocess.Popen
+    host: str
+    port: int
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def terminate(self, timeout: float = 15.0) -> int:
+        """SIGTERM (graceful drain) and reap; SIGKILL only past ``timeout``."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                self.process.kill()
+                self.process.wait()
+        return self.process.returncode
+
+
+_LISTENING_RE = re.compile(r"listening on ([^\s:]+):(\d+)")
+
+
+def spawn_tcp_server(
+    *,
+    dataset: str = "imdb",
+    backend: str = "memory",
+    db_path: str | None = None,
+    shards: int | None = None,
+    workers: int = 1,
+    extra_args: list[str] | None = None,
+    startup_timeout: float = 60.0,
+) -> SpawnedServer:
+    """Launch ``repro serve --tcp --port 0`` as a child and parse its address.
+
+    The child runs with this interpreter and this checkout on
+    ``PYTHONPATH``, so the spawned server always matches the code under
+    test.  Blocks until the readiness line appears (the socket is bound
+    before the line prints, so a connect after this returns succeeds).
+    """
+    package_root = str(Path(__file__).resolve().parents[2])  # .../src
+    env = dict(os.environ)
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--tcp",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--dataset",
+        dataset,
+        "--backend",
+        backend,
+        "--tcp-workers",
+        str(workers),
+    ]
+    if db_path is not None:
+        argv += ["--db-path", str(db_path)]
+    if shards is not None:
+        argv += ["--shards", str(shards)]
+    argv += extra_args or []
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True
+    )
+    deadline = time.monotonic() + startup_timeout
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if line:
+            match = _LISTENING_RE.search(line)
+            if match:
+                return SpawnedServer(
+                    process=process, host=match.group(1), port=int(match.group(2))
+                )
+        if process.poll() is not None or time.monotonic() > deadline:
+            with contextlib.suppress(Exception):
+                process.kill()
+            raise RuntimeError(
+                f"spawned server did not become ready: {' '.join(argv)}"
+            )
+
+
+def run_bench_load(
+    host: str,
+    port: int,
+    *,
+    mode: str = "closed",
+    connections: int = 8,
+    requests: int = 200,
+    rate: float = 50.0,
+    dataset: str = "imdb",
+    backend: str = "memory",
+    k: int = 5,
+    timeout: float = 30.0,
+    seed: int = 13,
+    label: str | None = None,
+    server_pid: int | None = None,
+    output_dir: str | Path | None = ".",
+    monitor_interval: float = 0.1,
+) -> tuple[dict, Path | None]:
+    """One full bench run: load + resource sampling → validated-shape record.
+
+    Returns ``(record, path)``; ``path`` is None when ``output_dir`` is
+    None (persistence skipped — the in-process tests build records
+    without touching the working tree).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError("mode must be 'closed' or 'open'")
+    label = label or f"{mode}-{backend}-{dataset}"
+    started_at = _datetime.datetime.now(_datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    monitor = (
+        ResourceMonitor(server_pid, interval=monitor_interval)
+        if server_pid is not None
+        else None
+    )
+    if monitor is not None:
+        monitor.start()
+    try:
+        if mode == "closed":
+            run = asyncio.run(
+                run_closed_loop(
+                    host,
+                    port,
+                    connections=connections,
+                    requests=requests,
+                    dataset=dataset,
+                    k=k,
+                    timeout=timeout,
+                    seed=seed,
+                )
+            )
+        else:
+            run = asyncio.run(
+                run_open_loop(
+                    host,
+                    port,
+                    rate=rate,
+                    requests=requests,
+                    dataset=dataset,
+                    k=k,
+                    timeout=timeout,
+                    seed=seed,
+                )
+            )
+    finally:
+        samples = monitor.stop() if monitor is not None else []
+    record = build_bench_report(
+        config={
+            "mode": mode,
+            "dataset": dataset,
+            "backend": backend,
+            "connections": connections,
+            "requests": requests,
+            "rate": rate if mode == "open" else None,
+            "k": k,
+            "seed": seed,
+            "host": host,
+            "port": port,
+            "label": label,
+        },
+        latencies_ms=run.latencies_ms,
+        outcomes=run.outcomes,
+        duration_seconds=run.duration_seconds,
+        samples=samples,
+        started_at=started_at,
+    )
+    path = None
+    if output_dir is not None:
+        path = write_bench_report(record, output_dir)
+    return record, path
+
+
+def summary_lines(record: dict, path: Path | None) -> list[str]:
+    """The human-readable summary ``repro bench-load`` prints."""
+    config = record["config"]
+    latency = record["latency_ms"]
+    outcomes = record["outcomes"]
+    resources = record["resources"]
+    lines = [
+        f"mode={config['mode']} dataset={config['dataset']} "
+        f"backend={config['backend']} connections={config['connections']} "
+        f"requests={config['requests']}"
+        + (f" rate={config['rate']}/s" if config.get("rate") else ""),
+        f"load phase: {record['duration_seconds']:.3f} s   "
+        f"throughput: {record['throughput_qps']:.1f} q/s",
+        f"latency (ok only): p50 {latency['p50']:.2f} ms   "
+        f"p95 {latency['p95']:.2f} ms   p99 {latency['p99']:.2f} ms   "
+        f"max {latency['max']:.2f} ms",
+        "outcomes: "
+        + "  ".join(f"{key}={outcomes[key]}" for key in sorted(outcomes)),
+    ]
+    if resources["samples"]:
+        lines.append(
+            f"server resources: peak RSS "
+            f"{resources['peak_rss_bytes'] / (1024 * 1024):.1f} MiB   "
+            f"mean CPU {resources['mean_cpu_percent']:.1f}% "
+            f"({len(resources['samples'])} samples)"
+        )
+    else:
+        lines.append("server resources: not sampled (no server pid)")
+    if path is not None:
+        lines.append(f"persisted: {path}")
+    return lines

@@ -1,0 +1,116 @@
+"""CPU/RSS sampling of one process, stdlib-only (``/proc``).
+
+The bench harness must report what the *server* spends, not just what the
+clients observe — a latency histogram with no resource trace cannot tell
+"fast because idle" from "fast because efficient".  ``psutil`` is not a
+dependency of this repo, so :class:`ResourceMonitor` reads the Linux
+``/proc`` filesystem directly: ``/proc/<pid>/stat`` for cumulative
+user+system CPU ticks, ``/proc/<pid>/status`` for ``VmRSS``.  On platforms
+without ``/proc`` (or once the process exits) sampling degrades to an empty
+series — the bench record stays schema-valid, with ``samples: []``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+
+def _clock_ticks_per_second() -> float:
+    try:
+        return float(os.sysconf("SC_CLK_TCK"))
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        return 100.0
+
+
+def read_cpu_seconds(pid: int) -> float | None:
+    """Cumulative user+system CPU seconds of ``pid``, or None."""
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+    except OSError:
+        return None
+    # Field 2 (comm) may contain spaces; everything after its closing paren
+    # is space-separated.  utime/stime are fields 14/15 (1-based), i.e.
+    # positions 11/12 after the paren.
+    try:
+        rest = stat.rsplit(")", 1)[1].split()
+        utime, stime = int(rest[11]), int(rest[12])
+    except (IndexError, ValueError):  # pragma: no cover - malformed stat
+        return None
+    return (utime + stime) / _clock_ticks_per_second()
+
+
+def read_rss_bytes(pid: int) -> int | None:
+    """Resident set size of ``pid`` in bytes, or None."""
+    try:
+        with open(f"/proc/{pid}/status", "rb") as handle:
+            for raw in handle:
+                if raw.startswith(b"VmRSS:"):
+                    return int(raw.split()[1]) * 1024  # value is in kB
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class ResourceMonitor:
+    """Background sampler of one process's CPU% and RSS.
+
+    ``start()`` launches a daemon thread that records one sample every
+    ``interval`` seconds; ``stop()`` joins it and returns the series.  CPU
+    percent is the delta of cumulative CPU seconds over the delta of wall
+    time between consecutive samples (>100 means more than one core).
+    """
+
+    def __init__(self, pid: int, interval: float = 0.1):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.pid = pid
+        self.interval = interval
+        self.samples: list[dict] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ResourceMonitor":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-bench-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> list[dict]:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+        return self.samples
+
+    def __enter__(self) -> "ResourceMonitor":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        started = time.monotonic()
+        last_wall = started
+        last_cpu = read_cpu_seconds(self.pid)
+        while not self._stop.wait(self.interval):
+            now = time.monotonic()
+            cpu = read_cpu_seconds(self.pid)
+            rss = read_rss_bytes(self.pid)
+            if cpu is None or rss is None:
+                if self.samples:
+                    break  # the process exited mid-run: end the series
+                continue  # no /proc on this platform: stay empty
+            cpu_percent = 0.0
+            if last_cpu is not None and now > last_wall:
+                cpu_percent = max(0.0, 100.0 * (cpu - last_cpu) / (now - last_wall))
+            self.samples.append(
+                {
+                    "elapsed_seconds": round(now - started, 4),
+                    "cpu_percent": round(cpu_percent, 2),
+                    "rss_bytes": rss,
+                }
+            )
+            last_wall, last_cpu = now, cpu

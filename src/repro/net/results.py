@@ -1,0 +1,213 @@
+"""Schema-versioned ``BENCH_serve_*.json`` records.
+
+Every ``repro bench-load`` run persists one record, so the serving-perf
+trajectory survives the run and is diffable PR-over-PR (`git log` on the
+committed records, or the CI artifacts).  The record shape is versioned
+(:data:`BENCH_SCHEMA_VERSION`) and *validated* — by the tests, and by CI
+right after the smoke run (``python -m repro.net.results BENCH_*.json``
+exits non-zero on any violation), so a drifted writer cannot silently
+produce unreadable history.
+
+Record shape (version 1)::
+
+    {
+      "schema_version": 1,
+      "kind": "bench-serve-load",
+      "started_at": "2026-08-07T12:00:00+00:00",
+      "config": {"mode": "closed", "dataset": ..., "backend": ...,
+                 "connections": ..., "requests": ..., "rate": ...,
+                 "k": ..., "label": ...},
+      "duration_seconds": 1.23,
+      "throughput_qps": 162.6,
+      "outcomes": {"ok": N, "overloaded": N, "timeout": N,
+                   "error": N, "transport_error": N},
+      "latency_ms": {"count": N, "mean": ..., "p50": ..., "p95": ...,
+                     "p99": ..., "max": ...},
+      "resources": {"samples": [{"elapsed_seconds": ..., "cpu_percent":
+                     ..., "rss_bytes": ...}, ...],
+                    "peak_rss_bytes": ..., "mean_cpu_percent": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Sequence
+
+BENCH_SCHEMA_VERSION = 1
+
+BENCH_KIND = "bench-serve-load"
+
+#: The file-name prefix every persisted record uses.
+BENCH_FILE_PREFIX = "BENCH_serve_"
+
+_OUTCOME_KEYS = ("ok", "overloaded", "timeout", "error", "transport_error")
+_LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99", "max")
+_SAMPLE_KEYS = ("elapsed_seconds", "cpu_percent", "rss_bytes")
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted series (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def build_bench_report(
+    *,
+    config: dict,
+    latencies_ms: Sequence[float],
+    outcomes: dict[str, int],
+    duration_seconds: float,
+    samples: Sequence[dict],
+    started_at: str,
+) -> dict:
+    """Assemble one schema-version-1 record from raw run data."""
+    ordered = sorted(latencies_ms)
+    total_answered = sum(outcomes.get(key, 0) for key in _OUTCOME_KEYS)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "started_at": started_at,
+        "config": dict(config),
+        "duration_seconds": round(duration_seconds, 6),
+        "throughput_qps": round(
+            total_answered / duration_seconds if duration_seconds else 0.0, 3
+        ),
+        "outcomes": {key: int(outcomes.get(key, 0)) for key in _OUTCOME_KEYS},
+        "latency_ms": {
+            "count": len(ordered),
+            "mean": round(sum(ordered) / len(ordered), 4) if ordered else 0.0,
+            "p50": round(percentile(ordered, 0.50), 4),
+            "p95": round(percentile(ordered, 0.95), 4),
+            "p99": round(percentile(ordered, 0.99), 4),
+            "max": round(ordered[-1], 4) if ordered else 0.0,
+        },
+        "resources": {
+            "samples": list(samples),
+            "peak_rss_bytes": max(
+                (sample["rss_bytes"] for sample in samples), default=0
+            ),
+            "mean_cpu_percent": round(
+                sum(sample["cpu_percent"] for sample in samples) / len(samples), 2
+            )
+            if samples
+            else 0.0,
+        },
+    }
+
+
+def bench_file_name(label: str) -> str:
+    """``BENCH_serve_<label>.json`` with the label slugged for a filesystem."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "run"
+    return f"{BENCH_FILE_PREFIX}{slug}.json"
+
+
+def write_bench_report(record: dict, directory: str | Path = ".") -> Path:
+    """Persist one record; the label comes from ``record['config']['label']``."""
+    label = str(record.get("config", {}).get("label", "run"))
+    path = Path(directory) / bench_file_name(label)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_bench_report(record: object) -> list[str]:
+    """All schema violations of one record (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    if record.get("schema_version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {record.get('schema_version')!r}"
+        )
+    if record.get("kind") != BENCH_KIND:
+        errors.append(f"kind must be {BENCH_KIND!r}, got {record.get('kind')!r}")
+    if not isinstance(record.get("started_at"), str) or not record.get("started_at"):
+        errors.append("started_at must be a non-empty ISO-8601 string")
+    config = record.get("config")
+    if not isinstance(config, dict):
+        errors.append("config must be an object")
+    else:
+        for key in ("dataset", "backend", "label"):
+            if not isinstance(config.get(key), str) or not config.get(key):
+                errors.append(f"config.{key} must be a non-empty string")
+        if config.get("mode") not in ("open", "closed"):
+            errors.append("config.mode must be 'open' or 'closed'")
+    for key in ("duration_seconds", "throughput_qps"):
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            errors.append(f"{key} must be a non-negative number")
+    outcomes = record.get("outcomes")
+    if not isinstance(outcomes, dict):
+        errors.append("outcomes must be an object")
+    else:
+        for key in _OUTCOME_KEYS:
+            value = outcomes.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                errors.append(f"outcomes.{key} must be a non-negative integer")
+    latency = record.get("latency_ms")
+    if not isinstance(latency, dict):
+        errors.append("latency_ms must be an object")
+    else:
+        for key in _LATENCY_KEYS:
+            value = latency.get(key)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                errors.append(f"latency_ms.{key} must be a non-negative number")
+        if not errors and not (
+            latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        ):
+            errors.append("latency_ms percentiles must be non-decreasing")
+    resources = record.get("resources")
+    if not isinstance(resources, dict) or not isinstance(
+        resources.get("samples"), list
+    ):
+        errors.append("resources.samples must be a list")
+    else:
+        for position, sample in enumerate(resources["samples"]):
+            if not isinstance(sample, dict) or any(
+                key not in sample for key in _SAMPLE_KEYS
+            ):
+                errors.append(
+                    f"resources.samples[{position}] needs keys {_SAMPLE_KEYS}"
+                )
+                break
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate record files: ``python -m repro.net.results BENCH_*.json``."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.net.results BENCH_serve_*.json", file=sys.stderr)
+        return 2
+    failures = 0
+    for raw in paths:
+        path = Path(raw)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        errors = validate_bench_report(record)
+        if errors:
+            failures += 1
+            print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+        else:
+            print(f"{path}: OK (schema v{record['schema_version']})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -149,17 +149,23 @@ class QueryServer:
                 return engine
             key_lock = self._building.setdefault(key, threading.Lock())
         with key_lock:
-            with self._engines_lock:
-                engine = self._engines.get(key)
-                if engine is not None:
-                    return engine
-            engine = self._engine_factory(
-                dataset, backend, db_path, shards, self.engine_config
-            )
-            with self._engines_lock:
-                self._engines[key] = engine
-                self._building.pop(key, None)
-            return engine
+            try:
+                with self._engines_lock:
+                    engine = self._engines.get(key)
+                    if engine is not None:
+                        return engine
+                engine = self._engine_factory(
+                    dataset, backend, db_path, shards, self.engine_config
+                )
+                with self._engines_lock:
+                    self._engines[key] = engine
+                return engine
+            finally:
+                # Also on factory failure: a key whose build raised (bad
+                # path, unknown dataset) must not leave its construction
+                # lock behind forever.
+                with self._engines_lock:
+                    self._building.pop(key, None)
 
     @property
     def pooled_engines(self) -> int:

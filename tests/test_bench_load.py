@@ -1,0 +1,284 @@
+"""Load generation and the BENCH_serve record pipeline.
+
+Covers the layers of ``repro bench-load`` bottom-up: the nearest-rank
+percentile math, record building/validation (positive and negative), the
+``/proc`` resource monitor, the open- and closed-loop asyncio clients
+against an in-process listener, and — once — the full CLI path with a
+spawned ``serve --tcp`` subprocess writing a schema-valid record file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+
+import pytest
+
+from repro.engine import QueryEngine, ResultCache
+from repro.net import loadgen
+from repro.net.listener import TCPQueryServer
+from repro.net.monitor import ResourceMonitor, read_cpu_seconds, read_rss_bytes
+from repro.net.results import (
+    BENCH_KIND,
+    BENCH_SCHEMA_VERSION,
+    bench_file_name,
+    build_bench_report,
+    percentile,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.net.results import main as results_main
+from repro.server import QueryServer
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_cache():
+    ResultCache.clear_process_cache()
+    yield
+    ResultCache.clear_process_cache()
+
+
+@pytest.fixture
+def imdb_factory(imdb_db):
+    def factory(dataset, backend, db_path, shards, config):
+        kwargs = {} if config is None else {"config": config}
+        return QueryEngine(imdb_db, **kwargs)
+
+    return factory
+
+
+def _report(**overrides):
+    """A valid baseline record the negative tests mutate."""
+    record = build_bench_report(
+        config={
+            "mode": "closed",
+            "dataset": "imdb",
+            "backend": "memory",
+            "connections": 2,
+            "requests": 4,
+            "rate": None,
+            "k": 5,
+            "seed": 13,
+            "host": "127.0.0.1",
+            "port": 1,
+            "label": "unit",
+        },
+        latencies_ms=[1.0, 2.0, 3.0, 4.0],
+        outcomes={"ok": 4, "overloaded": 0, "timeout": 0, "error": 0,
+                  "transport_error": 0},
+        duration_seconds=0.5,
+        samples=[{"elapsed_seconds": 0.1, "cpu_percent": 50.0,
+                  "rss_bytes": 1024}],
+        started_at="2026-08-07T00:00:00+00:00",
+    )
+    record.update(overrides)
+    return record
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = list(range(100))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+
+
+class TestBenchRecord:
+    def test_build_shape_and_validity(self):
+        record = _report()
+        assert record["schema_version"] == BENCH_SCHEMA_VERSION
+        assert record["kind"] == BENCH_KIND
+        assert record["throughput_qps"] == 8.0  # 4 answered / 0.5 s
+        assert record["latency_ms"]["count"] == 4
+        assert record["latency_ms"]["p50"] == 3.0
+        assert record["latency_ms"]["max"] == 4.0
+        assert record["resources"]["peak_rss_bytes"] == 1024
+        assert validate_bench_report(record) == []
+
+    @pytest.mark.parametrize(
+        "mutate,needle",
+        [
+            (lambda r: r.update(schema_version=2), "schema_version"),
+            (lambda r: r.update(kind="something"), "kind"),
+            (lambda r: r.update(started_at=""), "started_at"),
+            (lambda r: r["config"].update(mode="burst"), "config.mode"),
+            (lambda r: r["config"].update(dataset=""), "config.dataset"),
+            (lambda r: r.update(duration_seconds=-1), "duration_seconds"),
+            (lambda r: r["outcomes"].update(ok=-1), "outcomes.ok"),
+            (lambda r: r["outcomes"].update(ok=True), "outcomes.ok"),
+            (lambda r: r["latency_ms"].update(p95=0.5), "percentiles"),
+            (lambda r: r["resources"].pop("samples"), "samples"),
+            (lambda r: r["resources"]["samples"][0].pop("rss_bytes"), "samples[0]"),
+        ],
+    )
+    def test_violations_are_reported(self, mutate, needle):
+        record = _report()
+        mutate(record)
+        errors = validate_bench_report(record)
+        assert errors and any(needle in error for error in errors)
+
+    def test_non_object_record(self):
+        assert validate_bench_report([1, 2]) != []
+
+    def test_file_name_slugs_labels(self):
+        assert bench_file_name("closed memory/imdb") == (
+            "BENCH_serve_closed-memory-imdb.json"
+        )
+        assert bench_file_name("///") == "BENCH_serve_run.json"
+
+    def test_write_and_validate_round_trip(self, tmp_path):
+        path = write_bench_report(_report(), tmp_path)
+        assert path.name == "BENCH_serve_unit.json"
+        assert validate_bench_report(json.loads(path.read_text())) == []
+
+
+class TestResultsCLI:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = write_bench_report(_report(), tmp_path)
+        assert results_main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        record = _report()
+        record["kind"] = "wrong"
+        path = tmp_path / "BENCH_serve_bad.json"
+        path.write_text(json.dumps(record))
+        assert results_main([str(path)]) == 1
+        assert "violation" in capsys.readouterr().err
+
+    def test_unreadable_file_fails(self, tmp_path):
+        path = tmp_path / "BENCH_serve_missing.json"
+        assert results_main([str(path)]) == 1
+
+    def test_no_arguments_is_usage_error(self):
+        assert results_main([]) == 2
+
+
+class TestResourceMonitor:
+    def test_samples_own_process(self):
+        if read_cpu_seconds(os.getpid()) is None:
+            pytest.skip("no /proc on this platform")
+        with ResourceMonitor(os.getpid(), interval=0.02) as monitor:
+            deadline = os.times().elapsed + 0.2
+            while os.times().elapsed < deadline:
+                sum(i * i for i in range(1000))  # burn a little CPU
+        assert monitor.samples, "expected at least one sample"
+        for sample in monitor.samples:
+            assert set(sample) == {"elapsed_seconds", "cpu_percent", "rss_bytes"}
+            assert sample["rss_bytes"] > 0
+            assert sample["cpu_percent"] >= 0.0
+
+    def test_unknown_pid_degrades_to_empty(self):
+        assert read_cpu_seconds(2**31 - 7) is None
+        assert read_rss_bytes(2**31 - 7) is None
+        monitor = ResourceMonitor(2**31 - 7, interval=0.01).start()
+        import time
+
+        time.sleep(0.05)
+        assert monitor.stop() == []
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            ResourceMonitor(os.getpid(), interval=0)
+
+
+@contextlib.asynccontextmanager
+async def serving(factory):
+    with QueryServer(max_workers=8, engine_factory=factory) as pool:
+        tcp = TCPQueryServer(pool)
+        await tcp.start()
+        try:
+            yield tcp.address
+        finally:
+            await tcp.drain()
+
+
+class TestLoadClients:
+    def test_closed_loop_answers_everything(self, imdb_factory):
+        async def drive():
+            async with serving(imdb_factory) as (host, port):
+                return await loadgen.run_closed_loop(
+                    host, port, connections=4, requests=14, timeout=30
+                )
+
+        run = asyncio.run(drive())
+        assert run.outcomes["ok"] == 14
+        assert sum(run.outcomes.values()) == 14
+        assert len(run.latencies_ms) == 14
+        assert all(latency > 0 for latency in run.latencies_ms)
+        assert run.duration_seconds > 0
+
+    def test_open_loop_answers_everything(self, imdb_factory):
+        async def drive():
+            async with serving(imdb_factory) as (host, port):
+                return await loadgen.run_open_loop(
+                    host, port, rate=200.0, requests=10, timeout=30
+                )
+
+        run = asyncio.run(drive())
+        assert run.outcomes["ok"] == 10
+        assert len(run.latencies_ms) == 10
+
+    def test_open_loop_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            asyncio.run(loadgen.run_open_loop("127.0.0.1", 1, rate=0))
+
+    def test_unreachable_server_books_transport_errors(self):
+        # A bound-then-closed socket guarantees nothing listens on the port.
+        import socket
+
+        sock = socket.create_server(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        run = asyncio.run(
+            loadgen.run_closed_loop("127.0.0.1", port, connections=2, requests=6)
+        )
+        assert run.outcomes["transport_error"] == 6
+        assert run.outcomes["ok"] == 0
+
+
+class TestBenchLoadEndToEnd:
+    def test_cli_spawn_writes_schema_valid_record(self, tmp_path, capsys):
+        """The CI smoke, in miniature: spawn, load, persist, validate."""
+        from repro.cli import main as cli_main
+
+        status = cli_main(
+            [
+                "bench-load",
+                "--spawn",
+                "--mode",
+                "closed",
+                "--connections",
+                "4",
+                "--requests",
+                "24",
+                "--label",
+                "test-e2e",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "throughput" in out and "p95" in out
+        path = tmp_path / bench_file_name("test-e2e")
+        assert path.exists()
+        record = json.loads(path.read_text())
+        assert validate_bench_report(record) == []
+        assert record["outcomes"]["ok"] == 24
+        # --spawn knows the server pid, so resources must have been sampled
+        # (on /proc platforms; the record is valid either way).
+        assert record["config"]["mode"] == "closed"
+
+    def test_run_bench_load_requires_known_mode(self):
+        with pytest.raises(ValueError):
+            loadgen.run_bench_load("127.0.0.1", 1, mode="burst", output_dir=None)

@@ -1,0 +1,118 @@
+"""Wire protocol: request parsing, response shapes, line framing.
+
+Pure-protocol tests (no sockets): every malformed input maps to a
+:class:`~repro.net.protocol.ProtocolError` with the right code, and
+:class:`~repro.net.protocol.LineSplitter` frames byte streams correctly
+under partial feeds, pipelined lines and the oversize guard — including
+that an over-limit line never balloons the internal buffer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net import protocol
+from repro.net.protocol import LineSplitter, ProtocolError, parse_request
+
+
+class TestParseRequest:
+    def test_minimal_request(self):
+        request = parse_request(b'{"query": "hanks 2001"}')
+        assert request.query == "hanks 2001"
+        assert request.dataset is None
+        assert request.k is None
+
+    def test_full_request_and_round_trip(self):
+        line = protocol.encode_request("london", dataset="imdb", k=3)
+        assert line.endswith(b"\n")
+        request = parse_request(line[:-1])
+        assert request == protocol.Request(query="london", dataset="imdb", k=3)
+
+    def test_query_is_stripped(self):
+        assert parse_request(b'{"query": "  london  "}').query == "london"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"not json at all",
+            b"\xff\xfe garbage",
+            b'"just a string"',
+            b"[1, 2, 3]",
+            b"{}",
+            b'{"query": 7}',
+            b'{"query": ""}',
+            b'{"query": "   "}',
+            b'{"query": "x", "dataset": 9}',
+            b'{"query": "x", "k": 0}',
+            b'{"query": "x", "k": -1}',
+            b'{"query": "x", "k": true}',
+            b'{"query": "x", "k": "5"}',
+        ],
+    )
+    def test_malformed_requests(self, raw):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(raw)
+        assert excinfo.value.code == protocol.ERR_MALFORMED
+
+    def test_error_carries_detail(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b"{}")
+        assert "query" in excinfo.value.detail
+
+
+class TestResponses:
+    def test_error_response_shape(self):
+        line = protocol.error_response(protocol.ERR_OVERLOADED, "queue full")
+        payload = json.loads(line)
+        assert payload == {
+            "ok": False,
+            "v": protocol.PROTOCOL_VERSION,
+            "error": protocol.ERR_OVERLOADED,
+            "detail": "queue full",
+        }
+
+    def test_encode_line_is_one_line(self):
+        line = protocol.encode_line({"a": 1})
+        assert line.count(b"\n") == 1 and line.endswith(b"\n")
+
+
+class TestLineSplitter:
+    def test_single_line(self):
+        assert LineSplitter().feed(b'{"q":1}\n') == [b'{"q":1}']
+
+    def test_pipelined_lines_in_one_feed(self):
+        assert LineSplitter().feed(b"a\nb\nc\n") == [b"a", b"b", b"c"]
+
+    def test_partial_feeds_reassemble(self):
+        splitter = LineSplitter()
+        assert splitter.feed(b'{"query": "han') == []
+        assert splitter.feed(b'ks"}') == []
+        assert splitter.feed(b"\nnext") == [b'{"query": "hanks"}']
+        assert splitter.feed(b"\n") == [b"next"]
+
+    def test_empty_lines_pass_through(self):
+        # The listener skips blanks; the splitter just frames them.
+        assert LineSplitter().feed(b"\n\nx\n") == [b"", b"", b"x"]
+
+    def test_oversized_line_in_one_feed(self):
+        splitter = LineSplitter(limit=8)
+        assert splitter.feed(b"123456789\nok\n") == [protocol.OVERSIZED, b"ok"]
+
+    def test_oversized_line_streamed_keeps_buffer_bounded(self):
+        splitter = LineSplitter(limit=16)
+        for _ in range(100):
+            assert splitter.feed(b"x" * 64) == []
+            assert len(splitter._buffer) <= 16
+        # The terminating newline surfaces the marker once and resyncs.
+        assert splitter.feed(b"tail\nafter\n") == [protocol.OVERSIZED, b"after"]
+
+    def test_exactly_at_the_limit_is_fine(self):
+        splitter = LineSplitter(limit=4)
+        assert splitter.feed(b"abcd\n") == [b"abcd"]
+        assert splitter.feed(b"abcde\n") == [protocol.OVERSIZED]
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            LineSplitter(limit=0)

@@ -105,6 +105,28 @@ class TestEnginePool:
             server.submit("imdb", "london")
         server.close()  # idempotent
 
+    def test_failed_build_releases_its_construction_lock(self, imdb_db):
+        """A factory failure must not leave the per-key construction lock
+        behind (the leak would hold the entry forever) — and a retry on the
+        same key must run the factory again and succeed."""
+        attempts = []
+
+        def flaky(dataset, backend, db_path, shards, config):
+            attempts.append(dataset)
+            if len(attempts) == 1:
+                raise ValueError("first build fails")
+            return QueryEngine(imdb_db)
+
+        with QueryServer(max_workers=1, engine_factory=flaky) as server:
+            with pytest.raises(ValueError):
+                server.engine_for("imdb")
+            assert server._building == {}  # nothing left behind
+            assert server.pooled_engines == 0
+            engine = server.engine_for("imdb")  # retry rebuilds cleanly
+            assert engine is server.engine_for("imdb")
+            assert server._building == {}
+        assert attempts == ["imdb", "imdb"]
+
 
 class TestConcurrentIsolation:
     def test_concurrent_queries_match_sequential(self, imdb_server, imdb_db):

@@ -334,3 +334,81 @@ class TestStreamingExecutor:
         assert second.statistics.sql_statements == 0
         assert second.statistics.cache_hits > 0
         assert [r.row_uids() for r in actual] == [r.row_uids() for r in expected]
+
+
+class TestWALMode:
+    """File-backed stores run WAL (the serving follow-on, now landed).
+
+    WAL lets readers in *other* connections/processes proceed while the
+    streaming cursor's long lock-hold is in progress — the property the
+    multi-process TCP serving mode depends on.  Pinned here: the mode is
+    actually set (main database and every shard), survives a reopen, and
+    streamed execution on a WAL store stays byte-identical to batched.
+    """
+
+    def _journal_mode(self, backend, schema_prefix=""):
+        prefix = f"{schema_prefix}." if schema_prefix else ""
+        return backend._conn.execute(
+            f"PRAGMA {prefix}journal_mode"
+        ).fetchone()[0]
+
+    def test_sqlite_file_store_is_wal(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "wal.db")
+        try:
+            assert self._journal_mode(db) == "wal"
+        finally:
+            db.close()
+
+    def test_sharded_store_is_wal_on_every_partition(self, tmp_path):
+        path = tmp_path / "sharded.db"
+        db = ShardedSQLiteBackend(mini_schema(), path=path, shards=3)
+        try:
+            assert self._journal_mode(db) == "wal"
+            for shard in range(3):
+                assert self._journal_mode(db, db.dialect.shard_schema(shard)) == "wal"
+        finally:
+            db.close()
+
+    def test_wal_survives_reopen(self, tmp_path):
+        from repro.db.backends import create_backend
+
+        path = tmp_path / "reopen.db"
+        build_mini_db("sqlite", db_path=path).close()
+        db = create_backend("sqlite", mini_schema(), path=path)  # reopen only
+        try:
+            assert self._journal_mode(db) == "wal"
+        finally:
+            db.close()
+
+    def test_memory_stores_have_no_wal(self):
+        # :memory: databases cannot WAL; the pragma must not even be tried
+        # (SQLite would answer "memory" anyway, but the hook skips it).
+        db = build_mini_db("sqlite")
+        try:
+            assert self._journal_mode(db) == "memory"
+        finally:
+            db.close()
+
+    @pytest.mark.parametrize("backend,shards", [("sqlite", None), ("sqlite-sharded", 2)])
+    def test_streamed_equals_batched_on_wal_store(self, tmp_path, backend, shards):
+        """The streaming parity pin, re-run on a WAL-mode file store."""
+        from repro.db.backends import create_backend
+
+        kwargs = {"shards": shards} if shards else {}
+        db = create_backend(
+            backend, mini_schema(), path=tmp_path / "parity.db", **kwargs
+        )
+        try:
+            for row_source in (build_mini_db("memory"),):
+                for table in ("actor", "movie", "acts"):
+                    for tup in row_source.relation(table).scan():
+                        db.insert(table, dict(tup.values))
+            db.build_indexes()
+            assert db._conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+            for text in ("hanks 2001", "london", "2001"):
+                specs = _specs(db, text)
+                expected = db.execute_paths_batched(specs, limit=10)
+                execution = db.execute_paths_streamed(specs, limit=10)
+                assert _drain(execution, len(specs)) == expected.rows
+        finally:
+            db.close()
