@@ -90,6 +90,22 @@ class TopKStatistics:
     #: The scatter slot each executed interpretation partitioned on (1-based
     #: rank -> backend-reported label; sharded backends only).
     scatter_slots: dict[int, str] = field(default_factory=dict)
+    #: True when the executor's cache is subsumption-aware (the semantic
+    #: layer); gates the exact-vs-subsumption split in ``--explain``.
+    semantic_cache: bool = False
+    #: Cache hits answered by plan subsumption (filter/truncate of a
+    #: subsuming cached entry, zero backend statements) during this query.
+    #: ``cache_hits - cache_subsumption_hits`` is the exact-hit count.
+    #: Delta-sampled from the shared cache around execution, so concurrent
+    #: queries on one cache may blur attribution — never totals.
+    cache_subsumption_hits: int = 0
+    #: Rows subsuming entries held that this query's filters excluded.
+    cache_rows_filtered: int = 0
+    #: Rows this query's lower LIMIT cut from subsumption answers.
+    cache_rows_truncated: int = 0
+    #: Workload queries the engine's warmer replayed on open (constant per
+    #: engine; repeated here so ``--explain`` can render it per query).
+    warmed_queries: int = 0
 
     def rows_per_interpretation(self) -> float | None:
         """Observed execution selectivity: rows per executed interpretation.
@@ -191,23 +207,51 @@ class TopKExecutor:
         if k < 0:
             raise ValueError("k must be non-negative")
         self.statistics = TopKStatistics()
-        if k == 0:
-            return []
-        if self.batch_size is not None and self.batch_size > 1:
-            if self.streaming:
-                return self._execute_streamed(ranked, k)
-            return self._execute_batched(ranked, k)
-        results: list[TopKResult] = []
-        seen_rows: set[tuple] = set()
-        for position, (interpretation, score) in enumerate(ranked):
-            # Early stop: the next interpretation's score is the upper bound
-            # on every future row; if k rows already meet it, we are done.
-            if len(results) >= k and results[k - 1].score >= score:
-                self.statistics.stopped_early = True
-                break
-            rows = self._rows_for(interpretation, rank=position + 1)
-            self._merge_rows(results, seen_rows, rows, score, rank=position + 1)
-        return results[:k]
+        baseline = self._semantic_baseline()
+        try:
+            if k == 0:
+                return []
+            if self.batch_size is not None and self.batch_size > 1:
+                if self.streaming:
+                    return self._execute_streamed(ranked, k)
+                return self._execute_batched(ranked, k)
+            results: list[TopKResult] = []
+            seen_rows: set[tuple] = set()
+            for position, (interpretation, score) in enumerate(ranked):
+                # Early stop: the next interpretation's score is the upper
+                # bound on every future row; if k rows already meet it, we
+                # are done.
+                if len(results) >= k and results[k - 1].score >= score:
+                    self.statistics.stopped_early = True
+                    break
+                rows = self._rows_for(interpretation, rank=position + 1)
+                self._merge_rows(results, seen_rows, rows, score, rank=position + 1)
+            return results[:k]
+        finally:
+            self._settle_semantic(baseline)
+
+    def _semantic_baseline(self) -> tuple[int, int, int] | None:
+        """Snapshot of the cache's subsumption counters before this query.
+
+        ``None`` when the cache is not subsumption-aware.  The counters live
+        on the (possibly shared) cache; the delta around one ``execute`` call
+        attributes them per query, with the same concurrent-blur caveat as
+        the engine's selectivity EWMA — attribution may blur, totals cannot.
+        """
+        stats = getattr(self.cache, "semantic_statistics", None)
+        if stats is None:
+            return None
+        return (stats.subsumption_hits, stats.rows_filtered, stats.rows_truncated)
+
+    def _settle_semantic(self, baseline: tuple[int, int, int] | None) -> None:
+        """Record this query's subsumption deltas into the statistics."""
+        if baseline is None:
+            return
+        stats = self.cache.semantic_statistics  # type: ignore[union-attr]
+        self.statistics.semantic_cache = True
+        self.statistics.cache_subsumption_hits = stats.subsumption_hits - baseline[0]
+        self.statistics.cache_rows_filtered = stats.rows_filtered - baseline[1]
+        self.statistics.cache_rows_truncated = stats.rows_truncated - baseline[2]
 
     def _merge_rows(
         self,
@@ -450,6 +494,7 @@ class TopKExecutor:
     ) -> list[TopKResult]:
         """The baseline: run every interpretation, union, sort, cut at k."""
         self.statistics = TopKStatistics()
+        baseline = self._semantic_baseline()
         results: list[TopKResult] = []
         seen_rows: set[tuple] = set()
         for position, (interpretation, score) in enumerate(ranked):
@@ -464,4 +509,5 @@ class TopKExecutor:
                     TopKResult(score=score, interpretation_rank=position + 1, row=row)
                 )
         results.sort(key=lambda r: (-r.score, r.interpretation_rank, r.row_uids()))
+        self._settle_semantic(baseline)
         return results[:k]

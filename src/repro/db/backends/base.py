@@ -419,6 +419,18 @@ class StorageBackend(abc.ABC):
         backends pay one commit per query instead of one per interpretation.
         """
 
+    def cached_result_scan(
+        self, fingerprint: str, like_pattern: str
+    ) -> list[tuple[str, str]]:
+        """Enumerate persisted ``(key, payload)`` pairs matching a SQL-LIKE
+        pattern under one fingerprint (empty = no persistence).
+
+        The semantic result cache uses this to recover its per-entry plan
+        metadata (``...#plan`` keys) after a process restart; backends
+        without persistent storage keep the empty default.
+        """
+        return []
+
     def close(self) -> None:
         """Release backend resources (no-op for in-memory storage)."""
 
@@ -510,6 +522,56 @@ class StorageBackend(abc.ABC):
             for attribute, _terms in selections.get(position, ()):
                 if not self.schema.table(table_name).has_attribute(attribute):
                     raise UnknownTableError(f"{table_name}.{attribute}")
+
+    def resolve_key_filters(
+        self, path: Sequence[str], selections: SelectionsByPosition
+    ) -> dict[int, set[Any]] | None:
+        """Per-position primary-key sets of the selections, via the index.
+
+        ``None`` means some position matched nothing — the whole path result
+        is provably empty and no execution needs to happen.  Out-of-range
+        positions and empty selection lists are skipped, matching the
+        nested-loop engine's behavior.  Shared here because resolution runs
+        entirely over the inverted index, so every backend — including the
+        in-memory one — resolves identically.
+        """
+        key_filters: dict[int, set[Any]] = {}
+        for position in sorted(selections):
+            if not 0 <= position < len(path):
+                continue  # the nested-loop engine ignores out-of-range slots
+            position_selections = list(selections[position])
+            if not position_selections:
+                continue
+            keys = self.selection_keys(path[position], position_selections)
+            if not keys:
+                return None
+            key_filters[position] = keys
+        return key_filters
+
+    def plan_path_spec(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+        limit: int | None = None,
+    ):
+        """The :class:`~repro.db.backends.sql.PathPlan` one ``execute_path``
+        call would run under, *without executing anything*.
+
+        ``None`` means the result is provably empty (a selection matched no
+        keys).  Planning only needs the schema and the inverted index, so it
+        works on every backend — which is what lets the semantic result
+        cache compare plans for subsumption independent of the storage
+        engine.  Raises like :meth:`execute_path` on invalid specs.
+        """
+        from repro.db.backends.sql import plan_path
+
+        selections = selections or {}
+        self._validate_path(path, edges, selections, limit)
+        key_filters = self.resolve_key_filters(path, selections)
+        if key_filters is None:
+            return None
+        return plan_path(path, edges, key_filters, limit)
 
     @staticmethod
     def _edge_attrs(

@@ -90,6 +90,12 @@ class ResultCache:
         self._tokenizer_digest = hashlib.sha256(
             self.backend.tokenizer.signature().encode("utf-8")
         ).hexdigest()[:8]
+        if self.capacity is not None:
+            # A mid-run capacity shrink (an engine reconfigured with a smaller
+            # ``result_cache_size``) takes effect immediately and
+            # deterministically — oldest entries first — rather than waiting
+            # for this instance's next write.
+            _enforce_capacity(self.capacity)
 
     # -- keys ---------------------------------------------------------------
 
@@ -111,23 +117,45 @@ class ResultCache:
 
     def get(self, query: "StructuredQuery", limit: int | None) -> Rows | None:
         """Cached rows for (store content, query, limit), or None."""
-        key = self.key(query, limit)
+        rows = self._fetch_entry(self.key(query, limit))
+        if rows is None:
+            rows = self._miss(query, limit)
+        if rows is not None:
+            self.statistics.hits += 1
+            return list(rows)
+        self.statistics.misses += 1
+        return None
+
+    def _fetch_entry(self, key: tuple[str, str, str]) -> Rows | None:
+        """The rows stored under one exact cache key, or None.
+
+        Checks the process layer first (promoting the entry), then the
+        persistent layer (re-remembering a decoded payload).  No hit/miss
+        accounting — :meth:`get` books that, and the semantic layer reads
+        sibling entries through here without polluting the counters.
+        """
         with _PROCESS_CACHE_LOCK:
             rows = _PROCESS_CACHE.get(key)
             if rows is not None:
                 _PROCESS_CACHE.move_to_end(key)
         if rows is not None:
-            self.statistics.hits += 1
-            return list(rows)
+            return rows
         if self.persist:
             payload = self.backend.cached_result_get(key[0], f"{key[1]}#{key[2]}")
             if payload is not None:
                 rows = _decode_rows(payload)
                 if rows is not None:
                     _remember(key, rows, self.capacity)
-                    self.statistics.hits += 1
-                    return list(rows)
-        self.statistics.misses += 1
+                    return rows
+        return None
+
+    def _miss(self, query: "StructuredQuery", limit: int | None) -> Rows | None:
+        """Last-chance hook before a miss is booked.
+
+        The exact-match cache has nothing more to try; the semantic layer
+        overrides this with a subsumption lookup.  A non-None return counts
+        as a hit.
+        """
         return None
 
     def put(self, query: "StructuredQuery", limit: int | None, rows: Rows) -> None:
@@ -172,11 +200,21 @@ class ResultCache:
 def _remember(
     key: tuple[str, str, str], rows: Rows, capacity: int | None = None
 ) -> None:
-    if capacity is None:
-        capacity = _PROCESS_CACHE_CAPACITY
     with _PROCESS_CACHE_LOCK:
         _PROCESS_CACHE[key] = rows
         _PROCESS_CACHE.move_to_end(key)
+        _enforce_capacity(capacity)
+
+
+def _enforce_capacity(capacity: int | None) -> None:
+    """Bound the shared LRU, evicting least-recently-used entries first.
+
+    The eviction order is the ``OrderedDict``'s recency order, so repeated
+    shrinks are deterministic regardless of which instance triggers them.
+    """
+    if capacity is None:
+        capacity = _PROCESS_CACHE_CAPACITY
+    with _PROCESS_CACHE_LOCK:
         while len(_PROCESS_CACHE) > capacity:
             _PROCESS_CACHE.popitem(last=False)
 

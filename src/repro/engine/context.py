@@ -34,6 +34,17 @@ class EngineConfig:
     #: is process-wide and shared across engines; each engine enforces its
     #: own configured bound when it writes (CLI: ``--cache-size``).
     result_cache_size: int = 4096
+    #: Layer the subsumption-aware semantic cache over the result cache: a
+    #: near-miss variant of a cached query (same join network, narrower key
+    #: filters, same-or-lower limit, same ORDER BY shape) answers by
+    #: filtering/truncating the cached rows in Python instead of executing
+    #: (CLI: ``--semantic-cache``).  Rows are byte-identical either way.
+    semantic_cache: bool = False
+    #: Replay the N hottest queries of the dataset's recorded workload
+    #: through the engine when it is built via ``for_dataset`` (0 = no
+    #: warming; CLI: ``--warm-workload``).  Clamped to the cache capacity
+    #: and replayed coldest-first, so warming never evicts hotter entries.
+    warm_workload: int = 0
     #: How many top-ranked interpretations ``--explain`` renders as SQL.
     explain_sql_limit: int = 5
     #: Batch interpretation execution on backends that support it (one
@@ -127,7 +138,24 @@ class EngineContext:
             )
             lines.append(f"  rows per shard: {per_shard}")
         lines.append(f"  rows materialized: {stats.rows_materialized}")
-        lines.append(f"  result cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es)")
+        cache_line = (
+            f"  result cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es)"
+        )
+        if stats.semantic_cache:
+            exact = stats.cache_hits - stats.cache_subsumption_hits
+            cache_line += (
+                f" ({exact} exact, {stats.cache_subsumption_hits} subsumption)"
+            )
+        lines.append(cache_line)
+        if stats.cache_subsumption_hits:
+            lines.append(
+                f"  subsumption reuse: {stats.cache_rows_filtered} row(s) "
+                f"filtered out, {stats.cache_rows_truncated} row(s) truncated"
+            )
+        if stats.warmed_queries:
+            lines.append(
+                f"  warmer: {stats.warmed_queries} workload query(ies) replayed on open"
+            )
         if self.sql:
             lines.append("-- sql (top interpretations) --")
             for statement in self.sql:

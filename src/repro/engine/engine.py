@@ -32,6 +32,7 @@ from repro.core.topk import TopKResult
 from repro.db.backends.base import StorageBackend
 from repro.engine.cache import ResultCache
 from repro.engine.context import EngineConfig, EngineContext
+from repro.engine.semcache import SemanticResultCache, WarmingReport, warm_engine
 from repro.engine.stages import DEFAULT_STAGES, Stage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,9 +79,15 @@ class QueryEngine:
         if cache is not None:
             self.cache: ResultCache | None = cache
         elif self.config.cache_results:
-            self.cache = ResultCache(backend, capacity=self.config.result_cache_size)
+            cache_class = (
+                SemanticResultCache if self.config.semantic_cache else ResultCache
+            )
+            self.cache = cache_class(backend, capacity=self.config.result_cache_size)
         else:
             self.cache = None
+        #: The last workload-warming pass over this engine (None = never
+        #: warmed); ``--explain`` surfaces it per query.
+        self.warming: WarmingReport | None = None
         self.stages: list[Stage] = list(stages or DEFAULT_STAGES)
         #: Exponentially weighted rows-per-executed-interpretation over this
         #: engine's queries — the selectivity signal that sizes the first
@@ -139,7 +146,31 @@ class QueryEngine:
             if key.startswith("dataset_")
         }
         db = builder(backend=backend, db_path=db_path, shards=shards, **dataset_kwargs)
-        return cls(db, **kwargs)
+        engine = cls(db, **kwargs)
+        if engine.config.warm_workload > 0:
+            engine.warm_from_workload(dataset)
+        return engine
+
+    def warm_from_workload(
+        self, dataset: str, top_n: int | None = None, *, seed: int = 13
+    ) -> "WarmingReport":
+        """Warm the result cache from the dataset's recorded workload.
+
+        Replays the ``top_n`` hottest queries of a synthetic Zipfian query
+        log (:func:`repro.datasets.workload.recorded_query_log`) through the
+        full pipeline — coldest first, clamped to the cache capacity, so
+        warming never evicts hotter entries (see
+        :func:`repro.engine.semcache.warm_engine`).  ``for_dataset`` calls
+        this automatically when ``EngineConfig.warm_workload`` is set, which
+        is how serving pools (``QueryServer``/``serve --tcp``) warm on
+        construction.
+        """
+        from repro.datasets.workload import recorded_query_log
+
+        if top_n is None:
+            top_n = self.config.warm_workload
+        log = recorded_query_log(self.backend, dataset, seed=seed)
+        return warm_engine(self, log, top_n)
 
     def with_model(
         self, model: ProbabilityModel | ModelFactory

@@ -98,6 +98,9 @@ class ExecuteStage:
         )
         context.results = executor.execute(context.ranked, k=context.k)
         context.executor_statistics = executor.statistics
+        warming = getattr(engine, "warming", None)
+        if warming is not None:
+            context.executor_statistics.warmed_queries = warming.queries_replayed
         if streaming:
             engine.record_selectivity(executor.statistics.rows_per_interpretation())
         if engine.cache is not None:

@@ -6,7 +6,9 @@ committed records, or the CI artifacts).  The record shape is versioned
 (:data:`BENCH_SCHEMA_VERSION`) and *validated* — by the tests, and by CI
 right after the smoke run (``python -m repro.net.results BENCH_*.json``
 exits non-zero on any violation), so a drifted writer cannot silently
-produce unreadable history.
+produce unreadable history.  ``--diff BASELINE CANDIDATE [--threshold PCT]``
+compares two records (throughput, p50/p95/p99) and exits 1 when any metric
+regressed past the threshold — the PR-over-PR regression gate.
 
 Record shape (version 1)::
 
@@ -183,29 +185,142 @@ def validate_bench_report(record: object) -> list[str]:
     return errors
 
 
+#: The metrics ``--diff`` compares, as ``(label, getter, higher_is_better)``.
+_DIFF_METRICS: tuple[tuple[str, tuple[str, ...], bool], ...] = (
+    ("throughput_qps", ("throughput_qps",), True),
+    ("latency_ms.p50", ("latency_ms", "p50"), False),
+    ("latency_ms.p95", ("latency_ms", "p95"), False),
+    ("latency_ms.p99", ("latency_ms", "p99"), False),
+)
+
+
+def diff_bench_reports(baseline: dict, candidate: dict) -> list[dict]:
+    """Per-metric deltas between two valid records (baseline → candidate).
+
+    Each entry carries the metric name, both values, the absolute delta and
+    the percent change *in the direction of regression*: positive
+    ``regression_percent`` means the candidate is worse on that metric (lower
+    throughput, higher latency), so thresholding is one comparison per row.
+    A zero baseline yields 0.0 — a cold record cannot regress against itself.
+    """
+    rows: list[dict] = []
+    for name, path, higher_is_better in _DIFF_METRICS:
+        before: float = baseline
+        after: float = candidate
+        for key in path:
+            before = before[key]
+            after = after[key]
+        delta = after - before
+        worsening = -delta if higher_is_better else delta
+        regression_percent = 100.0 * worsening / before if before else 0.0
+        rows.append(
+            {
+                "metric": name,
+                "baseline": before,
+                "candidate": after,
+                "delta": round(delta, 4),
+                "regression_percent": round(regression_percent, 2),
+            }
+        )
+    return rows
+
+
+def _load_valid_record(raw: str) -> dict | None:
+    """One record, parsed and schema-validated; None (with stderr) on failure."""
+    path = Path(raw)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable: {exc}", file=sys.stderr)
+        return None
+    errors = validate_bench_report(record)
+    if errors:
+        print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return None
+    return record
+
+
+def _run_diff(baseline_path: str, candidate_path: str, threshold: float | None) -> int:
+    """Compare two records; 0 ok, 1 regression past threshold, 2 unreadable."""
+    baseline = _load_valid_record(baseline_path)
+    candidate = _load_valid_record(candidate_path)
+    if baseline is None or candidate is None:
+        return 2
+    rows = diff_bench_reports(baseline, candidate)
+    print(f"diff: {baseline_path} -> {candidate_path}")
+    regressions = 0
+    for row in rows:
+        regressed = threshold is not None and row["regression_percent"] > threshold
+        regressions += regressed
+        marker = "  REGRESSION" if regressed else ""
+        percent = row["regression_percent"]
+        direction = (
+            f"{percent:+.2f}% worse" if percent >= 0 else f"{-percent:.2f}% better"
+        )
+        print(
+            f"  {row['metric']}: {row['baseline']} -> {row['candidate']} "
+            f"(delta {row['delta']:+}, {direction}){marker}"
+        )
+    if regressions:
+        print(
+            f"{regressions} metric(s) regressed more than {threshold}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Validate record files: ``python -m repro.net.results BENCH_*.json``."""
-    paths = argv if argv is not None else sys.argv[1:]
-    if not paths:
-        print("usage: python -m repro.net.results BENCH_serve_*.json", file=sys.stderr)
+    """Validate or diff record files.
+
+    ``python -m repro.net.results BENCH_*.json`` validates each file against
+    the schema (exit 1 on any violation).  ``--diff BASELINE CANDIDATE``
+    compares two records — throughput and p50/p95/p99 latency — and, with
+    ``--threshold PCT``, exits 1 when any metric regressed by more than
+    ``PCT`` percent.  Unreadable or invalid inputs exit 2.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.results",
+        description="Validate or diff BENCH_serve_*.json records.",
+    )
+    parser.add_argument("paths", nargs="*", help="record files to validate")
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="compare two records instead of validating",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="with --diff: exit 1 when any metric regresses more than PCT%%",
+    )
+    options = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if options.diff:
+        if options.paths:
+            parser.print_usage(sys.stderr)
+            print(
+                "error: --diff takes exactly two records, no extra paths",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_diff(options.diff[0], options.diff[1], options.threshold)
+    if not options.paths:
+        parser.print_usage(sys.stderr)
         return 2
     failures = 0
-    for raw in paths:
-        path = Path(raw)
-        try:
-            record = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+    for raw in options.paths:
+        record = _load_valid_record(raw)
+        if record is None:
             failures += 1
-            continue
-        errors = validate_bench_report(record)
-        if errors:
-            failures += 1
-            print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
-            for error in errors:
-                print(f"  {error}", file=sys.stderr)
         else:
-            print(f"{path}: OK (schema v{record['schema_version']})")
+            print(f"{raw}: OK (schema v{record['schema_version']})")
     return 1 if failures else 0
 
 

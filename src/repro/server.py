@@ -346,14 +346,14 @@ class BenchServeReport:
 
 def workload_texts(engine: QueryEngine, dataset: str, seed: int = 13) -> list[str]:
     """Store-derived keyword queries for one dataset (every one answerable)."""
-    from repro.datasets.workload import imdb_workload, lyrics_workload
+    from repro.datasets.workload import WORKLOAD_SAMPLERS
 
-    samplers = {"imdb": imdb_workload, "lyrics": lyrics_workload}
     try:
-        sampler = samplers[dataset]
+        sampler = WORKLOAD_SAMPLERS[dataset]
     except KeyError:
         raise ValueError(
-            f"no workload for dataset {dataset!r} (use {' or '.join(sorted(samplers))})"
+            f"no workload for dataset {dataset!r} "
+            f"(use {' or '.join(sorted(WORKLOAD_SAMPLERS))})"
         ) from None
     sampled = sampler(engine.backend, n_queries=20, seed=seed)
     return [str(item.query) for item in sampled]

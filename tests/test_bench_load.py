@@ -163,6 +163,71 @@ class TestResultsCLI:
         assert results_main([]) == 2
 
 
+class TestResultsDiff:
+    """``--diff BASELINE CANDIDATE [--threshold PCT]`` — the regression gate."""
+
+    def _pair(self, tmp_path, p50=2.0, p95=4.0, p99=4.0, duration=0.5):
+        baseline = write_bench_report(_report(), tmp_path / "a")
+        candidate = _report(duration_seconds=duration)
+        candidate["throughput_qps"] = round(4 / duration, 3)
+        candidate["latency_ms"].update(
+            p50=p50, p95=p95, p99=p99, max=max(p99, candidate["latency_ms"]["max"])
+        )
+        (tmp_path / "b").mkdir(exist_ok=True)
+        candidate_path = write_bench_report(candidate, tmp_path / "b")
+        return str(baseline), str(candidate_path)
+
+    @pytest.fixture(autouse=True)
+    def _dirs(self, tmp_path):
+        (tmp_path / "a").mkdir(exist_ok=True)
+
+    def test_diff_rows_carry_signed_regression_percent(self):
+        from repro.net.results import diff_bench_reports
+
+        rows = diff_bench_reports(
+            _report(), _report(throughput_qps=4.0)  # 8 qps -> 4 qps
+        )
+        by_metric = {row["metric"]: row for row in rows}
+        assert by_metric["throughput_qps"]["regression_percent"] == 50.0
+        assert by_metric["latency_ms.p50"]["regression_percent"] == 0.0
+
+    def test_identical_records_pass_any_threshold(self, tmp_path):
+        a, b = self._pair(tmp_path, p50=3.0, p95=4.0, p99=4.0)
+        assert results_main(["--diff", a, b, "--threshold", "0"]) == 0
+
+    def test_latency_regression_past_threshold_exits_one(self, tmp_path, capsys):
+        a, b = self._pair(tmp_path, p50=9.0, p95=9.0, p99=9.0)
+        assert results_main(["--diff", a, b, "--threshold", "50"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed" in captured.err
+
+    def test_throughput_drop_past_threshold_exits_one(self, tmp_path):
+        a, b = self._pair(tmp_path, p50=3.0, p95=4.0, p99=4.0, duration=2.0)
+        assert results_main(["--diff", a, b, "--threshold", "20"]) == 1
+
+    def test_no_threshold_reports_without_failing(self, tmp_path, capsys):
+        a, b = self._pair(tmp_path, p50=99.0, p95=99.0, p99=99.0)
+        assert results_main(["--diff", a, b]) == 0
+        assert "worse" in capsys.readouterr().out
+
+    def test_unreadable_input_exits_two(self, tmp_path):
+        a, _ = self._pair(tmp_path)
+        assert results_main(["--diff", a, str(tmp_path / "missing.json")]) == 2
+
+    def test_invalid_record_exits_two(self, tmp_path):
+        a, _ = self._pair(tmp_path)
+        bad = tmp_path / "BENCH_serve_bad.json"
+        record = _report()
+        record["kind"] = "wrong"
+        bad.write_text(json.dumps(record))
+        assert results_main(["--diff", a, str(bad)]) == 2
+
+    def test_diff_with_extra_paths_is_usage_error(self, tmp_path):
+        a, b = self._pair(tmp_path)
+        assert results_main(["--diff", a, b, a]) == 2
+
+
 class TestResourceMonitor:
     def test_samples_own_process(self):
         if read_cpu_seconds(os.getpid()) is None:

@@ -125,6 +125,27 @@ class TestConfigurableCapacity:
         with pytest.raises(ValueError, match="capacity must be positive"):
             ResultCache(mini_db, capacity=0)
 
+    def test_mid_run_shrink_evicts_oldest_first_at_construction(self, mini_db):
+        """Regression: a smaller capacity takes effect when the instance is
+        *constructed* (an engine reconfigured mid-run), deterministically
+        evicting the least-recently-used entries — not lazily on the shrunk
+        instance's next write, and never a newest entry."""
+        from repro.engine.cache import _PROCESS_CACHE
+
+        wide = ResultCache(mini_db, capacity=10)
+        query = _first_query(mini_db)
+        for limit in (1, 2, 3, 4, 5):
+            wide.put(query, limit, query.execute(mini_db, limit=limit))
+        assert len(_PROCESS_CACHE) == 5
+        narrow = ResultCache(mini_db, capacity=2)
+        # The shrink happened immediately, before any write through `narrow`.
+        assert len(_PROCESS_CACHE) == 2
+        # Oldest-first: exactly the two most recent puts survive.
+        assert narrow.get(query, 5) is not None
+        assert narrow.get(query, 4) is not None
+        assert narrow.get(query, 3) is None
+        assert narrow.get(query, 1) is None
+
     def test_default_capacity_unchanged(self, mini_db):
         from repro.engine import cache as cache_module
 

@@ -1,0 +1,614 @@
+"""The semantic result cache: subsumption, warming, persistence, parity.
+
+Bottom-up over the new layer:
+
+* ``PathPlan`` subsumption predicates (pure plan algebra, no storage),
+* the SQLite ``cached_result_scan`` hook and its LIKE emulation,
+* :class:`SemanticResultCache` answering — filter narrowing, LIMIT
+  truncation, completeness refusals, derived-answer re-hits — every answer
+  checked byte-identical against uncached execution,
+* restart survival of the persisted ``...#plan`` metadata,
+* the cross-backend × cross-dataset parity sweep (sqlite, sqlite-sharded ×
+  imdb, lyrics), and
+* the workload recorder / top-N warmer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import StructuredQuery
+from repro.core.templates import QueryTemplate
+from repro.datasets.imdb import build_imdb
+from repro.datasets.lyrics import build_lyrics
+from repro.datasets.workload import (
+    WORKLOAD_SAMPLERS,
+    imdb_workload,
+    lyrics_workload,
+    recorded_query_log,
+)
+from repro.db.backends.sql import plan_path
+from repro.db.backends.sqlite import _like_matches
+from repro.db.schema import ForeignKey
+from repro.engine import (
+    EngineConfig,
+    QueryEngine,
+    ResultCache,
+    SemanticResultCache,
+    top_workload_queries,
+    warm_engine,
+)
+from repro.engine.semcache import PLAN_KEY_SUFFIX, _decode_plan_entry, _encode_plan
+from tests.conftest import build_mini_db
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_cache():
+    ResultCache.clear_process_cache()
+    yield
+    ResultCache.clear_process_cache()
+
+
+# -- query construction helpers ------------------------------------------------
+
+
+def _template(db, path: tuple[str, ...]) -> QueryTemplate:
+    """The template of ``path``, edges resolved from the schema's FKs."""
+    edges = []
+    for left, right in zip(path, path[1:]):
+        edges.append(
+            next(
+                fk
+                for fk in db.schema.foreign_keys
+                if {fk.source, fk.target} == {left, right}
+            )
+        )
+    return QueryTemplate(tuple(path), tuple(edges))
+
+
+def _query(db, path: tuple[str, ...], selections: dict) -> StructuredQuery:
+    return StructuredQuery(
+        _template(db, path),
+        {
+            slot: tuple((attr, tuple(terms)) for attr, terms in attrs)
+            for slot, attrs in selections.items()
+        },
+    )
+
+
+def _plan(db, query: StructuredQuery, limit=None):
+    plan = db.plan_path_spec(*query.path_spec(), limit)
+    assert plan is not None
+    return plan
+
+
+# Mini-db content (see conftest): "hanks" names actors {1, 2}, "tom" only
+# actor 1, "london" only actor 3; movies of year "2001" are {2, 3}.
+
+
+class TestPathPlanSubsumption:
+    """The pure plan-algebra predicates the cache decides with."""
+
+    def test_equal_plans_subsume_with_empty_residual(self, mini_db):
+        a = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}))
+        b = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}))
+        assert a.residual_filters(b) == {}
+        assert a.subsumes(b)
+
+    def test_superset_filter_subsumes_with_residual(self, mini_db):
+        broad = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}))
+        narrow = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("tom",))]}))
+        assert broad.residual_filters(narrow) == {0: frozenset({1})}
+        assert broad.subsumes(narrow)
+
+    def test_narrower_cached_plan_does_not_subsume(self, mini_db):
+        broad = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}))
+        narrow = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("tom",))]}))
+        assert narrow.residual_filters(broad) is None
+
+    def test_disjoint_key_filters_do_not_subsume(self, mini_db):
+        hanks = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}))
+        london = _plan(
+            mini_db, _query(mini_db, ("actor",), {0: [("name", ("london",))]})
+        )
+        assert hanks.residual_filters(london) is None
+        assert london.residual_filters(hanks) is None
+
+    def test_different_join_network_does_not_subsume(self, mini_db):
+        single = _plan(mini_db, _query(mini_db, ("movie",), {0: [("year", ("2001",))]}))
+        joined = _plan(
+            mini_db,
+            _query(mini_db, ("actor", "acts", "movie"), {2: [("year", ("2001",))]}),
+        )
+        assert single.residual_filters(joined) is None
+
+    def test_different_edges_do_not_subsume(self):
+        fk_a = ForeignKey("acts", "actor_id", "actor", "id")
+        fk_b = ForeignKey("acts", "movie_id", "actor", "id")
+        a = plan_path(("actor", "acts"), (fk_a,), {1: {1}}, None)
+        b = plan_path(("actor", "acts"), (fk_b,), {1: {1}}, None)
+        assert a.residual_filters(b) is None
+
+    def test_order_signature_flips_with_slot_zero_filter(self, mini_db):
+        unfiltered = _plan(mini_db, _query(mini_db, ("actor",), {}))
+        filtered = _plan(
+            mini_db, _query(mini_db, ("actor",), {0: [("name", ("tom",))]})
+        )
+        assert unfiltered.order_signature() == ("insert",)
+        assert filtered.order_signature() == ("key-repr",)
+        # Slot-0 rows sort differently, so neither direction may reuse rows —
+        # the ORDER-BY negative case of the subsumption rules.
+        assert unfiltered.residual_filters(filtered) is None
+        assert filtered.residual_filters(unfiltered) is None
+
+    def test_non_zero_slot_filter_keeps_the_signature(self, mini_db):
+        base = _query(mini_db, ("actor", "acts", "movie"), {0: [("name", ("hanks",))]})
+        narrowed = _query(
+            mini_db,
+            ("actor", "acts", "movie"),
+            {0: [("name", ("hanks",))], 2: [("year", ("2001",))]},
+        )
+        broad, narrow = _plan(mini_db, base), _plan(mini_db, narrowed)
+        assert broad.order_signature() == narrow.order_signature()
+        assert broad.residual_filters(narrow) == {2: frozenset({2, 3})}
+
+    def test_post_filters_merge_into_the_logical_filter(self, mini_db):
+        # Force the two-key filter past a 1-key inline cap: it becomes a post
+        # filter physically, but the *logical* plan must subsume identically.
+        spec = _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}).path_spec()
+        split = plan_path(
+            spec[0],
+            spec[1],
+            mini_db.resolve_key_filters(spec[0], spec[2]),
+            None,
+            max_inline_keys=1,
+        )
+        assert split.post_filters and not split.inline_filters
+        inline = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("hanks",))]}))
+        assert split.key_filter_map() == inline.key_filter_map()
+        narrow = _plan(mini_db, _query(mini_db, ("actor",), {0: [("name", ("tom",))]}))
+        assert split.residual_filters(narrow) == {0: frozenset({1})}
+
+
+class TestLikeEmulation:
+    """``_like_matches`` mirrors SQL LIKE over the pending-write buffer."""
+
+    def test_percent_matches_any_run(self):
+        assert _like_matches("%#plan", "abc#none#plan")
+        assert _like_matches("%#plan", "#plan")
+        assert not _like_matches("%#plan", "abc#plan#tail")
+
+    def test_underscore_matches_one_character(self):
+        assert _like_matches("a_c", "abc")
+        assert not _like_matches("a_c", "abbc")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert _like_matches("a.c", "a.c")
+        assert not _like_matches("a.c", "abc")
+        assert _like_matches("a[1]%", "a[1]rest")
+
+    def test_newlines_inside_keys(self):
+        assert _like_matches("%#plan", "line1\nline2#plan")
+
+
+class TestCachedResultScan:
+    def test_memory_backend_has_no_persistence(self, mini_db):
+        assert mini_db.cached_result_scan("fp", "%") == []
+
+    def test_scan_merges_pending_over_persisted(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "mini.sqlite")
+        db.cached_result_put("fp", "a#plan", "old")
+        db.cached_result_put("fp", "b#rows", "rows")
+        db.cached_result_flush()
+        db.cached_result_put("fp", "a#plan", "new")  # pending overwrite
+        db.cached_result_put("fp", "c#plan", "fresh")  # pending only
+        db.cached_result_put("other-fp", "d#plan", "elsewhere")
+        assert db.cached_result_scan("fp", "%#plan") == [
+            ("a#plan", "new"),
+            ("c#plan", "fresh"),
+        ]
+        assert db.cached_result_scan("fp", "%") == [
+            ("a#plan", "new"),
+            ("b#rows", "rows"),
+            ("c#plan", "fresh"),
+        ]
+        db.close()
+
+
+class TestPlanPersistenceCodec:
+    def test_round_trip(self, mini_db):
+        query = _query(
+            mini_db,
+            ("actor", "acts", "movie"),
+            {0: [("name", ("hanks",))], 2: [("year", ("2001",))]},
+        )
+        plan = _plan(mini_db, query, limit=7)
+        payload = _encode_plan(plan)
+        assert payload is not None
+        entry = _decode_plan_entry("key-of-query#7" + PLAN_KEY_SUFFIX, payload)
+        assert entry is not None
+        assert entry.cache_key == "key-of-query"
+        assert entry.limit == 7
+        assert entry.plan.key_filter_map() == plan.key_filter_map()
+        assert entry.plan.order_signature() == plan.order_signature()
+        assert entry.plan.subsumes(plan) and plan.subsumes(entry.plan)
+
+    def test_unsafe_keys_skip_persistence(self, mini_db):
+        plan = plan_path(("actor",), (), {0: {(1, 2)}}, None)  # tuple key
+        assert _encode_plan(plan) is None
+
+    def test_corrupt_payloads_decode_to_none(self):
+        assert _decode_plan_entry("k#none" + PLAN_KEY_SUFFIX, "not json") is None
+        assert _decode_plan_entry("k#none" + PLAN_KEY_SUFFIX, "{}") is None
+        assert _decode_plan_entry("k#none", "{}") is None  # wrong suffix
+
+
+class TestSemanticAnswering:
+    """Subsumption answers on the mini db, each checked against execution."""
+
+    def _cache(self, db) -> SemanticResultCache:
+        return SemanticResultCache(db)
+
+    def test_filter_narrowing_answers_without_execution(self, mini_db):
+        cache = self._cache(mini_db)
+        broad = _query(mini_db, ("actor",), {0: [("name", ("hanks",))]})
+        narrow = _query(mini_db, ("actor",), {0: [("name", ("tom",))]})
+        cache.put(broad, None, broad.execute(mini_db))
+        answered = cache.get(narrow, None)
+        assert answered == narrow.execute(mini_db)
+        assert cache.semantic_statistics.subsumption_hits == 1
+        assert cache.semantic_statistics.rows_filtered == 1  # colin hanks dropped
+        assert cache.statistics.hits == 1 and cache.statistics.misses == 0
+
+    def test_join_narrowing_at_non_zero_slot(self, mini_db):
+        cache = self._cache(mini_db)
+        broad = _query(
+            mini_db, ("actor", "acts", "movie"), {0: [("name", ("hanks",))]}
+        )
+        narrow = _query(
+            mini_db,
+            ("actor", "acts", "movie"),
+            {0: [("name", ("hanks",))], 2: [("year", ("2001",))]},
+        )
+        cache.put(broad, None, broad.execute(mini_db))
+        answered = cache.get(narrow, None)
+        assert answered == narrow.execute(mini_db)
+        assert len(answered) == 2  # both hanks-es act in "hanks island" (2001)
+        assert cache.semantic_statistics.rows_filtered == 1  # the 2004 network
+
+    def test_limit_truncation(self, mini_db):
+        cache = self._cache(mini_db)
+        query = _query(mini_db, ("movie",), {0: [("year", ("2001",))]})
+        rows = query.execute(mini_db)
+        assert len(rows) == 2
+        cache.put(query, None, rows)
+        answered = cache.get(query, 1)
+        assert answered == query.execute(mini_db, limit=1) == rows[:1]
+        assert cache.semantic_statistics.rows_truncated == 1
+
+    def test_narrowing_and_truncation_combine(self, mini_db):
+        cache = self._cache(mini_db)
+        broad = _query(
+            mini_db, ("actor", "acts", "movie"), {0: [("name", ("hanks",))]}
+        )
+        narrow = _query(
+            mini_db,
+            ("actor", "acts", "movie"),
+            {0: [("name", ("hanks",))], 2: [("year", ("2001",))]},
+        )
+        cache.put(broad, None, broad.execute(mini_db))
+        answered = cache.get(narrow, 1)
+        assert answered == narrow.execute(mini_db, limit=1)
+        assert cache.semantic_statistics.rows_filtered == 1
+        assert cache.semantic_statistics.rows_truncated == 1
+
+    def test_derived_answer_becomes_an_exact_hit(self, mini_db):
+        cache = self._cache(mini_db)
+        broad = _query(mini_db, ("actor",), {0: [("name", ("hanks",))]})
+        narrow = _query(mini_db, ("actor",), {0: [("name", ("tom",))]})
+        cache.put(broad, None, broad.execute(mini_db))
+        first = cache.get(narrow, None)
+        again = cache.get(narrow, None)
+        assert again == first
+        assert cache.semantic_statistics.subsumption_hits == 1  # not 2
+        assert cache.statistics.hits == 2
+        # hits - subsumption_hits is the exact-hit count --explain shows.
+        assert cache.statistics.hits - cache.semantic_statistics.subsumption_hits == 1
+
+    def test_disjoint_cached_entry_is_a_plain_miss(self, mini_db):
+        cache = self._cache(mini_db)
+        cache.put(
+            _query(mini_db, ("actor",), {0: [("name", ("london",))]}),
+            None,
+            _query(mini_db, ("actor",), {0: [("name", ("london",))]}).execute(mini_db),
+        )
+        assert cache.get(_query(mini_db, ("actor",), {0: [("name", ("tom",))]}), None) is None
+        assert cache.statistics.misses == 1
+        assert cache.semantic_statistics.subsumption_hits == 0
+
+    def test_order_by_mismatch_is_a_plain_miss(self, mini_db):
+        cache = self._cache(mini_db)
+        unfiltered = _query(mini_db, ("actor",), {})
+        cache.put(unfiltered, None, unfiltered.execute(mini_db))
+        # All three actors are cached, but insertion order is not key order:
+        # the slot-0-filtered variant must re-execute.
+        assert cache.get(_query(mini_db, ("actor",), {0: [("name", ("tom",))]}), None) is None
+
+    def test_incomplete_entry_serves_only_prefix_requests(self, mini_db):
+        cache = self._cache(mini_db)
+        query = _query(mini_db, ("movie",), {0: [("year", ("2001",))]})
+        truncated = query.execute(mini_db, limit=2)
+        assert len(truncated) == 2  # filled its own LIMIT: maybe incomplete
+        cache.put(query, 2, truncated)
+        # Pure prefix (lower limit): the one safe reuse of a truncated entry.
+        assert cache.get(query, 1) == query.execute(mini_db, limit=1)
+        # Unbounded or higher-limit requests may need rows past the cut.
+        assert cache.get(query, None) is None
+        assert cache.get(query, 3) is None
+        # Narrowing needs completeness too: matching rows may be past the cut.
+        narrowed = _query(
+            mini_db, ("movie",), {0: [("year", ("2001",)), ("title", ("hanks",))]}
+        )
+        assert cache.get(narrowed, 1) is None
+
+    def test_unfilled_limited_entry_is_complete(self, mini_db):
+        cache = self._cache(mini_db)
+        query = _query(mini_db, ("movie",), {0: [("year", ("2001",))]})
+        rows = query.execute(mini_db, limit=10)
+        assert len(rows) == 2  # did not fill the limit: provably complete
+        cache.put(query, 10, rows)
+        narrowed = _query(
+            mini_db, ("movie",), {0: [("year", ("2001",)), ("title", ("hanks",))]}
+        )
+        assert cache.get(narrowed, None) == narrowed.execute(mini_db)
+
+    def test_provably_empty_query_is_a_plain_miss(self, mini_db):
+        cache = self._cache(mini_db)
+        broad = _query(mini_db, ("actor",), {0: [("name", ("hanks",))]})
+        cache.put(broad, None, broad.execute(mini_db))
+        empty = _query(mini_db, ("actor",), {0: [("name", ("zzz",))]})
+        assert cache.get(empty, None) is None
+        cache.put(empty, None, [])
+        # An unplannable (empty) put records rows but no plan metadata.
+        assert cache.semantic_statistics.plans_recorded == 1
+
+    def test_exact_semantics_unchanged_from_base_cache(self, mini_db):
+        cache = self._cache(mini_db)
+        query = _query(mini_db, ("actor",), {0: [("name", ("hanks",))]})
+        rows = query.execute(mini_db)
+        assert cache.get(query, None) is None
+        cache.put(query, None, rows)
+        assert cache.get(query, None) == rows
+        assert cache.statistics.stores == 1
+
+
+class TestRestartSurvival:
+    def test_subsumption_survives_a_process_restart(self, tmp_path):
+        path = tmp_path / "mini.sqlite"
+        db = build_mini_db("sqlite", db_path=path)
+        cache = SemanticResultCache(db)
+        broad = _query(db, ("actor",), {0: [("name", ("hanks",))]})
+        narrow = _query(db, ("actor",), {0: [("name", ("tom",))]})
+        expected = narrow.execute(db)
+        cache.put(broad, None, broad.execute(db))
+        cache.flush()
+        db.close()
+
+        ResultCache.clear_process_cache()  # simulate the next process
+        from tests.conftest import mini_schema
+        from repro.db.backends.sqlite import SQLiteBackend
+
+        reopened = SQLiteBackend(mini_schema(), path=path)
+        reopened.build_indexes()
+        fresh = SemanticResultCache(reopened)
+        answered = fresh.get(_query(reopened, ("actor",), {0: [("name", ("tom",))]}), None)
+        assert answered == expected
+        assert fresh.semantic_statistics.subsumption_hits == 1
+        reopened.close()
+
+
+def _narrowed_variant(db, query: StructuredQuery) -> StructuredQuery | None:
+    """A strictly-or-equally narrower variant of ``query``, built from data.
+
+    Adds one extra keyword predicate at a *non-zero* slot (slot 0 would flip
+    the ORDER BY signature), taken from an attribute value of an actual
+    result network — so the variant provably matches at least that network
+    and its resolved keys are a subset of the original's.
+    """
+    rows = db.execute_path(*query.path_spec())
+    if not rows:
+        return None
+    template = query.template
+    for slot in range(1, len(template.path)):
+        table = db.schema.table(template.path[slot])
+        for attribute in table.textual_attributes():
+            value = dict(rows[0][slot].values).get(attribute.name)
+            tokens = db.tokenizer.tokens(str(value)) if value is not None else []
+            if not tokens:
+                continue
+            selections = dict(query.selections)
+            existing = selections.get(slot, ())
+            selections[slot] = existing + ((attribute.name, (tokens[0],)),)
+            return StructuredQuery(template, selections)
+    return None
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "sqlite-sharded"])
+@pytest.mark.parametrize("dataset", ["imdb", "lyrics"])
+class TestParityAcrossBackends:
+    """Byte-identical subsumption answers on every persistent backend."""
+
+    def _build(self, dataset, backend, tmp_path):
+        builders = {
+            "imdb": lambda **kw: build_imdb(n_movies=60, n_actors=40, **kw),
+            "lyrics": lambda **kw: build_lyrics(n_artists=25, **kw),
+        }
+        kwargs = {"shards": 2} if backend == "sqlite-sharded" else {}
+        return builders[dataset](
+            backend=backend, db_path=tmp_path / f"{dataset}.sqlite", **kwargs
+        )
+
+    def _subsumption_cases(self, db, dataset):
+        """(broad query, narrow variant) pairs derived from the workload."""
+        engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+        sampler = WORKLOAD_SAMPLERS[dataset]
+        cases = []
+        for item in sampler(db, n_queries=8, seed=7):
+            for interpretation, _score in engine.rank(item.query):
+                query = interpretation.to_structured_query()
+                variant = _narrowed_variant(db, query)
+                if variant is not None:
+                    cases.append((query, variant))
+                    break
+            if len(cases) >= 3:
+                break
+        return cases
+
+    def test_narrowing_and_truncation_parity(self, dataset, backend, tmp_path):
+        db = self._build(dataset, backend, tmp_path)
+        cases = self._subsumption_cases(db, dataset)
+        assert cases, "workload produced no narrowable query"
+        cache = SemanticResultCache(db)
+        for broad, narrow in cases:
+            cache.put(broad, None, db.execute_path(*broad.path_spec()))
+        hits_before = cache.semantic_statistics.subsumption_hits
+        for broad, narrow in cases:
+            # Filter narrowing: byte-identical to uncached execution.
+            assert cache.get(narrow, None) == db.execute_path(*narrow.path_spec())
+            # LIMIT truncation of the cached entry itself.
+            assert cache.get(broad, 1) == db.execute_path(
+                *broad.path_spec(), limit=1
+            )
+        assert cache.semantic_statistics.subsumption_hits - hits_before == 2 * len(
+            cases
+        )
+        db.close()
+
+
+class TestWorkloadRecorder:
+    def test_log_is_deterministic(self, imdb_db):
+        a = recorded_query_log(imdb_db, "imdb", n_events=40, distinct=6, seed=13)
+        b = recorded_query_log(imdb_db, "imdb", n_events=40, distinct=6, seed=13)
+        assert a == b
+        assert len(a) == 40
+        assert len(set(a)) <= 6
+
+    def test_zipf_skews_toward_hot_queries(self, imdb_db):
+        log = recorded_query_log(imdb_db, "imdb", n_events=200, distinct=10, seed=13)
+        counts = sorted(
+            (log.count(text) for text in set(log)), reverse=True
+        )
+        assert counts[0] > counts[-1]  # a head exists
+
+    def test_unknown_dataset_raises(self, imdb_db):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            recorded_query_log(imdb_db, "freebase")
+
+
+class TestTopWorkloadQueries:
+    def test_ranked_by_frequency_then_first_seen(self):
+        log = ["b", "a", "b", "c", "a", "b", "c"]
+        assert top_workload_queries(log, 3) == ["b", "a", "c"]  # a before c: tie
+        assert top_workload_queries(log, 2) == ["b", "a"]
+
+    def test_non_positive_n_is_empty(self):
+        assert top_workload_queries(["a"], 0) == []
+        assert top_workload_queries(["a"], -2) == []
+
+
+class TestWarmer:
+    def test_warm_engine_replays_and_reports(self, mini_db):
+        engine = QueryEngine(mini_db, config=EngineConfig(semantic_cache=True))
+        log = ["hanks", "hanks", "london", "2001"]
+        report = warm_engine(engine, log, top_n=2)
+        assert report.queries_replayed == 2
+        assert report.log_events == 4 and report.distinct_queries == 3
+        assert report.entries_stored > 0
+        assert engine.warming is report
+        # The hottest query is now served from the cache.
+        warm = engine.run("hanks", k=5)
+        assert warm.executor_statistics.interpretations_executed == 0
+        assert warm.executor_statistics.warmed_queries == 2
+
+    def test_warming_is_clamped_to_the_cache_capacity(self, mini_db):
+        engine = QueryEngine(
+            mini_db, config=EngineConfig(semantic_cache=True, result_cache_size=2)
+        )
+        report = warm_engine(engine, ["a b", "c d", "e f"], top_n=10)
+        assert report.capacity == 2
+        assert report.queries_replayed == 2
+
+    def test_hottest_query_is_replayed_last(self, mini_db):
+        """Coldest-first replay: the hottest query's entries are the most
+        recent in the LRU, so capacity pressure evicts colder entries first."""
+        from repro.engine.cache import _PROCESS_CACHE
+
+        engine = QueryEngine(mini_db, config=EngineConfig(semantic_cache=True))
+        warm_engine(engine, ["london", "hanks", "hanks"], top_n=2)
+        hot_keys = {
+            interpretation.to_structured_query().cache_key()
+            for interpretation, _score in engine.rank("hanks")
+        }
+        newest_entry_key = next(reversed(_PROCESS_CACHE))
+        assert newest_entry_key[1] in hot_keys
+
+    def test_engine_config_warms_through_for_dataset(self):
+        engine = QueryEngine.for_dataset(
+            "imdb", config=EngineConfig(semantic_cache=True, warm_workload=3)
+        )
+        assert engine.warming is not None
+        assert engine.warming.queries_replayed == 3
+        context = engine.run("hanks 2001", explain=True)
+        assert context.executor_statistics.warmed_queries == 3
+        assert any("warmer: 3 workload" in line for line in context.explain_lines())
+
+    def test_no_cache_engine_warms_nothing(self, mini_db):
+        engine = QueryEngine(mini_db, config=EngineConfig(cache_results=False))
+        report = warm_engine(engine, ["hanks"], top_n=5)
+        assert report.queries_replayed == 0 and report.entries_stored == 0
+
+
+class TestEngineIntegration:
+    def test_explain_splits_exact_and_subsumption_hits(self, mini_db):
+        engine = QueryEngine(mini_db, config=EngineConfig(semantic_cache=True))
+        engine.run("hanks", k=5)
+        context = engine.run("hanks", k=5, explain=True)
+        stats = context.executor_statistics
+        assert stats.semantic_cache
+        assert stats.cache_hits > 0 and stats.cache_subsumption_hits == 0
+        cache_line = next(
+            line for line in context.explain_lines() if "result cache" in line
+        )
+        assert f"({stats.cache_hits} exact, 0 subsumption)" in cache_line
+
+    def test_executor_attributes_subsumption_per_query(self, mini_db):
+        from repro.core.topk import TopKExecutor
+
+        cache = SemanticResultCache(mini_db)
+        broad = _query(mini_db, ("actor",), {0: [("name", ("hanks",))]})
+        cache.put(broad, None, broad.execute(mini_db))
+
+        narrow = _query(mini_db, ("actor",), {0: [("name", ("tom",))]})
+
+        class _Interpretation:
+            def to_structured_query(self):
+                return narrow
+
+        executor = TopKExecutor(mini_db, per_query_limit=None, cache=cache)
+        results = executor.execute([(_Interpretation(), 1.0)], k=5)
+        assert [r.row for r in results] == [
+            row for row in narrow.execute(mini_db)
+        ]
+        assert executor.statistics.sql_statements == 0
+        assert executor.statistics.interpretations_executed == 0
+        assert executor.statistics.cache_subsumption_hits == 1
+        assert executor.statistics.cache_rows_filtered == 1
+
+    def test_plain_cache_reports_no_semantic_fields(self, mini_db):
+        engine = QueryEngine(mini_db)  # default exact-only cache
+        context = engine.run("hanks", k=5, explain=True)
+        assert not context.executor_statistics.semantic_cache
+        cache_line = next(
+            line for line in context.explain_lines() if "result cache" in line
+        )
+        assert "subsumption" not in cache_line
