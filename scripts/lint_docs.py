@@ -11,6 +11,14 @@ Checks, over README.md and docs/*.md:
    ``benchmarks/...``, ``docs/...``, ``examples/...``, ``scripts/...``)
    exists.
 
+And two coverage checks in the opposite direction — code the docs must
+not *omit*:
+
+4. Every long option of every ``repro`` subcommand appears in
+   ``docs/cli.md`` (an undocumented flag fails the lint).
+5. Every HTTP route in ``repro.net.http.ROUTES`` appears in
+   ``docs/http_api.md``, method and path both.
+
 Run as ``PYTHONPATH=src python scripts/lint_docs.py`` (CI runs it on every
 push, so the docs cannot drift from the code).
 """
@@ -102,14 +110,65 @@ def check_paths(text: str, source: str, errors: list[str]) -> None:
                 errors.append(f"{source}: missing file or directory: {path}")
 
 
+def iter_cli_option_strings():
+    """Every ``(subcommand, long option)`` the real parser accepts.
+
+    Subparser aliases are deduplicated by parser identity; ``--help`` is
+    skipped (argparse adds it everywhere, the docs need not).
+    """
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    seen: set[int] = set()
+    for name, sub in subparsers.choices.items():
+        if id(sub) in seen:
+            continue
+        seen.add(id(sub))
+        for action in sub._actions:
+            for option in action.option_strings:
+                if option.startswith("--") and option != "--help":
+                    yield name, option
+
+
+def check_cli_flag_coverage(cli_doc_text: str, errors: list[str]) -> None:
+    """Every CLI long option must appear somewhere in docs/cli.md."""
+    for subcommand, option in iter_cli_option_strings():
+        if option not in cli_doc_text:
+            errors.append(
+                f"docs/cli.md: undocumented flag: {subcommand} {option}"
+            )
+
+
+def check_http_route_coverage(http_doc_text: str, errors: list[str]) -> None:
+    """Every served route must appear in docs/http_api.md, method and path."""
+    from repro.net.http import ROUTES
+
+    for method, path in ROUTES:
+        if method not in http_doc_text or path not in http_doc_text:
+            errors.append(
+                f"docs/http_api.md: undocumented route: {method} {path}"
+            )
+
+
 def main() -> int:
     errors: list[str] = []
+    texts: dict[str, str] = {}
     for doc in DOC_FILES:
         text = doc.read_text(encoding="utf-8")
         source = doc.relative_to(REPO_ROOT).as_posix()
+        texts[source] = text
         check_cli_commands(text, source, errors)
         check_module_references(text, source, errors)
         check_paths(text, source, errors)
+    check_cli_flag_coverage(texts.get("docs/cli.md", ""), errors)
+    check_http_route_coverage(texts.get("docs/http_api.md", ""), errors)
     if errors:
         print(f"docs lint: {len(errors)} error(s)", file=sys.stderr)
         for error in errors:

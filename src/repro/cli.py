@@ -220,7 +220,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server import QueryServer
 
-    if args.tcp:
+    if args.tcp or args.http:
         return _cmd_serve_tcp(args)
     if args.use_async:
         return _cmd_serve_async(args)
@@ -398,7 +398,9 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
     per-request timeouts — and a SIGTERM-driven graceful drain.  The
     engine pool underneath is the same :class:`repro.server.QueryServer`;
     ``--tcp-workers N`` binds the socket once and forks N serving
-    processes over it.
+    processes over it.  ``--http`` adds the HTTP/1.1 front end
+    (:mod:`repro.net.http`) on ``--http-port``, sharing the same
+    admission layer — the TCP listener always serves too.
     """
     from repro.net.listener import TCPServerConfig, run_tcp_server
 
@@ -414,6 +416,7 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         queue_limit=args.queue_limit,
         request_timeout=args.request_timeout,
+        http_port=args.http_port if args.http else None,
     )
     try:
         return run_tcp_server(
@@ -438,10 +441,12 @@ def cmd_bench_load(args: argparse.Namespace) -> int:
                     db_path=args.db_path,
                     shards=args.shards,
                     workers=args.tcp_workers,
+                    http=args.http,
                 )
             except (RuntimeError, OSError) as exc:
                 raise SystemExit(f"error: {exc}") from None
-            host, port, server_pid = spawned.host, spawned.port, spawned.pid
+            host, server_pid = spawned.host, spawned.pid
+            port = spawned.http_port if args.http else spawned.port
         elif port is None:
             raise SystemExit(
                 "error: --port is required unless --spawn starts the server"
@@ -459,6 +464,7 @@ def cmd_bench_load(args: argparse.Namespace) -> int:
                 k=args.k,
                 timeout=args.timeout,
                 seed=args.seed,
+                transport="http" if args.http else "tcp",
                 label=args.label,
                 server_pid=server_pid,
                 output_dir=args.output_dir,
@@ -624,6 +630,20 @@ def build_parser() -> argparse.ArgumentParser:
         "'listening on <host>:<port>' (default: 0)",
     )
     p_serve.add_argument(
+        "--http",
+        action="store_true",
+        help="also serve the HTTP/1.1 front end (POST /query, GET /healthz, "
+        "GET /stats; see docs/http_api.md) over the same admission layer",
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        dest="http_port",
+        help="HTTP port (with --http); 0 picks an ephemeral port, printed "
+        "as 'http listening on <host>:<port>' (default: 0)",
+    )
+    p_serve.add_argument(
         "--tcp-workers",
         type=int,
         default=1,
@@ -681,6 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="start a 'serve --tcp' subprocess on an ephemeral port for the "
         "run (terminated with SIGTERM afterwards) instead of targeting a "
         "running server",
+    )
+    p_bench_load.add_argument(
+        "--http",
+        action="store_true",
+        help="drive the HTTP/1.1 front end (keep-alive POST /query) instead "
+        "of the newline-JSON protocol; with --spawn the server is started "
+        "with --http, without it --port must be the HTTP port",
     )
     p_bench_load.add_argument(
         "--tcp-workers",

@@ -10,8 +10,12 @@ socket and measures it:
   control: connection limits, a bounded in-flight queue with explicit
   overload rejection, per-request timeouts, graceful drain on SIGTERM and
   a fork-per-worker multi-process mode.
+* :mod:`repro.net.http` — the HTTP/1.1 front end (``serve --http``):
+  a hand-rolled ``Content-Length``-framed parser and a request router
+  composing over the same listener admission core, so curl and the TCP
+  protocol share one connection cap, queue, drain and stats block.
 * :mod:`repro.net.loadgen` — open- and closed-loop asyncio load clients
-  behind ``repro bench-load``.
+  behind ``repro bench-load`` (TCP and HTTP transports).
 * :mod:`repro.net.monitor` — CPU/RSS sampling of the server process from
   ``/proc`` (stdlib only).
 * :mod:`repro.net.results` — schema-versioned ``BENCH_serve_*.json``
@@ -24,6 +28,7 @@ from importlib import import_module
 #: repro.net.results`` (the CI validation entry point) does not import the
 #: whole serving stack first — runpy would warn about the double import.
 _EXPORTS = {
+    "HTTPQueryServer": "repro.net.http",
     "TCPQueryServer": "repro.net.listener",
     "TCPServerConfig": "repro.net.listener",
     "run_tcp_server": "repro.net.listener",
@@ -51,6 +56,7 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "HTTPQueryServer",
     "ResourceMonitor",
     "TCPQueryServer",
     "TCPServerConfig",

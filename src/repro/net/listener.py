@@ -72,11 +72,20 @@ class TCPServerConfig:
     max_request_bytes: int = protocol.MAX_REQUEST_BYTES
     #: How long a drain waits for in-flight requests before force-closing.
     drain_timeout: float = 10.0
+    #: Port of the HTTP/1.1 front end (:mod:`repro.net.http`); None disables
+    #: it.  0 picks an ephemeral port, announced as ``http listening on ...``.
+    http_port: int | None = None
 
 
 @dataclass
 class ListenerStats:
-    """Counters the listener keeps (inspectable by tests and ops)."""
+    """Counters the listener keeps (inspectable by tests, ops and /stats).
+
+    The ``engine_*`` fields aggregate the per-request
+    :class:`~repro.core.topk.TopKStatistics` of every served query, so the
+    HTTP ``GET /stats`` endpoint can report engine work (statements issued,
+    cache hit/miss split) without reaching into per-request contexts.
+    """
 
     connections_accepted: int = 0
     connections_rejected: int = 0
@@ -84,6 +93,11 @@ class ListenerStats:
     requests_rejected_overload: int = 0
     requests_timed_out: int = 0
     protocol_errors: int = 0
+    engine_sql_statements: int = 0
+    engine_cache_hits: int = 0
+    engine_cache_misses: int = 0
+    engine_interpretations_executed: int = 0
+    engine_rows_streamed: int = 0
 
 
 class TCPQueryServer:
@@ -117,6 +131,9 @@ class TCPQueryServer:
             shards=self.config.shards,
         )
         self._asyncio_server: asyncio.AbstractServer | None = None
+        #: Listening servers of attached front ends (the HTTP transport);
+        #: they share this instance's admission state and close on drain.
+        self._frontends: list[asyncio.AbstractServer] = []
         self._connections = 0
         #: Requests admitted past the queue limit (engine-occupying work).
         self._inflight = 0
@@ -167,12 +184,24 @@ class TCPQueryServer:
     def draining(self) -> bool:
         return self._draining
 
+    def attach_frontend(self, server: asyncio.AbstractServer) -> None:
+        """Register another transport's listening server (e.g. the HTTP
+        front end) so a drain closes every listening socket, not just TCP's.
+
+        The front end shares this instance's admission state — connection
+        cap, in-flight queue, drain flag, stats — by construction: there is
+        exactly one queue/cap layer however many transports sit on it.
+        """
+        self._frontends.append(server)
+
     def begin_drain(self) -> None:
         """Stop accepting immediately (new connections are refused at the
-        kernel once the listening socket closes); in-flight work continues."""
+        kernel once the listening sockets close); in-flight work continues."""
         self._draining = True
         if self._asyncio_server is not None:
             self._asyncio_server.close()
+        for frontend in self._frontends:
+            frontend.close()
 
     async def drain(self) -> bool:
         """Graceful shutdown: refuse new connections, finish in-flight
@@ -197,90 +226,60 @@ class TCPQueryServer:
         # this method controls by hand.
         return completed
 
-    # -- connection handling -------------------------------------------------
+    # -- the shared admission layer (every transport goes through these) -----
 
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
+    def admit_connection(self) -> str | None:
+        """Admission decision for one new connection, any transport.
+
+        Returns None when the connection is admitted (and counted — pair
+        with :meth:`release_connection`), else the protocol error code
+        refusing it.
+        """
         if self._draining:
-            with contextlib.suppress(ConnectionError):
-                writer.write(
-                    protocol.error_response(
-                        protocol.ERR_SHUTTING_DOWN, "server is draining"
-                    )
-                )
-                await writer.drain()
-            writer.close()
-            return
+            return protocol.ERR_SHUTTING_DOWN
         if self._connections >= self.config.max_connections:
             self.stats.connections_rejected += 1
-            with contextlib.suppress(ConnectionError):
-                writer.write(
-                    protocol.error_response(
-                        protocol.ERR_TOO_MANY_CONNECTIONS,
-                        f"connection limit ({self.config.max_connections}) reached",
-                    )
-                )
-                await writer.drain()
-            writer.close()
-            return
+            return protocol.ERR_TOO_MANY_CONNECTIONS
         self._connections += 1
         self.stats.connections_accepted += 1
-        self._writers.add(writer)
-        splitter = protocol.LineSplitter(self.config.max_request_bytes)
-        try:
-            while True:
-                data = await reader.read(8192)
-                if not data:
-                    break
-                for item in splitter.feed(data):
-                    if item is not protocol.OVERSIZED and not item.strip():
-                        continue
-                    self._responding += 1
-                    try:
-                        if item is protocol.OVERSIZED:
-                            self.stats.protocol_errors += 1
-                            response = protocol.error_response(
-                                protocol.ERR_OVERSIZED,
-                                "request line exceeds "
-                                f"{self.config.max_request_bytes} bytes",
-                            )
-                        else:
-                            response = await self._serve_line(item)
-                        writer.write(response)
-                        await writer.drain()
-                    finally:
-                        self._responding -= 1
-        except (ConnectionResetError, BrokenPipeError, TimeoutError):
-            pass  # mid-request client disconnect: this connection only
-        finally:
-            self._connections -= 1
-            self._writers.discard(writer)
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
+        return None
 
-    async def _serve_line(self, line: bytes) -> bytes:
-        """One request line to one response line (never raises)."""
+    def release_connection(self) -> None:
+        self._connections -= 1
+
+    @contextlib.contextmanager
+    def responding(self):
+        """Marks one request as parse-to-response-written in flight, so the
+        drain cannot cut off an answer a transport is still writing."""
+        self._responding += 1
         try:
-            request = protocol.parse_request(line)
-        except protocol.ProtocolError as exc:
-            self.stats.protocol_errors += 1
-            return protocol.error_response(exc.code, exc.detail)
+            yield
+        finally:
+            self._responding -= 1
+
+    async def serve_request(self, request: protocol.Request) -> dict:
+        """One parsed request to one response payload (never raises).
+
+        This is the whole per-request admission pipeline — drain check,
+        dataset allow-list, bounded in-flight queue, per-request timeout —
+        shared by every transport: the TCP listener encodes the returned
+        payload as a wire line, the HTTP front end as a response body with
+        the status mapped from the ``error`` code.
+        """
         if self._draining:
-            return protocol.error_response(
+            return protocol.error_payload(
                 protocol.ERR_SHUTTING_DOWN, "server is draining"
             )
         dataset = request.dataset or self.config.dataset
         if dataset not in self.datasets:
-            return protocol.error_response(
+            return protocol.error_payload(
                 protocol.ERR_UNKNOWN_DATASET,
                 f"dataset {dataset!r} is not served here "
                 f"(serving: {', '.join(self.datasets)})",
             )
         if self._inflight >= self.config.queue_limit:
             self.stats.requests_rejected_overload += 1
-            return protocol.error_response(
+            return protocol.error_payload(
                 protocol.ERR_OVERLOADED,
                 f"in-flight queue full ({self.config.queue_limit}); retry with backoff",
             )
@@ -296,26 +295,93 @@ class TCPQueryServer:
                 response = await pending
         except asyncio.TimeoutError:
             self.stats.requests_timed_out += 1
-            return protocol.error_response(
+            return protocol.error_payload(
                 protocol.ERR_TIMEOUT,
                 f"request exceeded {self.config.request_timeout} s "
                 "(its engine work completes on the worker and is discarded)",
             )
         except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
-            return protocol.error_response(protocol.ERR_INTERNAL, str(exc))
+            return protocol.error_payload(protocol.ERR_INTERNAL, str(exc))
         finally:
             self._inflight -= 1
         self.stats.requests_served += 1
-        return protocol.ok_response(dataset, request.query, k, response)
+        statistics = response.context.executor_statistics
+        self.stats.engine_sql_statements += statistics.sql_statements
+        self.stats.engine_cache_hits += statistics.cache_hits
+        self.stats.engine_cache_misses += statistics.cache_misses
+        self.stats.engine_interpretations_executed += (
+            statistics.interpretations_executed
+        )
+        self.stats.engine_rows_streamed += statistics.rows_streamed
+        return protocol.ok_payload(dataset, request.query, k, response)
+
+    # -- connection handling (the TCP line transport) ------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        refusal = self.admit_connection()
+        if refusal is not None:
+            detail = (
+                "server is draining"
+                if refusal == protocol.ERR_SHUTTING_DOWN
+                else f"connection limit ({self.config.max_connections}) reached"
+            )
+            with contextlib.suppress(ConnectionError):
+                writer.write(protocol.error_response(refusal, detail))
+                await writer.drain()
+            writer.close()
+            return
+        self._writers.add(writer)
+        splitter = protocol.LineSplitter(self.config.max_request_bytes)
+        try:
+            while True:
+                data = await reader.read(8192)
+                if not data:
+                    break
+                for item in splitter.feed(data):
+                    if item is not protocol.OVERSIZED and not item.strip():
+                        continue
+                    with self.responding():
+                        if item is protocol.OVERSIZED:
+                            self.stats.protocol_errors += 1
+                            response = protocol.error_response(
+                                protocol.ERR_OVERSIZED,
+                                "request line exceeds "
+                                f"{self.config.max_request_bytes} bytes",
+                            )
+                        else:
+                            response = await self._serve_line(item)
+                        writer.write(response)
+                        await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # mid-request client disconnect: this connection only
+        finally:
+            self.release_connection()
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes) -> bytes:
+        """One request line to one response line (never raises)."""
+        try:
+            request = protocol.parse_request(line)
+        except protocol.ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            return protocol.error_response(exc.code, exc.detail)
+        return protocol.encode_line(await self.serve_request(request))
 
 
 # -- process entry point (repro serve --tcp) ----------------------------------
 
 
-def _bind(config: TCPServerConfig) -> socket.socket:
-    """The pre-bound listening socket every worker process will share."""
+def _bind(config: TCPServerConfig, port: int | None = None) -> socket.socket:
+    """A pre-bound listening socket every worker process will share."""
     sock = socket.create_server(
-        (config.host, config.port), backlog=128, reuse_port=False
+        (config.host, config.port if port is None else port),
+        backlog=128,
+        reuse_port=False,
     )
     sock.setblocking(False)
     return sock
@@ -325,11 +391,12 @@ async def _serve_async(
     sock: socket.socket,
     config: TCPServerConfig,
     *,
+    http_sock: socket.socket | None = None,
     engine_config=None,
     engine_factory=None,
     announce: bool = True,
 ) -> int:
-    """One worker's event loop: pool + listener + signal-driven drain."""
+    """One worker's event loop: pool + listener(s) + signal-driven drain."""
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -344,11 +411,19 @@ async def _serve_async(
     ) as pool:
         tcp = TCPQueryServer(pool, config)
         await tcp.start(sock=sock)
+        http_address = ""
+        if http_sock is not None:
+            from repro.net.http import HTTPQueryServer
+
+            front = HTTPQueryServer(tcp)
+            await front.start(sock=http_sock)
+            http_address = " http={}:{}".format(*front.address)
         if announce:
             host, port = tcp.address
             print(
                 f"serving dataset={config.dataset} backend={config.backend} "
-                f"tcp={host}:{port} queue-limit={config.queue_limit} "
+                f"tcp={host}:{port}{http_address} "
+                f"queue-limit={config.queue_limit} "
                 f"max-connections={config.max_connections}",
                 flush=True,
             )
@@ -361,6 +436,7 @@ def _run_worker(
     sock: socket.socket,
     config: TCPServerConfig,
     *,
+    http_sock: socket.socket | None = None,
     engine_config=None,
     engine_factory=None,
     announce: bool = True,
@@ -369,6 +445,7 @@ def _run_worker(
         _serve_async(
             sock,
             config,
+            http_sock=http_sock,
             engine_config=engine_config,
             engine_factory=engine_factory,
             announce=announce,
@@ -387,16 +464,23 @@ def run_tcp_server(
 
     Prints ``listening on <host>:<port>`` first (port 0 resolves to the
     kernel's pick), which is the readiness line ``repro bench-load
-    --spawn`` and the tests parse.  With ``workers > 1`` the socket is
-    bound once and one child per worker is forked to serve on it; engine
-    pools are built after the fork (each child prewarms its own), and the
-    parent forwards termination signals and reaps the group.
+    --spawn`` and the tests parse; with ``config.http_port`` set, an
+    ``http listening on <host>:<port>`` line follows for the HTTP front
+    end's socket.  With ``workers > 1`` the sockets are bound once and one
+    child per worker is forked to serve on them; engine pools are built
+    after the fork (each child prewarms its own), and the parent forwards
+    termination signals and reaps the group.
     """
     if workers < 1:
         raise ValueError("workers must be positive")
     sock = _bind(config)
     host, port = sock.getsockname()[:2]
     print(f"listening on {host}:{port}", flush=True)
+    http_sock: socket.socket | None = None
+    if config.http_port is not None:
+        http_sock = _bind(config, port=config.http_port)
+        http_host, http_port = http_sock.getsockname()[:2]
+        print(f"http listening on {http_host}:{http_port}", flush=True)
     if workers == 1 or not hasattr(os, "fork"):
         if workers > 1:  # pragma: no cover - no-fork platforms only
             print("fork unavailable; serving with 1 worker", flush=True)
@@ -404,21 +488,25 @@ def run_tcp_server(
             return _run_worker(
                 sock,
                 config,
+                http_sock=http_sock,
                 engine_config=engine_config,
                 engine_factory=engine_factory,
             )
         finally:
             sock.close()
+            if http_sock is not None:
+                http_sock.close()
 
     pids: list[int] = []
     for index in range(workers):
         pid = os.fork()
-        if pid == 0:  # child: serve on the inherited socket, then hard-exit
+        if pid == 0:  # child: serve on the inherited sockets, then hard-exit
             status = 1
             try:
                 status = _run_worker(
                     sock,
                     config,
+                    http_sock=http_sock,
                     engine_config=engine_config,
                     engine_factory=engine_factory,
                     announce=(index == 0),
@@ -427,6 +515,8 @@ def run_tcp_server(
                 os._exit(status)
         pids.append(pid)
     sock.close()
+    if http_sock is not None:
+        http_sock.close()
 
     def forward(signum: int, _frame) -> None:
         for pid in pids:

@@ -1,8 +1,11 @@
-"""Open- and closed-loop load generation against a live TCP server.
+"""Open- and closed-loop load generation against a live server.
 
-``repro bench-load`` drives the protocol of :mod:`repro.net.protocol`
-with asyncio clients and persists every run as a schema-versioned
-``BENCH_serve_*.json`` record (:mod:`repro.net.results`):
+``repro bench-load`` drives either transport — the newline-JSON protocol
+of :mod:`repro.net.protocol` (default) or the HTTP/1.1 front end of
+:mod:`repro.net.http` (``--http``; keep-alive ``POST /query`` requests on
+the same persistent connections) — with asyncio clients and persists every
+run as a schema-versioned ``BENCH_serve_*.json`` record
+(:mod:`repro.net.results`):
 
 * **Closed loop** — N persistent connections, each issuing its next
   request the moment the previous answer lands.  Measures the server's
@@ -82,35 +85,85 @@ def _classify(payload: dict) -> str:
     return "error"
 
 
+async def _read_payload_tcp(reader: asyncio.StreamReader) -> dict:
+    """One newline-framed response to its parsed JSON payload."""
+    import json
+
+    line = await reader.readline()
+    if not line:
+        raise ConnectionResetError("connection closed mid-response")
+    return json.loads(line)
+
+
+async def _read_payload_http(reader: asyncio.StreamReader) -> dict:
+    """One ``Content-Length``-framed HTTP response to its JSON body.
+
+    Only the body travels back to the caller — outcome classification runs
+    on the protocol-v1 ``ok``/``error`` fields, the same as over TCP, so
+    the status line is not needed.
+    """
+    import json
+
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _separator, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value)
+    return json.loads(await reader.readexactly(length))
+
+
 async def _roundtrip(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
     request: bytes,
     timeout: float,
+    transport: str = "tcp",
 ) -> tuple[str, float | None]:
-    """One request/response cycle on an open connection."""
-    import json
+    """One request/response cycle on an open connection.
 
+    The response read runs as an explicit task so a transport error while
+    *writing* (the server can answer-and-close before the request is fully
+    sent — HTTP servers do exactly that on a 400) cannot leave a pending
+    reader behind: the ``finally`` always cancels and awaits it, and
+    cancelling a ``StreamReader`` read also releases the stream for the
+    connection's next user.
+    """
     started = time.perf_counter()
+    read = _read_payload_http if transport == "http" else _read_payload_tcp
+    reader_task = asyncio.ensure_future(read(reader))
     try:
-        writer.write(request)
-        await writer.drain()
-        line = await asyncio.wait_for(reader.readline(), timeout)
-    except (ConnectionError, asyncio.TimeoutError, asyncio.IncompleteReadError, OSError):
-        return "transport_error", None
-    if not line:
-        return "transport_error", None
-    latency_ms = (time.perf_counter() - started) * 1000.0
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError:
-        return "transport_error", None
-    return _classify(payload), latency_ms
+        try:
+            writer.write(request)
+            await writer.drain()
+            payload = await asyncio.wait_for(asyncio.shield(reader_task), timeout)
+        except (
+            ConnectionError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            OSError,
+            ValueError,  # covers json.JSONDecodeError and a bad Content-Length
+        ):
+            return "transport_error", None
+        return _classify(payload), (time.perf_counter() - started) * 1000.0
+    finally:
+        if not reader_task.done():
+            reader_task.cancel()
+        with contextlib.suppress(Exception, asyncio.CancelledError):
+            await reader_task
 
 
-def _request_for(rng: random.Random, dataset: str, k: int) -> bytes:
+def _request_for(
+    rng: random.Random, dataset: str, k: int, transport: str = "tcp"
+) -> bytes:
     texts = DEFAULT_QUERIES.get(dataset, DEFAULT_QUERIES["imdb"])
-    return protocol.encode_request(rng.choice(texts), dataset=dataset, k=k)
+    text = rng.choice(texts)
+    if transport == "http":
+        from repro.net.http import encode_query_request
+
+        return encode_query_request(text, dataset=dataset, k=k)
+    return protocol.encode_request(text, dataset=dataset, k=k)
 
 
 async def run_closed_loop(
@@ -123,6 +176,7 @@ async def run_closed_loop(
     k: int = 5,
     timeout: float = 30.0,
     seed: int = 13,
+    transport: str = "tcp",
 ) -> LoadRun:
     """``connections`` persistent clients, back-to-back requests, ``requests`` total."""
     run = LoadRun()
@@ -141,7 +195,11 @@ async def run_closed_loop(
         try:
             for _ in range(per_client[index]):
                 outcome, latency_ms = await _roundtrip(
-                    reader, writer, _request_for(rng, dataset, k), timeout
+                    reader,
+                    writer,
+                    _request_for(rng, dataset, k, transport),
+                    timeout,
+                    transport,
                 )
                 run.book(outcome, latency_ms)
                 if outcome == "transport_error":
@@ -167,6 +225,7 @@ async def run_open_loop(
     k: int = 5,
     timeout: float = 30.0,
     seed: int = 13,
+    transport: str = "tcp",
 ) -> LoadRun:
     """``requests`` departures at ``rate``/s, regardless of completions.
 
@@ -191,7 +250,9 @@ async def run_open_loop(
                 run.book("transport_error", None)
                 return
             opened.append(writer)
-        outcome, latency_ms = await _roundtrip(reader, writer, request, timeout)
+        outcome, latency_ms = await _roundtrip(
+            reader, writer, request, timeout, transport
+        )
         run.book(outcome, latency_ms)
         if outcome == "transport_error":
             writer.close()
@@ -206,7 +267,9 @@ async def run_open_loop(
         delay = due - time.perf_counter()
         if delay > 0:
             await asyncio.sleep(delay)
-        tasks.append(asyncio.ensure_future(fire(_request_for(rng, dataset, k))))
+        tasks.append(
+            asyncio.ensure_future(fire(_request_for(rng, dataset, k, transport)))
+        )
     await asyncio.gather(*tasks)
     run.duration_seconds = time.perf_counter() - started
     for writer in opened:
@@ -221,11 +284,13 @@ async def run_open_loop(
 
 @dataclass
 class SpawnedServer:
-    """A ``repro serve --tcp`` child process and its parsed address."""
+    """A ``repro serve --tcp`` child process and its parsed address(es)."""
 
     process: subprocess.Popen
     host: str
     port: int
+    #: Bound port of the HTTP front end (spawned with ``http=True`` only).
+    http_port: int | None = None
 
     @property
     def pid(self) -> int:
@@ -244,6 +309,9 @@ class SpawnedServer:
 
 
 _LISTENING_RE = re.compile(r"listening on ([^\s:]+):(\d+)")
+#: The HTTP front end's readiness line.  Checked *before* the TCP pattern on
+#: every line — ``_LISTENING_RE`` substring-matches this line too.
+_HTTP_LISTENING_RE = re.compile(r"http listening on ([^\s:]+):(\d+)")
 
 
 def spawn_tcp_server(
@@ -253,6 +321,7 @@ def spawn_tcp_server(
     db_path: str | None = None,
     shards: int | None = None,
     workers: int = 1,
+    http: bool = False,
     extra_args: list[str] | None = None,
     startup_timeout: float = 60.0,
 ) -> SpawnedServer:
@@ -261,7 +330,9 @@ def spawn_tcp_server(
     The child runs with this interpreter and this checkout on
     ``PYTHONPATH``, so the spawned server always matches the code under
     test.  Blocks until the readiness line appears (the socket is bound
-    before the line prints, so a connect after this returns succeeds).
+    before the line prints, so a connect after this returns succeeds); with
+    ``http=True`` the child also serves the HTTP front end on an ephemeral
+    port, and this blocks for *both* readiness lines.
     """
     package_root = str(Path(__file__).resolve().parents[2])  # .../src
     env = dict(os.environ)
@@ -289,19 +360,32 @@ def spawn_tcp_server(
         argv += ["--db-path", str(db_path)]
     if shards is not None:
         argv += ["--shards", str(shards)]
+    if http:
+        argv += ["--http", "--http-port", "0"]
     argv += extra_args or []
     process = subprocess.Popen(
         argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True
     )
     deadline = time.monotonic() + startup_timeout
     assert process.stdout is not None
+    address: tuple[str, int] | None = None
+    http_port: int | None = None
     while True:
         line = process.stdout.readline()
         if line:
-            match = _LISTENING_RE.search(line)
-            if match:
+            http_match = _HTTP_LISTENING_RE.search(line)
+            if http_match:
+                http_port = int(http_match.group(2))
+            else:
+                match = _LISTENING_RE.search(line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+            if address is not None and (not http or http_port is not None):
                 return SpawnedServer(
-                    process=process, host=match.group(1), port=int(match.group(2))
+                    process=process,
+                    host=address[0],
+                    port=address[1],
+                    http_port=http_port,
                 )
         if process.poll() is not None or time.monotonic() > deadline:
             with contextlib.suppress(Exception):
@@ -324,6 +408,7 @@ def run_bench_load(
     k: int = 5,
     timeout: float = 30.0,
     seed: int = 13,
+    transport: str = "tcp",
     label: str | None = None,
     server_pid: int | None = None,
     output_dir: str | Path | None = ".",
@@ -331,12 +416,17 @@ def run_bench_load(
 ) -> tuple[dict, Path | None]:
     """One full bench run: load + resource sampling → validated-shape record.
 
-    Returns ``(record, path)``; ``path`` is None when ``output_dir`` is
-    None (persistence skipped — the in-process tests build records
-    without touching the working tree).
+    ``transport`` picks the wire: ``"tcp"`` speaks the newline-JSON
+    protocol on ``port``; ``"http"`` issues keep-alive ``POST /query``
+    requests, so ``port`` must then be the HTTP front end's.  Returns
+    ``(record, path)``; ``path`` is None when ``output_dir`` is None
+    (persistence skipped — the in-process tests build records without
+    touching the working tree).
     """
     if mode not in ("closed", "open"):
         raise ValueError("mode must be 'closed' or 'open'")
+    if transport not in ("tcp", "http"):
+        raise ValueError("transport must be 'tcp' or 'http'")
     label = label or f"{mode}-{backend}-{dataset}"
     started_at = _datetime.datetime.now(_datetime.timezone.utc).isoformat(
         timespec="seconds"
@@ -360,6 +450,7 @@ def run_bench_load(
                     k=k,
                     timeout=timeout,
                     seed=seed,
+                    transport=transport,
                 )
             )
         else:
@@ -373,6 +464,7 @@ def run_bench_load(
                     k=k,
                     timeout=timeout,
                     seed=seed,
+                    transport=transport,
                 )
             )
     finally:
@@ -380,6 +472,7 @@ def run_bench_load(
     record = build_bench_report(
         config={
             "mode": mode,
+            "transport": transport,
             "dataset": dataset,
             "backend": backend,
             "connections": connections,
@@ -410,7 +503,8 @@ def summary_lines(record: dict, path: Path | None) -> list[str]:
     outcomes = record["outcomes"]
     resources = record["resources"]
     lines = [
-        f"mode={config['mode']} dataset={config['dataset']} "
+        f"mode={config['mode']} transport={config.get('transport', 'tcp')} "
+        f"dataset={config['dataset']} "
         f"backend={config['backend']} connections={config['connections']} "
         f"requests={config['requests']}"
         + (f" rate={config['rate']}/s" if config.get("rate") else ""),

@@ -117,31 +117,42 @@ def encode_request(
     return encode_line(payload)
 
 
-def ok_response(dataset: str, query: str, k: int, response: Any) -> bytes:
-    """Encode one served :class:`repro.server.QueryResponse`."""
+def ok_payload(dataset: str, query: str, k: int, response: Any) -> dict[str, Any]:
+    """The response object of one served :class:`repro.server.QueryResponse`.
+
+    Transport-agnostic: the TCP listener encodes it as one line, the HTTP
+    front end as a ``200`` response body — same keys, same row identities,
+    so clients of either transport verify parity against the same JSON.
+    """
     statistics = response.context.executor_statistics
-    return encode_line(
-        {
-            "ok": True,
-            "v": PROTOCOL_VERSION,
-            "dataset": dataset,
-            "query": query,
-            "k": k,
-            "rows": [list(map(list, network)) for network in response.result_uids()],
-            "scores": [result.score for result in response.results],
-            "stats": {
-                "seconds": response.seconds,
-                "sql_statements": statistics.sql_statements,
-                "cache_hits": statistics.cache_hits,
-            },
-        }
-    )
+    return {
+        "ok": True,
+        "v": PROTOCOL_VERSION,
+        "dataset": dataset,
+        "query": query,
+        "k": k,
+        "rows": [list(map(list, network)) for network in response.result_uids()],
+        "scores": [result.score for result in response.results],
+        "stats": {
+            "seconds": response.seconds,
+            "sql_statements": statistics.sql_statements,
+            "cache_hits": statistics.cache_hits,
+        },
+    }
+
+
+def error_payload(code: str, detail: str) -> dict[str, Any]:
+    """The response object of one failed request (any transport)."""
+    return {"ok": False, "v": PROTOCOL_VERSION, "error": code, "detail": detail}
+
+
+def ok_response(dataset: str, query: str, k: int, response: Any) -> bytes:
+    """Encode one served :class:`repro.server.QueryResponse` as a wire line."""
+    return encode_line(ok_payload(dataset, query, k, response))
 
 
 def error_response(code: str, detail: str) -> bytes:
-    return encode_line(
-        {"ok": False, "v": PROTOCOL_VERSION, "error": code, "detail": detail}
-    )
+    return encode_line(error_payload(code, detail))
 
 
 class LineSplitter:

@@ -16,7 +16,8 @@ Record shape (version 1)::
       "schema_version": 1,
       "kind": "bench-serve-load",
       "started_at": "2026-08-07T12:00:00+00:00",
-      "config": {"mode": "closed", "dataset": ..., "backend": ...,
+      "config": {"mode": "closed", "transport": "tcp" | "http",
+                 "dataset": ..., "backend": ...,
                  "connections": ..., "requests": ..., "rate": ...,
                  "k": ..., "label": ...},
       "duration_seconds": 1.23,
@@ -140,6 +141,8 @@ def validate_bench_report(record: object) -> list[str]:
                 errors.append(f"config.{key} must be a non-empty string")
         if config.get("mode") not in ("open", "closed"):
             errors.append("config.mode must be 'open' or 'closed'")
+        if config.get("transport", "tcp") not in ("tcp", "http"):
+            errors.append("config.transport must be 'tcp' or 'http'")
     for key in ("duration_seconds", "throughput_qps"):
         value = record.get(key)
         if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:

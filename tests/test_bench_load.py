@@ -267,6 +267,22 @@ async def serving(factory):
             await tcp.drain()
 
 
+@contextlib.asynccontextmanager
+async def serving_http(factory):
+    """TCP core + HTTP front end; yields the HTTP address."""
+    from repro.net.http import HTTPQueryServer
+
+    with QueryServer(max_workers=8, engine_factory=factory) as pool:
+        tcp = TCPQueryServer(pool)
+        await tcp.start()
+        front = HTTPQueryServer(tcp)
+        await front.start()
+        try:
+            yield front.address
+        finally:
+            await tcp.drain()
+
+
 class TestLoadClients:
     def test_closed_loop_answers_everything(self, imdb_factory):
         async def drive():
@@ -297,6 +313,30 @@ class TestLoadClients:
         with pytest.raises(ValueError):
             asyncio.run(loadgen.run_open_loop("127.0.0.1", 1, rate=0))
 
+    def test_closed_loop_http_transport(self, imdb_factory):
+        async def drive():
+            async with serving_http(imdb_factory) as (host, port):
+                return await loadgen.run_closed_loop(
+                    host, port, connections=4, requests=14, timeout=30,
+                    transport="http",
+                )
+
+        run = asyncio.run(drive())
+        assert run.outcomes["ok"] == 14
+        assert len(run.latencies_ms) == 14
+
+    def test_open_loop_http_transport(self, imdb_factory):
+        async def drive():
+            async with serving_http(imdb_factory) as (host, port):
+                return await loadgen.run_open_loop(
+                    host, port, rate=200.0, requests=10, timeout=30,
+                    transport="http",
+                )
+
+        run = asyncio.run(drive())
+        assert run.outcomes["ok"] == 10
+        assert len(run.latencies_ms) == 10
+
     def test_unreachable_server_books_transport_errors(self):
         # A bound-then-closed socket guarantees nothing listens on the port.
         import socket
@@ -309,6 +349,89 @@ class TestLoadClients:
         )
         assert run.outcomes["transport_error"] == 6
         assert run.outcomes["ok"] == 0
+
+
+class TestRoundtripReaderTask:
+    """The fix for the leaked-reader regression: ``_roundtrip`` must never
+    leave a pending read task behind, whatever failed and wherever."""
+
+    @staticmethod
+    def _pending_tasks():
+        current = asyncio.current_task()
+        return [
+            task
+            for task in asyncio.all_tasks()
+            if task is not current and not task.done()
+        ]
+
+    def test_timeout_leaves_no_pending_reader_task(self):
+        """A server that never answers: the client times out — and the
+        response-reading task must be cancelled and awaited, not abandoned
+        (``asyncio.shield`` protects it from ``wait_for``'s cancellation,
+        so the ``finally`` cleanup is load-bearing)."""
+
+        async def drive():
+            mute = await asyncio.start_server(
+                lambda reader, writer: None, "127.0.0.1", 0
+            )
+            host, port = mute.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                outcome, latency = await loadgen._roundtrip(
+                    reader, writer, b'{"query": "x"}\n', 0.05
+                )
+                assert (outcome, latency) == ("transport_error", None)
+                assert self._pending_tasks() == []
+            finally:
+                writer.close()
+                mute.close()
+
+        asyncio.run(drive())
+
+    def test_write_error_mid_response_leaves_no_pending_reader_task(self):
+        """A transport error while *writing* the request: the reader task
+        was already started (servers can answer-and-close early) and must
+        be cancelled in the ``finally``, not leaked."""
+
+        class FailingWriter:
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                raise ConnectionResetError("gone mid-write")
+
+        async def drive():
+            reader = asyncio.StreamReader()  # never fed: a read pends forever
+            outcome, latency = await loadgen._roundtrip(
+                reader, FailingWriter(), b'{"query": "x"}\n', 5, "tcp"
+            )
+            assert (outcome, latency) == ("transport_error", None)
+            assert self._pending_tasks() == []
+
+        asyncio.run(drive())
+
+    def test_http_transport_cleans_up_too(self):
+        async def drive():
+            mute = await asyncio.start_server(
+                lambda reader, writer: None, "127.0.0.1", 0
+            )
+            host, port = mute.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                outcome, _latency = await loadgen._roundtrip(
+                    reader,
+                    writer,
+                    b"POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+                    0.05,
+                    "http",
+                )
+                assert outcome == "transport_error"
+                assert self._pending_tasks() == []
+            finally:
+                writer.close()
+                mute.close()
+
+        asyncio.run(drive())
 
 
 class TestBenchLoadEndToEnd:
@@ -344,6 +467,42 @@ class TestBenchLoadEndToEnd:
         # (on /proc platforms; the record is valid either way).
         assert record["config"]["mode"] == "closed"
 
+    def test_cli_spawn_http_writes_schema_valid_record(self, tmp_path, capsys):
+        """The HTTP transport end to end: spawn --http, load over POST
+        /query, persist, validate — the record carries the transport."""
+        from repro.cli import main as cli_main
+
+        status = cli_main(
+            [
+                "bench-load",
+                "--spawn",
+                "--http",
+                "--mode",
+                "closed",
+                "--connections",
+                "4",
+                "--requests",
+                "24",
+                "--label",
+                "test-e2e-http",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "transport=http" in out
+        record = json.loads((tmp_path / bench_file_name("test-e2e-http")).read_text())
+        assert validate_bench_report(record) == []
+        assert record["config"]["transport"] == "http"
+        assert record["outcomes"]["ok"] == 24
+
     def test_run_bench_load_requires_known_mode(self):
         with pytest.raises(ValueError):
             loadgen.run_bench_load("127.0.0.1", 1, mode="burst", output_dir=None)
+
+    def test_run_bench_load_requires_known_transport(self):
+        with pytest.raises(ValueError):
+            loadgen.run_bench_load(
+                "127.0.0.1", 1, transport="carrier-pigeon", output_dir=None
+            )
