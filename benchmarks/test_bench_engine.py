@@ -398,6 +398,93 @@ def test_bench_engine_streaming_row_consumption(tmp_path):
     )
 
 
+def test_bench_engine_cost_based_row_reduction(tmp_path):
+    """Cost-based planning: never fetch more rows than the default planner.
+
+    The win-rate guard of the cost model, on a deliberately skewed store
+    (many movies, few actors — raw row counts mislead exactly where the
+    selection-key statistics do not).  Per query the cost-based engine's
+    backend row consumption — streamed union rows plus per-shard gather
+    rows — must never exceed the default planner's, and over the workload
+    it must be strictly lower (the estimator-sized first batch stops the
+    shard merge from looking ahead past the top-k bound), with
+    byte-identical result rows and the estimated-vs-actual cardinalities
+    visible in ``--explain``.
+    """
+    path = tmp_path / "imdb.sqlite"
+    build_imdb(
+        seed=7, n_movies=260, n_actors=40,
+        backend="sqlite-sharded", db_path=path, shards=2,
+    ).close()
+    from repro.db.backends.sharded import ShardedSQLiteBackend
+
+    db = ShardedSQLiteBackend(imdb_schema(), path=path, shards=2)
+    db.build_indexes()
+
+    workload = QUERIES + ["hanks", "2001"]
+
+    def consume(cost_based: bool):
+        ResultCache.clear_process_cache()
+        db.cost_planning = True  # for_dataset-independent reset between arms
+        engine = QueryEngine(
+            db,
+            config=EngineConfig(
+                cache_results=False, cost_based_planning=cost_based
+            ),
+        )
+        consumed: dict[str, int] = {}
+        rows: dict[str, list] = {}
+        for query_text in workload:
+            context = engine.run(query_text, k=5, explain=True)
+            stats = context.executor_statistics
+            consumed[query_text] = stats.rows_streamed + sum(
+                stats.shard_rows.values()
+            )
+            rows[query_text] = [r.row_uids() for r in context.results]
+        return consumed, rows, context
+
+    cost_consumed, cost_rows, cost_context = consume(True)
+    default_consumed, default_rows, _ = consume(False)
+
+    per_query: list[list[str]] = []
+    for query_text in workload:
+        assert cost_rows[query_text] == default_rows[query_text], (
+            f"{query_text!r}: cost-based plan changed the result rows"
+        )
+        assert cost_consumed[query_text] <= default_consumed[query_text], (
+            f"{query_text!r}: cost-based plan fetched "
+            f"{cost_consumed[query_text]} rows, default fetched "
+            f"{default_consumed[query_text]}"
+        )
+        per_query.append(
+            [
+                query_text,
+                f"{default_consumed[query_text]}",
+                f"{cost_consumed[query_text]}",
+            ]
+        )
+    total_cost = sum(cost_consumed.values())
+    total_default = sum(default_consumed.values())
+    assert total_cost < total_default, (
+        f"cost-based planning fetched {total_cost} rows over the workload, "
+        f"no better than the default planner's {total_default}"
+    )
+    # The feedback loop must be visible: the last cost-based run's explain
+    # carries per-interpretation estimated-vs-actual cardinalities.
+    explain = "\n".join(cost_context.explain_lines())
+    assert "estimated vs actual rows:" in explain
+    db.close()
+
+    print()
+    print(
+        format_table(
+            ["query", "default rows fetched", "cost-based rows fetched"],
+            per_query,
+        )
+    )
+    print(f"workload row consumption: {total_default} -> {total_cost}")
+
+
 def test_bench_engine_sharded_statement_ratio(tmp_path):
     """Sharded scatter-gather: row parity + the statement ratio under shards.
 

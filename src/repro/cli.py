@@ -67,6 +67,8 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig | None:
         overrides["semantic_cache"] = True
     if getattr(args, "warm_workload", 0):
         overrides["warm_workload"] = int(args.warm_workload)
+    if not getattr(args, "cost_planning", True):
+        overrides["cost_based_planning"] = False
     if not overrides:
         return None
     return EngineConfig(**overrides)  # type: ignore[arg-type]
@@ -502,6 +504,62 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the planner-statistics catalog of one dataset's store.
+
+    Shows per-relation row counts, per-attribute distinct-value counts and
+    heaviest-value frequencies — the inputs of the cardinality estimator —
+    plus whether a persistent store's ``_repro_stats_*`` side tables are
+    fresh against the live content fingerprint.
+    """
+    from repro.datasets.imdb import build_imdb
+    from repro.datasets.lyrics import build_lyrics
+    from repro.experiments.reporting import format_table
+
+    builders = {"imdb": build_imdb, "lyrics": build_lyrics}
+    try:
+        builder = builders[args.dataset]
+    except KeyError:
+        raise SystemExit(
+            f"error: unknown dataset {args.dataset!r} "
+            f"(use {' or '.join(sorted(builders))})"
+        ) from None
+    try:
+        db = builder(backend=args.backend, db_path=args.db_path, shards=args.shards)
+    except (ValueError, DatabaseError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    db.require_index()  # collects (or reloads) the statistics catalog
+    catalog = db.statistics_catalog()
+    fingerprint = db.content_fingerprint()
+    print(f"dataset: {args.dataset} (backend {db.name})")
+    print(f"content fingerprint: {fingerprint}")
+    stored_fingerprint = getattr(db, "persisted_stats_fingerprint", lambda: None)()
+    if stored_fingerprint is None:
+        print("persisted statistics: none (collected in memory this open)")
+    elif stored_fingerprint == fingerprint:
+        print("persisted statistics: fresh (fingerprint matches)")
+    else:
+        print(
+            "persisted statistics: stale "
+            f"(stored under {stored_fingerprint}; will be recollected)"
+        )
+    print()
+    print(
+        format_table(
+            ["table", "rows"],
+            [[name, rows] for name, rows in catalog.iter_rows()],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["table", "attribute", "distinct", "max frequency"],
+            [list(entry) for entry in catalog.iter_attributes()],
+        )
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ch3, ch4, ch5, ch6
 
@@ -557,6 +615,14 @@ def _add_storage_options(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="replay the N hottest recorded-workload queries through the "
         "engine on open (coldest first, clamped to the cache capacity)",
+    )
+    parser.add_argument(
+        "--no-cost-planning",
+        action="store_false",
+        dest="cost_planning",
+        help="disable cost-model-driven physical planning (scatter-position "
+        "choice, join reordering, batch eviction order, first-batch sizing) "
+        "and restore the raw-row-count planner; rows are identical either way",
     )
 
 
@@ -796,6 +862,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_storage_options(p_bench_serve)
     p_bench_serve.set_defaults(func=cmd_bench_serve)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="print the planner-statistics catalog (per-relation rows, "
+        "per-attribute cardinalities, persisted-stats staleness)",
+    )
+    p_stats.add_argument("--dataset", default="imdb")
+    _add_storage_options(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
 
     p_report = sub.add_parser("report", help="print a chapter's reproduced tables/figures")
     p_report.add_argument("--chapter", type=int, required=True)

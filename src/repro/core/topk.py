@@ -90,6 +90,15 @@ class TopKStatistics:
     #: The scatter slot each executed interpretation partitioned on (1-based
     #: rank -> backend-reported label; sharded backends only).
     scatter_slots: dict[int, str] = field(default_factory=dict)
+    #: The cost model's estimated result rows per executed interpretation
+    #: (1-based rank -> estimate; only ranks the planner could estimate).
+    #: The engine compares these against ``attribution`` to calibrate the
+    #: estimator and to render estimated-vs-actual in ``--explain``.
+    estimated_rows: dict[int, float] = field(default_factory=dict)
+    #: What the cost pass changed about each executed interpretation's plan
+    #: (1-based rank -> backend-reported label, e.g. a join reorder), for
+    #: the chosen-vs-default lines in ``--explain``.
+    plan_choices: dict[int, str] = field(default_factory=dict)
     #: True when the executor's cache is subsumption-aware (the semantic
     #: layer); gates the exact-vs-subsumption split in ``--explain``.
     semantic_cache: bool = False
@@ -135,6 +144,12 @@ class TopKStatistics:
         for index, label in executed.scatter_slots.items():
             rank = rank_of[index] if rank_of is not None else index + 1
             self.scatter_slots[rank] = label
+        for index, estimate in executed.estimated_rows.items():
+            rank = rank_of[index] if rank_of is not None else index + 1
+            self.estimated_rows[rank] = estimate
+        for index, label in executed.plan_labels.items():
+            rank = rank_of[index] if rank_of is not None else index + 1
+            self.plan_choices[rank] = label
         for shard, rows in executed.shard_rows.items():
             self.shard_rows[shard] = self.shard_rows.get(shard, 0) + rows
 
@@ -349,7 +364,11 @@ class TopKExecutor:
             position += len(batch)
         return results[:k]
 
-    def _first_batch_size(self, k: int) -> int:
+    def _first_batch_size(
+        self,
+        k: int,
+        ranked: "list[tuple[Interpretation, float]] | None" = None,
+    ) -> int:
         """Interpretations the first execution batch covers.
 
         The legacy bound — min(batch, k) interpretations, enough for a
@@ -358,16 +377,56 @@ class TopKExecutor:
         with ~r rows per executed interpretation, ceil(k / r) of them are
         expected to satisfy the TA bound, and under-shooting costs only one
         more (smaller) statement because a streamed batch's unconsumed rows
-        were never fetched anyway.  The materializing strategy keeps the
-        legacy bound: there an extra batch means an extra fully materialized
-        statement, which the shrink could easily cost more than it saves.
+        were never fetched anyway.  With ``ranked`` given (the streamed
+        strategy passes it), the backend's per-interpretation cardinality
+        estimates refine the global EWMA the same direction: walk the ranked
+        prefix until the estimates cumulatively cover ``k``.  The
+        materializing strategy keeps the legacy bound: there an extra batch
+        means an extra fully materialized statement, which the shrink could
+        easily cost more than it saves.
         """
         assert self.batch_size is not None
         base = max(2, min(self.batch_size, k))
-        estimate = self.expected_rows_per_interpretation
-        if not self.streaming or not estimate or estimate <= 0:
+        if not self.streaming:
             return base
-        return max(1, min(base, math.ceil(k / estimate)))
+        size = base
+        estimate = self.expected_rows_per_interpretation
+        if estimate and estimate > 0:
+            size = min(size, math.ceil(k / estimate))
+        if ranked is not None:
+            cost_size = self._cost_batch_size(ranked, k, base)
+            if cost_size is not None:
+                size = min(size, cost_size)
+        return max(1, size)
+
+    def _cost_batch_size(
+        self,
+        ranked: "list[tuple[Interpretation, float]]",
+        k: int,
+        base: int,
+    ) -> int | None:
+        """Ranked prefix length whose estimated rows cumulatively cover ``k``.
+
+        Asks the backend's cost model for each interpretation's estimated
+        cardinality (never executing anything); ``None`` — on any estimator
+        gap, or when even the legacy-bound prefix is not expected to reach
+        ``k`` — means the estimates cannot justify a smaller first batch.
+        """
+        estimated_path_rows = getattr(self.database, "estimated_path_rows", None)
+        if estimated_path_rows is None:
+            return None
+        total = 0.0
+        walked = 0
+        for interpretation, _score in ranked[:base]:
+            spec = interpretation.to_structured_query().path_spec()
+            estimate = estimated_path_rows(*spec, limit=self.per_query_limit)
+            if estimate is None:
+                return None
+            walked += 1
+            total += estimate
+            if total >= k:
+                return walked
+        return None
 
     def _execute_streamed(
         self,
@@ -389,7 +448,9 @@ class TopKExecutor:
         contribute rows sorting after the confirmed top-k.
         """
         assert self.batch_size is not None
-        self.statistics.first_batch_size = batch_size = self._first_batch_size(k)
+        self.statistics.first_batch_size = batch_size = self._first_batch_size(
+            k, ranked
+        )
         results: list[TopKResult] = []
         seen_rows: set[tuple] = set()
         position = 0
@@ -470,7 +531,12 @@ class TopKExecutor:
                     # consumed: like executed/missed counters, their
                     # per-spec explain entries must not report work that
                     # never happened (statements are already counted lazily).
-                    for annotations in (execution.fallbacks, execution.scatter_slots):
+                    for annotations in (
+                        execution.fallbacks,
+                        execution.scatter_slots,
+                        execution.estimated_rows,
+                        execution.plan_labels,
+                    ):
                         for spec in [
                             s for s in annotations if s > last_spec_consumed
                         ]:

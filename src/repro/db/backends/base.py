@@ -79,6 +79,10 @@ class BatchedExecution:
     the storage shard that produced them (empty on unsharded backends).
     ``scatter_slots`` names the partitioned join slot each spec scattered on
     (sharding backends with a scatter-position chooser; empty elsewhere).
+    ``estimated_rows`` carries the cost model's calibrated per-spec row
+    estimate and ``plan_labels`` a human-readable summary of any cost-based
+    rewrite applied to a spec's plan (both empty without statistics) — the
+    estimated-vs-actual and chosen-vs-default lines of ``--explain``.
     """
 
     rows: list[list[tuple[Tuple, ...]]]
@@ -87,6 +91,8 @@ class BatchedExecution:
     fallbacks: dict[int, str] = field(default_factory=dict)
     shard_rows: dict[int, int] = field(default_factory=dict)
     scatter_slots: dict[int, str] = field(default_factory=dict)
+    estimated_rows: dict[int, float] = field(default_factory=dict)
+    plan_labels: dict[int, str] = field(default_factory=dict)
 
 
 class RowStream:
@@ -153,6 +159,8 @@ class StreamedExecution:
     fallbacks: dict[int, str] = field(default_factory=dict)
     shard_rows: dict[int, int] = field(default_factory=dict)
     scatter_slots: dict[int, str] = field(default_factory=dict)
+    estimated_rows: dict[int, float] = field(default_factory=dict)
+    plan_labels: dict[int, str] = field(default_factory=dict)
     rows_short_circuited: int = 0
 
 
@@ -222,6 +230,15 @@ class StorageBackend(abc.ABC):
         #: :meth:`content_fingerprint`).  Persistent backends save/restore it
         #: so the chain continues across reopens.
         self._content_digest: str = ""
+        #: Apply cost-based plan rewrites (scatter choice, join order, batch
+        #: sizing).  Off, every physical choice falls back to the pre-cost
+        #: defaults — the ``--no-cost-planning`` escape hatch and the control
+        #: arm of the win-rate benchmarks.
+        self.cost_planning: bool = True
+        #: Planner statistics, collected alongside :meth:`build_indexes`
+        #: (persistent backends reload them instead; see ``db/stats``).
+        self._statistics = None  # type: Any
+        self._cardinality_estimator = None  # type: Any
 
     # -- storage contract (backend-specific) -------------------------------
 
@@ -273,6 +290,8 @@ class StorageBackend(abc.ABC):
         self._fold_mutation(f"row|{table_name}|{tup.key!r}|{tup.values!r}")
         if self.index is not None:
             self.index.add_tuple(self.schema.table(table_name), tup)
+        if self._statistics is not None:
+            self._statistics.observe_insert(self, table_name, tup)
         return tup
 
     def add_table(self, table: Table) -> RelationView:
@@ -456,12 +475,18 @@ class StorageBackend(abc.ABC):
     # -- indexing (shared) ---------------------------------------------------
 
     def build_indexes(self) -> InvertedIndex:
-        """Build the inverted index and exact-match join indexes a-priori."""
+        """Build the inverted index and exact-match join indexes a-priori.
+
+        Also collects the planner-statistics catalog in the same pass budget
+        (one extra scan per relation) — persistent backends that reload a
+        persisted index reload persisted statistics instead of calling this.
+        """
         for fk in self.schema.foreign_keys:
             self.relation(fk.source).create_index(fk.source_attr)
             if fk.target_attr != self.schema.table(fk.target).primary_key:
                 self.relation(fk.target).create_index(fk.target_attr)
         self.index = InvertedIndex(self.tokenizer).build(self)
+        self._collect_statistics()
         return self.index
 
     def require_index(self) -> InvertedIndex:
@@ -474,6 +499,75 @@ class StorageBackend(abc.ABC):
 
     def total_tuples(self) -> int:
         return sum(len(self.relation(name)) for name in self.schema.table_names)
+
+    def _collect_statistics(self):
+        """(Re)scan every relation into a fresh statistics catalog."""
+        from repro.db.stats import StatisticsCatalog
+
+        self._statistics = StatisticsCatalog.collect(self)
+        self._cardinality_estimator = None
+        return self._statistics
+
+    def statistics_catalog(self, collect: bool = True):
+        """The planner-statistics catalog (see :mod:`repro.db.stats`).
+
+        With ``collect`` (the default) a missing catalog is collected on the
+        spot; ``collect=False`` only reports what already exists — the
+        planner's own access path, so planning never triggers a scan.
+        """
+        if self._statistics is None and collect:
+            self._collect_statistics()
+        return self._statistics
+
+    def cardinality_estimator(self):
+        """The backend's estimator over the current catalog (None = no stats)."""
+        if self._statistics is None:
+            return None
+        if (
+            self._cardinality_estimator is None
+            or self._cardinality_estimator.catalog is not self._statistics
+        ):
+            from repro.db.stats import CardinalityEstimator
+
+            self._cardinality_estimator = CardinalityEstimator(self._statistics)
+        return self._cardinality_estimator
+
+    def plan_estimator(self):
+        """The estimator the *planner* may use: gated by ``cost_planning``."""
+        if not self.cost_planning:
+            return None
+        return self.cardinality_estimator()
+
+    def estimated_path_rows(
+        self,
+        path: Sequence[str],
+        edges: Sequence[ForeignKey],
+        selections: SelectionsByPosition | None = None,
+        limit: int | None = None,
+    ) -> float | None:
+        """Estimated result rows of one path spec, without executing it.
+
+        ``0.0`` for provably empty specs, ``None`` on any estimator gap
+        (missing statistics, cost planning disabled, invalid spec — errors
+        surface at execution time, never during estimation).  The top-k
+        executor sizes its first batch with this.
+        """
+        estimator = self.plan_estimator()
+        if estimator is None:
+            return None
+        try:
+            plan = self.plan_path_spec(path, edges, selections, limit)
+        except Exception:
+            return None
+        if plan is None:
+            return 0.0
+        return estimator.estimate(plan)
+
+    def observe_estimate(self, estimated: float, actual: int) -> None:
+        """Feed one estimated-vs-actual row count into estimator calibration."""
+        estimator = self.cardinality_estimator()
+        if estimator is not None:
+            estimator.observe(estimated, actual)
 
     # -- selection (shared) --------------------------------------------------
 

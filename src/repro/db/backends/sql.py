@@ -29,8 +29,8 @@ future Postgres dialect) a dialect/executor concern instead of a rewrite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Protocol, Sequence
 
 from repro.db.schema import ForeignKey, Schema, Table
 
@@ -76,6 +76,18 @@ class PathPlan:
     stay disjoint and complete; the sharded backend picks the most selective
     one).  Unpartitioned dialects ignore it, and it never affects the
     statement's ORDER BY, so the row order is identical for every choice.
+
+    ``join_order`` is the second physical hint: the order join slots are
+    *introduced* in the FROM/JOIN clauses (``None`` = path order).  It must
+    be a connected permutation of the slots — each entry adjacent to an
+    already-introduced one — so every FK edge still appears in exactly one
+    ON clause.  Projection, WHERE and ORDER BY are untouched, and the ORDER
+    BY tuple is a total order over result networks, so every valid order
+    returns byte-identical rows (inner joins commute; see
+    ``tests/test_plan_rewrites``).  ``estimated_rows`` is the cost model's
+    calibrated cardinality estimate (``None`` when statistics are missing or
+    cost planning is off) — an annotation for sizing and ``--explain``,
+    never a semantic input.
     """
 
     path: tuple[str, ...]
@@ -84,6 +96,8 @@ class PathPlan:
     post_filters: tuple[tuple[int, frozenset], ...]
     limit: int | None
     scatter_position: int = 0
+    join_order: tuple[int, ...] | None = None
+    estimated_rows: float | None = None
 
     @property
     def filtered_positions(self) -> frozenset[int]:
@@ -235,22 +249,34 @@ def plan_path(
     )
 
 
+class Estimator(Protocol):
+    """What the planner needs from a cardinality model (see ``db/stats``)."""
+
+    def estimate(self, plan: PathPlan) -> float | None: ...
+
+    def slot_cardinalities(self, plan: PathPlan) -> list[float] | None: ...
+
+
 def plan_batch(
     resolved: Sequence[tuple[int, Sequence[str], Sequence[ForeignKey], Mapping[int, set]]],
     limit: int | None,
     *,
     max_inline_keys: int | None = None,
     inline_budget: int | None = None,
+    estimator: Estimator | None = None,
 ) -> BatchPlan:
     """Split resolved specs between one shared UNION ALL and solo fallbacks.
 
     ``resolved`` holds ``(spec index, path, edges, key_filters)`` for every
     spec that survived validation and is not provably empty.  A spec leaves
     the shared statement when one of its key sets exceeds the per-predicate
-    inline cap, or when its total key count would blow the statement-wide
-    parameter budget; either way it gets its own :class:`PathPlan` (fresh
-    budget — solo statements can post-filter, shared ones cannot) and a
-    reason string for ``--explain``.
+    inline cap, or — if the surviving specs together blow the statement-wide
+    parameter budget — when it is evicted as one of the most *expensive*
+    members (largest estimated result rows, falling back to inline-key count
+    when the estimator has no answer; historically eviction was blind spec
+    order).  Either way it gets its own :class:`PathPlan` (fresh budget —
+    solo statements can post-filter, shared ones cannot) and a reason string
+    for ``--explain``.
     """
     if max_inline_keys is None:
         max_inline_keys = MAX_INLINE_KEYS
@@ -258,19 +284,11 @@ def plan_batch(
         inline_budget = MAX_TOTAL_INLINE_KEYS
     members: list[UnionMember] = []
     fallbacks: list[tuple[int, PathPlan, str]] = []
-    budget = inline_budget
+    sized: list[tuple[int, Sequence[str], Sequence[ForeignKey], Mapping[int, set], int]] = []
     for index, path, edges, key_filters in resolved:
         inline_keys = sum(len(keys) for keys in key_filters.values())
         oversized = any(len(keys) > max_inline_keys for keys in key_filters.values())
-        if oversized or inline_keys > budget:
-            reason = (
-                f"selection key set exceeds the {max_inline_keys}-key inline cap"
-                if oversized
-                else (
-                    f"UNION ALL parameter budget exhausted "
-                    f"({inline_keys} keys > {budget} left of {inline_budget})"
-                )
-            )
+        if oversized:
             solo = plan_path(
                 path,
                 edges,
@@ -279,9 +297,61 @@ def plan_batch(
                 max_inline_keys=max_inline_keys,
                 inline_budget=inline_budget,
             )
+            reason = f"selection key set exceeds the {max_inline_keys}-key inline cap"
             fallbacks.append((index, solo, reason))
             continue
-        budget -= inline_keys
+        sized.append((index, path, edges, key_filters, inline_keys))
+    total_keys = sum(entry[4] for entry in sized)
+    evicted: dict[int, str] = {}
+    if total_keys > inline_budget:
+        # Cost-aware eviction: drop the most expensive members first until
+        # the rest fit the budget, so the cheap (and typically best-ranked)
+        # specs keep sharing one statement.
+        overflow = total_keys
+        costed: list[tuple[float, str, int, int]] = []
+        for index, path, edges, key_filters, inline_keys in sized:
+            if inline_keys == 0:
+                continue  # keyless members consume no budget: never evicted
+            estimate = None
+            if estimator is not None:
+                estimate = estimator.estimate(
+                    plan_path(
+                        path,
+                        edges,
+                        key_filters,
+                        limit,
+                        max_inline_keys=max_inline_keys,
+                        inline_budget=inline_keys,
+                    )
+                )
+            if estimate is not None:
+                cost, cost_label = estimate, f"~{estimate:.1f} estimated rows"
+            else:
+                cost, cost_label = float(inline_keys), f"{inline_keys} inline keys"
+            costed.append((cost, cost_label, inline_keys, index))
+        costed.sort(key=lambda entry: (-entry[0], -entry[2], -entry[3]))
+        remaining = total_keys
+        for cost, cost_label, inline_keys, index in costed:
+            if remaining <= inline_budget:
+                break
+            remaining -= inline_keys
+            evicted[index] = (
+                f"UNION ALL parameter budget exhausted "
+                f"({overflow} keys over the {inline_budget}-key budget); "
+                f"evicted most expensive first ({cost_label})"
+            )
+    for index, path, edges, key_filters, inline_keys in sized:
+        if index in evicted:
+            solo = plan_path(
+                path,
+                edges,
+                key_filters,
+                limit,
+                max_inline_keys=max_inline_keys,
+                inline_budget=inline_budget,
+            )
+            fallbacks.append((index, solo, evicted[index]))
+            continue
         members.append(
             (
                 index,
@@ -296,6 +366,57 @@ def plan_batch(
             )
         )
     return BatchPlan(members=tuple(members), fallbacks=tuple(fallbacks))
+
+
+# -- cost-based rewrites ------------------------------------------------------
+#
+# Every rewrite below is *physical*: it may change which partition scatters,
+# the FROM/JOIN introduction order, or batch membership — never projection,
+# WHERE, ORDER BY or LIMIT.  The compiled ORDER BY tuple is a total order
+# over result networks, so rewritten plans return byte-identical rows; the
+# parity suites in tests/test_plan_rewrites.py pin exactly that, and any
+# estimator gap (``None``) keeps the unrewritten plan.
+
+
+def annotate_estimate(plan: PathPlan, estimator: Estimator | None) -> PathPlan:
+    """Attach the cost model's row estimate to a plan (no-op on a gap)."""
+    if estimator is None:
+        return plan
+    estimate = estimator.estimate(plan)
+    if estimate is None:
+        return plan
+    return replace(plan, estimated_rows=estimate)
+
+
+def reorder_joins(plan: PathPlan, estimator: Estimator | None) -> PathPlan:
+    """Greedy cost-based join introduction order over the path chain.
+
+    Starts at the slot with the smallest estimated post-filter cardinality
+    and repeatedly extends toward whichever chain neighbor is cheaper — the
+    classic smallest-relation-first heuristic, restricted to connected
+    orders so every FK edge keeps exactly one ON clause.  Returns the plan
+    unchanged when the estimator has a gap or the default order already
+    wins (``join_order`` stays ``None``: the rewrite is provably absent).
+    """
+    if estimator is None or len(plan.path) < 2:
+        return plan
+    cards = estimator.slot_cardinalities(plan)
+    if cards is None:
+        return plan  # estimator gap: keep the unrewritten plan
+    n = len(plan.path)
+    start = min(range(n), key=lambda slot: (cards[slot], slot))
+    order = [start]
+    left, right = start - 1, start + 1
+    while left >= 0 or right < n:
+        if right >= n or (left >= 0 and (cards[left], left) <= (cards[right], right)):
+            order.append(left)
+            left -= 1
+        else:
+            order.append(right)
+            right += 1
+    if order == list(range(n)):
+        return plan
+    return replace(plan, join_order=tuple(order))
 
 
 # -- dialects -----------------------------------------------------------------
@@ -411,19 +532,46 @@ class PlanCompiler:
     # -- join-path pieces ----------------------------------------------------
 
     def join_lines(self, plan: PathPlan) -> list[str]:
-        """``FROM``/``JOIN`` clauses of one join path (aliases ``t0..tN``)."""
+        """``FROM``/``JOIN`` clauses of one join path (aliases ``t0..tN``).
+
+        Aliases always name the plan's *slot* (``t{i}`` = ``plan.path[i]``),
+        so projection, predicates and ORDER BY never care about the physical
+        introduction order: a ``plan.join_order`` only permutes which slot
+        anchors the FROM clause and which FK edge each JOIN line consumes.
+        """
         dialect = self.dialect
         scatter = plan.scatter_position
-        lines = [f"FROM {dialect.table_source(plan.path[0], 0, scatter)} AS t0"]
-        for i in range(1, len(plan.path)):
+        order = plan.join_order or tuple(range(len(plan.path)))
+        if sorted(order) != list(range(len(plan.path))):
+            raise ValueError(
+                f"join order {order!r} is not a permutation of the "
+                f"{len(plan.path)} join slots"
+            )
+        first = order[0]
+        lines = [
+            f"FROM {dialect.table_source(plan.path[first], first, scatter)} "
+            f"AS t{first}"
+        ]
+        introduced = {first}
+        for slot in order[1:]:
+            if slot - 1 in introduced:
+                anchor = slot - 1
+            elif slot + 1 in introduced:
+                anchor = slot + 1
+            else:
+                raise ValueError(
+                    f"join order {order!r} is not connected at slot {slot}"
+                )
             bound_attr, probe_attr = _edge_attrs(
-                plan.edges[i - 1], plan.path[i - 1], plan.path[i]
+                plan.edges[min(slot, anchor)], plan.path[anchor], plan.path[slot]
             )
             lines.append(
-                f"JOIN {dialect.table_source(plan.path[i], i, scatter)} AS t{i} "
-                f"ON t{i - 1}.{dialect.quote(bound_attr)} "
-                f"= t{i}.{dialect.quote(probe_attr)}"
+                f"JOIN {dialect.table_source(plan.path[slot], slot, scatter)} "
+                f"AS t{slot} "
+                f"ON t{anchor}.{dialect.quote(bound_attr)} "
+                f"= t{slot}.{dialect.quote(probe_attr)}"
             )
+            introduced.add(slot)
         return lines
 
     def inline_predicates(self, plan: PathPlan) -> tuple[list[str], list[Any]]:
@@ -703,8 +851,9 @@ class SideTableSQL:
     """Every ``_repro_*`` side-table statement, in one place.
 
     The side tables persist derived state next to the rows: backend metadata
-    (``_repro_meta``), inverted-index postings (``_repro_index_*``) and the
-    cross-session result cache (``_repro_result_cache``).  Postings keys are
+    (``_repro_meta``), inverted-index postings (``_repro_index_*``), planner
+    statistics (``_repro_stats_*``) and the cross-session result cache
+    (``_repro_result_cache``).  Postings keys are
     stored as JSON arrays; every index/cache row carries a ``schema_key`` so
     several datasets coexisting in one file keep independent persisted state
     instead of overwriting each other's on every alternation.
@@ -779,6 +928,51 @@ class SideTableSQL:
     @staticmethod
     def index_drop(name: str) -> str:
         return f"DROP TABLE IF EXISTS _repro_index_{name}"
+
+    #: Suffixes of the planner-statistics side tables (drop/replace loops).
+    STATS_TABLE_NAMES = ("tables", "attrs", "meta")
+
+    STATS_TABLES_DDL = (
+        "CREATE TABLE IF NOT EXISTS _repro_stats_meta ("
+        "schema_key TEXT, key TEXT, value TEXT, PRIMARY KEY (schema_key, key))",
+        "CREATE TABLE IF NOT EXISTS _repro_stats_tables ("
+        "schema_key TEXT, tbl TEXT, tuples INTEGER, PRIMARY KEY (schema_key, tbl))",
+        "CREATE TABLE IF NOT EXISTS _repro_stats_attrs ("
+        "schema_key TEXT, tbl TEXT, attr TEXT, distinct_values INTEGER, "
+        "max_frequency INTEGER, PRIMARY KEY (schema_key, tbl, attr))",
+    )
+
+    STATS_META_SELECT = (
+        "SELECT key, value FROM _repro_stats_meta WHERE schema_key = ?"
+    )
+    STATS_TABLES_SELECT = (
+        "SELECT tbl, tuples FROM _repro_stats_tables WHERE schema_key = ?"
+    )
+    STATS_ATTRS_SELECT = (
+        "SELECT tbl, attr, distinct_values, max_frequency "
+        "FROM _repro_stats_attrs WHERE schema_key = ?"
+    )
+
+    STATS_META_INSERT = (
+        "INSERT INTO _repro_stats_meta (schema_key, key, value) VALUES (?, ?, ?)"
+    )
+    STATS_TABLES_INSERT = (
+        "INSERT INTO _repro_stats_tables (schema_key, tbl, tuples) VALUES (?, ?, ?)"
+    )
+    STATS_ATTRS_INSERT = (
+        "INSERT INTO _repro_stats_attrs "
+        "(schema_key, tbl, attr, distinct_values, max_frequency) "
+        "VALUES (?, ?, ?, ?, ?)"
+    )
+
+    @staticmethod
+    def stats_delete(name: str) -> str:
+        """Delete one schema's rows from one statistics side table."""
+        return f"DELETE FROM _repro_stats_{name} WHERE schema_key = ?"
+
+    @staticmethod
+    def stats_drop(name: str) -> str:
+        return f"DROP TABLE IF EXISTS _repro_stats_{name}"
 
     RESULT_CACHE_DDL = (
         "CREATE TABLE IF NOT EXISTS _repro_result_cache ("

@@ -319,6 +319,7 @@ class SQLiteBackend(StorageBackend):
         self.dialect = self._make_dialect()
         self.compiler = PlanCompiler(schema, self.dialect)
         self._index_dirty = False
+        self._stats_dirty = False
         self._result_cache_ready = False
         self._result_cache_purged_for: str | None = None
         #: Result-cache puts buffered until the next flush/commit/close (see
@@ -497,6 +498,8 @@ class SQLiteBackend(StorageBackend):
                 # this, correctness holds: the stale save carries the
                 # pre-mutation fingerprint and would be rejected on load.)
                 self._save_persisted_index(self.index)
+            if self._stats_dirty and self._statistics is not None and self.persist_index:
+                self._save_persisted_stats()
             self.cached_result_flush()  # drains buffered puts, then commits
             self._close_connections()
         _release_lock_for(self.path)
@@ -518,6 +521,10 @@ class SQLiteBackend(StorageBackend):
             tup = super().insert(table_name, row)
             if self.index is not None:
                 self._index_dirty = True
+                if self._statistics is not None:
+                    # The base insert already folded the tuple into the
+                    # catalog; the *stored* copy is now stale.
+                    self._stats_dirty = True
                 # Post-build inserts are rare and interactive: make each one
                 # (and the advanced mutation digest) durable immediately.
                 # Bulk loading (before build_indexes()) stays in one
@@ -545,11 +552,24 @@ class SQLiteBackend(StorageBackend):
                     self.relation(fk.target).create_index(fk.target_attr)
             self.index = loaded
             self._index_dirty = False
+            restored = self._load_persisted_stats()
+            if restored is not None:
+                # Same fast path for the planner statistics: the stored
+                # catalog carries the fingerprint it was collected under,
+                # so a match means no relation scan is needed either.
+                self._statistics = restored
+                self._cardinality_estimator = None
+                self._stats_dirty = False
+            else:
+                self._collect_statistics()
+                if self.persist_index:
+                    self._save_persisted_stats()
             self._conn.commit()
             return self.index
-        index = super().build_indexes()
+        index = super().build_indexes()  # also collects planner statistics
         if self.persist_index:
             self._save_persisted_index(index)
+            self._save_persisted_stats()
         self._conn.commit()  # durability checkpoint after bulk loading
         return index
 
@@ -687,6 +707,112 @@ class SQLiteBackend(StorageBackend):
             [(schema_key, key, value) for key, value in sorted(meta.items())],
         )
 
+    # -- planner-statistics persistence --------------------------------------
+
+    def persisted_stats_fingerprint(self) -> str | None:
+        """Fingerprint the stored statistics were collected under, if any.
+
+        ``repro stats`` compares this against the live content fingerprint
+        to report staleness; ``None`` means no catalog is stored for this
+        schema.
+        """
+        try:
+            meta = dict(
+                self._conn.execute(
+                    SideTableSQL.STATS_META_SELECT, (self._schema_key(),)
+                )
+            )
+        except sqlite3.OperationalError:  # side tables never created
+            return None
+        return meta.get("fingerprint")
+
+    def _load_persisted_stats(self):
+        """The stored statistics catalog, or None when absent/stale/corrupt."""
+        if not self.persist_index:
+            return None
+        from repro.db.stats import StatisticsCatalog
+
+        schema_key = self._schema_key()
+        try:
+            meta = dict(
+                self._conn.execute(SideTableSQL.STATS_META_SELECT, (schema_key,))
+            )
+        except sqlite3.OperationalError:  # side tables never created
+            return None
+        if meta.get("fingerprint") != self.content_fingerprint():
+            return None  # stale: the store mutated since collection
+        state: dict = {"tables": {}}
+        try:
+            for tbl, tuples in self._conn.execute(
+                SideTableSQL.STATS_TABLES_SELECT, (schema_key,)
+            ):
+                state["tables"][tbl] = {"rows": int(tuples), "attributes": {}}
+            for tbl, attr, distinct, max_frequency in self._conn.execute(
+                SideTableSQL.STATS_ATTRS_SELECT, (schema_key,)
+            ):
+                state["tables"][tbl]["attributes"][attr] = [
+                    int(distinct),
+                    int(max_frequency),
+                ]
+        except (sqlite3.Error, KeyError, TypeError, ValueError):
+            return None  # corrupt side tables: fall back to recollection
+        if not state["tables"]:
+            return None  # meta without rows: a half-written save
+        return StatisticsCatalog.restore(self.schema, state)
+
+    def _save_persisted_stats(self) -> None:
+        """Write the catalog + fingerprint into side tables (best effort).
+
+        Mirrors :meth:`_save_persisted_index`: scoped to this schema's key,
+        lock-guarded so the delete+insert cannot interleave with a sibling
+        engine's, and dropped-and-rebuilt once when a pre-existing foreign
+        table shape rejects the statements — persistence is an optimization
+        and must never make the store unusable.
+        """
+        catalog = self._statistics
+        if catalog is None:
+            return
+        schema_key = self._schema_key()
+        table_rows = [
+            (schema_key, name, rows) for name, rows in catalog.iter_rows()
+        ]
+        attr_rows = [
+            (schema_key, tbl, attr, distinct, max_frequency)
+            for tbl, attr, distinct, max_frequency in catalog.iter_attributes()
+        ]
+        meta = {"fingerprint": self.content_fingerprint()}
+        with self._lock:  # delete+insert must not interleave with a sibling's
+            try:
+                self._write_stats_state(schema_key, table_rows, attr_rows, meta)
+            except sqlite3.Error:
+                try:
+                    for name in SideTableSQL.STATS_TABLE_NAMES:
+                        self._conn.execute(SideTableSQL.stats_drop(name))
+                    self._write_stats_state(schema_key, table_rows, attr_rows, meta)
+                except sqlite3.Error:
+                    return
+            self._conn.commit()
+        self._stats_dirty = False
+
+    def _write_stats_state(
+        self,
+        schema_key: str,
+        table_rows: list[tuple],
+        attr_rows: list[tuple],
+        meta: dict[str, str],
+    ) -> None:
+        """Replace this schema's rows in the stats side tables (no commit)."""
+        for statement in SideTableSQL.STATS_TABLES_DDL:
+            self._conn.execute(statement)
+        for name in SideTableSQL.STATS_TABLE_NAMES:
+            self._conn.execute(SideTableSQL.stats_delete(name), (schema_key,))
+        self._conn.executemany(SideTableSQL.STATS_TABLES_INSERT, table_rows)
+        self._conn.executemany(SideTableSQL.STATS_ATTRS_INSERT, attr_rows)
+        self._conn.executemany(
+            SideTableSQL.STATS_META_INSERT,
+            [(schema_key, key, value) for key, value in sorted(meta.items())],
+        )
+
     # -- derived-result cache ----------------------------------------------
 
     def cached_result_get(self, fingerprint: str, key: str) -> str | None:
@@ -811,14 +937,32 @@ class SQLiteBackend(StorageBackend):
     def _prepare_plan(self, plan: PathPlan) -> PathPlan:
         """Backend-physical plan adjustments before compilation.
 
-        The hook the sharded backend uses to pick the scatter position per
-        plan; a single-file store compiles plans as-is.
+        The cost pass: annotate the plan with its estimated cardinality and
+        reorder its join introduction greedily by estimated slot size.  Both
+        rewrites are no-ops when statistics are missing or ``cost_planning``
+        is off (``plan_estimator()`` returns ``None``).  The sharded backend
+        extends this with its per-plan scatter-position choice.
         """
-        return plan
+        estimator = self.plan_estimator()
+        if estimator is None:
+            return plan
+        plan = sqlc.annotate_estimate(plan, estimator)
+        return sqlc.reorder_joins(plan, estimator)
 
     def _scatter_slot_label(self, plan: PathPlan) -> str | None:
         """Human-readable name of the plan's scatter slot (sharded only)."""
         return None
+
+    def _plan_label(self, plan: PathPlan) -> str | None:
+        """Summary of the cost pass's choices on one plan (``--explain``)."""
+        parts: list[str] = []
+        if plan.estimated_rows is not None:
+            parts.append(f"~{plan.estimated_rows:.1f} rows estimated")
+        if plan.join_order is not None:
+            chosen = ">".join(f"t{slot}" for slot in plan.join_order)
+            default = ">".join(f"t{slot}" for slot in range(len(plan.path)))
+            parts.append(f"join order {chosen} (default {default})")
+        return ", ".join(parts) if parts else None
 
     def _run_plan(
         self, plan: PathPlan, shard_rows: dict[int, int] | None = None
@@ -894,8 +1038,11 @@ class SQLiteBackend(StorageBackend):
         fallbacks: dict[int, str] = {}
         shard_rows: dict[int, int] = {}
         scatter_slots: dict[int, str] = {}
+        estimated_rows: dict[int, float] = {}
+        plan_labels: dict[int, str] = {}
         solo, members = self._plan_specs(
-            specs, rows_per_spec, fallbacks, scatter_slots, limit
+            specs, rows_per_spec, fallbacks, scatter_slots,
+            estimated_rows, plan_labels, limit,
         )
         for index, solo_plan in solo:
             rows_per_spec[index] = self._run_plan(solo_plan, shard_rows)
@@ -911,6 +1058,8 @@ class SQLiteBackend(StorageBackend):
             fallbacks=fallbacks,
             shard_rows=shard_rows,
             scatter_slots=scatter_slots,
+            estimated_rows=estimated_rows,
+            plan_labels=plan_labels,
         )
 
     def _plan_specs(
@@ -919,6 +1068,8 @@ class SQLiteBackend(StorageBackend):
         rows_per_spec: list,
         fallbacks: dict[int, str],
         scatter_slots: dict[int, str],
+        estimated_rows: dict[int, float],
+        plan_labels: dict[int, str],
         limit: int | None,
     ) -> tuple[list[tuple[int, PathPlan]], list[tuple[int, PathPlan]]]:
         """The shared planning front half of batched and streamed execution.
@@ -943,7 +1094,7 @@ class SQLiteBackend(StorageBackend):
                 rows_per_spec[index] = []  # provably empty, no SQL at all
                 continue
             resolved.append((index, path, edges, key_filters))
-        batch = sqlc.plan_batch(resolved, limit)
+        batch = sqlc.plan_batch(resolved, limit, estimator=self.plan_estimator())
         solo: list[tuple[int, PathPlan]] = []
         for index, solo_plan, reason in batch.fallbacks:
             # Too selective to inline in the shared statement (_run_plan has
@@ -960,6 +1111,11 @@ class SQLiteBackend(StorageBackend):
             label = self._scatter_slot_label(plan)
             if label is not None:
                 scatter_slots[index] = label
+            if plan.estimated_rows is not None:
+                estimated_rows[index] = plan.estimated_rows
+            plan_label = self._plan_label(plan)
+            if plan_label is not None:
+                plan_labels[index] = plan_label
         return solo, members
 
     def _run_union(
@@ -1014,7 +1170,8 @@ class SQLiteBackend(StorageBackend):
         rows_per_spec: list[list | None] = [None] * len(specs)
         execution = StreamedExecution(stream=RowStream(iter(())))
         solo, members = self._plan_specs(
-            specs, rows_per_spec, execution.fallbacks, execution.scatter_slots, limit
+            specs, rows_per_spec, execution.fallbacks, execution.scatter_slots,
+            execution.estimated_rows, execution.plan_labels, limit,
         )
         execution.batched_indexes = [index for index, _plan in members]
         solo_plans = dict(solo)

@@ -58,6 +58,13 @@ class EngineConfig:
     #: first batch shrinks with observed selectivity.  Requires (and only
     #: applies on top of) ``batch_execution``; results are identical.
     streaming_execution: bool = True
+    #: Let the backend's cost model drive physical planning: scatter-position
+    #: choice by estimated post-filter cardinality, join reordering, batch
+    #: eviction order and first-batch sizing, with estimated-vs-actual
+    #: feedback calibrating the estimator.  Rows are byte-identical either
+    #: way (every rewrite is parity-pinned); off restores the PR 5 planner
+    #: bit-for-bit (CLI: ``--no-cost-planning``).
+    cost_based_planning: bool = True
 
 
 @dataclass
@@ -127,10 +134,23 @@ class EngineContext:
                 f"#{rank}:{rows}" for rank, rows in sorted(stats.attribution.items())
             )
             lines.append(f"  rows per executed interpretation: {contributions}")
+        if stats.estimated_rows:
+            estimates = ", ".join(
+                f"#{rank}:~{estimate:.1f} est"
+                + (
+                    f"/{stats.attribution[rank]} actual"
+                    if rank in stats.attribution
+                    else ""
+                )
+                for rank, estimate in sorted(stats.estimated_rows.items())
+            )
+            lines.append(f"  estimated vs actual rows: {estimates}")
         for rank, reason in sorted(stats.fallback_reasons.items()):
             lines.append(f"  batch fallback #{rank}: {reason}")
         for rank, label in sorted(stats.scatter_slots.items()):
             lines.append(f"  scatter slot #{rank}: {label}")
+        for rank, label in sorted(stats.plan_choices.items()):
+            lines.append(f"  plan #{rank}: {label}")
         if stats.shard_rows:
             per_shard = ", ".join(
                 f"shard{shard}:{rows}"

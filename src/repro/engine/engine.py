@@ -64,6 +64,11 @@ class QueryEngine:
             raise ValueError("pass either model or model_factory, not both")
         self.backend = backend
         self.config = config or EngineConfig()
+        if not self.config.cost_based_planning:
+            # The gate lives on the backend (where planning happens); flipping
+            # it restores the PR 5 planner — raw-row-count scatter choice,
+            # default join order, spec-order batch eviction — bit-for-bit.
+            backend.cost_planning = False
         self.index = backend.require_index()
         self.generator = generator or InterpretationGenerator(
             backend,

@@ -292,7 +292,11 @@ class TestStreamingExecutor:
 
     def test_adaptive_first_batch_shrinks_with_selectivity(self):
         engine = QueryEngine.for_dataset(
-            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+            "imdb",
+            backend="sqlite",
+            # Cost planning off: only the selectivity EWMA sizes batches, so
+            # the legacy bounds are pinned exactly.
+            config=EngineConfig(cache_results=False, cost_based_planning=False),
         )
         first = engine.run("london", k=5)
         # No observations yet: the legacy max(2, min(batch, k)) bound.
@@ -302,6 +306,28 @@ class TestStreamingExecutor:
         second = engine.run("london", k=1)
         # One row suffices and interpretations yield >= 1 row on average.
         assert second.executor_statistics.first_batch_size == 1
+
+    def test_cost_estimates_only_shrink_the_first_batch(self):
+        """Cardinality estimates may shrink the first batch below the legacy
+        bound — never grow it — and the returned rows stay identical."""
+        cost = QueryEngine.for_dataset(
+            "imdb", backend="sqlite", config=EngineConfig(cache_results=False)
+        )
+        legacy = QueryEngine.for_dataset(
+            "imdb",
+            backend="sqlite",
+            config=EngineConfig(cache_results=False, cost_based_planning=False),
+        )
+        for query in ("london", "hanks"):
+            with_cost = cost.run(query, k=5)
+            baseline = legacy.run(query, k=5)
+            assert (
+                with_cost.executor_statistics.first_batch_size
+                <= baseline.executor_statistics.first_batch_size
+            )
+            assert [r.row_uids() for r in with_cost.results] == [
+                r.row_uids() for r in baseline.results
+            ]
 
     def test_explain_surfaces_streaming_counters(self):
         engine = QueryEngine.for_dataset(
