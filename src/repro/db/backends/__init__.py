@@ -78,6 +78,7 @@ def create_backend(
     path: str | Path | None = None,
     tokenizer: Tokenizer = DEFAULT_TOKENIZER,
     shards: int | None = None,
+    read_pool_size: int | None = None,
 ) -> StorageBackend:
     """Instantiate a backend by registry name.
 
@@ -87,7 +88,11 @@ def create_backend(
     backends; combining it with ``"memory"`` or with an already-constructed
     instance (whose storage location is fixed) raises to catch silent data
     loss.  ``shards`` is only meaningful for backends with
-    ``supports_sharding`` (the partition count of ``"sqlite-sharded"``).
+    ``supports_sharding`` (the partition count of ``"sqlite-sharded"``), and
+    ``read_pool_size`` for backends with ``supports_read_pool`` (the
+    reader-connection cap of the SQLite backends; ``1`` disables the pool).
+    Unlike ``path``/``shards``, ``read_pool_size`` *is* accepted alongside an
+    existing instance — it is a tunable, not a storage-layout choice.
     """
     if isinstance(backend, StorageBackend):
         if path is not None:
@@ -98,6 +103,8 @@ def create_backend(
             raise ValueError(
                 "cannot combine an existing backend instance with a shard count"
             )
+        if read_pool_size is not None:
+            backend.configure_read_pool(read_pool_size)
         return backend
     try:
         cls = _REGISTRY[backend]
@@ -114,6 +121,12 @@ def create_backend(
         if not cls.supports_sharding:
             raise ValueError(f"backend {backend!r} does not support sharding")
         kwargs["shards"] = shards
+    if read_pool_size is not None:
+        if not cls.supports_read_pool:
+            raise ValueError(
+                f"backend {backend!r} does not support a read-connection pool"
+            )
+        kwargs["read_pool_size"] = read_pool_size
     return cls(schema, **kwargs)
 
 

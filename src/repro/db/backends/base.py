@@ -219,6 +219,9 @@ class StorageBackend(abc.ABC):
     #: True when the backend accepts a ``shards`` partition count (the
     #: ``create_backend``/CLI ``--shards`` gate).
     supports_sharding: ClassVar[bool] = False
+    #: True when the backend accepts a ``read_pool_size`` reader-connection
+    #: cap (the ``create_backend``/CLI ``--read-pool-size`` gate).
+    supports_read_pool: ClassVar[bool] = False
 
     def __init__(self, schema: Schema, tokenizer: Tokenizer = DEFAULT_TOKENIZER):
         self.schema = schema
@@ -239,6 +242,21 @@ class StorageBackend(abc.ABC):
         #: (persistent backends reload them instead; see ``db/stats``).
         self._statistics = None  # type: Any
         self._cardinality_estimator = None  # type: Any
+
+    # -- read-connection pooling (optional) ---------------------------------
+
+    def configure_read_pool(self, size: int | None) -> None:
+        """Resize the backend's read-connection pool, if it has one.
+
+        The engine applies :attr:`EngineConfig.read_pool_size` through this
+        hook after construction; backends without pooled readers (memory,
+        ``supports_read_pool`` False) ignore it.
+        """
+
+    def read_pool_stats(self) -> dict[str, int] | None:
+        """Read-pool counters (``size``/``leases``/``waits``/
+        ``peak_concurrency``), or ``None`` when no pool is active."""
+        return None
 
     # -- storage contract (backend-specific) -------------------------------
 

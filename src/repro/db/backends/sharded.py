@@ -19,9 +19,12 @@ statement projects its ORDER BY keys, the gather step merges the streams
 under exactly those keys and truncates at the plan's limit, which keeps the
 rows, order and truncation byte-identical to the unsharded backend (pinned
 by ``tests/test_sharded_backend.py``).  On file-backed stores the scatter
-fans out over per-shard reader connections on a small thread pool; a
-``":memory:"`` store (whose attached shards exist only inside the one
-connection) degrades to serial scatter transparently.
+fans out over readers leased from the inherited read-connection pool (each
+with every partition ATTACHed, sized ``shards × read_pool_size``) on a
+small thread pool, and the *streamed* gather prefetches per-shard cursor
+chunks on producer threads when the pool allows more than one gather's
+worth of readers; a ``":memory:"`` store (whose attached shards exist only
+inside the one connection) degrades to serial scatter transparently.
 
 Insertion order — what the in-memory engine's scans and the unsharded
 backend's ``rowid`` provide — is preserved by an explicit ``_rowseq``
@@ -34,9 +37,10 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-import sqlite3
+import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import replace
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -61,6 +65,19 @@ from repro.db.tokenizer import DEFAULT_TOKENIZER, Tokenizer
 
 #: The hidden per-partition column carrying the store-global insertion order.
 ROWSEQ_COLUMN = "_rowseq"
+
+
+class _EndOfStream:
+    """Queue sentinel ending one prefetched shard stream.
+
+    Carries the producer's error, if any, so the consumer re-raises it in
+    its own thread instead of losing it inside the scatter pool.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException | None = None):
+        self.error = error
 
 
 def merge_shard_streams(
@@ -165,10 +182,10 @@ class ShardedSQLiteRelation(SQLiteRelation):
         self._conn.execute(self._partition_inserts[shard], [*cells, self._take_rowseq()])
 
     def get(self, key: Any) -> Tuple | None:
-        cursor = self._conn.execute(
-            self._partition_gets[shard_of_key(key, self._shards)], (key,)
-        )
-        row = cursor.fetchone()
+        with self._backend._lease_read_connection() as conn:
+            row = conn.execute(
+                self._partition_gets[shard_of_key(key, self._shards)], (key,)
+            ).fetchone()
         return self._to_tuple(row) if row is not None else None
 
     def _index_ddl(self, attribute: str) -> list[str]:
@@ -211,18 +228,24 @@ class ShardedSQLiteBackend(SQLiteBackend):
         path: str | Path | None = None,
         persist_index: bool = True,
         shards: int | None = None,
+        read_pool_size: int | None = None,
     ):
         shards = self.DEFAULT_SHARDS if shards is None else shards
         if shards < 1:
             raise ValueError("shards must be positive")
         self.shards = shards
         self._shard_compilers_cache: list[PlanCompiler] | None = None
-        self._readers: list[_LockedConnection] | None = None
         self._scatter_pool_instance: ThreadPoolExecutor | None = None
         #: Cached per-table row counts feeding the scatter-position chooser
         #: (a COUNT(*) over all partitions per miss; invalidated on insert).
         self._table_counts: dict[str, int] = {}
-        super().__init__(schema, tokenizer, path=path, persist_index=persist_index)
+        super().__init__(
+            schema,
+            tokenizer,
+            path=path,
+            persist_index=persist_index,
+            read_pool_size=read_pool_size,
+        )
 
     def _make_dialect(self) -> ShardedSQLiteDialect:
         return ShardedSQLiteDialect(self.shards)
@@ -346,15 +369,64 @@ class ShardedSQLiteBackend(SQLiteBackend):
             ]
         return self._shard_compilers_cache
 
+    # -- read-connection pool overrides --------------------------------------
+
+    def _read_pool_enabled(self) -> bool:
+        """File-backed sharded stores always pool their readers.
+
+        ``read_pool_size=1`` still pools here: the capacity below collapses
+        to one connection per shard — exactly the legacy dedicated-reader
+        layout the scatter has fanned out over since PR 4 — so the control
+        arm keeps its parallel scatter.  ``":memory:"`` stores own their
+        attached shards inside the single main connection and cannot pool.
+        """
+        return (
+            self.is_persistent
+            and not self._closed
+            and (self.shards > 1 or self._read_pool_size > 1)
+        )
+
+    def _read_pool_capacity(self) -> int:
+        """Connections the pool may open: per-shard cursors × pool size.
+
+        A streamed gather leases one connection per shard at once
+        (``lease_many``), so the capacity scales with the shard count —
+        ``read_pool_size`` then says how many such gathers (or that many
+        independent point reads per shard) may run concurrently.
+        """
+        return self.shards * max(1, self._read_pool_size)
+
+    def _configure_reader(self, reader: _LockedConnection) -> None:
+        """Every pooled reader ATTACHes all partitions, so any reader can
+        run any scatter member's statement."""
+        super()._configure_reader(reader)
+        for shard, shard_path in enumerate(self.shard_paths()):
+            reader.execute(
+                sqlc.attach_sql(self.dialect.shard_schema(shard)), (shard_path,)
+            )
+
+    def configure_read_pool(self, size: int | None) -> None:
+        changed = size is not None and size != self._read_pool_size
+        super().configure_read_pool(size)
+        if changed:
+            # The scatter pool's worker count scales with the pool size;
+            # rebuild it lazily at the new width.
+            with self._lock:
+                if self._scatter_pool_instance is not None:
+                    self._scatter_pool_instance.shutdown(wait=True)
+                    self._scatter_pool_instance = None
+
+    # -- scatter execution ----------------------------------------------------
+
     def _scatter(self, statements: list[CompiledStatement]) -> list[list[tuple]]:
         """Run one statement per shard; returns raw rows in shard order.
 
-        File-backed stores fan out over dedicated reader connections on the
-        scatter pool (readers only ever SELECT, so they need no cross-
-        connection serialization — SQLite's file locking plus the commit
-        below give them a consistent view).  ``":memory:"`` stores own their
-        attached shards inside the single main connection, so they execute
-        serially there.
+        File-backed stores fan out on the scatter pool, each task leasing a
+        pooled reader for its one statement (readers only ever SELECT, so
+        they need no cross-connection serialization — SQLite's file locking
+        plus the commit below give them a consistent view).  ``":memory:"``
+        stores own their attached shards inside the single main connection,
+        so they execute serially there.
         """
         if not self.is_persistent or self.shards == 1:
             with self._lock:
@@ -363,48 +435,23 @@ class ShardedSQLiteBackend(SQLiteBackend):
                 ]
         # Everything inserted so far must be visible to the readers.
         self._conn.commit()
-        readers = self._shard_readers()
         pool = self._scatter_pool()
-        futures = [
-            pool.submit(self._fetch_all, readers[shard], statement)
-            for shard, statement in enumerate(statements)
-        ]
+        futures = [pool.submit(self._fetch_all, s) for s in statements]
         return [future.result() for future in futures]
 
-    @staticmethod
-    def _fetch_all(
-        reader: _LockedConnection, statement: CompiledStatement
-    ) -> list[tuple]:
-        with reader.lock:  # one in-flight statement per reader connection
-            return list(reader.execute(statement.sql, statement.params))
+    def _fetch_all(self, statement: CompiledStatement) -> list[tuple]:
+        """One scatter member's rows, on a reader leased for the statement.
 
-    def _shard_readers(self) -> list[_LockedConnection]:
-        """One read-only connection per shard, lazily opened and cached."""
-        with self._lock:
-            if self._readers is None:
-                readers: list[_LockedConnection] = []
+        Single leases never wait while holding a connection, so scatter
+        tasks cannot deadlock the pool however many queries fan out at once.
+        """
+        with self._lease_read_connection() as reader:
+            with reader.lock:  # one in-flight statement per connection
+                cursor = reader.execute(statement.sql, statement.params)
                 try:
-                    for _shard in range(self.shards):
-                        conn = sqlite3.connect(self.path, check_same_thread=False)
-                        reader = _LockedConnection(conn, threading.RLock())
-                        readers.append(reader)
-                        reader.execute("PRAGMA busy_timeout=10000")
-                        reader.create_function(
-                            "repro_repr", 1, repr, deterministic=True
-                        )
-                        for shard, shard_path in enumerate(self.shard_paths()):
-                            reader.execute(
-                                sqlc.attach_sql(self.dialect.shard_schema(shard)),
-                                (shard_path,),
-                            )
-                except sqlite3.Error as exc:
-                    for reader in readers:
-                        reader.close()
-                    raise DatabaseError(
-                        f"cannot open shard readers for {self.path!r}: {exc}"
-                    ) from None
-                self._readers = readers
-            return self._readers
+                    return cursor.fetchall()
+                finally:
+                    cursor.close()
 
     def _scatter_pool(self) -> ThreadPoolExecutor:
         """The backend-owned shard fan-out pool.
@@ -413,12 +460,15 @@ class ShardedSQLiteBackend(SQLiteBackend):
         pool: a query worker blocking on shard subtasks queued behind other
         queries on the same pool would deadlock under load.  The server's
         engine pool keys on the shard count instead, so every sharded engine
-        brings its own fan-out lanes.
+        brings its own fan-out lanes.  Sized to the read pool's capacity
+        (floor: one worker per shard) so concurrent gathers' scatter tasks
+        and streamed-prefetch producers don't starve each other.
         """
         with self._lock:
             if self._scatter_pool_instance is None:
+                workers = max(self.shards, min(32, self._read_pool_capacity()))
                 self._scatter_pool_instance = ThreadPoolExecutor(
-                    max_workers=self.shards, thread_name_prefix="repro-shard"
+                    max_workers=workers, thread_name_prefix="repro-shard"
                 )
             return self._scatter_pool_instance
 
@@ -563,18 +613,149 @@ class ShardedSQLiteBackend(SQLiteBackend):
 
     # -- streamed scatter-gather ---------------------------------------------
 
-    def _stream_connections(self) -> list[_LockedConnection]:
-        """One connection per shard cursor of a streamed scatter.
+    #: Row chunks each prefetch producer may buffer ahead of the merge
+    #: (beyond the one chunk it holds while a full queue blocks it): deep
+    #: enough to overlap shard fetches with merge/decode work, shallow
+    #: enough that an early-stopping consumer leaves little behind.
+    PREFETCH_DEPTH = 2
 
-        File-backed stores stream over the dedicated reader connections (one
-        in-flight cursor each, after a commit makes pending rows visible);
-        a ``":memory:"`` store owns its attached shards inside the main
-        connection, so its per-shard cursors interleave there.
+    @contextmanager
+    def _shard_stream_sources(
+        self, statements: list[CompiledStatement], execution: StreamedExecution
+    ) -> Iterator[list[Iterator[tuple]]]:
+        """Per-shard row streams of one streamed scatter, cleanup guaranteed.
+
+        Three shapes, chosen by store and pool configuration:
+
+        * pool disabled (``":memory:"`` owns its shards inside the main
+          connection): serial lazy cursors interleaving on the writer —
+          the pre-pool path, bit-for-bit;
+        * ``read_pool_size=1`` (the control arm): one reader per shard,
+          leased **atomically** for the merge's lifetime (incremental
+          leasing could deadlock two gathers each holding half the pool),
+          each serving one serial lazy cursor — the legacy dedicated-reader
+          layout;
+        * ``read_pool_size>1``: true parallel prefetch — one producer per
+          shard on the scatter pool, each leasing its own reader and
+          pushing row chunks into a bounded queue while the consumer
+          merges (:meth:`_prefetch_shard_streams`).
+
+        All three yield streams in shard order with identical row order, so
+        the gather's merge — and therefore the query result — is
+        byte-identical across them.
         """
-        if not self.is_persistent or self.shards == 1:
-            return [self._conn] * self.shards
+        pool = self._reader_pool()
+        if pool is None:
+            sources = [
+                self._iter_cursor(self._conn, statement, execution)
+                for statement in statements
+            ]
+            try:
+                yield sources
+            finally:
+                # heapq.merge never closes its sources; release every shard
+                # cursor explicitly, however early the consumer stopped.
+                for source in sources:
+                    source.close()
+            return
         self._conn.commit()  # everything inserted so far must be visible
-        return self._shard_readers()
+        if self._read_pool_size <= 1:
+            with pool.lease_many(len(statements)) as readers:
+                sources = [
+                    self._iter_cursor(readers[shard], statement, execution)
+                    for shard, statement in enumerate(statements)
+                ]
+                try:
+                    yield sources
+                finally:
+                    for source in sources:
+                        source.close()
+            return
+        with self._prefetch_shard_streams(statements, execution) as sources:
+            yield sources
+
+    @contextmanager
+    def _prefetch_shard_streams(
+        self, statements: list[CompiledStatement], execution: StreamedExecution
+    ) -> Iterator[list[Iterator[tuple]]]:
+        """Producer-threaded per-shard streams: parallel cursor prefetch.
+
+        One producer per shard runs on the scatter pool, leases a pooled
+        reader and ``fetchmany``-chunks its cursor into a bounded queue;
+        the consumer's merge pulls from the queue-backed streams, so shard
+        fetches overlap each other *and* the merge/decode work.  Closing:
+        the stop event flips, the queues are drained once to unblock any
+        producer mid-``put``, and every producer exits on its next flag
+        check — producers never block indefinitely and are joined before
+        the context exits, with the prefetch overrun (produced but never
+        merged) booked as short-circuited.  Producer errors travel through
+        the queue sentinel and re-raise in the consumer's thread.
+        """
+        pool = self._scatter_pool()
+        stop = threading.Event()
+        queues: list[queue.Queue] = [
+            queue.Queue(maxsize=self.PREFETCH_DEPTH) for _ in statements
+        ]
+        produced = [0] * len(statements)
+        delivered = [0] * len(statements)
+
+        def offer(shard: int, item: Any) -> bool:
+            while not stop.is_set():
+                try:
+                    queues[shard].put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def produce(shard: int, statement: CompiledStatement) -> None:
+            failure: BaseException | None = None
+            try:
+                with self._lease_read_connection() as reader:
+                    with reader.lock:
+                        cursor = reader.execute(statement.sql, statement.params)
+                        try:
+                            while not stop.is_set():
+                                rows = cursor.fetchmany(self.STREAM_CHUNK)
+                                if not rows:
+                                    break
+                                produced[shard] += len(rows)
+                                if not offer(shard, rows):
+                                    break
+                        finally:
+                            cursor.close()
+            except BaseException as exc:  # noqa: BLE001 — re-raised consumer-side
+                failure = exc
+            offer(shard, _EndOfStream(failure))
+
+        def shard_stream(shard: int) -> Iterator[tuple]:
+            while True:
+                item = queues[shard].get()
+                if isinstance(item, _EndOfStream):
+                    if item.error is not None:
+                        raise item.error
+                    return
+                for row in item:
+                    delivered[shard] += 1
+                    yield row
+
+        futures = [
+            pool.submit(produce, shard, statement)
+            for shard, statement in enumerate(statements)
+        ]
+        try:
+            yield [shard_stream(shard) for shard in range(len(statements))]
+        finally:
+            stop.set()
+            for shard_queue in queues:
+                try:
+                    while True:
+                        shard_queue.get_nowait()
+                except queue.Empty:
+                    pass
+            for future in futures:
+                future.result()  # producers exit on the stop flag; no raise
+            execution.rows_short_circuited += sum(produced) - sum(delivered)
 
     def _stream_plan(
         self, plan: PathPlan, execution: StreamedExecution
@@ -585,16 +766,11 @@ class ShardedSQLiteBackend(SQLiteBackend):
             compilers[shard].compile_path(plan, project_order_keys=True)
             for shard in range(self.shards)
         ]
-        connections = self._stream_connections()
         execution.statements += self.shards
         relations = [self.relation(name) for name in plan.path]
         width = len(plan.path)
-        sources = [
-            self._iter_cursor(connections[shard], statements[shard], execution)
-            for shard in range(self.shards)
-        ]
-        produced = 0
-        try:
+        with self._shard_stream_sources(statements, execution) as sources:
+            produced = 0
             for _key, shard, row in merge_shard_streams(sources, width):
                 network = self._decode_network(relations, row, offset=width)
                 if not plan.keeps(network):
@@ -606,11 +782,6 @@ class ShardedSQLiteBackend(SQLiteBackend):
                 produced += 1
                 if plan.limit is not None and produced >= plan.limit:
                     break
-        finally:
-            # heapq.merge never closes its sources; release every shard
-            # cursor explicitly, however early the consumer stopped.
-            for source in sources:
-                source.close()
 
     def _stream_union(
         self, members: list[tuple[int, PathPlan]], execution: StreamedExecution
@@ -621,7 +792,6 @@ class ShardedSQLiteBackend(SQLiteBackend):
             compilers[shard].compile_union(members) for shard in range(self.shards)
         ]
         ord_width, _data_width = self.compiler.union_widths(members)
-        connections = self._stream_connections()
         execution.statements += self.shards
         member_relations = {
             index: [self.relation(name) for name in plan.path]
@@ -629,11 +799,7 @@ class ShardedSQLiteBackend(SQLiteBackend):
         }
         limits = {index: plan.limit for index, plan in members}
         counts = {index: 0 for index, _plan in members}
-        sources = [
-            self._iter_cursor(connections[shard], statements[shard], execution)
-            for shard in range(self.shards)
-        ]
-        try:
+        with self._shard_stream_sources(statements, execution) as sources:
             for _key, shard, row in merge_shard_streams(sources, 1 + ord_width):
                 index = row[0]
                 if limits[index] is not None and counts[index] >= limits[index]:
@@ -646,9 +812,6 @@ class ShardedSQLiteBackend(SQLiteBackend):
                     execution.shard_rows.get(shard, 0) + 1
                 )
                 yield index, network
-        finally:
-            for source in sources:
-                source.close()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -656,8 +819,4 @@ class ShardedSQLiteBackend(SQLiteBackend):
         if self._scatter_pool_instance is not None:
             self._scatter_pool_instance.shutdown(wait=True)
             self._scatter_pool_instance = None
-        if self._readers is not None:
-            for reader in self._readers:
-                reader.close()
-            self._readers = None
-        super()._close_connections()
+        super()._close_connections()  # closes the read pool, then the writer

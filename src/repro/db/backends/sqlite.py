@@ -20,6 +20,22 @@ connection management, row decoding and the execution seams
 the sharded backend overrides with scatter-gather — it builds no SQL text of
 its own.
 
+File-backed stores serve reads through a **read-connection pool**
+(:class:`_ReadConnectionPool`): the single locked writer connection keeps
+DDL, inserts and side-table flushes serialized, while every read-only
+execution path (:meth:`SQLiteBackend._run_plan` / ``_run_union``, the
+streamed variants, relation point lookups) leases a per-thread reader
+connection, so concurrent queries exploit WAL's readers-don't-block
+property *inside* one process instead of only across forked server
+workers.  ``read_pool_size`` caps the pool (default
+:data:`SQLiteBackend.DEFAULT_READ_POOL_SIZE`); ``1`` disables it and
+restores the single-connection path bit-for-bit.  The writer→readers
+visibility barrier is the write epoch: every writer commit bumps it, and
+because pooled readers run in WAL mode with every read transaction closed
+at cursor end, a reader's next statement always observes at least the
+epoch's committed state — streamed and batched execution stay
+byte-identical to sequential single-connection runs.
+
 Standard library only (``sqlite3``); no new dependencies.
 """
 
@@ -31,8 +47,9 @@ import os
 import re
 import sqlite3
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.db.backends import sql as sqlc
 from repro.db.backends.base import (
@@ -88,17 +105,36 @@ def _like_matches(like_pattern: str, value: str) -> bool:
     return re.fullmatch(regex, value, flags=re.DOTALL) is not None
 
 
-def _acquire_lock_for(path: str) -> threading.RLock:
-    """The process-wide lock of one database file (private for ``:memory:``)."""
+def _acquire_lock_for(path: str, instance: Any | None = None) -> threading.RLock:
+    """The process-wide lock of one database file (per *instance* for
+    ``":memory:"``).
+
+    Every ``:memory:`` connection is its own private database, so its lock
+    must not be shared across backends through the path registry — but it
+    *must* be shared across call sites of one backend.  Historically this
+    function handed out a fresh ``RLock`` on every ``:memory:`` call, which
+    was invisible while ``__init__`` was the single acquisition but would
+    silently stop serializing the moment a second call site appeared (the
+    read pool's lazy init, a subclass hook).  The lock is therefore cached
+    on the owning ``instance``: repeated acquisition for one backend
+    returns the same object.  Pinned by ``tests/test_read_pool.py``.
+    """
+    if instance is not None:
+        cached = getattr(instance, "_acquired_lock", None)
+        if cached is not None:
+            return cached
     if path == ":memory:":
-        return threading.RLock()  # every :memory: connection is its own db
-    resolved = os.path.abspath(path)
-    with _FILE_LOCKS_GUARD:
-        lock, refs = _FILE_LOCKS.get(resolved, (None, 0))
-        if lock is None:
-            lock = threading.RLock()
-        _FILE_LOCKS[resolved] = (lock, refs + 1)
-        return lock
+        lock = threading.RLock()
+    else:
+        resolved = os.path.abspath(path)
+        with _FILE_LOCKS_GUARD:
+            lock, refs = _FILE_LOCKS.get(resolved, (None, 0))
+            if lock is None:
+                lock = threading.RLock()
+            _FILE_LOCKS[resolved] = (lock, refs + 1)
+    if instance is not None:
+        instance._acquired_lock = lock
+    return lock
 
 
 def _release_lock_for(path: str) -> None:
@@ -127,9 +163,20 @@ class _LockedConnection:
     rewrites) hold the same re-entrant lock around the whole sequence.
     """
 
-    def __init__(self, conn: sqlite3.Connection, lock: threading.RLock):
+    def __init__(
+        self,
+        conn: sqlite3.Connection,
+        lock: threading.RLock,
+        on_commit: Callable[[], None] | None = None,
+    ):
         self._conn = conn
         self.lock = lock
+        self._on_commit = on_commit
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while this connection holds an open write transaction."""
+        return self._conn.in_transaction
 
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> sqlite3.Cursor:
         with self.lock:
@@ -142,6 +189,10 @@ class _LockedConnection:
     def commit(self) -> None:
         with self.lock:
             self._conn.commit()
+        if self._on_commit is not None:
+            # Outside the lock: the hook (the backend's write-epoch bump)
+            # must never extend the serialized section.
+            self._on_commit()
 
     def close(self) -> None:
         with self.lock:
@@ -150,6 +201,121 @@ class _LockedConnection:
     def create_function(self, *args: Any, **kwargs: Any) -> None:
         with self.lock:
             self._conn.create_function(*args, **kwargs)
+
+
+class _ReadConnectionPool:
+    """Leased read-only connections over one WAL database file.
+
+    ``lease()`` hands out an idle reader (opening one lazily while fewer
+    than ``size`` exist, waiting otherwise); ``lease_many(n)`` acquires
+    *n* readers atomically — the sharded streamed gather needs one cursor
+    per shard at once, and leasing them incrementally could deadlock two
+    gathers each holding half of the pool.  Single leases never wait while
+    holding a connection, so the pool is deadlock-free by construction.
+
+    Each reader is a :class:`_LockedConnection` with a *private* lock (one
+    in-flight statement per connection — Python's ``sqlite3`` requirement),
+    not the backend's per-file lock: that lock keeps serializing the writer
+    connection only.  Counters (``leases``, ``waits``,
+    ``peak_concurrency``) feed ``--explain``, ``GET /stats`` and the bench
+    reports.
+    """
+
+    def __init__(self, size: int, open_connection: Callable[[], "_LockedConnection"]):
+        if size < 1:
+            raise ValueError("read pool size must be positive")
+        self.size = size
+        self._open = open_connection
+        self._idle: list[_LockedConnection] = []
+        self._opened = 0
+        self._active = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        #: Total connections handed out over the pool's lifetime.
+        self.leases = 0
+        #: Lease attempts that had to wait for a connection to free up.
+        self.waits = 0
+        #: Highest number of simultaneously leased connections observed.
+        self.peak_concurrency = 0
+
+    def _take(self, count: int) -> list[_LockedConnection]:
+        if count > self.size:
+            raise ValueError(
+                f"cannot lease {count} connections from a pool of {self.size}"
+            )
+        with self._cond:
+            if len(self._idle) + (self.size - self._opened) < count:
+                self.waits += 1
+                while len(self._idle) + (self.size - self._opened) < count:
+                    if self._closed:
+                        raise DatabaseError("read pool is closed")
+                    self._cond.wait()
+            if self._closed:
+                raise DatabaseError("read pool is closed")
+            taken: list[_LockedConnection] = []
+            try:
+                while len(taken) < count:
+                    if self._idle:
+                        taken.append(self._idle.pop())
+                    else:
+                        taken.append(self._open())
+                        self._opened += 1
+            except BaseException:
+                self._idle.extend(taken)
+                self._cond.notify_all()
+                raise
+            self.leases += count
+            self._active += count
+            if self._active > self.peak_concurrency:
+                self.peak_concurrency = self._active
+            return taken
+
+    def _give_back(self, conns: list[_LockedConnection]) -> None:
+        with self._cond:
+            self._active -= len(conns)
+            if self._closed:
+                for conn in conns:
+                    conn.close()
+            else:
+                self._idle.extend(conns)
+            self._cond.notify_all()
+
+    @contextmanager
+    def lease(self) -> Iterator[_LockedConnection]:
+        """One reader for the duration of the block."""
+        conn = self._take(1)[0]
+        try:
+            yield conn
+        finally:
+            self._give_back([conn])
+
+    @contextmanager
+    def lease_many(self, count: int) -> Iterator[list[_LockedConnection]]:
+        """``count`` readers, acquired atomically, for the block's duration."""
+        conns = self._take(count)
+        try:
+            yield conns
+        finally:
+            self._give_back(conns)
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "size": self.size,
+                "leases": self.leases,
+                "waits": self.waits,
+                "peak_concurrency": self.peak_concurrency,
+            }
+
+    def close(self) -> None:
+        """Close idle readers; leased ones close on return (see
+        :meth:`_give_back`)."""
+        with self._cond:
+            self._closed = True
+            for conn in self._idle:
+                conn.close()
+            self._idle.clear()
+            self._cond.notify_all()
 
 
 #: Relation-level normalization for direct ``RelationView.insert`` calls
@@ -257,33 +423,37 @@ class SQLiteRelation:
         return Tuple(self.table.name, row[self._pk_index], values)
 
     def get(self, key: Any) -> Tuple | None:
-        cursor = self._conn.execute(self._get_sql, (key,))
-        row = cursor.fetchone()
+        with self._backend._lease_read_connection() as conn:
+            row = conn.execute(self._get_sql, (key,)).fetchone()
         return self._to_tuple(row) if row is not None else None
 
     def lookup(self, attribute: str, value: Any) -> list[Tuple]:
         """All tuples with ``attribute == value`` (SQL point query)."""
         if not self.table.has_attribute(attribute):
             return []
-        cursor = self._conn.execute(
-            sqlc.select_where_sql(self._dialect, self.table, attribute), (value,)
-        )
-        matches = [self._to_tuple(row) for row in cursor.fetchall()]
+        with self._backend._lease_read_connection() as conn:
+            cursor = conn.execute(
+                sqlc.select_where_sql(self._dialect, self.table, attribute),
+                (value,),
+            )
+            matches = [self._to_tuple(row) for row in cursor.fetchall()]
         matches.sort(key=lambda t: repr(t.key))
         return matches
 
     def scan(self) -> Iterator[Tuple]:
-        cursor = self._conn.execute(self._scan_sql)
-        for row in cursor.fetchall():
+        with self._backend._lease_read_connection() as conn:
+            rows = conn.execute(self._scan_sql).fetchall()
+        for row in rows:
             yield self._to_tuple(row)
 
     def keys(self) -> Iterable[Any]:
-        cursor = self._conn.execute(self._keys_sql)
-        return [row[0] for row in cursor.fetchall()]
+        with self._backend._lease_read_connection() as conn:
+            cursor = conn.execute(self._keys_sql)
+            return [row[0] for row in cursor.fetchall()]
 
     def __len__(self) -> int:
-        cursor = self._conn.execute(self._count_sql)
-        return cursor.fetchone()[0]
+        with self._backend._lease_read_connection() as conn:
+            return conn.execute(self._count_sql).fetchone()[0]
 
     def __iter__(self) -> Iterator[Tuple]:
         return self.scan()
@@ -302,6 +472,12 @@ class SQLiteBackend(StorageBackend):
 
     name = "sqlite"
     persistent = True
+    supports_read_pool = True
+
+    #: Reader connections a file-backed store may hold when none is asked
+    #: for explicitly.  Sized for the default server worker count; ``1``
+    #: disables the pool entirely (the single-connection control arm).
+    DEFAULT_READ_POOL_SIZE = 4
 
     def __init__(
         self,
@@ -309,9 +485,19 @@ class SQLiteBackend(StorageBackend):
         tokenizer: Tokenizer = DEFAULT_TOKENIZER,
         path: str | Path | None = None,
         persist_index: bool = True,
+        read_pool_size: int | None = None,
     ):
         super().__init__(schema, tokenizer)
         self.path = str(path) if path is not None else ":memory:"
+        if read_pool_size is not None and read_pool_size < 1:
+            raise ValueError("read_pool_size must be positive")
+        self._read_pool_size = (
+            self.DEFAULT_READ_POOL_SIZE if read_pool_size is None else read_pool_size
+        )
+        self._read_pool: _ReadConnectionPool | None = None
+        #: Bumped on every writer commit — the writer→readers visibility
+        #: barrier's ordering hook (see the module docstring).
+        self._write_epoch = 0
         #: Persist inverted-index postings into side tables so cold opens
         #: load instead of re-scanning (False forces the rebuild path — the
         #: engine benchmark uses it to measure the difference).
@@ -327,13 +513,15 @@ class SQLiteBackend(StorageBackend):
         self._pending_results: dict[tuple[str, str], str] = {}
         self._relations: dict[str, SQLiteRelation] = {}
         self._closed = False
-        self._lock = _acquire_lock_for(self.path)
+        self._lock = _acquire_lock_for(self.path, self)
         try:
             # ``check_same_thread=False`` + the per-file lock: the server
             # shares one backend across its worker threads, with every
             # statement serialized by ``_LockedConnection``.
             self._conn = _LockedConnection(
-                sqlite3.connect(self.path, check_same_thread=False), self._lock
+                sqlite3.connect(self.path, check_same_thread=False),
+                self._lock,
+                on_commit=self._bump_write_epoch,
             )
         except sqlite3.Error as exc:
             _release_lock_for(self.path)
@@ -402,6 +590,132 @@ class SQLiteBackend(StorageBackend):
     def is_persistent(self) -> bool:
         """True when rows are stored in a file that outlives the process."""
         return self.path != ":memory:"
+
+    # -- read-connection pool ------------------------------------------------
+
+    def _bump_write_epoch(self) -> None:
+        """Writer-commit hook: advance the readers' visibility barrier.
+
+        The epoch orders writer commits against subsequent reads: a read
+        leased after the bump runs on a WAL reader whose previous read
+        transaction ended at cursor close, so its next statement observes
+        at least this commit.  The counter itself is the testable /
+        observable handle for that ordering (``tests/test_read_pool.py``
+        pins inserted-rows-become-visible against it).
+        """
+        self._write_epoch += 1
+
+    @property
+    def write_epoch(self) -> int:
+        """Number of writer commits since this backend opened."""
+        return self._write_epoch
+
+    def _read_pool_enabled(self) -> bool:
+        """Whether reads should lease pooled connections right now."""
+        return self._read_pool_size > 1 and self.is_persistent and not self._closed
+
+    def _read_pool_capacity(self) -> int:
+        """Connections the pool may open (the sharded override scales it)."""
+        return self._read_pool_size
+
+    def _reader_pool(self) -> _ReadConnectionPool | None:
+        """The lazily-built pool, or ``None`` while reads stay on the writer."""
+        if not self._read_pool_enabled():
+            return None
+        pool = self._read_pool
+        if pool is None:
+            with self._lock:
+                pool = self._read_pool
+                if pool is None:
+                    pool = _ReadConnectionPool(
+                        self._read_pool_capacity(), self._open_reader
+                    )
+                    self._read_pool = pool
+        return pool
+
+    def _open_reader(self) -> _LockedConnection:
+        """One new pooled reader, configured like the writer's read side."""
+        try:
+            reader = _LockedConnection(
+                sqlite3.connect(self.path, check_same_thread=False),
+                threading.RLock(),
+            )
+        except sqlite3.Error as exc:
+            raise DatabaseError(
+                f"cannot open read connection for {self.path!r}: {exc}"
+            ) from None
+        try:
+            self._configure_reader(reader)
+        except sqlite3.Error as exc:
+            reader.close()
+            raise DatabaseError(
+                f"cannot configure read connection for {self.path!r}: {exc}"
+            ) from None
+        return reader
+
+    def _configure_reader(self, reader: _LockedConnection) -> None:
+        """Session setup every reader needs (the sharded override ATTACHes).
+
+        ``repro_repr`` is per connection, not per file — without it a pooled
+        reader could not run the compiler's ORDER BY terms at all.
+        """
+        reader.execute("PRAGMA busy_timeout=10000")
+        reader.create_function("repro_repr", 1, repr, deterministic=True)
+
+    @contextmanager
+    def _lease_read_connection(self) -> Iterator[_LockedConnection]:
+        """The connection one read-only statement cycle should run on.
+
+        Yields a pooled reader when the pool is enabled and the writer holds
+        no open transaction; otherwise the writer connection itself — during
+        bulk loading (everything before ``build_indexes()`` commits) reads
+        *must* see the uncommitted rows (auto-key duplicate probes, the
+        index build's scans), and with the pool disabled this degrades to
+        exactly the legacy single-connection path.  The dirty check races
+        benignly with writers: either serialization order is legal, and a
+        read routed to the writer just serializes on the per-file lock as
+        every read did before the pool.
+        """
+        pool = self._reader_pool()
+        if pool is None or self._conn.in_transaction:
+            yield self._conn
+            return
+        with pool.lease() as reader:
+            yield reader
+
+    def configure_read_pool(self, size: int | None) -> None:
+        """Resize the read pool (``1`` disables it; ``None`` keeps it).
+
+        The engine applies :attr:`EngineConfig.read_pool_size` through this
+        after construction, mirroring ``cost_planning``.  An existing pool
+        is discarded so the next read rebuilds one at the new size; leased
+        connections finish their statement and close on return.
+        """
+        if size is None:
+            return
+        if size < 1:
+            raise ValueError("read_pool_size must be positive")
+        with self._lock:
+            if size == self._read_pool_size:
+                return
+            self._read_pool_size = size
+            if self._read_pool is not None:
+                self._read_pool.close()
+                self._read_pool = None
+
+    def read_pool_stats(self) -> dict[str, int] | None:
+        """Pool counters for ``--explain`` / ``GET /stats`` (None: disabled)."""
+        if not self._read_pool_enabled():
+            return None
+        pool = self._read_pool
+        if pool is None:  # enabled, but nothing has leased yet
+            return {
+                "size": self._read_pool_capacity(),
+                "leases": 0,
+                "waits": 0,
+                "peak_concurrency": 0,
+            }
+        return pool.stats()
 
     # -- storage management ------------------------------------------------
 
@@ -505,7 +819,10 @@ class SQLiteBackend(StorageBackend):
         _release_lock_for(self.path)
 
     def _close_connections(self) -> None:
-        """Close every connection this backend opened (sharded adds readers)."""
+        """Close every connection this backend opened (pool, then writer)."""
+        if self._read_pool is not None:
+            self._read_pool.close()
+            self._read_pool = None
         self._conn.close()
 
     # -- data loading -----------------------------------------------------
@@ -976,15 +1293,22 @@ class SQLiteBackend(StorageBackend):
         statement = self.compiler.compile_path(plan)
         relations = [self.relation(name) for name in plan.path]
         results: list[tuple[Tuple, ...]] = []
-        with self._lock:  # statement + fetch: one serialized read cycle
-            cursor = self._conn.execute(statement.sql, statement.params)
-            for row in cursor:
-                network = self._decode_network(relations, row)
-                if not plan.keeps(network):
-                    continue
-                results.append(network)
-                if plan.limit is not None and len(results) >= plan.limit:
-                    break
+        with self._lease_read_connection() as conn:
+            with conn.lock:  # statement + fetch: one serialized read cycle
+                cursor = conn.execute(statement.sql, statement.params)
+                try:
+                    for row in cursor:
+                        network = self._decode_network(relations, row)
+                        if not plan.keeps(network):
+                            continue
+                        results.append(network)
+                        if plan.limit is not None and len(results) >= plan.limit:
+                            break
+                finally:
+                    # Reset before the lease releases: a cursor left open by
+                    # the early break would pin this reader's WAL snapshot
+                    # into the next lease.
+                    cursor.close()
         return results
 
     def _decode_network(
@@ -1133,13 +1457,18 @@ class SQLiteBackend(StorageBackend):
         grouped: dict[int, list[tuple[Tuple, ...]]] = {
             index: [] for index, _plan in members
         }
-        with self._lock:  # statement + fetch: one serialized read cycle
-            for row in self._conn.execute(statement.sql, statement.params):
-                grouped[row[0]].append(
-                    self._decode_network(
-                        member_relations[row[0]], row, offset=1 + ord_width
-                    )
-                )
+        with self._lease_read_connection() as conn:
+            with conn.lock:  # statement + fetch: one serialized read cycle
+                cursor = conn.execute(statement.sql, statement.params)
+                try:
+                    for row in cursor:
+                        grouped[row[0]].append(
+                            self._decode_network(
+                                member_relations[row[0]], row, offset=1 + ord_width
+                            )
+                        )
+                finally:
+                    cursor.close()
         return grouped
 
     # -- streamed join-path execution ---------------------------------------
@@ -1223,25 +1552,23 @@ class SQLiteBackend(StorageBackend):
     ) -> Iterator[tuple]:
         """Chunked iteration over one statement's cursor, lock held open→close.
 
-        The connection's (re-entrant, per-file) lock is held for the whole
-        life of the cursor: an open read cursor holds SQLite's shared lock
-        on the file, so releasing between chunks would let another
-        connection's commit interleave with it and stall into ``database is
-        locked`` (the two-engines-one-file flush race — the first streaming
-        cut did exactly that and deadlocked the regression test).  The cost
-        is a *longer* hold than the materializing fetch cycle: the lock
-        spans the consumer's processing of the streamed rows, not just the
-        fetches, so one *connection* serves one cold streamed query at a
-        time.  Serving absorbs this — cache-served queries never open a
-        stream — and file-backed stores now run in WAL mode
-        (:meth:`_configure_journal_mode`), so other processes' readers no
-        longer block behind this cursor; the in-process lock stays because
-        Python's ``sqlite3`` still requires serialized use of a shared
-        connection.  Consumers must drain or
-        close the stream in the thread that opened it (the executor does;
-        ``RowStream`` is a context manager for everyone else).  Chunked
-        fetching keeps the prefetch overrun — booked as short-circuited on
-        close — small.
+        The *connection's* lock is held for the whole life of the cursor:
+        Python's ``sqlite3`` requires serialized use of a shared connection,
+        and under a rollback journal an open read cursor also holds the
+        file's shared lock, where releasing between chunks would let another
+        connection's commit interleave and stall into ``database is locked``
+        (the two-engines-one-file flush race the first streaming cut hit).
+        Which lock that is decides how much actually serializes: on the
+        writer connection it is the per-file lock, so one cold streamed
+        query per *file* at a time — the pre-pool world, still the shape on
+        ``:memory:`` stores and with ``read_pool_size=1``.  A pooled reader
+        carries a *private* lock instead, so the hold only pins that reader
+        for the stream's lifetime (the lease already guarantees exclusive
+        use) and N readers stream N cold queries concurrently under WAL.
+        Consumers must drain or close the stream in the thread that opened
+        it (the executor does; ``RowStream`` is a context manager for
+        everyone else).  Chunked fetching keeps the prefetch overrun —
+        booked as short-circuited on close — small.
         """
         with conn.lock:
             cursor = conn.execute(statement.sql, statement.params)
@@ -1262,23 +1589,29 @@ class SQLiteBackend(StorageBackend):
     def _stream_plan(
         self, plan: PathPlan, execution: StreamedExecution
     ) -> "Iterator[tuple[Tuple, ...]]":
-        """One plan as a lazy cursor of decoded, post-filtered networks."""
+        """One plan as a lazy cursor of decoded, post-filtered networks.
+
+        The read lease spans the generator's whole life — acquired at the
+        first pull, released (returning the reader to the pool) when the
+        consumer drains or closes the stream.
+        """
         statement = self.compiler.compile_path(plan)
         relations = [self.relation(name) for name in plan.path]
         execution.statements += self._statements_per_plan()
         produced = 0
-        rows = self._iter_cursor(self._conn, statement, execution)
-        try:
-            for row in rows:
-                network = self._decode_network(relations, row)
-                if not plan.keeps(network):
-                    continue
-                yield network
-                produced += 1
-                if plan.limit is not None and produced >= plan.limit:
-                    break
-        finally:
-            rows.close()
+        with self._lease_read_connection() as conn:
+            rows = self._iter_cursor(conn, statement, execution)
+            try:
+                for row in rows:
+                    network = self._decode_network(relations, row)
+                    if not plan.keeps(network):
+                        continue
+                    yield network
+                    produced += 1
+                    if plan.limit is not None and produced >= plan.limit:
+                        break
+            finally:
+                rows.close()
 
     def _stream_union(
         self, members: list[tuple[int, PathPlan]], execution: StreamedExecution
@@ -1296,11 +1629,12 @@ class SQLiteBackend(StorageBackend):
             for index, plan in members
         }
         execution.statements += self._statements_per_plan()
-        rows = self._iter_cursor(self._conn, statement, execution)
-        try:
-            for row in rows:
-                yield row[0], self._decode_network(
-                    member_relations[row[0]], row, offset=1 + ord_width
-                )
-        finally:
-            rows.close()
+        with self._lease_read_connection() as conn:
+            rows = self._iter_cursor(conn, statement, execution)
+            try:
+                for row in rows:
+                    yield row[0], self._decode_network(
+                        member_relations[row[0]], row, offset=1 + ord_width
+                    )
+            finally:
+                rows.close()

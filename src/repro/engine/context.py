@@ -65,6 +65,13 @@ class EngineConfig:
     #: way (every rewrite is parity-pinned); off restores the PR 5 planner
     #: bit-for-bit (CLI: ``--no-cost-planning``).
     cost_based_planning: bool = True
+    #: Reader connections the storage backend may lease for concurrent
+    #: read-only execution (CLI: ``--read-pool-size``).  ``None`` keeps the
+    #: backend's default; ``1`` disables the pool and restores the single
+    #: shared-connection path bit-for-bit.  Ignored by backends without
+    #: ``supports_read_pool`` (memory).  Rows are byte-identical either way;
+    #: only in-process read concurrency changes.
+    read_pool_size: int | None = None
 
 
 @dataclass
@@ -157,6 +164,14 @@ class EngineContext:
                 for shard, rows in sorted(stats.shard_rows.items())
             )
             lines.append(f"  rows per shard: {per_shard}")
+        if stats.read_pool:
+            pool = stats.read_pool
+            lines.append(
+                f"  read pool: {pool.get('leases', 0)} lease(s), "
+                f"{pool.get('waits', 0)} wait(s), "
+                f"peak {pool.get('peak_concurrency', 0)} concurrent "
+                f"(size {pool.get('size', 0)})"
+            )
         lines.append(f"  rows materialized: {stats.rows_materialized}")
         cache_line = (
             f"  result cache: {stats.cache_hits} hit(s), {stats.cache_misses} miss(es)"

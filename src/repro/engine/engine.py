@@ -69,6 +69,9 @@ class QueryEngine:
             # it restores the PR 5 planner — raw-row-count scatter choice,
             # default join order, spec-order batch eviction — bit-for-bit.
             backend.cost_planning = False
+        # None keeps the backend's default pool size; backends without
+        # supports_read_pool (memory) ignore the call entirely.
+        backend.configure_read_pool(self.config.read_pool_size)
         self.index = backend.require_index()
         self.generator = generator or InterpretationGenerator(
             backend,

@@ -96,8 +96,21 @@ class ExecuteStage:
                 engine.observed_selectivity if streaming else None
             ),
         )
+        pool_before = context.backend.read_pool_stats()
         context.results = executor.execute(context.ranked, k=context.k)
         context.executor_statistics = executor.statistics
+        pool_after = context.backend.read_pool_stats()
+        if pool_after is not None:
+            # leases/waits delta-sampled around this execution (concurrent
+            # queries on one backend may blur attribution — never totals);
+            # peak/size are backend-lifetime values.
+            before = pool_before or {}
+            context.executor_statistics.read_pool = {
+                "size": pool_after["size"],
+                "leases": pool_after["leases"] - before.get("leases", 0),
+                "waits": pool_after["waits"] - before.get("waits", 0),
+                "peak_concurrency": pool_after["peak_concurrency"],
+            }
         warming = getattr(engine, "warming", None)
         if warming is not None:
             context.executor_statistics.warmed_queries = warming.queries_replayed

@@ -474,6 +474,9 @@ class HTTPQueryServer:
                     stats.engine_interpretations_executed
                 ),
                 "rows_streamed": stats.engine_rows_streamed,
+                "read_pool_leases": stats.engine_read_pool_leases,
+                "read_pool_waits": stats.engine_read_pool_waits,
+                "read_pool_peak_concurrency": stats.engine_read_pool_peak,
             },
         }
 

@@ -63,6 +63,11 @@ class TCPServerConfig:
     backend: str = "memory"
     db_path: str | None = None
     shards: int | None = None
+    #: Reader connections each backend may lease for concurrent read-only
+    #: execution (None = backend default; 1 disables the pool).  Merged into
+    #: the pool's :class:`~repro.engine.context.EngineConfig` so every engine
+    #: the listener builds shares the knob (CLI: ``--read-pool-size``).
+    read_pool_size: int | None = None
     k: int = 5
     #: Worker threads in the underlying engine pool (per process).
     engine_workers: int = 8
@@ -98,6 +103,11 @@ class ListenerStats:
     engine_cache_misses: int = 0
     engine_interpretations_executed: int = 0
     engine_rows_streamed: int = 0
+    #: Read-connection-pool activity summed/maxed over served requests
+    #: (zero on backends without a pool — memory, or ``read_pool_size=1``).
+    engine_read_pool_leases: int = 0
+    engine_read_pool_waits: int = 0
+    engine_read_pool_peak: int = 0
 
 
 class TCPQueryServer:
@@ -313,6 +323,13 @@ class TCPQueryServer:
             statistics.interpretations_executed
         )
         self.stats.engine_rows_streamed += statistics.rows_streamed
+        pool = statistics.read_pool
+        if pool:
+            self.stats.engine_read_pool_leases += pool.get("leases", 0)
+            self.stats.engine_read_pool_waits += pool.get("waits", 0)
+            self.stats.engine_read_pool_peak = max(
+                self.stats.engine_read_pool_peak, pool.get("peak_concurrency", 0)
+            )
         return protocol.ok_payload(dataset, request.query, k, response)
 
     # -- connection handling (the TCP line transport) ------------------------
@@ -397,6 +414,14 @@ async def _serve_async(
     announce: bool = True,
 ) -> int:
     """One worker's event loop: pool + listener(s) + signal-driven drain."""
+    if config.read_pool_size is not None:
+        from dataclasses import replace
+
+        from repro.engine.context import EngineConfig
+
+        engine_config = replace(
+            engine_config or EngineConfig(), read_pool_size=config.read_pool_size
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):

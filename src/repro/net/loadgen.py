@@ -413,6 +413,8 @@ def run_bench_load(
     server_pid: int | None = None,
     output_dir: str | Path | None = ".",
     monitor_interval: float = 0.1,
+    read_pool_size: int | None = None,
+    workers: int | None = None,
 ) -> tuple[dict, Path | None]:
     """One full bench run: load + resource sampling → validated-shape record.
 
@@ -421,7 +423,10 @@ def run_bench_load(
     requests, so ``port`` must then be the HTTP front end's.  Returns
     ``(record, path)``; ``path`` is None when ``output_dir`` is None
     (persistence skipped — the in-process tests build records without
-    touching the working tree).
+    touching the working tree).  ``read_pool_size`` and ``workers`` are
+    descriptive only — they record how the *server* was configured so
+    ``--diff`` compares like against like; they change nothing about the
+    load itself.
     """
     if mode not in ("closed", "open"):
         raise ValueError("mode must be 'closed' or 'open'")
@@ -483,6 +488,8 @@ def run_bench_load(
             "host": host,
             "port": port,
             "label": label,
+            "read_pool_size": read_pool_size,
+            "workers": workers,
         },
         latencies_ms=run.latencies_ms,
         outcomes=run.outcomes,
@@ -494,6 +501,47 @@ def run_bench_load(
     if output_dir is not None:
         path = write_bench_report(record, output_dir)
     return record, path
+
+
+def run_workers_sweep(
+    host: str,
+    port: int,
+    *,
+    sweep: list[int],
+    requests: int = 200,
+    label: str | None = None,
+    **kwargs,
+) -> list[tuple[dict, Path | None]]:
+    """Closed-loop read-scaling sweep: one bench record per concurrency point.
+
+    Runs :func:`run_bench_load` once per entry of ``sweep`` (client-thread
+    counts, e.g. ``[1, 2, 4, 8]``) against one live store, labelling each
+    record ``<label>-w<n>`` so ``bench-load --diff`` can pin every point of
+    the scaling curve independently — a regression that only shows up at
+    8 threads (a reader pool accidentally sized to 1) cannot hide behind a
+    healthy single-thread number.  ``requests`` is per point, so every
+    record aggregates the same sample count.
+    """
+    base = label or "closed-{}-{}".format(
+        kwargs.get("backend", "memory"), kwargs.get("dataset", "imdb")
+    )
+    results: list[tuple[dict, Path | None]] = []
+    for point in sweep:
+        if point < 1:
+            raise ValueError("sweep points must be positive thread counts")
+        point_label = f"{base}-w{point}"
+        results.append(
+            run_bench_load(
+                host,
+                port,
+                mode="closed",
+                connections=point,
+                requests=requests,
+                label=point_label,
+                **kwargs,
+            )
+        )
+    return results
 
 
 def summary_lines(record: dict, path: Path | None) -> list[str]:

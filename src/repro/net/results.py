@@ -113,7 +113,9 @@ def bench_file_name(label: str) -> str:
 def write_bench_report(record: dict, directory: str | Path = ".") -> Path:
     """Persist one record; the label comes from ``record['config']['label']``."""
     label = str(record.get("config", {}).get("label", "run"))
-    path = Path(directory) / bench_file_name(label)
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / bench_file_name(label)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 

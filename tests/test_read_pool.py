@@ -1,0 +1,253 @@
+"""The WAL-backed read-connection pool: lock invariants, concurrent parity.
+
+Three contracts under test:
+
+* **Lock acquisition** — ``_acquire_lock_for`` returns one shared lock object
+  per backend instance for ``:memory:`` stores (historically every call site
+  got a fresh ``RLock``, so "holding the lock" guarded nothing) and one
+  refcounted lock per *path* for file stores, idempotently on repeated calls.
+* **Concurrent-read parity** — N threads running mixed cold/warm queries
+  through pooled reader connections receive responses byte-identical to
+  sequential execution, on both the plain and the sharded file-backed store.
+* **Writer visibility** — a post-build insert commits, bumps the write
+  epoch, and is visible to every subsequent pooled read: a reader leased
+  before the write must not stay pinned to its old WAL snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.db.backends import create_backend
+from repro.db.backends.sqlite import SQLiteBackend, _acquire_lock_for
+from repro.engine import EngineConfig, QueryEngine, ResultCache
+from tests.conftest import build_mini_db, mini_schema
+
+QUERIES = ["hanks 2001", "london", "hanks", "2001"]
+FILE_BACKENDS = ["sqlite", "sqlite-sharded"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_cache():
+    ResultCache.clear_process_cache()
+    yield
+    ResultCache.clear_process_cache()
+
+
+def _rows(context):
+    return [(r.score, r.interpretation_rank, r.row_uids()) for r in context.results]
+
+
+class TestLockAcquisition:
+    """The satellite regression: one lock object per backend instance."""
+
+    def test_memory_lock_is_shared_per_instance(self):
+        """Repeated ``:memory:`` acquisitions on one instance return the
+        *same* lock object — a fresh ``RLock`` per call would make every
+        ``with self._lock:`` site mutually non-exclusive."""
+        db = build_mini_db("sqlite")
+        assert _acquire_lock_for(db.path, db) is db._lock
+        assert _acquire_lock_for(db.path, db) is db._lock
+
+    def test_two_memory_backends_do_not_share_a_lock(self):
+        """Distinct ``:memory:`` stores are distinct databases: sharing one
+        lock would serialize two unrelated backends against each other."""
+        one, two = build_mini_db("sqlite"), build_mini_db("sqlite")
+        assert one._lock is not two._lock
+
+    def test_file_backends_share_the_per_path_lock(self, tmp_path):
+        path = tmp_path / "shared.sqlite"
+        first = build_mini_db("sqlite", db_path=path)
+        second = create_backend("sqlite", mini_schema(), path=path)
+        try:
+            assert first._lock is second._lock
+            assert _acquire_lock_for(first.path, first) is first._lock
+        finally:
+            second.close()
+            first.close()
+
+
+class TestPoolMechanics:
+    def test_memory_store_has_no_pool(self):
+        db = build_mini_db("sqlite")
+        assert not db._read_pool_enabled()
+        assert db.read_pool_stats() is None
+
+    def test_size_one_disables_the_pool(self, tmp_path):
+        db = create_backend(
+            "sqlite", mini_schema(), path=tmp_path / "s.db", read_pool_size=1
+        )
+        assert not db._read_pool_enabled()
+        assert db.read_pool_stats() is None
+
+    def test_create_backend_threads_the_knob(self, tmp_path):
+        db = create_backend(
+            "sqlite", mini_schema(), path=tmp_path / "s.db", read_pool_size=2
+        )
+        assert db._read_pool_size == 2
+
+    def test_create_backend_rejects_unsupporting_backends(self):
+        with pytest.raises(ValueError, match="read-connection pool"):
+            create_backend("memory", mini_schema(), read_pool_size=4)
+
+    def test_configure_rejects_nonpositive_sizes(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "s.db")
+        with pytest.raises(ValueError):
+            db.configure_read_pool(0)
+
+    def test_engine_config_applies_to_the_backend(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "s.db")
+        QueryEngine(db, config=EngineConfig(read_pool_size=3))
+        assert db._read_pool_size == 3
+
+    def test_stats_count_leases(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "s.db")
+        engine = QueryEngine(
+            db, config=EngineConfig(cache_results=False, read_pool_size=4)
+        )
+        context = engine.run("hanks 2001", k=5)
+        stats = db.read_pool_stats()
+        assert stats is not None
+        assert stats["size"] == 4
+        assert stats["leases"] > 0
+        assert 1 <= stats["peak_concurrency"] <= 4
+        pool = context.executor_statistics.read_pool
+        assert pool and pool["leases"] > 0
+        assert "read pool:" in "\n".join(context.explain_lines())
+
+    def test_default_pool_capacity_scales_with_shards(self, tmp_path):
+        db = build_mini_db("sqlite-sharded", db_path=tmp_path / "s.db")
+        assert db._read_pool_enabled()
+        assert db._read_pool_capacity() >= db.shards
+
+
+class TestConcurrentReadParity:
+    """N threads x mixed cold/warm queries == sequential, byte for byte."""
+
+    THREADS = 8
+    ROUNDS = 3
+
+    @pytest.mark.parametrize("backend", FILE_BACKENDS)
+    def test_concurrent_responses_match_sequential(self, tmp_path, backend):
+        db = build_mini_db(backend, db_path=tmp_path / "store.db")
+        warm = QueryEngine(db, config=EngineConfig(read_pool_size=4))
+        cold = QueryEngine(
+            db, config=EngineConfig(cache_results=False, read_pool_size=4)
+        )
+        # The sequential reference (also warms `warm`'s result cache, so the
+        # warm lanes below exercise cache hits while the cold lanes keep
+        # leasing pooled readers).
+        reference = {text: _rows(warm.run(text, k=5)) for text in QUERIES}
+
+        failures: list[str] = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(index: int) -> None:
+            engine = cold if index % 2 == 0 else warm
+            barrier.wait()
+            for _round in range(self.ROUNDS):
+                for text in QUERIES:
+                    if _rows(engine.run(text, k=5)) != reference[text]:
+                        failures.append(f"thread {index}: {text!r} diverged")
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        stats = db.read_pool_stats()
+        assert stats is not None and stats["leases"] > 0
+
+    @pytest.mark.parametrize("backend", FILE_BACKENDS)
+    def test_memory_store_parity_without_a_pool(self, backend):
+        """The control arm: the same concurrent workload on a ``:memory:``
+        store (pool disabled) stays byte-identical too."""
+        db = build_mini_db(backend)
+        engine = QueryEngine(db, config=EngineConfig(cache_results=False))
+        reference = {text: _rows(engine.run(text, k=5)) for text in QUERIES}
+        failures: list[str] = []
+
+        def worker() -> None:
+            for text in QUERIES:
+                if _rows(engine.run(text, k=5)) != reference[text]:
+                    failures.append(text)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+
+
+class TestWriterVisibility:
+    """The writer -> readers barrier: committed writes reach pooled reads."""
+
+    @pytest.mark.parametrize("backend", FILE_BACKENDS)
+    def test_insert_bumps_epoch_and_is_visible(self, tmp_path, backend):
+        db = build_mini_db(backend, db_path=tmp_path / "store.db")
+        relation = db.relation("actor")
+        # Lease a pooled reader once before the write: if its cursor were
+        # left un-reset, the reader would stay pinned to the pre-insert WAL
+        # snapshot and the post-insert read below would miss the row.
+        assert relation.get(9) is None
+        before = db.write_epoch
+        db.insert("actor", {"id": 9, "name": "late arrival"})
+        assert db.write_epoch > before
+        inserted = relation.get(9)
+        assert inserted is not None and inserted.get("name") == "late arrival"
+        assert len(relation) == 4
+
+    def test_interleaved_writer_thread(self, tmp_path):
+        """Reads racing one writer thread always see a legal state and see
+        every row once the writer joined."""
+        db = build_mini_db("sqlite", db_path=tmp_path / "store.db")
+        relation = db.relation("actor")
+        stop = threading.Event()
+        observed: list[int] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                observed.append(len(relation))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for key in range(10, 15):
+                db.insert("actor", {"id": key, "name": f"actor {key}"})
+        finally:
+            stop.set()
+            thread.join()
+        assert all(3 <= count <= 8 for count in observed)
+        assert len(relation) == 8
+        assert sorted(relation.keys())[-1] == 14
+
+
+class TestPoolLifecycle:
+    def test_resize_resets_counters_and_capacity(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "s.db")
+        db.relation("actor").get(1)
+        assert db.read_pool_stats()["leases"] > 0
+        db.configure_read_pool(2)
+        stats = db.read_pool_stats()
+        assert stats == {
+            "size": 2,
+            "leases": 0,
+            "waits": 0,
+            "peak_concurrency": 0,
+        }
+
+    def test_close_tears_down_the_pool(self, tmp_path):
+        db = build_mini_db("sqlite", db_path=tmp_path / "s.db")
+        db.relation("actor").get(1)
+        db.close()
+        assert db._read_pool is None
+
+    def test_default_pool_size_is_documented_constant(self):
+        assert SQLiteBackend.DEFAULT_READ_POOL_SIZE == 4

@@ -152,11 +152,15 @@ class TestStreamAbandonment:
             execution = db.execute_paths_streamed(specs, limit=10)
             next(execution.stream)
             execution.stream.close()
-        # One pooled reader connection per shard, no matter how many streams
-        # were opened and abandoned.
-        assert db._readers is not None and len(db._readers) == db.shards
+        # Reader connections come from the bounded pool: every abandoned
+        # stream returned its leases, so the pool never opened more than its
+        # capacity, and nothing is leased after the last close.
+        pool = db._read_pool
+        assert pool is not None
+        assert pool._opened <= db._read_pool_capacity()
+        assert pool._active == 0
         db.close()
-        assert db._readers is None
+        assert db._read_pool is None
 
     def test_stream_is_a_context_manager(self):
         db = build_mini_db("sqlite")
